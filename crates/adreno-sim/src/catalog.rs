@@ -1,0 +1,150 @@
+//! The per-group counter catalogue, as the GPU vendor publishes it.
+//!
+//! The attack's first step (§3.3) is *discovering* the interesting counters:
+//! it iterates every group and countable through the
+//! `GL_AMD_performance_monitor` extension and reads each counter's string
+//! identifier. This module is the catalogue those queries answer from: each
+//! group exposes a contiguous range of countables with vendor names, of
+//! which the attack selects the eleven overdraw-related ones (Table 1).
+//!
+//! Only the tracked counters are modelled by the pipeline; the rest exist,
+//! can be reserved and read, and simply stay quiescent — exactly how an
+//! unimplemented-but-present hardware counter behaves to userspace.
+
+use crate::counters::{CounterGroup, CounterId};
+
+/// Names of the LRZ group countables (ids 0..).
+const LRZ_NAMES: [&str; 20] = [
+    "PERF_LRZ_BUSY_CYCLES",
+    "PERF_LRZ_STARVE_CYCLES_FROM_FC",
+    "PERF_LRZ_STALL_CYCLES_FROM_GRAS",
+    "PERF_LRZ_STALL_CYCLES_FROM_VSC",
+    "PERF_LRZ_STALL_CYCLES_FROM_VC",
+    "PERF_LRZ_LRZ_READ",
+    "PERF_LRZ_LRZ_WRITE",
+    "PERF_LRZ_READ_LATENCY",
+    "PERF_LRZ_MERGE_CACHE_UPDATING",
+    "PERF_LRZ_PRIM_KILLED_BY_MASKGEN",
+    "PERF_LRZ_PRIM_KILLED_BY_LRZ",
+    "PERF_LRZ_VISIBLE_PRIM_AFTER_MASKGEN",
+    "PERF_LRZ_FULL_8X8_TILES_FROM_MASKGEN",
+    "PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ", // 13 — Table 1
+    "PERF_LRZ_FULL_8X8_TILES",         // 14 — Table 1
+    "PERF_LRZ_PARTIAL_8X8_TILES",      // 15 — Table 1
+    "PERF_LRZ_TILE_KILLED",
+    "PERF_LRZ_TOTAL_PIXEL",
+    "PERF_LRZ_VISIBLE_PIXEL_AFTER_LRZ", // 18 — Table 1
+    "PERF_LRZ_FEEDBACK_ACCEPT",
+];
+
+/// Names of the RAS group countables.
+const RAS_NAMES: [&str; 12] = [
+    "PERF_RAS_BUSY_CYCLES",
+    "PERF_RAS_SUPERTILE_ACTIVE_CYCLES", // 1 — Table 1
+    "PERF_RAS_STALL_CYCLES_LRZ",
+    "PERF_RAS_STARVE_CYCLES_TSE",
+    "PERF_RAS_SUPER_TILES",             // 4 — Table 1
+    "PERF_RAS_8X4_TILES",               // 5 — Table 1
+    "PERF_RAS_MASKGEN_ACTIVE",
+    "PERF_RAS_FULLY_COVERED_SUPER_TILES",
+    "PERF_RAS_FULLY_COVERED_8X4_TILES", // 8 — Table 1
+    "PERF_RAS_PRIM_KILLED_INVISILBE",   // sic — vendor headers carry this typo
+    "PERF_RAS_SUPERTILE_GEN_ACTIVE_CYCLES",
+    "PERF_RAS_LRZ_INTF_WORKING_CYCLES",
+];
+
+/// Names of the VPC group countables.
+const VPC_NAMES: [&str; 16] = [
+    "PERF_VPC_BUSY_CYCLES",
+    "PERF_VPC_WORKING_CYCLES",
+    "PERF_VPC_STALL_CYCLES_UCHE",
+    "PERF_VPC_STALL_CYCLES_VFD_WACK",
+    "PERF_VPC_STALL_CYCLES_HLSQ_PRIM_ALLOC",
+    "PERF_VPC_STALL_CYCLES_PC",
+    "PERF_VPC_STALL_CYCLES_SP_LM",
+    "PERF_VPC_STARVE_CYCLES_SP",
+    "PERF_VPC_STARVE_CYCLES_LRZ",
+    "PERF_VPC_PC_PRIMITIVES",          // 9 — Table 1
+    "PERF_VPC_SP_COMPONENTS",          // 10 — Table 1
+    "PERF_VPC_STALL_CYCLES_VPCRAM_POS",
+    "PERF_VPC_LRZ_ASSIGN_PRIMITIVES",  // 12 — Table 1
+    "PERF_VPC_RB_VISIBLE_PRIMITIVES",
+    "PERF_VPC_LM_TRANSACTION",
+    "PERF_VPC_MRT_TRANSACTION",
+];
+
+/// Number of countables a group advertises.
+pub fn group_len(group: CounterGroup) -> u32 {
+    match group {
+        CounterGroup::Lrz => LRZ_NAMES.len() as u32,
+        CounterGroup::Ras => RAS_NAMES.len() as u32,
+        CounterGroup::Vpc => VPC_NAMES.len() as u32,
+    }
+}
+
+/// The vendor string identifier of a countable, or `None` when the
+/// countable does not exist in this group.
+pub fn countable_name(id: CounterId) -> Option<&'static str> {
+    let names: &[&str] = match id.group {
+        CounterGroup::Lrz => &LRZ_NAMES,
+        CounterGroup::Ras => &RAS_NAMES,
+        CounterGroup::Vpc => &VPC_NAMES,
+    };
+    names.get(id.countable as usize).copied()
+}
+
+/// The human-readable group name reported by
+/// `GetPerfMonitorGroupStringAMD`.
+pub fn group_name(group: CounterGroup) -> &'static str {
+    match group {
+        CounterGroup::Lrz => "LRZ",
+        CounterGroup::Ras => "RAS",
+        CounterGroup::Vpc => "VPC",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::ALL_TRACKED;
+
+    #[test]
+    fn table1_counters_carry_their_paper_names() {
+        for c in ALL_TRACKED {
+            assert_eq!(
+                countable_name(c.id()),
+                Some(c.name()),
+                "catalogue must agree with Table 1 for {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_countables_do_not_exist() {
+        for group in [CounterGroup::Lrz, CounterGroup::Ras, CounterGroup::Vpc] {
+            assert!(countable_name(CounterId::new(group, group_len(group))).is_none());
+            assert!(countable_name(CounterId::new(group, 0)).is_some());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_within_a_group() {
+        for group in [CounterGroup::Lrz, CounterGroup::Ras, CounterGroup::Vpc] {
+            let mut names: Vec<&str> =
+                (0..group_len(group)).filter_map(|i| countable_name(CounterId::new(group, i))).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), before, "{group}: duplicate counter names");
+        }
+    }
+
+    /// The tracked counter with the id used in the paper's Fig 10 example.
+    #[test]
+    fn fig10_example_counter_exists() {
+        assert_eq!(
+            countable_name(CounterId::new(CounterGroup::Lrz, 14)),
+            Some("PERF_LRZ_FULL_8X8_TILES")
+        );
+    }
+}

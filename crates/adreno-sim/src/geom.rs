@@ -1,0 +1,290 @@
+//! Integer screen geometry used by the scene and the tile pipeline.
+
+use std::fmt;
+
+/// A point in screen space, in pixels. The origin is the top-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Point {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle in screen space, in pixels.
+///
+/// `Rect` is half-open: it covers `x0..x1` by `y0..y1`. Empty and inverted
+/// rectangles are normalised to zero area by the accessors.
+///
+/// # Examples
+///
+/// ```
+/// use adreno_sim::geom::Rect;
+///
+/// let r = Rect::from_xywh(10, 20, 30, 40);
+/// assert_eq!(r.width(), 30);
+/// assert_eq!(r.area(), 30 * 40);
+/// assert!(r.contains(10, 20));
+/// assert!(!r.contains(40, 20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    pub x0: i32,
+    pub y0: i32,
+    pub x1: i32,
+    pub y1: i32,
+}
+
+impl Rect {
+    /// A rectangle with zero area at the origin.
+    pub const EMPTY: Rect = Rect { x0: 0, y0: 0, x1: 0, y1: 0 };
+
+    /// Creates a rectangle from its corners. The corners are not reordered;
+    /// an inverted rectangle simply has zero area.
+    pub const fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Creates a rectangle from its top-left corner plus width and height.
+    pub const fn from_xywh(x: i32, y: i32, w: i32, h: i32) -> Self {
+        Rect { x0: x, y0: y, x1: x + w, y1: y + h }
+    }
+
+    /// Width in pixels (zero for inverted rectangles).
+    pub const fn width(&self) -> i32 {
+        if self.x1 > self.x0 {
+            self.x1 - self.x0
+        } else {
+            0
+        }
+    }
+
+    /// Height in pixels (zero for inverted rectangles).
+    pub const fn height(&self) -> i32 {
+        if self.y1 > self.y0 {
+            self.y1 - self.y0
+        } else {
+            0
+        }
+    }
+
+    /// Area in pixels.
+    pub const fn area(&self) -> i64 {
+        self.width() as i64 * self.height() as i64
+    }
+
+    /// Whether the rectangle covers no pixels.
+    pub const fn is_empty(&self) -> bool {
+        self.x1 <= self.x0 || self.y1 <= self.y0
+    }
+
+    /// Whether the pixel at `(x, y)` lies inside the rectangle.
+    pub const fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Whether `other` is entirely inside `self`. Empty rectangles are
+    /// contained by everything.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1)
+    }
+
+    /// The overlapping region of two rectangles (possibly empty).
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let r = Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        };
+        if r.is_empty() {
+            Rect::EMPTY
+        } else {
+            r
+        }
+    }
+
+    /// Whether the two rectangles share any pixel.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// The smallest rectangle containing both inputs. Empty inputs are
+    /// ignored.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Translates the rectangle by `(dx, dy)`.
+    pub const fn translated(&self, dx: i32, dy: i32) -> Rect {
+        Rect { x0: self.x0 + dx, y0: self.y0 + dy, x1: self.x1 + dx, y1: self.y1 + dy }
+    }
+
+    /// Shrinks the rectangle by `margin` pixels on every side, clamping at
+    /// zero size.
+    pub fn inset(&self, margin: i32) -> Rect {
+        let r = Rect {
+            x0: self.x0 + margin,
+            y0: self.y0 + margin,
+            x1: self.x1 - margin,
+            y1: self.y1 - margin,
+        };
+        if r.is_empty() {
+            Rect { x0: r.x0, y0: r.y0, x1: r.x0, y1: r.y0 }
+        } else {
+            r
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{} @ ({}, {})]", self.width(), self.height(), self.x0, self.y0)
+    }
+}
+
+/// A line segment, used by the stroke font. Coordinates are in the glyph's
+/// own unit grid (see [`crate::font`]) until scaled into screen space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub x0: f32,
+    pub y0: f32,
+    pub x1: f32,
+    pub y1: f32,
+}
+
+impl Segment {
+    /// Creates a segment between two endpoints.
+    pub const fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Segment { x0, y0, x1, y1 }
+    }
+
+    /// Euclidean length of the segment.
+    pub fn length(&self) -> f32 {
+        let dx = self.x1 - self.x0;
+        let dy = self.y1 - self.y0;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The tight integer bounding box of the segment once mapped into the
+    /// destination rectangle `dest` (the glyph cell in screen space), given
+    /// the glyph grid size and a stroke thickness in pixels.
+    pub fn screen_bounds(&self, dest: &Rect, grid: f32, thickness: i32) -> Rect {
+        let sx = dest.width() as f32 / grid;
+        let sy = dest.height() as f32 / grid;
+        let x0 = dest.x0 as f32 + self.x0.min(self.x1) * sx;
+        let x1 = dest.x0 as f32 + self.x0.max(self.x1) * sx;
+        let y0 = dest.y0 as f32 + self.y0.min(self.y1) * sy;
+        let y1 = dest.y0 as f32 + self.y0.max(self.y1) * sy;
+        let half = (thickness / 2).max(1);
+        Rect {
+            x0: x0.floor() as i32 - half,
+            y0: y0.floor() as i32 - half,
+            x1: x1.ceil() as i32 + half,
+            y1: y1.ceil() as i32 + half,
+        }
+    }
+
+    /// Approximate pixel coverage of the stroked segment when mapped into
+    /// `dest` with the given grid size and thickness: length × thickness,
+    /// with a square cap.
+    pub fn screen_coverage(&self, dest: &Rect, grid: f32, thickness: i32) -> i64 {
+        let sx = dest.width() as f32 / grid;
+        let sy = dest.height() as f32 / grid;
+        let dx = (self.x1 - self.x0) * sx;
+        let dy = (self.y1 - self.y0) * sy;
+        let len = (dx * dx + dy * dy).sqrt();
+        let t = thickness.max(1) as f32;
+        ((len * t) + t * t).round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basic_accessors() {
+        let r = Rect::from_xywh(5, 6, 7, 8);
+        assert_eq!(r.width(), 7);
+        assert_eq!(r.height(), 8);
+        assert_eq!(r.area(), 56);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn inverted_rect_is_empty() {
+        let r = Rect::new(10, 10, 5, 5);
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+        assert_eq!(r.width(), 0);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::from_xywh(0, 0, 10, 10);
+        let b = Rect::from_xywh(5, 5, 10, 10);
+        assert_eq!(a.intersect(&b), Rect::new(5, 5, 10, 10));
+        assert_eq!(a.union(&b), Rect::new(0, 0, 15, 15));
+        assert!(a.intersects(&b));
+        let c = Rect::from_xywh(20, 20, 5, 5);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersect(&c), Rect::EMPTY);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::from_xywh(0, 0, 100, 100);
+        let inner = Rect::from_xywh(10, 10, 20, 20);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn inset_clamps() {
+        let r = Rect::from_xywh(0, 0, 10, 10);
+        assert_eq!(r.inset(2), Rect::new(2, 2, 8, 8));
+        assert!(r.inset(6).is_empty());
+    }
+
+    #[test]
+    fn segment_coverage_scales_with_dest() {
+        let s = Segment::new(0.0, 0.0, 8.0, 0.0);
+        let small = Rect::from_xywh(0, 0, 16, 16);
+        let large = Rect::from_xywh(0, 0, 64, 64);
+        assert!(s.screen_coverage(&large, 8.0, 2) > s.screen_coverage(&small, 8.0, 2));
+    }
+
+    #[test]
+    fn segment_bounds_include_thickness() {
+        let s = Segment::new(1.0, 1.0, 1.0, 7.0);
+        let dest = Rect::from_xywh(100, 100, 80, 80);
+        let b = s.screen_bounds(&dest, 8.0, 4);
+        assert!(b.x0 < 110 + 1);
+        assert!(b.width() >= 4);
+    }
+}

@@ -1,0 +1,127 @@
+//! Adreno GPU model parameters.
+//!
+//! The paper evaluates Adreno 540, 640, 650 and 660 (§7.5). The models share
+//! the counter architecture (all tracked counters exist on every model after
+//! Adreno 540) but differ in binning geometry and clock, so the *same* scene
+//! produces different absolute counter values on different models — which is
+//! what lets the attack's preloaded models recognise the device (§3.2).
+
+use std::fmt;
+
+/// A Qualcomm Adreno GPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GpuModel {
+    /// Adreno 540 (LG V30+, Google Pixel 2).
+    Adreno540,
+    /// Adreno 640 (OnePlus 7 Pro).
+    Adreno640,
+    /// Adreno 650 (OnePlus 8 Pro — the paper's main evaluation device).
+    Adreno650,
+    /// Adreno 660 (OnePlus 9, Samsung Galaxy S21).
+    Adreno660,
+}
+
+/// All supported models, oldest first.
+pub const ALL_MODELS: [GpuModel; 4] =
+    [GpuModel::Adreno540, GpuModel::Adreno640, GpuModel::Adreno650, GpuModel::Adreno660];
+
+/// Static parameters of one GPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GpuParams {
+    /// Supertile (bin) width in pixels.
+    pub supertile_w: i32,
+    /// Supertile (bin) height in pixels.
+    pub supertile_h: i32,
+    /// Core clock in MHz; converts primitive cost in cycles to draw time.
+    pub clock_mhz: u32,
+    /// Rasteriser throughput: pixels shaded per cycle.
+    pub pixels_per_cycle: u32,
+    /// Fixed per-primitive setup cost in cycles.
+    pub prim_setup_cycles: u32,
+}
+
+impl GpuModel {
+    /// The model's static parameters.
+    pub const fn params(self) -> GpuParams {
+        match self {
+            GpuModel::Adreno540 => GpuParams {
+                supertile_w: 32,
+                supertile_h: 32,
+                clock_mhz: 710,
+                pixels_per_cycle: 4,
+                prim_setup_cycles: 220,
+            },
+            GpuModel::Adreno640 => GpuParams {
+                supertile_w: 64,
+                supertile_h: 32,
+                clock_mhz: 585,
+                pixels_per_cycle: 6,
+                prim_setup_cycles: 180,
+            },
+            GpuModel::Adreno650 => GpuParams {
+                supertile_w: 64,
+                supertile_h: 64,
+                clock_mhz: 587,
+                pixels_per_cycle: 8,
+                prim_setup_cycles: 160,
+            },
+            GpuModel::Adreno660 => GpuParams {
+                supertile_w: 96,
+                supertile_h: 48,
+                clock_mhz: 840,
+                pixels_per_cycle: 8,
+                prim_setup_cycles: 150,
+            },
+        }
+    }
+
+    /// Marketing name, e.g. `"Adreno 650"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GpuModel::Adreno540 => "Adreno 540",
+            GpuModel::Adreno640 => "Adreno 640",
+            GpuModel::Adreno650 => "Adreno 650",
+            GpuModel::Adreno660 => "Adreno 660",
+        }
+    }
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_have_distinct_binning() {
+        // Distinct (supertile_w, supertile_h) pairs are what make counter
+        // values model-specific, enabling device recognition.
+        let mut shapes: Vec<(i32, i32)> = ALL_MODELS
+            .into_iter()
+            .map(|m| (m.params().supertile_w, m.params().supertile_h))
+            .collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        assert_eq!(shapes.len(), ALL_MODELS.len());
+    }
+
+    #[test]
+    fn params_are_sane() {
+        for m in ALL_MODELS {
+            let p = m.params();
+            assert!(p.supertile_w >= 8 && p.supertile_h >= 8);
+            assert!(p.supertile_w % 8 == 0, "{m}: supertile must align to 8x8 LRZ tiles");
+            assert!(p.supertile_h % 8 == 0);
+            assert!(p.clock_mhz > 0 && p.pixels_per_cycle > 0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GpuModel::Adreno650.to_string(), "Adreno 650");
+    }
+}

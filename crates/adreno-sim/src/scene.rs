@@ -1,0 +1,188 @@
+//! Scenes: what a window submits to the GPU for one frame.
+//!
+//! Android composes screen content in layers rendered back-to-front (Fig 2 of
+//! the paper). A [`DrawList`] is an ordered stack of [`Layer`]s, each holding
+//! [`Primitive`]s. Opaque quads in higher layers occlude content below them —
+//! the source of the GPU overdraw signal the attack measures.
+
+use crate::font::{self, FALLBACK};
+use crate::geom::{Rect, Segment};
+
+/// A single drawable primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Primitive {
+    /// A filled, axis-aligned rectangle. Opaque quads occlude lower layers;
+    /// translucent ones do not.
+    Quad { rect: Rect, opaque: bool },
+    /// A character drawn with the stroke font into `dest`, with a stroke
+    /// thickness in pixels. Each stroke becomes one GPU primitive.
+    Glyph { ch: char, dest: Rect, thickness: i32 },
+    /// A pre-resolved stroked segment in screen space (used for decorations
+    /// and animations). `dest`/`grid` follow [`Segment::screen_bounds`].
+    Stroke { seg: Segment, dest: Rect, thickness: i32 },
+}
+
+impl Primitive {
+    /// A conservative bounding box of the primitive in screen space.
+    pub fn bounds(&self) -> Rect {
+        match self {
+            Primitive::Quad { rect, .. } => *rect,
+            Primitive::Glyph { ch, dest, thickness } => {
+                let strokes = font::glyph_strokes(*ch).unwrap_or(FALLBACK);
+                strokes
+                    .iter()
+                    .map(|s| s.screen_bounds(dest, font::GRID, *thickness))
+                    .fold(Rect::EMPTY, |acc, r| acc.union(&r))
+            }
+            Primitive::Stroke { seg, dest, thickness } => {
+                seg.screen_bounds(dest, font::GRID, *thickness)
+            }
+        }
+    }
+}
+
+/// One rendering layer: a group of primitives at the same depth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Layer {
+    /// Human-readable tag, for debugging and tests ("keyboard", "popup", …).
+    pub tag: &'static str,
+    pub prims: Vec<Primitive>,
+}
+
+impl Layer {
+    /// Creates an empty layer with a debug tag.
+    pub fn new(tag: &'static str) -> Self {
+        Layer { tag, prims: Vec::new() }
+    }
+
+    /// Adds a filled rectangle.
+    pub fn quad(&mut self, rect: Rect, opaque: bool) -> &mut Self {
+        self.prims.push(Primitive::Quad { rect, opaque });
+        self
+    }
+
+    /// Adds a glyph.
+    pub fn glyph(&mut self, ch: char, dest: Rect, thickness: i32) -> &mut Self {
+        self.prims.push(Primitive::Glyph { ch, dest, thickness });
+        self
+    }
+
+    /// Adds a raw stroke.
+    pub fn stroke(&mut self, seg: Segment, dest: Rect, thickness: i32) -> &mut Self {
+        self.prims.push(Primitive::Stroke { seg, dest, thickness });
+        self
+    }
+}
+
+/// A complete frame submission: layers ordered back-to-front.
+///
+/// # Examples
+///
+/// ```
+/// use adreno_sim::geom::Rect;
+/// use adreno_sim::scene::DrawList;
+///
+/// let mut dl = DrawList::new(1080, 2376);
+/// dl.layer("background").quad(Rect::from_xywh(0, 0, 1080, 2376), true);
+/// dl.layer("popup").glyph('w', Rect::from_xywh(200, 1400, 90, 110), 8);
+/// assert_eq!(dl.layers().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrawList {
+    width: i32,
+    height: i32,
+    layers: Vec<Layer>,
+}
+
+impl DrawList {
+    /// Creates an empty draw list for a `width`×`height` render target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive.
+    pub fn new(width: i32, height: i32) -> Self {
+        assert!(width > 0 && height > 0, "render target must be non-empty");
+        DrawList { width, height, layers: Vec::new() }
+    }
+
+    /// Render target width in pixels.
+    pub fn width(&self) -> i32 {
+        self.width
+    }
+
+    /// Render target height in pixels.
+    pub fn height(&self) -> i32 {
+        self.height
+    }
+
+    /// The full render target rectangle.
+    pub fn viewport(&self) -> Rect {
+        Rect::from_xywh(0, 0, self.width, self.height)
+    }
+
+    /// Appends a new topmost layer and returns it for population.
+    pub fn layer(&mut self, tag: &'static str) -> &mut Layer {
+        self.layers.push(Layer::new(tag));
+        self.layers.last_mut().expect("just pushed")
+    }
+
+    /// Appends an already-built layer as the new topmost layer.
+    pub fn push_layer(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
+    /// The layers, back-to-front.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total number of primitives across all layers (glyphs count as one
+    /// here; the pipeline expands them into per-stroke primitives).
+    pub fn prim_count(&self) -> usize {
+        self.layers.iter().map(|l| l.prims.len()).sum()
+    }
+
+    /// Whether the draw list contains nothing to draw.
+    pub fn is_empty(&self) -> bool {
+        self.layers.iter().all(|l| l.prims.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_stacks_layers_in_order() {
+        let mut dl = DrawList::new(100, 100);
+        dl.layer("a").quad(Rect::from_xywh(0, 0, 10, 10), true);
+        dl.layer("b").glyph('x', Rect::from_xywh(0, 0, 16, 16), 2);
+        assert_eq!(dl.layers()[0].tag, "a");
+        assert_eq!(dl.layers()[1].tag, "b");
+        assert_eq!(dl.prim_count(), 2);
+        assert!(!dl.is_empty());
+    }
+
+    #[test]
+    fn glyph_bounds_cover_strokes() {
+        let dest = Rect::from_xywh(100, 200, 80, 80);
+        let p = Primitive::Glyph { ch: 'o', dest, thickness: 4 };
+        let b = p.bounds();
+        // 'o' spans grid 2..=7 in both axes; bounds must sit inside a
+        // slightly padded dest and be non-empty.
+        assert!(!b.is_empty());
+        assert!(b.x0 >= dest.x0 - 4 && b.x1 <= dest.x1 + 4);
+    }
+
+    #[test]
+    fn space_glyph_has_empty_bounds() {
+        let p = Primitive::Glyph { ch: ' ', dest: Rect::from_xywh(0, 0, 50, 50), thickness: 4 };
+        assert!(p.bounds().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_target_rejected() {
+        let _ = DrawList::new(0, 10);
+    }
+}

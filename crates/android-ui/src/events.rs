@@ -1,0 +1,176 @@
+//! Input events and ground-truth records.
+//!
+//! Events model what the `/dev/input/eventX` interface would deliver (key
+//! down/up) plus the coarser user behaviours of the paper's practical
+//! experiments (§8, Fig 27): app switches, notifications, viewing the
+//! notification shade.
+
+use crate::keyboard::Key;
+use adreno_sim::time::SimInstant;
+
+/// A user/system event delivered to the UI simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UiEvent {
+    /// A key is pressed (finger down). Character keys show their popup.
+    KeyDown(Key),
+    /// A key is released (finger up). Character keys commit their character.
+    KeyUp(Key),
+    /// The user starts switching away from the target app (§5.2).
+    SwitchAway,
+    /// The user switches back to the target app.
+    SwitchBack,
+    /// One burst of activity (scroll/tap) in the non-target app.
+    OtherAppActivity,
+    /// A notification arrives; its status-bar icon appears.
+    Notification,
+    /// The user pulls down the notification shade (Fig 27 "view
+    /// notification bar").
+    ViewNotificationShade,
+    /// The victim launches the target application (its login screen renders
+    /// from scratch and the keyboard comes up) — the §3.2 trigger the
+    /// attacking service waits for.
+    LaunchTargetApp,
+    /// Internal: the popup of the last key press times out and hides. The
+    /// payload is the popup generation that scheduled the hide, so a stale
+    /// hide never dismisses a newer key's popup. Scheduled by the
+    /// simulation itself; external callers normally never queue this.
+    PopupHide(u64),
+}
+
+/// An event with its delivery time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    pub at: SimInstant,
+    pub event: UiEvent,
+}
+
+impl TimedEvent {
+    /// Creates a timed event.
+    pub fn new(at: SimInstant, event: UiEvent) -> Self {
+        TimedEvent { at, event }
+    }
+}
+
+/// What actually happened on the device — the label stream that attack
+/// output is scored against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TruthKind {
+    /// A character was typed (popup shown at `at`, committed on release).
+    Commit(char),
+    /// The backspace key removed one character.
+    Backspace,
+    /// The keyboard switched pages (shift or `?123`).
+    PageChange,
+    /// The user left the target app.
+    SwitchAway,
+    /// The user returned to the target app.
+    SwitchBack,
+    /// A notification icon appeared.
+    Notification,
+    /// The notification shade was opened.
+    ShadeView,
+    /// A system-noise redraw occurred (IME hint, toast, …).
+    SystemNoise,
+    /// The target application launched.
+    AppLaunch,
+}
+
+/// One ground-truth event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthEvent {
+    pub at: SimInstant,
+    pub kind: TruthKind,
+}
+
+/// The full ground truth of a simulated session.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    events: Vec<TruthEvent>,
+}
+
+impl GroundTruth {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Appends an event (simulation-internal).
+    pub(crate) fn push(&mut self, at: SimInstant, kind: TruthKind) {
+        self.events.push(TruthEvent { at, kind });
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TruthEvent] {
+        &self.events
+    }
+
+    /// The characters typed (before backspace correction), with their press
+    /// timestamps — what the eavesdropper tries to recover key-by-key.
+    pub fn keystrokes(&self) -> Vec<(SimInstant, char)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TruthKind::Commit(c) => Some((e.at, c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The final text after applying backspaces — what the victim actually
+    /// submitted (§5.3: deleted input must be excluded from results).
+    pub fn final_text(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            match e.kind {
+                TruthKind::Commit(c) => s.push(c),
+                TruthKind::Backspace => {
+                    s.pop();
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Number of events of a given kind.
+    pub fn count(&self, kind_matches: impl Fn(&TruthKind) -> bool) -> usize {
+        self.events.iter().filter(|e| kind_matches(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_text_applies_backspaces() {
+        let mut gt = GroundTruth::new();
+        let t = SimInstant::ZERO;
+        for c in "abc".chars() {
+            gt.push(t, TruthKind::Commit(c));
+        }
+        gt.push(t, TruthKind::Backspace);
+        gt.push(t, TruthKind::Backspace);
+        gt.push(t, TruthKind::Commit('z'));
+        assert_eq!(gt.final_text(), "az");
+        assert_eq!(gt.keystrokes().len(), 4);
+    }
+
+    #[test]
+    fn backspace_on_empty_is_harmless() {
+        let mut gt = GroundTruth::new();
+        gt.push(SimInstant::ZERO, TruthKind::Backspace);
+        gt.push(SimInstant::ZERO, TruthKind::Commit('x'));
+        assert_eq!(gt.final_text(), "x");
+    }
+
+    #[test]
+    fn count_filters() {
+        let mut gt = GroundTruth::new();
+        gt.push(SimInstant::ZERO, TruthKind::Notification);
+        gt.push(SimInstant::ZERO, TruthKind::Commit('a'));
+        gt.push(SimInstant::ZERO, TruthKind::Notification);
+        assert_eq!(gt.count(|k| matches!(k, TruthKind::Notification)), 2);
+        assert_eq!(gt.count(|k| matches!(k, TruthKind::Commit(_))), 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! On-screen keyboard layouts and key-press popups.
+//!
+//! The attack's signal source is the popup drawn above a pressed key
+//! (Fig 1). Each keyboard app styles its keys and popups differently —
+//! the paper evaluates six keyboards (Fig 20) — so popup geometry, popup
+//! animation and key placement are all parameterised by [`KeyboardKind`].
+
+use crate::screen::DeviceConfig;
+use adreno_sim::geom::Rect;
+use std::fmt;
+
+/// The six on-screen keyboards evaluated in Fig 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyboardKind {
+    /// Google Keyboard (GBoard) — the paper's default, with the richest
+    /// popup animation (and hence the highest duplication rate, §5.1).
+    Gboard,
+    /// Microsoft SwiftKey.
+    Swift,
+    /// Sogou Keyboard.
+    Sogou,
+    /// Google Pinyin Keyboard.
+    GooglePinyin,
+    /// Go Keyboard.
+    Go,
+    /// Grammarly Keyboard.
+    Grammarly,
+}
+
+/// All evaluated keyboards.
+pub const ALL_KEYBOARDS: [KeyboardKind; 6] = [
+    KeyboardKind::Gboard,
+    KeyboardKind::Swift,
+    KeyboardKind::Sogou,
+    KeyboardKind::GooglePinyin,
+    KeyboardKind::Go,
+    KeyboardKind::Grammarly,
+];
+
+impl KeyboardKind {
+    /// Short name used in reports (matches Fig 20 x-axis labels).
+    pub const fn name(self) -> &'static str {
+        match self {
+            KeyboardKind::Swift => "swift",
+            KeyboardKind::Gboard => "gboard",
+            KeyboardKind::Sogou => "sogou",
+            KeyboardKind::GooglePinyin => "pinyin",
+            KeyboardKind::Go => "go",
+            KeyboardKind::Grammarly => "grammarly",
+        }
+    }
+}
+
+impl fmt::Display for KeyboardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Style parameters distinguishing the keyboards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyboardStyle {
+    /// Fraction of screen height the keyboard occupies.
+    pub height_frac: f64,
+    /// Gap between keys, in pixels at FHD+ (scaled with resolution).
+    pub key_margin: i32,
+    /// Popup size as a multiple of the key size.
+    pub popup_scale: f64,
+    /// How far above the key the popup floats, in key heights.
+    pub popup_rise: f64,
+    /// Probability that the popup's entry animation renders a second,
+    /// identical frame — the paper's *duplication* factor (§5.1 found 633
+    /// duplications in 3,485 presses on GBoard ≈ 0.18).
+    pub dup_probability: f64,
+    /// Stroke thickness of popup glyphs in pixels at FHD+.
+    pub glyph_thickness: i32,
+}
+
+impl KeyboardKind {
+    /// The keyboard's style parameters.
+    pub const fn style(self) -> KeyboardStyle {
+        match self {
+            KeyboardKind::Gboard => KeyboardStyle {
+                height_frac: 0.36,
+                key_margin: 4,
+                popup_scale: 2.2,
+                popup_rise: 0.25,
+                dup_probability: 0.18,
+                glyph_thickness: 8,
+            },
+            KeyboardKind::Swift => KeyboardStyle {
+                height_frac: 0.37,
+                key_margin: 3,
+                popup_scale: 2.0,
+                popup_rise: 0.2,
+                dup_probability: 0.05,
+                glyph_thickness: 9,
+            },
+            KeyboardKind::Sogou => KeyboardStyle {
+                height_frac: 0.35,
+                key_margin: 5,
+                popup_scale: 2.1,
+                popup_rise: 0.3,
+                dup_probability: 0.10,
+                glyph_thickness: 8,
+            },
+            KeyboardKind::GooglePinyin => KeyboardStyle {
+                height_frac: 0.36,
+                key_margin: 4,
+                popup_scale: 2.3,
+                popup_rise: 0.2,
+                dup_probability: 0.12,
+                glyph_thickness: 7,
+            },
+            KeyboardKind::Go => KeyboardStyle {
+                height_frac: 0.34,
+                key_margin: 6,
+                popup_scale: 1.9,
+                popup_rise: 0.25,
+                dup_probability: 0.08,
+                glyph_thickness: 8,
+            },
+            KeyboardKind::Grammarly => KeyboardStyle {
+                height_frac: 0.38,
+                key_margin: 4,
+                popup_scale: 2.0,
+                popup_rise: 0.15,
+                dup_probability: 0.06,
+                glyph_thickness: 9,
+            },
+        }
+    }
+}
+
+/// Keyboard pages (layers of the layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Page {
+    /// Lowercase letters plus `,` `.` and space.
+    Lower,
+    /// Uppercase letters (shift held/locked).
+    Upper,
+    /// Digits and symbols (`?123` page).
+    Number,
+}
+
+/// A key on the keyboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// A character key: pressing it pops up the character and commits it.
+    Char(char),
+    /// Space bar (no popup on any evaluated keyboard).
+    Space,
+    /// Backspace (no popup; removes the last committed character, §5.3).
+    Backspace,
+    /// Shift: switches Lower↔Upper (no popup; redraws the whole keyboard).
+    Shift,
+    /// `?123` / `ABC`: switches to/from the Number page (no popup; redraws
+    /// the whole keyboard).
+    PageSwitch,
+    /// Enter/submit.
+    Enter,
+}
+
+impl Key {
+    /// Whether pressing this key shows a popup (only character keys do).
+    pub const fn has_popup(self) -> bool {
+        matches!(self, Key::Char(_))
+    }
+}
+
+/// A key and its screen rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyGeometry {
+    pub key: Key,
+    pub rect: Rect,
+}
+
+/// The page the keyboard shows after pressing `key` on `page`.
+///
+/// Shift toggles Lower↔Upper (and is inert on the Number page); `?123`
+/// toggles to the Number page and back to Lower. All other keys leave the
+/// page unchanged.
+pub fn page_after(page: Page, key: Key) -> Page {
+    match (key, page) {
+        (Key::Shift, Page::Lower) => Page::Upper,
+        (Key::Shift, Page::Upper) => Page::Lower,
+        (Key::Shift, Page::Number) => Page::Number,
+        (Key::PageSwitch, Page::Number) => Page::Lower,
+        (Key::PageSwitch, _) => Page::Number,
+        _ => page,
+    }
+}
+
+/// The special keys a typist must tap to move the keyboard from page `from`
+/// to page `to` (empty when already there).
+pub fn keys_to_reach(from: Page, to: Page) -> Vec<Key> {
+    match (from, to) {
+        (a, b) if a == b => vec![],
+        (Page::Lower, Page::Upper) | (Page::Upper, Page::Lower) => vec![Key::Shift],
+        (Page::Lower, Page::Number) | (Page::Upper, Page::Number) => vec![Key::PageSwitch],
+        (Page::Number, Page::Lower) => vec![Key::PageSwitch],
+        (Page::Number, Page::Upper) => vec![Key::PageSwitch, Key::Shift],
+        _ => unreachable!("all page pairs covered"),
+    }
+}
+
+/// Which page a character lives on. Space lives on every page; we place it
+/// on [`Page::Lower`] canonically.
+pub fn page_of(c: char) -> Option<Page> {
+    match c {
+        'a'..='z' | ',' | '.' | ' ' => Some(Page::Lower),
+        'A'..='Z' => Some(Page::Upper),
+        '0'..='9' | '@' | '#' | '$' | '&' | '-' | '+' | '(' | ')' | '/' | '*' | '"' | '\'' | ':'
+        | ';' | '!' | '?' => Some(Page::Number),
+        _ => None,
+    }
+}
+
+const LOWER_ROWS: [&str; 3] = ["qwertyuiop", "asdfghjkl", "zxcvbnm"];
+const UPPER_ROWS: [&str; 3] = ["QWERTYUIOP", "ASDFGHJKL", "ZXCVBNM"];
+const NUMBER_ROWS: [&str; 3] = ["1234567890", "@#$&-+()/", "*\"':;!?"];
+
+/// A concrete keyboard layout for one keyboard app on one device
+/// configuration.
+///
+/// # Examples
+///
+/// ```
+/// use android_ui::keyboard::{KeyboardKind, KeyboardLayout, Page};
+/// use android_ui::screen::DeviceConfig;
+///
+/// let kb = KeyboardLayout::new(KeyboardKind::Gboard, &DeviceConfig::oneplus8pro());
+/// let (page, rect) = kb.key_for_char('w').expect("'w' is on the keyboard");
+/// assert_eq!(page, Page::Lower);
+/// let popup = kb.popup_rect(&rect);
+/// assert!(popup.area() > rect.area(), "popups are larger than keys");
+/// assert!(popup.y0 < rect.y0, "popups float above the key");
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyboardLayout {
+    kind: KeyboardKind,
+    style: KeyboardStyle,
+    bounds: Rect,
+    scale: f64,
+}
+
+impl KeyboardLayout {
+    /// Builds the layout of `kind` on `config`'s screen.
+    pub fn new(kind: KeyboardKind, config: &DeviceConfig) -> Self {
+        let style = kind.style();
+        let w = config.width();
+        let h = config.height();
+        let kb_h = (h as f64 * style.height_frac) as i32 + config.ui_scale_offset();
+        let bounds = Rect::new(0, h - kb_h, w, h);
+        let scale = w as f64 / 1080.0;
+        KeyboardLayout { kind, style, bounds, scale }
+    }
+
+    /// The keyboard app this layout belongs to.
+    pub fn kind(&self) -> KeyboardKind {
+        self.kind
+    }
+
+    /// The style parameters in effect.
+    pub fn style(&self) -> &KeyboardStyle {
+        &self.style
+    }
+
+    /// The keyboard's screen area.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Glyph stroke thickness at this resolution.
+    pub fn glyph_thickness(&self) -> i32 {
+        ((self.style.glyph_thickness as f64 * self.scale).round() as i32).max(2)
+    }
+
+    fn margin(&self) -> i32 {
+        ((self.style.key_margin as f64 * self.scale).round() as i32).max(1)
+    }
+
+    /// All keys of `page`, with their rectangles.
+    pub fn keys(&self, page: Page) -> Vec<KeyGeometry> {
+        let rows: [&str; 3] = match page {
+            Page::Lower => LOWER_ROWS,
+            Page::Upper => UPPER_ROWS,
+            Page::Number => NUMBER_ROWS,
+        };
+        let m = self.margin();
+        let kb = self.bounds;
+        let row_h = kb.height() / 4;
+        let mut out = Vec::with_capacity(40);
+
+        for (ri, row) in rows.iter().enumerate() {
+            let y0 = kb.y0 + ri as i32 * row_h;
+            let chars: Vec<char> = row.chars().collect();
+            // Row 2 carries shift (or page symmetry) on the left and
+            // backspace on the right, like real layouts.
+            let (lead, trail): (Option<Key>, Option<Key>) = if ri == 2 {
+                (Some(Key::Shift), Some(Key::Backspace))
+            } else {
+                (None, None)
+            };
+            let slots = chars.len() as i32 + lead.is_some() as i32 + trail.is_some() as i32;
+            let key_w = kb.width() / slots.max(1);
+            let mut x = kb.x0;
+            if let Some(k) = lead {
+                out.push(KeyGeometry { key: k, rect: Rect::new(x + m, y0 + m, x + key_w - m, y0 + row_h - m) });
+                x += key_w;
+            }
+            for c in chars {
+                out.push(KeyGeometry {
+                    key: Key::Char(c),
+                    rect: Rect::new(x + m, y0 + m, x + key_w - m, y0 + row_h - m),
+                });
+                x += key_w;
+            }
+            if let Some(k) = trail {
+                out.push(KeyGeometry { key: k, rect: Rect::new(x + m, y0 + m, x + key_w - m, y0 + row_h - m) });
+            }
+        }
+
+        // Bottom row: [?123] [,] [space] [.] [enter].
+        let y0 = kb.y0 + 3 * row_h;
+        let w = kb.width();
+        let specs: [(Key, i32, i32); 5] = [
+            (Key::PageSwitch, 0, w * 15 / 100),
+            (Key::Char(','), w * 15 / 100, w * 27 / 100),
+            (Key::Space, w * 27 / 100, w * 73 / 100),
+            (Key::Char('.'), w * 73 / 100, w * 85 / 100),
+            (Key::Enter, w * 85 / 100, w),
+        ];
+        for (key, x0, x1) in specs {
+            out.push(KeyGeometry {
+                key,
+                rect: Rect::new(kb.x0 + x0 + m, y0 + m, kb.x0 + x1 - m, y0 + row_h - m),
+            });
+        }
+        out
+    }
+
+    /// Finds the page and key rectangle for a character.
+    pub fn key_for_char(&self, c: char) -> Option<(Page, Rect)> {
+        let page = page_of(c)?;
+        let key = if c == ' ' { Key::Space } else { Key::Char(c) };
+        self.keys(page)
+            .into_iter()
+            .find(|kg| kg.key == key)
+            .map(|kg| (page, kg.rect))
+    }
+
+    /// The popup rectangle shown while `key_rect` is pressed.
+    pub fn popup_rect(&self, key_rect: &Rect) -> Rect {
+        let s = self.style.popup_scale;
+        let kw = key_rect.width() as f64;
+        let kh = key_rect.height() as f64;
+        let pw = (kw * s) as i32;
+        let ph = (kh * s) as i32;
+        let cx = (key_rect.x0 + key_rect.x1) / 2;
+        let rise = (kh * self.style.popup_rise) as i32;
+        // The popup's bottom edge sits `rise` pixels above the key top.
+        let top = key_rect.y0 - rise - ph;
+        let mut r = Rect::new(cx - pw / 2, top, cx + pw / 2, top + ph);
+        // Clamp horizontally to the screen (edge keys get shifted popups —
+        // another source of per-key uniqueness).
+        if r.x0 < 0 {
+            r = r.translated(-r.x0, 0);
+        }
+        if r.x1 > self.bounds.x1 {
+            r = r.translated(self.bounds.x1 - r.x1, 0);
+        }
+        r
+    }
+
+    /// Where the popup draws its glyph.
+    pub fn popup_glyph_rect(&self, popup: &Rect) -> Rect {
+        popup.inset(popup.width() / 6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adreno_sim::font::FIG18_CHARSET;
+
+    fn layout() -> KeyboardLayout {
+        KeyboardLayout::new(KeyboardKind::Gboard, &DeviceConfig::oneplus8pro())
+    }
+
+    #[test]
+    fn every_fig18_char_is_reachable() {
+        let kb = layout();
+        for c in FIG18_CHARSET.chars() {
+            assert!(kb.key_for_char(c).is_some(), "char {c:?} must be on some page");
+        }
+        assert!(kb.key_for_char(' ').is_some());
+        assert!(kb.key_for_char('€').is_none());
+    }
+
+    #[test]
+    fn keys_do_not_overlap_within_a_page() {
+        let kb = layout();
+        for page in [Page::Lower, Page::Upper, Page::Number] {
+            let keys = kb.keys(page);
+            for (i, a) in keys.iter().enumerate() {
+                for b in keys.iter().skip(i + 1) {
+                    assert!(
+                        !a.rect.intersects(&b.rect),
+                        "{:?} and {:?} overlap on {page:?}",
+                        a.key,
+                        b.key
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keys_stay_inside_keyboard_bounds() {
+        let kb = layout();
+        for page in [Page::Lower, Page::Upper, Page::Number] {
+            for kg in kb.keys(page) {
+                assert!(kb.bounds().contains_rect(&kg.rect), "{:?} escapes bounds", kg.key);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_keys_have_distinct_popups() {
+        let kb = layout();
+        let (_, w) = kb.key_for_char('w').unwrap();
+        let (_, n) = kb.key_for_char('n').unwrap();
+        assert_ne!(kb.popup_rect(&w), kb.popup_rect(&n));
+    }
+
+    #[test]
+    fn popup_floats_above_key_and_stays_on_screen() {
+        let kb = layout();
+        for c in "qap0;".chars() {
+            let (_, rect) = kb.key_for_char(c).unwrap();
+            let popup = kb.popup_rect(&rect);
+            assert!(popup.y1 <= rect.y0, "popup for {c:?} must not cover its key");
+            assert!(popup.x0 >= 0 && popup.x1 <= DeviceConfig::oneplus8pro().width());
+        }
+    }
+
+    #[test]
+    fn keyboards_differ_in_geometry() {
+        let cfg = DeviceConfig::oneplus8pro();
+        let a = KeyboardLayout::new(KeyboardKind::Gboard, &cfg);
+        let b = KeyboardLayout::new(KeyboardKind::Go, &cfg);
+        assert_ne!(a.bounds(), b.bounds());
+        let (_, ka) = a.key_for_char('g').unwrap();
+        let (_, kb_) = b.key_for_char('g').unwrap();
+        assert_ne!(ka, kb_);
+    }
+
+    #[test]
+    fn only_char_keys_pop_up() {
+        assert!(Key::Char('x').has_popup());
+        for k in [Key::Space, Key::Backspace, Key::Shift, Key::PageSwitch, Key::Enter] {
+            assert!(!k.has_popup());
+        }
+    }
+
+    #[test]
+    fn page_of_covers_charset() {
+        assert_eq!(page_of('q'), Some(Page::Lower));
+        assert_eq!(page_of('Q'), Some(Page::Upper));
+        assert_eq!(page_of('7'), Some(Page::Number));
+        assert_eq!(page_of(';'), Some(Page::Number));
+        assert_eq!(page_of('€'), None);
+    }
+
+    #[test]
+    fn resolution_scales_layout() {
+        let fhd = KeyboardLayout::new(KeyboardKind::Gboard, &DeviceConfig::oneplus8pro());
+        let mut qhd_cfg = DeviceConfig::oneplus8pro();
+        qhd_cfg.resolution = crate::screen::Resolution::Qhd;
+        let qhd = KeyboardLayout::new(KeyboardKind::Gboard, &qhd_cfg);
+        let (_, a) = fhd.key_for_char('h').unwrap();
+        let (_, b) = qhd.key_for_char('h').unwrap();
+        assert!(b.area() > a.area(), "QHD keys are physically larger in pixels");
+    }
+}

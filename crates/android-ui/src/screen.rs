@@ -1,0 +1,282 @@
+//! Device and screen configuration.
+//!
+//! The paper evaluates six phone models (§7.5), two screen resolutions, two
+//! refresh rates and four Android versions. A [`DeviceConfig`] bundles the
+//! combination; the attack trains one classifier model per distinct
+//! configuration (§3.2).
+
+use adreno_sim::model::GpuModel;
+use adreno_sim::time::SimDuration;
+use std::fmt;
+
+/// Screen resolution presets evaluated in Fig 24(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resolution {
+    /// FHD+ 2376×1080 (default on the OnePlus 8 Pro).
+    Fhd,
+    /// QHD+ 3168×1440.
+    Qhd,
+}
+
+impl Resolution {
+    /// Screen width in pixels (portrait).
+    pub const fn width(self) -> i32 {
+        match self {
+            Resolution::Fhd => 1080,
+            Resolution::Qhd => 1440,
+        }
+    }
+
+    /// Screen height in pixels (portrait).
+    pub const fn height(self) -> i32 {
+        match self {
+            Resolution::Fhd => 2376,
+            Resolution::Qhd => 3168,
+        }
+    }
+
+    /// Marketing name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Resolution::Fhd => "FHD+ (2376x1080)",
+            Resolution::Qhd => "QHD+ (3168x1440)",
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Screen refresh rates evaluated in §7.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RefreshRate {
+    Hz60,
+    Hz120,
+}
+
+impl RefreshRate {
+    /// Frames per second.
+    pub const fn hz(self) -> u64 {
+        match self {
+            RefreshRate::Hz60 => 60,
+            RefreshRate::Hz120 => 120,
+        }
+    }
+
+    /// The vsync interval.
+    pub const fn frame_interval(self) -> SimDuration {
+        SimDuration::from_nanos(1_000_000_000 / self.hz())
+    }
+}
+
+impl fmt::Display for RefreshRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Hz", self.hz())
+    }
+}
+
+/// Android OS versions evaluated in Fig 24(d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AndroidVersion {
+    V8_1,
+    V9,
+    V10,
+    V11,
+}
+
+impl AndroidVersion {
+    /// The version string, e.g. `"11"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AndroidVersion::V8_1 => "8.1",
+            AndroidVersion::V9 => "9",
+            AndroidVersion::V10 => "10",
+            AndroidVersion::V11 => "11",
+        }
+    }
+}
+
+impl fmt::Display for AndroidVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The smartphone models of §7.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PhoneModel {
+    LgV30Plus,
+    GooglePixel2,
+    OnePlus7Pro,
+    OnePlus8Pro,
+    OnePlus9,
+    GalaxyS21,
+}
+
+/// All evaluated phone models.
+pub const ALL_PHONES: [PhoneModel; 6] = [
+    PhoneModel::LgV30Plus,
+    PhoneModel::GooglePixel2,
+    PhoneModel::OnePlus7Pro,
+    PhoneModel::OnePlus8Pro,
+    PhoneModel::OnePlus9,
+    PhoneModel::GalaxyS21,
+];
+
+impl PhoneModel {
+    /// The GPU in this phone (paper §7.5).
+    pub const fn gpu(self) -> GpuModel {
+        match self {
+            PhoneModel::LgV30Plus | PhoneModel::GooglePixel2 => GpuModel::Adreno540,
+            PhoneModel::OnePlus7Pro => GpuModel::Adreno640,
+            PhoneModel::OnePlus8Pro => GpuModel::Adreno650,
+            PhoneModel::OnePlus9 | PhoneModel::GalaxyS21 => GpuModel::Adreno660,
+        }
+    }
+
+    /// The Android version the paper tested the phone with.
+    pub const fn shipped_android(self) -> AndroidVersion {
+        match self {
+            PhoneModel::LgV30Plus => AndroidVersion::V9,
+            PhoneModel::GooglePixel2 => AndroidVersion::V10,
+            PhoneModel::OnePlus7Pro | PhoneModel::OnePlus8Pro | PhoneModel::OnePlus9 | PhoneModel::GalaxyS21 => {
+                AndroidVersion::V11
+            }
+        }
+    }
+
+    /// Marketing name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PhoneModel::LgV30Plus => "LG V30+",
+            PhoneModel::GooglePixel2 => "Google Pixel 2",
+            PhoneModel::OnePlus7Pro => "OnePlus 7 Pro",
+            PhoneModel::OnePlus8Pro => "OnePlus 8 Pro",
+            PhoneModel::OnePlus9 => "OnePlus 9",
+            PhoneModel::GalaxyS21 => "Samsung Galaxy S21",
+        }
+    }
+}
+
+impl fmt::Display for PhoneModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete device configuration: everything the attack must train a
+/// separate classifier for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceConfig {
+    pub phone: PhoneModel,
+    pub android: AndroidVersion,
+    pub resolution: Resolution,
+    pub refresh: RefreshRate,
+}
+
+impl DeviceConfig {
+    /// The paper's primary evaluation device: OnePlus 8 Pro, Android 11,
+    /// FHD+, 60 Hz.
+    pub fn oneplus8pro() -> Self {
+        DeviceConfig {
+            phone: PhoneModel::OnePlus8Pro,
+            android: AndroidVersion::V11,
+            resolution: Resolution::Fhd,
+            refresh: RefreshRate::Hz60,
+        }
+    }
+
+    /// Creates a config for a phone with its shipped Android version, FHD+
+    /// at 60 Hz.
+    pub fn for_phone(phone: PhoneModel) -> Self {
+        DeviceConfig {
+            phone,
+            android: phone.shipped_android(),
+            resolution: Resolution::Fhd,
+            refresh: RefreshRate::Hz60,
+        }
+    }
+
+    /// The GPU model in this configuration.
+    pub fn gpu(&self) -> GpuModel {
+        self.phone.gpu()
+    }
+
+    /// Screen width in pixels.
+    pub fn width(&self) -> i32 {
+        self.resolution.width()
+    }
+
+    /// Screen height in pixels.
+    pub fn height(&self) -> i32 {
+        self.resolution.height()
+    }
+
+    /// A small per-version UI offset: different Android releases draw the
+    /// status bar and keyboard chrome at slightly different sizes, which
+    /// shifts absolute counter values between OS versions (Fig 24d) without
+    /// changing the attack.
+    pub fn ui_scale_offset(&self) -> i32 {
+        match self.android {
+            AndroidVersion::V8_1 => 0,
+            AndroidVersion::V9 => 2,
+            AndroidVersion::V10 => 4,
+            AndroidVersion::V11 => 6,
+        }
+    }
+}
+
+impl fmt::Display for DeviceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / Android {} / {} / {}", self.phone, self.android, self.resolution, self.refresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phones_map_to_paper_gpus() {
+        assert_eq!(PhoneModel::LgV30Plus.gpu(), GpuModel::Adreno540);
+        assert_eq!(PhoneModel::GooglePixel2.gpu(), GpuModel::Adreno540);
+        assert_eq!(PhoneModel::OnePlus7Pro.gpu(), GpuModel::Adreno640);
+        assert_eq!(PhoneModel::OnePlus8Pro.gpu(), GpuModel::Adreno650);
+        assert_eq!(PhoneModel::OnePlus9.gpu(), GpuModel::Adreno660);
+        assert_eq!(PhoneModel::GalaxyS21.gpu(), GpuModel::Adreno660);
+    }
+
+    #[test]
+    fn refresh_intervals() {
+        assert_eq!(RefreshRate::Hz60.frame_interval().as_millis(), 16);
+        assert_eq!(RefreshRate::Hz120.frame_interval().as_micros(), 8_333);
+    }
+
+    #[test]
+    fn resolutions_match_fig24b() {
+        assert_eq!(Resolution::Fhd.width(), 1080);
+        assert_eq!(Resolution::Fhd.height(), 2376);
+        assert_eq!(Resolution::Qhd.width(), 1440);
+        assert_eq!(Resolution::Qhd.height(), 3168);
+    }
+
+    #[test]
+    fn default_config_is_the_papers_device() {
+        let c = DeviceConfig::oneplus8pro();
+        assert_eq!(c.gpu(), GpuModel::Adreno650);
+        assert_eq!(c.to_string(), "OnePlus 8 Pro / Android 11 / FHD+ (2376x1080) / 60Hz");
+    }
+
+    #[test]
+    fn ui_offsets_differ_across_versions() {
+        let mut offs: Vec<i32> = [AndroidVersion::V8_1, AndroidVersion::V9, AndroidVersion::V10, AndroidVersion::V11]
+            .into_iter()
+            .map(|v| DeviceConfig { android: v, ..DeviceConfig::oneplus8pro() }.ui_scale_offset())
+            .collect();
+        offs.dedup();
+        assert_eq!(offs.len(), 4);
+    }
+}

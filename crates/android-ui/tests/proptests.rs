@@ -1,0 +1,101 @@
+//! Property-based tests of the UI substrate's invariants.
+
+use android_ui::keyboard::{keys_to_reach, page_after, page_of, Key, KeyboardLayout, Page, ALL_KEYBOARDS};
+use android_ui::screen::{AndroidVersion, Resolution, ALL_PHONES};
+use android_ui::{DeviceConfig, RefreshRate};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceConfig> {
+    (
+        prop::sample::select(ALL_PHONES.to_vec()),
+        prop::sample::select(vec![
+            AndroidVersion::V8_1,
+            AndroidVersion::V9,
+            AndroidVersion::V10,
+            AndroidVersion::V11,
+        ]),
+        prop::sample::select(vec![Resolution::Fhd, Resolution::Qhd]),
+        prop::sample::select(vec![RefreshRate::Hz60, RefreshRate::Hz120]),
+    )
+        .prop_map(|(phone, android, resolution, refresh)| DeviceConfig {
+            phone,
+            android,
+            resolution,
+            refresh,
+        })
+}
+
+fn arb_page() -> impl Strategy<Value = Page> {
+    prop::sample::select(vec![Page::Lower, Page::Upper, Page::Number])
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    prop_oneof![
+        prop::char::range('a', 'z').prop_map(Key::Char),
+        Just(Key::Shift),
+        Just(Key::PageSwitch),
+        Just(Key::Backspace),
+        Just(Key::Space),
+        Just(Key::Enter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_layout_places_all_characters_without_overlap(
+        device in arb_device(),
+        kind in prop::sample::select(ALL_KEYBOARDS.to_vec()),
+    ) {
+        let kb = KeyboardLayout::new(kind, &device);
+        for c in adreno_sim::font::FIG18_CHARSET.chars() {
+            let (page, rect) = kb.key_for_char(c).expect("every evaluated char must be reachable");
+            prop_assert!(kb.bounds().contains_rect(&rect), "{c:?} outside keyboard");
+            let popup = kb.popup_rect(&rect);
+            prop_assert!(popup.x0 >= 0 && popup.x1 <= device.width(), "{c:?} popup clipped");
+            prop_assert!(popup.y1 <= rect.y0, "{c:?} popup must sit above its key");
+            let _ = page;
+        }
+        for page in [Page::Lower, Page::Upper, Page::Number] {
+            let keys = kb.keys(page);
+            for (i, a) in keys.iter().enumerate() {
+                for b in keys.iter().skip(i + 1) {
+                    prop_assert!(!a.rect.intersects(&b.rect), "{:?}/{:?} overlap", a.key, b.key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keys_to_reach_always_arrives(from in arb_page(), to in arb_page()) {
+        let mut page = from;
+        for key in keys_to_reach(from, to) {
+            page = page_after(page, key);
+        }
+        prop_assert_eq!(page, to);
+    }
+
+    #[test]
+    fn page_fsm_is_total_and_returns_home(page in arb_page(), keys in prop::collection::vec(arb_key(), 0..20)) {
+        let mut p = page;
+        for k in keys {
+            p = page_after(p, k);
+        }
+        // From anywhere, the canonical route home terminates.
+        for k in keys_to_reach(p, Page::Lower) {
+            p = page_after(p, k);
+        }
+        prop_assert_eq!(p, Page::Lower);
+    }
+
+    #[test]
+    fn page_of_routes_every_typable_char(c in prop::char::range(' ', '~')) {
+        if let Some(page) = page_of(c) {
+            // A routed char must actually be on that page of every keyboard.
+            let kb = KeyboardLayout::new(android_ui::KeyboardKind::Gboard, &DeviceConfig::oneplus8pro());
+            let (found, _) = kb.key_for_char(c).expect("page_of implies presence");
+            prop_assert_eq!(found, page);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! A random forest (bagged CART trees with random feature subsets), from
+//! scratch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One node of a CART tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(usize),
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+/// A single decision tree grown with Gini impurity.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn majority(rows: &[usize], labels: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes];
+    for &r in rows {
+        counts[labels[r]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    rows: &[usize],
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    n_classes: usize,
+    depth: usize,
+    max_depth: usize,
+    min_leaf: usize,
+    n_features_try: usize,
+    rng: &mut StdRng,
+) -> Node {
+    let first = ys[rows[0]];
+    if depth >= max_depth || rows.len() <= min_leaf || rows.iter().all(|&r| ys[r] == first) {
+        return Node::Leaf(majority(rows, ys, n_classes));
+    }
+    let dims = xs[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+    // Random feature subset (the "random" in random forest).
+    let mut features: Vec<usize> = (0..dims).collect();
+    for i in (1..features.len()).rev() {
+        features.swap(i, rng.gen_range(0..=i));
+    }
+    features.truncate(n_features_try.max(1).min(dims));
+
+    for &f in &features {
+        let mut values: Vec<f64> = rows.iter().map(|&r| xs[r][f]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Candidate thresholds: midpoints of up to 16 quantile gaps.
+        let step = (values.len() / 16).max(1);
+        for w in values.windows(2).step_by(step) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let mut lc = vec![0usize; n_classes];
+            let mut rc = vec![0usize; n_classes];
+            let (mut ln, mut rn) = (0usize, 0usize);
+            for &r in rows {
+                if xs[r][f] <= thr {
+                    lc[ys[r]] += 1;
+                    ln += 1;
+                } else {
+                    rc[ys[r]] += 1;
+                    rn += 1;
+                }
+            }
+            if ln == 0 || rn == 0 {
+                continue;
+            }
+            let imp = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / rows.len() as f64;
+            if best.is_none() || imp < best.unwrap().2 {
+                best = Some((f, thr, imp));
+            }
+        }
+    }
+    let Some((f, thr, _)) = best else {
+        return Node::Leaf(majority(rows, ys, n_classes));
+    };
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&r| xs[r][f] <= thr);
+    if left_rows.is_empty() || right_rows.is_empty() {
+        return Node::Leaf(majority(rows, ys, n_classes));
+    }
+    Node::Split {
+        feature: f,
+        threshold: thr,
+        left: Box::new(grow(&left_rows, xs, ys, n_classes, depth + 1, max_depth, min_leaf, n_features_try, rng)),
+        right: Box::new(grow(&right_rows, xs, ys, n_classes, depth + 1, max_depth, min_leaf, n_features_try, rng)),
+    }
+}
+
+impl DecisionTree {
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(c) => return *c,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_leaf: usize,
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_trees: 80, max_depth: 16, min_leaf: 2, seed: 0 }
+    }
+}
+
+/// A fitted random forest.
+///
+/// # Examples
+///
+/// ```
+/// use baseline::forest::{ForestConfig, RandomForest};
+///
+/// let mut data = Vec::new();
+/// for i in 0..30 {
+///     data.push((vec![i as f64 * 0.01, 0.0], 0));
+///     data.push((vec![5.0 + i as f64 * 0.01, 0.0], 1));
+/// }
+/// let rf = RandomForest::fit(&data, ForestConfig::default());
+/// assert_eq!(rf.predict(&[0.1, 0.0]), 0);
+/// assert_eq!(rf.predict(&[5.1, 0.0]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits the forest: each tree trains on a bootstrap sample using
+    /// `sqrt(dims)` random features per split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &[(Vec<f64>, usize)], config: ForestConfig) -> Self {
+        assert!(!data.is_empty(), "need training data");
+        let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<usize> = data.iter().map(|(_, y)| *y).collect();
+        let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
+        let dims = xs[0].len();
+        let n_try = (dims as f64).sqrt().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            let rows: Vec<usize> = (0..xs.len()).map(|_| rng.gen_range(0..xs.len())).collect();
+            let root = grow(
+                &rows,
+                &xs,
+                &ys,
+                n_classes,
+                0,
+                config.max_depth,
+                config.min_leaf,
+                n_try,
+                &mut rng,
+            );
+            trees.push(DecisionTree { root });
+        }
+        RandomForest { trees, n_classes }
+    }
+
+    /// Predicts by majority vote over the trees.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(x)] += 1;
+        }
+        votes.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).unwrap_or(0)
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn learns_xor_which_stumps_naive_bayes() {
+        // XOR needs interaction between features — a forest handles it.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            let a = rng.gen_range(0.0..1.0_f64);
+            let b = rng.gen_range(0.0..1.0_f64);
+            let label = usize::from((a > 0.5) ^ (b > 0.5));
+            data.push((vec![a, b], label));
+        }
+        let rf = RandomForest::fit(&data, ForestConfig::default());
+        let mut correct = 0;
+        for _ in 0..200 {
+            let a = rng.gen_range(0.0..1.0_f64);
+            let b = rng.gen_range(0.0..1.0_f64);
+            let label = usize::from((a > 0.5) ^ (b > 0.5));
+            if rf.predict(&[a, b]) == label {
+                correct += 1;
+            }
+        }
+        assert!(correct > 180, "forest should learn XOR, got {correct}/200");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data: Vec<(Vec<f64>, usize)> =
+            (0..40).map(|i| (vec![i as f64], usize::from(i >= 20))).collect();
+        let a = RandomForest::fit(&data, ForestConfig { seed: 9, ..Default::default() });
+        let b = RandomForest::fit(&data, ForestConfig { seed: 9, ..Default::default() });
+        for i in 0..40 {
+            assert_eq!(a.predict(&[i as f64]), b.predict(&[i as f64]));
+        }
+        assert_eq!(a.tree_count(), 80);
+    }
+
+    #[test]
+    fn single_class_always_predicts_it() {
+        let data = vec![(vec![1.0], 3), (vec![2.0], 3)];
+        let rf = RandomForest::fit(&data, ForestConfig { n_trees: 5, ..Default::default() });
+        assert_eq!(rf.predict(&[7.0]), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! The Table 2 harness: train and evaluate the coarse-counter baseline.
+//!
+//! Mirrors the paper's §7.1 comparison protocol: a bot types each character
+//! repeatedly (interval 0.5 s, 10 times) into gedit / Gmail web / the
+//! Dropbox client; collected coarse-counter traces are fed to Naive Bayes,
+//! kNN-3 and a random forest; accuracy is reported per scene.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+use crate::forest::{ForestConfig, RandomForest};
+use crate::knn::Knn;
+use crate::nb::GaussianNb;
+use crate::scenes::{keypress_features, DesktopScene};
+
+/// The Table 2 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineAlgo {
+    NaiveBayes,
+    Knn3,
+    RandomForest,
+}
+
+/// All algorithms in the table's row order.
+pub const TABLE2_ALGOS: [BaselineAlgo; 3] =
+    [BaselineAlgo::NaiveBayes, BaselineAlgo::Knn3, BaselineAlgo::RandomForest];
+
+impl BaselineAlgo {
+    /// Row label as printed in Table 2.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BaselineAlgo::NaiveBayes => "Naive Bayers", // sic — the paper's spelling
+            BaselineAlgo::Knn3 => "KNN3",
+            BaselineAlgo::RandomForest => "Random Forest",
+        }
+    }
+}
+
+impl fmt::Display for BaselineAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Characters the bot types (lowercase + digits, as in the paper's bot
+/// runs).
+pub const BASELINE_CHARSET: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Protocol {
+    /// Repetitions per character in the training pass (the paper types each
+    /// input 10 times).
+    pub train_reps: usize,
+    /// Repetitions per character in the held-out evaluation pass.
+    pub test_reps: usize,
+    pub seed: u64,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol { train_reps: 10, test_reps: 10, seed: 0 }
+    }
+}
+
+/// A fitted per-algorithm prediction function.
+type Predictor = Box<dyn Fn(&[f64]) -> usize>;
+
+fn collect<R: Rng + ?Sized>(
+    scene: DesktopScene,
+    reps: usize,
+    rng: &mut R,
+) -> Vec<(Vec<f64>, usize)> {
+    let chars: Vec<char> = BASELINE_CHARSET.chars().collect();
+    let mut data = Vec::with_capacity(chars.len() * reps);
+    for _ in 0..reps {
+        for (label, &c) in chars.iter().enumerate() {
+            // The bot clears the field between trials (login fields reset
+            // after each attempt), so every press echoes at column 0.
+            let pos = 0;
+            data.push((keypress_features(scene, c, pos, rng), label));
+        }
+    }
+    data
+}
+
+/// Standardises features to zero mean / unit variance using the training
+/// statistics (the usual preprocessing; without it kNN's Euclidean metric
+/// is dominated by the largest-magnitude counter).
+fn standardize(train: &mut [(Vec<f64>, usize)], test: &mut [(Vec<f64>, usize)]) {
+    let dims = train[0].0.len();
+    let n = train.len() as f64;
+    let mut mean = vec![0.0; dims];
+    for (x, _) in train.iter() {
+        for i in 0..dims {
+            mean[i] += x[i] / n;
+        }
+    }
+    let mut std = vec![0.0; dims];
+    for (x, _) in train.iter() {
+        for i in 0..dims {
+            std[i] += (x[i] - mean[i]).powi(2) / n;
+        }
+    }
+    for s in &mut std {
+        *s = s.sqrt().max(1e-9);
+    }
+    for (x, _) in train.iter_mut().chain(test.iter_mut()) {
+        for i in 0..dims {
+            x[i] = (x[i] - mean[i]) / std[i];
+        }
+    }
+}
+
+/// Runs one cell of Table 2: trains `algo` on `scene` and returns held-out
+/// accuracy in `0.0..=1.0`.
+pub fn table2_cell(scene: DesktopScene, algo: BaselineAlgo, protocol: Protocol) -> f64 {
+    let mut rng = StdRng::seed_from_u64(protocol.seed ^ (scene as u64) << 8);
+    let mut train = collect(scene, protocol.train_reps, &mut rng);
+    let mut test = collect(scene, protocol.test_reps, &mut rng);
+    standardize(&mut train, &mut test);
+    let predict: Predictor = match algo {
+        BaselineAlgo::NaiveBayes => {
+            let m = GaussianNb::fit(&train);
+            Box::new(move |x| m.predict(x))
+        }
+        BaselineAlgo::Knn3 => {
+            let m = Knn::fit(3, &train);
+            Box::new(move |x| m.predict(x))
+        }
+        BaselineAlgo::RandomForest => {
+            let m = RandomForest::fit(&train, ForestConfig { seed: protocol.seed, ..Default::default() });
+            Box::new(move |x| m.predict(x))
+        }
+    };
+    let correct = test.iter().filter(|(x, y)| predict(x) == *y).count();
+    correct as f64 / test.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fast smoke versions; the full Table 2 runs in the experiments binary.
+    fn quick() -> Protocol {
+        Protocol { train_reps: 4, test_reps: 4, seed: 7 }
+    }
+
+    #[test]
+    fn baseline_is_weak_but_above_chance() {
+        let acc = table2_cell(DesktopScene::Gedit, BaselineAlgo::RandomForest, quick());
+        let chance = 1.0 / BASELINE_CHARSET.len() as f64;
+        assert!(acc < 0.25, "the baseline must be ineffective, got {acc}");
+        assert!(acc > chance * 0.5, "but not totally degenerate, got {acc}");
+    }
+
+    #[test]
+    fn all_cells_are_low() {
+        for scene in crate::scenes::TABLE2_SCENES {
+            for algo in TABLE2_ALGOS {
+                let acc = table2_cell(scene, algo, quick());
+                assert!(acc < 0.3, "{algo} on {scene}: {acc} should be <0.3");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = table2_cell(DesktopScene::GmailWeb, BaselineAlgo::NaiveBayes, quick());
+        let b = table2_cell(DesktopScene::GmailWeb, BaselineAlgo::NaiveBayes, quick());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! k-nearest-neighbours, from scratch (the paper's "KNN3").
+
+/// A fitted kNN classifier (it memorises the training set).
+///
+/// # Examples
+///
+/// ```
+/// use baseline::knn::Knn;
+///
+/// let data = vec![
+///     (vec![0.0], 0), (vec![0.2], 0),
+///     (vec![9.8], 1), (vec![10.0], 1),
+/// ];
+/// let knn = Knn::fit(3, &data);
+/// assert_eq!(knn.predict(&[0.1]), 0);
+/// assert_eq!(knn.predict(&[9.9]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    data: Vec<(Vec<f64>, usize)>,
+}
+
+impl Knn {
+    /// Stores the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `data` is empty.
+    pub fn fit(k: usize, data: &[(Vec<f64>, usize)]) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(!data.is_empty(), "need training data");
+        Knn { k, data: data.to_vec() }
+    }
+
+    /// Predicts by majority vote of the `k` nearest training points
+    /// (Euclidean), ties broken by the nearest member of the tied classes.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut dists: Vec<(f64, usize)> = self
+            .data
+            .iter()
+            .map(|(t, y)| {
+                let d: f64 = t.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, *y)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(dists.len());
+        let neighbours = &dists[..k];
+        // Count votes; remember each class's best (smallest) distance.
+        let mut votes: Vec<(usize, usize, f64)> = Vec::new(); // (class, count, best_dist)
+        for &(d, y) in neighbours {
+            match votes.iter_mut().find(|(c, _, _)| *c == y) {
+                Some(v) => {
+                    v.1 += 1;
+                    if d < v.2 {
+                        v.2 = d;
+                    }
+                }
+                None => votes.push((y, 1, d)),
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+            })
+            .map(|(c, _, _)| c)
+            .expect("k >= 1 guarantees one vote")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_wins() {
+        let data = vec![
+            (vec![0.0], 0),
+            (vec![0.1], 0),
+            (vec![0.2], 1),
+            (vec![50.0], 1),
+        ];
+        let knn = Knn::fit(3, &data);
+        // Neighbours of 0.05: two class-0, one class-1.
+        assert_eq!(knn.predict(&[0.05]), 0);
+    }
+
+    #[test]
+    fn tie_broken_by_nearest() {
+        let data = vec![(vec![0.0], 0), (vec![1.0], 1)];
+        let knn = Knn::fit(2, &data);
+        assert_eq!(knn.predict(&[0.2]), 0);
+        assert_eq!(knn.predict(&[0.8]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let data = vec![(vec![0.0], 7)];
+        let knn = Knn::fit(5, &data);
+        assert_eq!(knn.predict(&[123.0]), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = Knn::fit(0, &[(vec![0.0], 0)]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Gaussian Naive Bayes, from scratch.
+
+use std::collections::BTreeMap;
+
+/// A fitted Gaussian Naive Bayes classifier over `f64` feature vectors with
+/// `usize` class labels.
+///
+/// # Examples
+///
+/// ```
+/// use baseline::nb::GaussianNb;
+///
+/// let data = vec![
+///     (vec![0.0, 0.1], 0),
+///     (vec![0.1, 0.0], 0),
+///     (vec![5.0, 5.1], 1),
+///     (vec![5.1, 4.9], 1),
+/// ];
+/// let nb = GaussianNb::fit(&data);
+/// assert_eq!(nb.predict(&[0.05, 0.05]), 0);
+/// assert_eq!(nb.predict(&[5.0, 5.0]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Per class: (prior log-probability, per-feature mean, per-feature var).
+    classes: BTreeMap<usize, (f64, Vec<f64>, Vec<f64>)>,
+    dims: usize,
+}
+
+/// Variance floor to keep degenerate (constant) features from producing
+/// infinite likelihoods.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fits the classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or feature vectors disagree in length.
+    pub fn fit(data: &[(Vec<f64>, usize)]) -> Self {
+        assert!(!data.is_empty(), "need training data");
+        let dims = data[0].0.len();
+        let n = data.len() as f64;
+        let mut by_class: BTreeMap<usize, Vec<&Vec<f64>>> = BTreeMap::new();
+        for (x, y) in data {
+            assert_eq!(x.len(), dims, "inconsistent feature dimensions");
+            by_class.entry(*y).or_default().push(x);
+        }
+        let mut classes = BTreeMap::new();
+        for (y, xs) in by_class {
+            let m = xs.len() as f64;
+            let prior = (m / n).ln();
+            let mut mean = vec![0.0; dims];
+            for x in &xs {
+                for (i, v) in x.iter().enumerate() {
+                    mean[i] += v / m;
+                }
+            }
+            let mut var = vec![0.0; dims];
+            for x in &xs {
+                for (i, v) in x.iter().enumerate() {
+                    var[i] += (v - mean[i]).powi(2) / m;
+                }
+            }
+            for v in &mut var {
+                *v = v.max(VAR_FLOOR);
+            }
+            classes.insert(y, (prior, mean, var));
+        }
+        GaussianNb { classes, dims }
+    }
+
+    /// Predicts the most likely class of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s length differs from the training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.dims, "feature dimension mismatch");
+        let mut best = (usize::MAX, f64::NEG_INFINITY);
+        for (y, (prior, mean, var)) in &self.classes {
+            let mut ll = *prior;
+            for i in 0..self.dims {
+                let d = x[i] - mean[i];
+                ll += -0.5 * ((2.0 * std::f64::consts::PI * var[i]).ln() + d * d / var[i]);
+            }
+            if ll > best.1 {
+                best = (*y, ll);
+            }
+        }
+        best.0
+    }
+
+    /// Number of classes seen in training.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_classes_classify_perfectly() {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            data.push((vec![i as f64 * 0.01, 1.0], 0));
+            data.push((vec![10.0 + i as f64 * 0.01, 1.0], 1));
+            data.push((vec![20.0 + i as f64 * 0.01, 1.0], 2));
+        }
+        let nb = GaussianNb::fit(&data);
+        assert_eq!(nb.class_count(), 3);
+        assert_eq!(nb.predict(&[0.05, 1.0]), 0);
+        assert_eq!(nb.predict(&[10.05, 1.0]), 1);
+        assert_eq!(nb.predict(&[20.05, 1.0]), 2);
+    }
+
+    #[test]
+    fn constant_features_do_not_blow_up() {
+        let data = vec![(vec![1.0], 0), (vec![1.0], 0), (vec![2.0], 1), (vec![2.0], 1)];
+        let nb = GaussianNb::fit(&data);
+        assert_eq!(nb.predict(&[1.0]), 0);
+        assert_eq!(nb.predict(&[2.0]), 1);
+    }
+
+    #[test]
+    fn priors_break_ties() {
+        // Identical likelihoods → the larger class wins.
+        let data = vec![
+            (vec![0.0], 0),
+            (vec![0.0], 0),
+            (vec![0.0], 0),
+            (vec![0.0], 1),
+        ];
+        let nb = GaussianNb::fit(&data);
+        assert_eq!(nb.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need training data")]
+    fn empty_fit_panics() {
+        let _ = GaussianNb::fit(&[]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the attack's hot paths.
+//!
+//! The paper's timeliness claim (Fig 25) is that a key press is inferred in
+//! well under 0.1 ms; these benches pin the cost of each stage.
+
+use adreno_sim::geom::Rect;
+use adreno_sim::model::GpuModel;
+use adreno_sim::pipeline::render;
+use adreno_sim::scene::DrawList;
+use adreno_sim::SimInstant;
+use android_ui::compositor::KeyboardWindow;
+use android_ui::sim::SimConfig;
+use android_ui::KeyboardKind;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_sc_attack::offline::{Trainer, TrainerConfig};
+use gpu_sc_attack::online::{infer_stream, OnlineConfig};
+use gpu_sc_attack::trace::Delta;
+use gpu_sc_attack::ClassifierModel;
+
+fn trained_model() -> ClassifierModel {
+    let cfg = SimConfig::paper_default(0);
+    Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app)
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let model = trained_model();
+    let probe = model.centroids()[17].values;
+    c.bench_function("classify_one_delta", |b| {
+        b.iter(|| model.classify(black_box(&probe)))
+    });
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let model = trained_model();
+    // A realistic minute of deltas: ~200 changes.
+    let deltas: Vec<Delta> = model
+        .centroids()
+        .iter()
+        .cycle()
+        .take(200)
+        .enumerate()
+        .map(|(i, kc)| Delta { at: SimInstant::from_millis(100 + 300 * i as u64), values: kc.values })
+        .collect();
+    c.bench_function("algorithm1_200_changes", |b| {
+        b.iter(|| infer_stream(black_box(&model), black_box(&deltas), OnlineConfig::default()))
+    });
+}
+
+fn bench_render_keyboard_frame(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default(0);
+    let mut kw = KeyboardWindow::new(KeyboardKind::Gboard, &cfg.device, true);
+    kw.show_popup('w');
+    let dl = kw.draw();
+    let params = GpuModel::Adreno650.params();
+    c.bench_function("render_keyboard_popup_frame", |b| b.iter(|| render(black_box(&dl), &params)));
+}
+
+fn bench_render_fullscreen(c: &mut Criterion) {
+    let mut dl = DrawList::new(1080, 2376);
+    dl.layer("bg").quad(Rect::from_xywh(0, 0, 1080, 2376), true);
+    for i in 0..30 {
+        dl.layer("content").quad(Rect::from_xywh(40, 100 + i * 70, 1000, 56), true);
+    }
+    let params = GpuModel::Adreno650.params();
+    c.bench_function("render_fullscreen_app_frame", |b| b.iter(|| render(black_box(&dl), &params)));
+}
+
+fn bench_model_serde(c: &mut Criterion) {
+    let model = trained_model();
+    c.bench_function("model_to_bytes", |b| b.iter(|| black_box(&model).to_bytes()));
+    let bytes = model.to_bytes();
+    c.bench_function("model_from_bytes", |b| {
+        b.iter(|| ClassifierModel::from_bytes(black_box(bytes.clone())).unwrap())
+    });
+}
+
+fn bench_ioctl_read(c: &mut Criterion) {
+    use gpu_sc_attack::sampler::{Sampler, SamplerConfig};
+    let sim = android_ui::UiSimulation::new(SimConfig::paper_default(0));
+    let sampler = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+    let device = std::sync::Arc::clone(sim.device());
+    c.bench_function("ioctl_blockread_11_counters", |b| {
+        b.iter(|| sampler.read_once(black_box(&device)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classify,
+    bench_algorithm1,
+    bench_render_keyboard_frame,
+    bench_render_fullscreen,
+    bench_model_serde,
+    bench_ioctl_read
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- fig17 fig18
+//! cargo run --release -p bench --bin experiments -- --scale 4 fig17   # closer to paper scale
+//! ```
+//!
+//! See DESIGN.md §3 for the experiment ↔ module index and EXPERIMENTS.md
+//! for recorded paper-vs-measured results.
+
+use bench::experiments::{self, Ctx};
+
+type Runner = fn(&mut Ctx);
+
+const EXPERIMENTS: &[(&str, &str, Runner)] = &[
+    ("fig3", "three counter changes per key press", experiments::signals::fig3),
+    ("fig5", "per-key PC variations + dup/split", experiments::signals::fig5),
+    ("fig6", "per-key delta scatter", experiments::signals::fig6),
+    ("fig11", "dup/split/noise census", experiments::accuracy::fig11),
+    ("fig13", "app-switch bursts", experiments::signals::fig13),
+    ("fig14", "echo ±2 length tracking", experiments::signals::fig14),
+    ("fig16", "volunteer typing timing", experiments::signals::fig16),
+    ("fig17", "accuracy vs credential length", experiments::accuracy::fig17),
+    ("fig18", "per-key accuracy", experiments::accuracy::fig18),
+    ("table2", "coarse-counter baseline", experiments::table2::table2),
+    ("fig19", "accuracy per target app", experiments::accuracy::fig19),
+    ("fig20", "accuracy per keyboard", experiments::accuracy::fig20),
+    ("fig21", "impact of typing speed", experiments::robustness::fig21),
+    ("fig22", "impact of CPU/GPU load", experiments::robustness::fig22),
+    ("fig23", "impact of sampling interval", experiments::robustness::fig23),
+    ("fig24", "adaptability matrix", experiments::adapt::fig24),
+    ("fig25", "inference latency histogram", experiments::overhead::fig25),
+    ("fig26", "battery overhead", experiments::overhead::fig26),
+    ("fig27", "practical session event traces", experiments::practical::fig27),
+    ("fig28", "practical accuracy", experiments::practical::fig28),
+    ("fig29", "PNC animation obfuscation", experiments::mitigation::fig29),
+    ("mitigation", "§9 mitigation matrix", experiments::mitigation::mitigation),
+    ("modelsize", "§7.6 model sizes", experiments::adapt::modelsize),
+    ("guessing", "recovery within G guesses (§7.1 extension)", experiments::extensions::guessing),
+    ("defense-tuning", "cheapest sufficient §9.3 decoy rate", experiments::extensions::defense_tuning),
+    ("ablate-greedy", "greedy vs full-trace Algorithm 1", experiments::ablate::ablate_greedy),
+    ("ablate-corroboration", "echo-corroboration insertion filter", experiments::extensions::ablate_corroboration),
+    ("ablate-counters", "counter-subset ablation", experiments::ablate::ablate_counters),
+    ("ablate-threshold", "C_th sweep", experiments::ablate::ablate_threshold),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--scale N] <name>... | all | list");
+    eprintln!("experiments:");
+    for (name, what, _) in EXPERIMENTS {
+        eprintln!("  {name:<18} {what}");
+    }
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        scale = args[pos + 1].parse().unwrap_or_else(|_| usage());
+        args.drain(pos..=pos + 1);
+    }
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "list" {
+        for (name, what, _) in EXPERIMENTS {
+            println!("{name:<18} {what}");
+        }
+        return;
+    }
+
+    let selected: Vec<&(&str, &str, Runner)> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                EXPERIMENTS.iter().find(|(n, _, _)| n == a).unwrap_or_else(|| {
+                    eprintln!("unknown experiment: {a}");
+                    usage()
+                })
+            })
+            .collect()
+    };
+
+    let mut ctx = Ctx::new(scale);
+    let started = std::time::Instant::now();
+    for (name, _, run) in selected {
+        let t = std::time::Instant::now();
+        run(&mut ctx);
+        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[total {:.1}s, scale {scale}]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,35 @@
+//! The experiment implementations behind the `experiments` binary — one
+//! function per table/figure of the paper (see DESIGN.md §3 for the index).
+
+pub mod ablate;
+pub mod extensions;
+pub mod accuracy;
+pub mod adapt;
+pub mod mitigation;
+pub mod overhead;
+pub mod practical;
+pub mod robustness;
+pub mod signals;
+pub mod table2;
+
+use crate::trials::ModelCache;
+
+/// Shared experiment context: the model cache plus a trial-count scale
+/// (1.0 = quick defaults, larger = closer to paper-scale runs).
+#[derive(Debug)]
+pub struct Ctx {
+    pub cache: ModelCache,
+    pub scale: f64,
+}
+
+impl Ctx {
+    /// Creates a context with the given trial scale.
+    pub fn new(scale: f64) -> Self {
+        Ctx { cache: ModelCache::new(), scale }
+    }
+
+    /// Scales a default trial count, keeping at least 4 trials.
+    pub fn trials(&self, default: usize) -> usize {
+        ((default as f64 * self.scale).round() as usize).max(4)
+    }
+}

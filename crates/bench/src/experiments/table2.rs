@@ -1,0 +1,31 @@
+//! Table 2: the coarse GPU-workload baseline is ineffective for
+//! keystrokes.
+
+use baseline::harness::{table2_cell, Protocol, TABLE2_ALGOS};
+use baseline::scenes::TABLE2_SCENES;
+
+use crate::experiments::Ctx;
+use crate::report;
+
+/// Regenerates Table 2.
+pub fn table2(ctx: &mut Ctx) {
+    report::section("Table 2", "eavesdropping accuracy of the coarse-counter baseline");
+    let reps = ctx.trials(10).min(10);
+    let protocol = Protocol { train_reps: reps, test_reps: reps, seed: 2 };
+    print!("{:<16}", "");
+    for scene in TABLE2_SCENES {
+        print!("{:>16}", scene.name());
+    }
+    println!();
+    let mut max = 0.0f64;
+    for algo in TABLE2_ALGOS {
+        print!("{:<16}", algo.name());
+        for scene in TABLE2_SCENES {
+            let acc = table2_cell(scene, algo, protocol);
+            max = max.max(acc);
+            print!("{:>15.1}%", acc * 100.0);
+        }
+        println!();
+    }
+    report::kv("maximum cell", format!("{:.1}% (paper: all <14.2%)", max * 100.0));
+}

@@ -1,0 +1,12 @@
+//! Shared infrastructure for the experiment harness and Criterion benches.
+//!
+//! Everything the `experiments` binary needs to regenerate the paper's
+//! tables and figures: trial runners, model caching, the battery model of
+//! Fig 26 and small ASCII reporting helpers.
+
+pub mod experiments;
+pub mod power;
+pub mod report;
+pub mod trials;
+
+pub use trials::{eval_credentials, run_credential_trial, ModelCache, TrialOptions};

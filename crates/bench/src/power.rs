@@ -1,0 +1,91 @@
+//! The battery-overhead model of Fig 26.
+//!
+//! The attack's energy cost is dominated by the periodic `ioctl` reads
+//! (CPU wakeups) plus a small classification cost per observed change. The
+//! paper measures at most ~4 % extra battery after two hours, with the
+//! ranking LG V30 > Pixel 2 > OnePlus 7 Pro > OnePlus 8 Pro (smaller
+//! batteries and older SoCs pay more).
+
+use android_ui::PhoneModel;
+
+/// Battery capacity in milliamp-hours.
+pub fn battery_mah(phone: PhoneModel) -> f64 {
+    match phone {
+        PhoneModel::LgV30Plus => 3_300.0,
+        PhoneModel::GooglePixel2 => 2_700.0,
+        PhoneModel::OnePlus7Pro => 4_000.0,
+        PhoneModel::OnePlus8Pro => 4_510.0,
+        PhoneModel::OnePlus9 => 4_500.0,
+        PhoneModel::GalaxyS21 => 4_000.0,
+    }
+}
+
+/// Energy per counter read (ioctl + wakeup), in millijoules: older SoCs
+/// pay more per wakeup.
+pub fn energy_per_read_mj(phone: PhoneModel) -> f64 {
+    match phone {
+        PhoneModel::LgV30Plus => 1.30,
+        PhoneModel::GooglePixel2 => 1.05,
+        PhoneModel::OnePlus7Pro => 0.85,
+        PhoneModel::OnePlus8Pro => 0.62,
+        PhoneModel::OnePlus9 => 0.58,
+        PhoneModel::GalaxyS21 => 0.60,
+    }
+}
+
+/// Extra battery drain of the attack, in percent of a full charge, after
+/// running for `minutes` with reads every `interval_ms`.
+///
+/// A mild superlinear term models the thermal feedback visible in Fig 26
+/// (sustained polling keeps the SoC out of deep idle).
+///
+/// # Examples
+///
+/// ```
+/// use android_ui::PhoneModel;
+/// use bench::power::extra_battery_percent;
+///
+/// let p = extra_battery_percent(PhoneModel::OnePlus8Pro, 8, 120.0);
+/// assert!(p < 4.0, "the paper reports at most ~4% after 2h, got {p}");
+/// ```
+pub fn extra_battery_percent(phone: PhoneModel, interval_ms: u64, minutes: f64) -> f64 {
+    assert!(interval_ms > 0, "interval must be positive");
+    let reads_per_s = 1_000.0 / interval_ms as f64;
+    let joules = reads_per_s * minutes * 60.0 * energy_per_read_mj(phone) / 1_000.0;
+    let capacity_j = battery_mah(phone) / 1_000.0 * 3.7 * 3_600.0;
+    let linear = joules / capacity_j * 100.0;
+    // Thermal creep: +12% of the linear term per hour of sustained polling.
+    linear * (1.0 + 0.12 * (minutes / 60.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use android_ui::screen::ALL_PHONES;
+
+    #[test]
+    fn two_hours_stays_under_paper_ceiling() {
+        for phone in ALL_PHONES {
+            let p = extra_battery_percent(phone, 8, 120.0);
+            assert!(p > 0.5 && p <= 4.5, "{phone}: {p}% out of Fig 26 range");
+        }
+    }
+
+    #[test]
+    fn ranking_matches_fig26() {
+        let p = |m| extra_battery_percent(m, 8, 120.0);
+        assert!(p(PhoneModel::LgV30Plus) > p(PhoneModel::GooglePixel2));
+        assert!(p(PhoneModel::GooglePixel2) > p(PhoneModel::OnePlus7Pro));
+        assert!(p(PhoneModel::OnePlus7Pro) > p(PhoneModel::OnePlus8Pro));
+    }
+
+    #[test]
+    fn monotone_in_time_and_rate() {
+        let a = extra_battery_percent(PhoneModel::OnePlus8Pro, 8, 30.0);
+        let b = extra_battery_percent(PhoneModel::OnePlus8Pro, 8, 120.0);
+        assert!(b > a);
+        let fast = extra_battery_percent(PhoneModel::OnePlus8Pro, 4, 60.0);
+        let slow = extra_battery_percent(PhoneModel::OnePlus8Pro, 12, 60.0);
+        assert!(fast > slow);
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal ASCII reporting helpers so every experiment prints paper-style
+//! rows/series that are easy to diff against EXPERIMENTS.md.
+
+use std::fmt::Display;
+
+/// Prints a section header for one experiment.
+pub fn section(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+/// Prints a labelled percentage row.
+pub fn pct_row(label: &str, values: &[(String, f64)]) {
+    print!("{label:<26}");
+    for (name, v) in values {
+        print!("  {name}={:.1}%", v * 100.0);
+    }
+    println!();
+}
+
+/// Prints a key/value line.
+pub fn kv(label: &str, value: impl Display) {
+    println!("{label:<34} {value}");
+}
+
+/// Renders a crude horizontal bar for quick visual comparison.
+pub fn bar(label: &str, value: f64, max: f64) {
+    let width = 40.0;
+    let n = if max > 0.0 { ((value / max) * width).round() as usize } else { 0 };
+    println!("{label:<26} {:<41} {value:.3}", "#".repeat(n.min(41)));
+}
+
+/// Renders an ASCII histogram from bucket counts.
+pub fn histogram(buckets: &[(String, usize)]) {
+    let max = buckets.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    for (label, count) in buckets {
+        let n = (*count as f64 / max as f64 * 40.0).round() as usize;
+        println!("{label:<18} {:<41} {count}", "#".repeat(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_do_not_panic_on_edge_cases() {
+        section("TEST", "smoke");
+        pct_row("row", &[("a".into(), 0.5)]);
+        kv("key", 42);
+        bar("zero-max", 1.0, 0.0);
+        bar("clamped", 10.0, 1.0);
+        histogram(&[("b0".into(), 0), ("b1".into(), 3)]);
+        histogram(&[]);
+    }
+}

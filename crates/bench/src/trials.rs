@@ -1,0 +1,167 @@
+//! Trial runners: one victim session, end to end, scored.
+
+use std::collections::HashMap;
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use android_ui::sim::{SimConfig, UiSimulation};
+use android_ui::{DeviceConfig, KeyboardKind, TargetApp};
+use gpu_sc_attack::metrics::Aggregate;
+use gpu_sc_attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_sc_attack::service::{AttackService, ServiceConfig, ServiceError, SessionResult};
+use gpu_sc_attack::SessionScore;
+use input_bot::corpus::{generate, CredentialKind};
+use input_bot::script::Typist;
+use input_bot::timing::{SpeedClass, VolunteerModel, VOLUNTEERS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Caches trained models across experiments in one process (training takes
+/// seconds per configuration).
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    trained: HashMap<(DeviceConfig, KeyboardKind, TargetApp), gpu_sc_attack::ClassifierModel>,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ModelCache::default()
+    }
+
+    /// Returns (training on miss) the model for a configuration.
+    pub fn model(
+        &mut self,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+    ) -> gpu_sc_attack::ClassifierModel {
+        self.trained
+            .entry((device, keyboard, app))
+            .or_insert_with(|| Trainer::new(TrainerConfig::default()).train(device, keyboard, app))
+            .clone()
+    }
+
+    /// A one-model store for a configuration.
+    pub fn store(
+        &mut self,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+    ) -> ModelStore {
+        let mut store = ModelStore::new();
+        store.add(self.model(device, keyboard, app));
+        store
+    }
+}
+
+/// Per-trial options.
+#[derive(Debug, Clone)]
+pub struct TrialOptions {
+    pub sim: SimConfig,
+    pub service: ServiceConfig,
+    /// The volunteer whose timing drives the typing.
+    pub volunteer: VolunteerModel,
+    /// Optional speed-class constraint (§7.2).
+    pub speed: Option<SpeedClass>,
+}
+
+impl TrialOptions {
+    /// Paper-default options with a given seed.
+    pub fn paper_default(seed: u64) -> Self {
+        TrialOptions {
+            sim: SimConfig::paper_default(seed),
+            service: ServiceConfig::default(),
+            volunteer: VOLUNTEERS[1],
+            speed: None,
+        }
+    }
+}
+
+/// Runs one credential-typing session through the full attack and scores
+/// it. `text` is typed starting at t = 900 ms.
+///
+/// # Errors
+///
+/// Propagates attack-service errors (mitigations, unrecognised device).
+pub fn run_credential_trial(
+    store: &ModelStore,
+    opts: &TrialOptions,
+    text: &str,
+    seed: u64,
+) -> Result<(SessionScore, SessionResult), ServiceError> {
+    let mut sim = UiSimulation::new(SimConfig { seed, ..opts.sim.clone() });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7157);
+    let mut typist = match opts.speed {
+        Some(class) => Typist::with_speed(opts.volunteer, class),
+        None => Typist::new(opts.volunteer),
+    };
+    let plan = typist.type_text(text, SimInstant::from_millis(900), &mut rng);
+    let end = plan.end + SimDuration::from_millis(800);
+    sim.queue_all(plan.events);
+
+    let service = AttackService::new(store.clone(), opts.service.clone());
+    let result = service.eavesdrop(&mut sim, end)?;
+    let score = result.score(&sim);
+    Ok((score, result))
+}
+
+/// Evaluates `trials` random credentials of length `len` under `opts`,
+/// aggregating the paper's accuracy metrics. Volunteer models rotate across
+/// trials.
+pub fn eval_credentials(
+    store: &ModelStore,
+    opts: &TrialOptions,
+    kind: CredentialKind,
+    len: usize,
+    trials: usize,
+    seed: u64,
+) -> Aggregate {
+    let mut agg = Aggregate::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        let text = generate(&mut rng, kind, len);
+        let mut o = opts.clone();
+        o.volunteer = VOLUNTEERS[t % VOLUNTEERS.len()];
+        let trial_seed = rng.gen::<u64>();
+        match run_credential_trial(store, &o, &text, trial_seed) {
+            Ok((score, _)) => agg.add(&score),
+            Err(_) => {
+                // A failed session recovers nothing: all keys missed.
+                agg.add(&SessionScore {
+                    correct_keys: 0,
+                    total_keys: text.chars().count(),
+                    spurious_keys: 0,
+                    text_exact: false,
+                    edit_distance: text.chars().count(),
+                });
+            }
+        }
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_trains_once() {
+        let mut cache = ModelCache::new();
+        let cfg = SimConfig::paper_default(0);
+        let a = cache.model(cfg.device, cfg.keyboard, cfg.app);
+        let b = cache.model(cfg.device, cfg.keyboard, cfg.app);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(cache.trained.len(), 1);
+    }
+
+    #[test]
+    fn trial_round_trips() {
+        let mut cache = ModelCache::new();
+        let opts = TrialOptions::paper_default(5);
+        let store = cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
+        let (score, result) = run_credential_trial(&store, &opts, "abcd", 11).unwrap();
+        assert_eq!(score.total_keys, 4);
+        assert!(score.correct_keys >= 3, "near-clean conditions: {score:?}");
+        assert!(!result.recovered_text.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Application-switch detection (§5.2, Fig 13).
+//!
+//! Switching apps plays the overview animation: a run of large counter
+//! changes spaced less than 50 ms apart — far faster than human typing.
+//! The detector recognises these bursts and toggles an "in target app"
+//! flag, so the inference engine only consumes changes produced while the
+//! victim is typing in the target application.
+
+use adreno_sim::time::{SimDuration, SimInstant};
+
+use crate::trace::Delta;
+
+/// Configuration of the burst detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchConfig {
+    /// Magnitude above which a change is switch-animation-sized (trained:
+    /// [`crate::classify::ClassifierModel::switch_threshold`]).
+    pub magnitude_threshold: u64,
+    /// Maximum spacing inside a burst (the paper observes < 50 ms).
+    pub burst_gap: SimDuration,
+    /// Changes needed to confirm a burst.
+    pub min_burst: usize,
+}
+
+impl SwitchConfig {
+    /// Builds the config from a trained model threshold.
+    pub fn with_threshold(magnitude_threshold: u64) -> Self {
+        SwitchConfig { magnitude_threshold, burst_gap: SimDuration::from_millis(50), min_burst: 3 }
+    }
+}
+
+/// Streaming app-switch detector.
+///
+/// Feed every observed change in order; [`SwitchDetector::observe`] returns
+/// whether the victim is in the target app *after* accounting for that
+/// change.
+#[derive(Debug)]
+pub struct SwitchDetector {
+    config: SwitchConfig,
+    in_target: bool,
+    burst_len: usize,
+    last_big_at: Option<SimInstant>,
+    /// Set while the current burst has already toggled the state, so one
+    /// long animation doesn't toggle twice.
+    toggled_this_burst: bool,
+    switches_detected: usize,
+}
+
+impl SwitchDetector {
+    /// Creates a detector; the victim starts in the target app.
+    pub fn new(config: SwitchConfig) -> Self {
+        SwitchDetector {
+            config,
+            in_target: true,
+            burst_len: 0,
+            last_big_at: None,
+            toggled_this_burst: false,
+            switches_detected: 0,
+        }
+    }
+
+    /// Whether the victim is currently believed to be in the target app.
+    pub fn in_target(&self) -> bool {
+        self.in_target
+    }
+
+    /// Number of switch bursts detected so far.
+    pub fn switches_detected(&self) -> usize {
+        self.switches_detected
+    }
+
+    /// Observes one change; returns `in_target` after the update.
+    pub fn observe(&mut self, delta: &Delta) -> bool {
+        let big = delta.magnitude() >= self.config.magnitude_threshold;
+        if big {
+            let continues = self
+                .last_big_at
+                .is_some_and(|t| delta.at.saturating_since(t) <= self.config.burst_gap);
+            self.burst_len = if continues { self.burst_len + 1 } else { 1 };
+            self.last_big_at = Some(delta.at);
+            if !continues {
+                self.toggled_this_burst = false;
+            }
+            if self.burst_len >= self.config.min_burst && !self.toggled_this_burst {
+                self.in_target = !self.in_target;
+                self.toggled_this_burst = true;
+                self.switches_detected += 1;
+            }
+        } else if self
+            .last_big_at
+            .is_none_or(|t| delta.at.saturating_since(t) > self.config.burst_gap)
+        {
+            self.burst_len = 0;
+            self.toggled_this_burst = false;
+        }
+        self.in_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adreno_sim::counters::{CounterSet, TrackedCounter};
+
+    fn delta(ms: u64, magnitude: u64) -> Delta {
+        let mut values = CounterSet::ZERO;
+        values[TrackedCounter::LrzVisiblePixelAfterLrz] = magnitude;
+        Delta { at: SimInstant::from_millis(ms), values }
+    }
+
+    fn detector() -> SwitchDetector {
+        SwitchDetector::new(SwitchConfig::with_threshold(1_000_000))
+    }
+
+    #[test]
+    fn typing_changes_never_toggle() {
+        let mut det = detector();
+        for ms in (0..2_000).step_by(250) {
+            assert!(det.observe(&delta(ms, 200_000)), "key-sized changes keep us in target");
+        }
+        assert_eq!(det.switches_detected(), 0);
+    }
+
+    #[test]
+    fn burst_toggles_once_and_return_burst_toggles_back() {
+        let mut det = detector();
+        // Away burst: 6 big frames 16 ms apart.
+        for i in 0..6u64 {
+            det.observe(&delta(1_000 + i * 16, 2_000_000));
+        }
+        assert!(!det.in_target(), "burst must flip to out-of-target");
+        assert_eq!(det.switches_detected(), 1);
+        // Quiet usage of the other app.
+        det.observe(&delta(2_000, 400_000));
+        assert!(!det.in_target());
+        // Return burst.
+        for i in 0..6u64 {
+            det.observe(&delta(3_000 + i * 16, 2_000_000));
+        }
+        assert!(det.in_target(), "second burst returns to target");
+        assert_eq!(det.switches_detected(), 2);
+    }
+
+    #[test]
+    fn slow_big_changes_are_not_a_burst() {
+        let mut det = detector();
+        // Big changes 200 ms apart (e.g. shade opening then app redraw)
+        // never reach burst length.
+        for i in 0..8u64 {
+            det.observe(&delta(1_000 + i * 200, 2_000_000));
+        }
+        assert!(det.in_target());
+        assert_eq!(det.switches_detected(), 0);
+    }
+
+    #[test]
+    fn two_frame_flicker_is_ignored() {
+        let mut det = detector();
+        det.observe(&delta(100, 2_000_000));
+        det.observe(&delta(116, 2_000_000));
+        assert!(det.in_target(), "min_burst is 3");
+    }
+
+    #[test]
+    fn one_long_burst_toggles_only_once() {
+        let mut det = detector();
+        for i in 0..20u64 {
+            det.observe(&delta(1_000 + i * 16, 2_000_000));
+        }
+        assert!(!det.in_target());
+        assert_eq!(det.switches_detected(), 1);
+    }
+}

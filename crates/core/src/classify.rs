@@ -1,0 +1,657 @@
+//! The per-configuration classification model (§5.1, Fig 12).
+//!
+//! A [`ClassifierModel`] holds one centroid per key — the counter delta of
+//! that key's popup frame on one `(phone, OS, resolution, refresh rate,
+//! keyboard)` configuration — plus the acceptance threshold `C_th`, chosen
+//! offline to eliminate false positives, and the auxiliary signatures the
+//! detectors of §5.2/§5.3 need.
+//!
+//! Distances are computed in a *whitened* space (each counter scaled by the
+//! inverse inter-centroid spread), so small-but-informative counters such as
+//! primitive counts are not drowned out by pixel counts.
+
+use adreno_sim::counters::{CounterSet, NUM_TRACKED};
+use android_ui::{AndroidVersion, DeviceConfig, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// One key's trained centroid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyCentroid {
+    pub ch: char,
+    pub values: CounterSet,
+}
+
+/// Identifies the configuration a model was trained for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelMeta {
+    pub phone: PhoneModel,
+    pub android: AndroidVersion,
+    pub resolution: Resolution,
+    pub refresh: RefreshRate,
+    pub keyboard: KeyboardKind,
+    pub app: TargetApp,
+}
+
+impl ModelMeta {
+    /// The device configuration part of the metadata.
+    pub fn device_config(&self) -> DeviceConfig {
+        DeviceConfig {
+            phone: self.phone,
+            android: self.android,
+            resolution: self.resolution,
+            refresh: self.refresh,
+        }
+    }
+}
+
+impl fmt::Display for ModelMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / Android {} / {} / {} / {} / {}",
+            self.phone.name(),
+            self.android.name(),
+            self.resolution.name(),
+            self.refresh,
+            self.keyboard,
+            self.app
+        )
+    }
+}
+
+/// Result of classifying one counter delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Classification {
+    /// Accepted as the key press of `ch` (weighted distance below `C_th`).
+    Key { ch: char, distance: f64 },
+    /// Rejected: not close enough to any centroid.
+    Rejected { nearest: char, distance: f64 },
+}
+
+impl Classification {
+    /// The accepted character, if any.
+    pub fn key(&self) -> Option<char> {
+        match self {
+            Classification::Key { ch, .. } => Some(*ch),
+            Classification::Rejected { .. } => None,
+        }
+    }
+}
+
+/// A trained classification model for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierModel {
+    meta: ModelMeta,
+    centroids: Vec<KeyCentroid>,
+    /// Per-counter whitening weights (1 / inter-centroid spread).
+    weights: [f64; NUM_TRACKED],
+    /// Acceptance threshold in whitened distance.
+    threshold: f64,
+    /// Base keyboard redraw delta (a popup-hide frame): the configuration's
+    /// fingerprint, used for device recognition (§3.2).
+    kb_signature: CounterSet,
+    /// Field-region redraw with empty text and the cursor visible: the
+    /// baseline echo delta, anchor for the §5.3 correction detector.
+    app_signature: CounterSet,
+    /// Exact field-redraw signatures for every input length the attacker
+    /// anticipates, alternating cursor-off/cursor-on per length. Rendered
+    /// offline — text cells straddle supertile boundaries, so the
+    /// signatures are *not* an affine function of the length and must be
+    /// precomputed rather than extrapolated.
+    field_signatures: Vec<CounterSet>,
+    /// The target app's cold-launch burst (login screen + keyboard + status
+    /// bar rendering together): the §3.2 trigger the monitoring service
+    /// waits for.
+    launch_signature: CounterSet,
+    /// Delta magnitude above which a change is app-switch-sized (§5.2).
+    switch_threshold: u64,
+}
+
+impl ClassifierModel {
+    /// Assembles a model from trained parts. Normally produced by
+    /// [`crate::offline::Trainer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroids` is empty or `threshold` is not positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        meta: ModelMeta,
+        centroids: Vec<KeyCentroid>,
+        weights: [f64; NUM_TRACKED],
+        threshold: f64,
+        kb_signature: CounterSet,
+        app_signature: CounterSet,
+        field_signatures: Vec<CounterSet>,
+        launch_signature: CounterSet,
+        switch_threshold: u64,
+    ) -> Self {
+        assert!(!centroids.is_empty(), "a model needs at least one key centroid");
+        assert!(threshold > 0.0, "C_th must be positive");
+        ClassifierModel {
+            meta,
+            centroids,
+            weights,
+            threshold,
+            kb_signature,
+            app_signature,
+            field_signatures,
+            launch_signature,
+            switch_threshold,
+        }
+    }
+
+    /// The configuration this model was trained for.
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+
+    /// The trained key centroids.
+    pub fn centroids(&self) -> &[KeyCentroid] {
+        &self.centroids
+    }
+
+    /// The acceptance threshold `C_th`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The whitening weights.
+    pub fn weights(&self) -> &[f64; NUM_TRACKED] {
+        &self.weights
+    }
+
+    /// The keyboard base-redraw fingerprint.
+    pub fn kb_signature(&self) -> &CounterSet {
+        &self.kb_signature
+    }
+
+    /// The app echo-frame anchor (field redraw, empty text, cursor on).
+    pub fn app_signature(&self) -> &CounterSet {
+        &self.app_signature
+    }
+
+    /// The target app's cold-launch render burst.
+    pub fn launch_signature(&self) -> &CounterSet {
+        &self.launch_signature
+    }
+
+    /// The ambient redraw signatures an attacker can expect to find summed
+    /// into a read window: field redraws at every anticipated input length,
+    /// with and without the cursor. Algorithm 1's peeling step subtracts
+    /// these from otherwise-unclassifiable changes (a popup frame and a
+    /// cursor blink can share a vsync and therefore a read window).
+    pub fn ambient_signatures(&self) -> &[CounterSet] {
+        &self.field_signatures
+    }
+
+    /// The app-switch burst magnitude threshold.
+    pub fn switch_threshold(&self) -> u64 {
+        self.switch_threshold
+    }
+
+    /// Returns a copy of the model with a different acceptance threshold
+    /// (used by the threshold-sweep ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    pub fn with_threshold(&self, threshold: f64) -> ClassifierModel {
+        assert!(threshold > 0.0, "C_th must be positive");
+        ClassifierModel { threshold, ..self.clone() }
+    }
+
+    /// Weighted (whitened) Euclidean distance between two counter vectors.
+    pub fn distance(&self, a: &CounterSet, b: &CounterSet) -> f64 {
+        let av = a.as_array();
+        let bv = b.as_array();
+        let mut acc = 0.0;
+        for i in 0..NUM_TRACKED {
+            let d = (av[i] as f64 - bv[i] as f64) * self.weights[i];
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// The `k` nearest centroids to `v`, closest first, with whitened
+    /// distances. Rank 0 is what [`ClassifierModel::classify`] would pick;
+    /// the rest are the alternatives a guessing attacker tries (§7.1:
+    /// "single errors in inference could be addressed with a small number
+    /// of guesses").
+    pub fn nearest_k(&self, v: &CounterSet, k: usize) -> Vec<(char, f64)> {
+        let mut all: Vec<(char, f64)> =
+            self.centroids.iter().map(|c| (c.ch, self.distance(v, &c.values))).collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        all.truncate(k);
+        all
+    }
+
+    /// The nearest centroid to `v` and its whitened distance.
+    pub fn nearest(&self, v: &CounterSet) -> (char, f64) {
+        let mut best = (self.centroids[0].ch, f64::INFINITY);
+        for c in &self.centroids {
+            let d = self.distance(v, &c.values);
+            if d < best.1 {
+                best = (c.ch, d);
+            }
+        }
+        best
+    }
+
+    /// Relative tolerance of the magnitude gate: a candidate's total
+    /// counter activity must be within this fraction of the matched
+    /// centroid's total. Two failure modes motivate the gate:
+    ///
+    /// * the whitened metric deliberately down-weights the base-redraw
+    ///   dimensions (they carry no per-key information), so without the
+    ///   gate the *sum of two unrelated base redraws* — e.g. a popup-hide
+    ///   frame plus a page-switch frame — could recombine into a phantom
+    ///   key press;
+    /// * a *split* read that caught most (e.g. 7/8) of a popup frame can
+    ///   land near a neighbouring key's centroid; gating on magnitude sends
+    ///   it to split recombination instead, which then reconstructs the
+    ///   exact frame.
+    ///
+    /// True key deltas match their centroid totals almost exactly, so 8 %
+    /// is generous for signal while excluding both failure modes.
+    pub const MAGNITUDE_TOLERANCE: f64 = 0.08;
+
+    /// Classifies a delta: nearest centroid, accepted iff within `C_th`
+    /// (the `SearchMinDist` + threshold test of Algorithm 1) *and* of
+    /// key-frame-sized total magnitude.
+    pub fn classify(&self, v: &CounterSet) -> Classification {
+        let (ch, distance) = self.nearest(v);
+        if distance <= self.threshold {
+            let centroid_total = self
+                .centroids
+                .iter()
+                .find(|c| c.ch == ch)
+                .map(|c| c.values.total())
+                .unwrap_or(0) as f64;
+            let total = v.total() as f64;
+            if centroid_total > 0.0
+                && (total - centroid_total).abs() <= centroid_total * Self::MAGNITUDE_TOLERANCE
+            {
+                return Classification::Key { ch, distance };
+            }
+            return Classification::Rejected { nearest: ch, distance };
+        }
+        Classification::Rejected { nearest: ch, distance }
+    }
+
+    /// Serialises the model to the compact on-device wire format (the paper
+    /// reports ≈3.59 kB per model, §7.6).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64 + self.centroids.len() * (4 + NUM_TRACKED * 4));
+        b.put_slice(b"GPCM");
+        b.put_u8(2); // version
+        b.put_u8(phone_code(self.meta.phone));
+        b.put_u8(android_code(self.meta.android));
+        b.put_u8(resolution_code(self.meta.resolution));
+        b.put_u8(refresh_code(self.meta.refresh));
+        b.put_u8(keyboard_code(self.meta.keyboard));
+        b.put_u8(app_code(self.meta.app));
+        b.put_u8(0); // pad
+        b.put_f32(self.threshold as f32);
+        for w in self.weights {
+            b.put_f32(w as f32);
+        }
+        for v in self.kb_signature.as_array() {
+            b.put_u32((*v).min(u32::MAX as u64) as u32);
+        }
+        for v in self.app_signature.as_array() {
+            b.put_u32((*v).min(u32::MAX as u64) as u32);
+        }
+        b.put_u8(self.field_signatures.len() as u8);
+        for sig in &self.field_signatures {
+            for v in sig.as_array() {
+                b.put_u32((*v).min(u32::MAX as u64) as u32);
+            }
+        }
+        for v in self.launch_signature.as_array() {
+            b.put_u32((*v).min(u32::MAX as u64) as u32);
+        }
+        b.put_u32(self.switch_threshold.min(u32::MAX as u64) as u32);
+        b.put_u16(self.centroids.len() as u16);
+        for c in &self.centroids {
+            b.put_u32(c.ch as u32);
+            for v in c.values.as_array() {
+                b.put_u32((*v).min(u32::MAX as u64) as u32);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserialises a model from [`ClassifierModel::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for truncated or corrupt input.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, ModelDecodeError> {
+        use ModelDecodeError::*;
+        if data.remaining() < 12 {
+            return Err(Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != b"GPCM" {
+            return Err(BadMagic);
+        }
+        let version = data.get_u8();
+        if version != 2 {
+            return Err(BadVersion(version));
+        }
+        let meta = ModelMeta {
+            phone: phone_from(data.get_u8()).ok_or(BadField("phone"))?,
+            android: android_from(data.get_u8()).ok_or(BadField("android"))?,
+            resolution: resolution_from(data.get_u8()).ok_or(BadField("resolution"))?,
+            refresh: refresh_from(data.get_u8()).ok_or(BadField("refresh"))?,
+            keyboard: keyboard_from(data.get_u8()).ok_or(BadField("keyboard"))?,
+            app: app_from(data.get_u8()).ok_or(BadField("app"))?,
+        };
+        let need = 1 + 4 + NUM_TRACKED * 4 + NUM_TRACKED * 4 * 2 + 1 + 4 + 2;
+        if data.remaining() < need {
+            return Err(Truncated);
+        }
+        let _pad = data.get_u8();
+        let threshold = data.get_f32() as f64;
+        let mut weights = [0.0; NUM_TRACKED];
+        for w in &mut weights {
+            *w = data.get_f32() as f64;
+        }
+        let read_set = |data: &mut Bytes| {
+            let mut a = [0u64; NUM_TRACKED];
+            for v in &mut a {
+                *v = data.get_u32() as u64;
+            }
+            CounterSet::from_array(a)
+        };
+        let kb_signature = read_set(&mut data);
+        let app_signature = read_set(&mut data);
+        let n_sigs = data.get_u8() as usize;
+        if data.remaining() < n_sigs * NUM_TRACKED * 4 + 4 + 2 {
+            return Err(Truncated);
+        }
+        let mut field_signatures = Vec::with_capacity(n_sigs);
+        for _ in 0..n_sigs {
+            field_signatures.push(read_set(&mut data));
+        }
+        if data.remaining() < NUM_TRACKED * 4 + 4 + 2 {
+            return Err(Truncated);
+        }
+        let launch_signature = read_set(&mut data);
+        let switch_threshold = data.get_u32() as u64;
+        let n = data.get_u16() as usize;
+        if data.remaining() < n * (4 + NUM_TRACKED * 4) {
+            return Err(Truncated);
+        }
+        let mut centroids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ch = char::from_u32(data.get_u32()).ok_or(BadField("char"))?;
+            let values = read_set(&mut data);
+            centroids.push(KeyCentroid { ch, values });
+        }
+        if centroids.is_empty() || threshold <= 0.0 {
+            return Err(BadField("body"));
+        }
+        Ok(ClassifierModel {
+            meta,
+            centroids,
+            weights,
+            threshold,
+            kb_signature,
+            app_signature,
+            field_signatures,
+            launch_signature,
+            switch_threshold,
+        })
+    }
+}
+
+/// Errors from [`ClassifierModel::from_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelDecodeError {
+    Truncated,
+    BadMagic,
+    BadVersion(u8),
+    BadField(&'static str),
+}
+
+impl fmt::Display for ModelDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelDecodeError::Truncated => write!(f, "model bytes truncated"),
+            ModelDecodeError::BadMagic => write!(f, "not a GPCM model"),
+            ModelDecodeError::BadVersion(v) => write!(f, "unsupported model version {v}"),
+            ModelDecodeError::BadField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelDecodeError {}
+
+macro_rules! enum_codes {
+    ($to:ident, $from:ident, $ty:ty, [$(($variant:path, $code:expr)),+ $(,)?]) => {
+        fn $to(v: $ty) -> u8 {
+            match v {
+                $($variant => $code),+
+            }
+        }
+        fn $from(code: u8) -> Option<$ty> {
+            match code {
+                $($code => Some($variant)),+,
+                _ => None,
+            }
+        }
+    };
+}
+
+enum_codes!(phone_code, phone_from, PhoneModel, [
+    (PhoneModel::LgV30Plus, 0),
+    (PhoneModel::GooglePixel2, 1),
+    (PhoneModel::OnePlus7Pro, 2),
+    (PhoneModel::OnePlus8Pro, 3),
+    (PhoneModel::OnePlus9, 4),
+    (PhoneModel::GalaxyS21, 5),
+]);
+enum_codes!(android_code, android_from, AndroidVersion, [
+    (AndroidVersion::V8_1, 0),
+    (AndroidVersion::V9, 1),
+    (AndroidVersion::V10, 2),
+    (AndroidVersion::V11, 3),
+]);
+enum_codes!(resolution_code, resolution_from, Resolution, [
+    (Resolution::Fhd, 0),
+    (Resolution::Qhd, 1),
+]);
+enum_codes!(refresh_code, refresh_from, RefreshRate, [
+    (RefreshRate::Hz60, 0),
+    (RefreshRate::Hz120, 1),
+]);
+enum_codes!(keyboard_code, keyboard_from, KeyboardKind, [
+    (KeyboardKind::Gboard, 0),
+    (KeyboardKind::Swift, 1),
+    (KeyboardKind::Sogou, 2),
+    (KeyboardKind::GooglePinyin, 3),
+    (KeyboardKind::Go, 4),
+    (KeyboardKind::Grammarly, 5),
+]);
+enum_codes!(app_code, app_from, TargetApp, [
+    (TargetApp::Chase, 0),
+    (TargetApp::Amex, 1),
+    (TargetApp::Fidelity, 2),
+    (TargetApp::Schwab, 3),
+    (TargetApp::MyFico, 4),
+    (TargetApp::Experian, 5),
+    (TargetApp::ChromeChase, 6),
+    (TargetApp::ChromeSchwab, 7),
+    (TargetApp::ChromeExperian, 8),
+    (TargetApp::Pnc, 9),
+    (TargetApp::Gedit, 10),
+    (TargetApp::GmailWeb, 11),
+    (TargetApp::DropboxClient, 12),
+]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adreno_sim::counters::TrackedCounter;
+
+    fn meta() -> ModelMeta {
+        ModelMeta {
+            phone: PhoneModel::OnePlus8Pro,
+            android: AndroidVersion::V11,
+            resolution: Resolution::Fhd,
+            refresh: RefreshRate::Hz60,
+            keyboard: KeyboardKind::Gboard,
+            app: TargetApp::Chase,
+        }
+    }
+
+    fn set(base: u64, prims: u64) -> CounterSet {
+        let mut c = CounterSet::ZERO;
+        c[TrackedCounter::Ras8x4Tiles] = base;
+        c[TrackedCounter::VpcPcPrimitives] = prims;
+        c
+    }
+
+    fn model() -> ClassifierModel {
+        let centroids = vec![
+            KeyCentroid { ch: 'a', values: set(1000, 150) },
+            KeyCentroid { ch: 'b', values: set(1040, 160) },
+            KeyCentroid { ch: 'c', values: set(980, 170) },
+        ];
+        let mut weights = [1.0; NUM_TRACKED];
+        weights[TrackedCounter::VpcPcPrimitives.index()] = 2.0;
+        ClassifierModel::new(
+            meta(),
+            centroids,
+            weights,
+            25.0,
+            set(900, 140),
+            set(5000, 40),
+            vec![set(20, 2), set(24, 4)],
+            set(9000, 300),
+            50_000,
+        )
+    }
+
+    #[test]
+    fn exact_centroid_classifies() {
+        let m = model();
+        assert_eq!(m.classify(&set(1040, 160)).key(), Some('b'));
+    }
+
+    #[test]
+    fn near_centroid_within_threshold_classifies() {
+        let m = model();
+        assert_eq!(m.classify(&set(1005, 151)).key(), Some('a'));
+    }
+
+    #[test]
+    fn far_vectors_are_rejected_with_nearest_reported() {
+        let m = model();
+        match m.classify(&set(5000, 40)) {
+            Classification::Rejected { nearest, distance } => {
+                assert_eq!(nearest, 'b');
+                assert!(distance > 25.0);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nearest_k_ranks_by_distance() {
+        let m = model();
+        let ranked = m.nearest_k(&set(1000, 150), 3);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].0, 'a');
+        assert_eq!(ranked[0].1, 0.0);
+        assert!(ranked[0].1 <= ranked[1].1 && ranked[1].1 <= ranked[2].1);
+        // Truncation works.
+        assert_eq!(m.nearest_k(&set(1000, 150), 2).len(), 2);
+        assert_eq!(m.nearest_k(&set(1000, 150), 99).len(), 3, "capped at centroid count");
+    }
+
+    #[test]
+    fn weights_change_the_metric() {
+        let m = model();
+        // 10 apart in prims (weight 2) is "further" than 15 apart in tiles.
+        let d_prims = m.distance(&set(1000, 150), &set(1000, 160));
+        let d_tiles = m.distance(&set(1000, 150), &set(1015, 150));
+        assert!(d_prims > d_tiles);
+    }
+
+    #[test]
+    fn serialisation_round_trips() {
+        let m = model();
+        let bytes = m.to_bytes();
+        let back = ClassifierModel::from_bytes(bytes).unwrap();
+        assert_eq!(back.meta(), m.meta());
+        assert_eq!(back.centroids(), m.centroids());
+        assert_eq!(back.switch_threshold(), m.switch_threshold());
+        assert!((back.threshold() - m.threshold()).abs() < 1e-6);
+        assert_eq!(back.kb_signature(), m.kb_signature());
+    }
+
+    #[test]
+    fn wire_size_matches_paper_scale() {
+        // A full 80-key model must be in the ~3.6 kB ballpark (§7.6).
+        let centroids: Vec<KeyCentroid> = adreno_sim::font::FIG18_CHARSET
+            .chars()
+            .map(|ch| KeyCentroid { ch, values: set(1000 + ch as u64, 150) })
+            .collect();
+        let m = ClassifierModel::new(
+            meta(),
+            centroids,
+            [1.0; NUM_TRACKED],
+            25.0,
+            set(900, 140),
+            set(5000, 40),
+            vec![set(20, 2), set(24, 4)],
+            set(9000, 300),
+            50_000,
+        );
+        let size = m.to_bytes().len();
+        assert!(
+            (3_000..=4_500).contains(&size),
+            "model wire size {size} B should be ≈3.6 kB like the paper's \
+             (field signatures add ~2 kB on top for trained models)"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            ClassifierModel::from_bytes(Bytes::from_static(b"nope")),
+            Err(ModelDecodeError::Truncated)
+        );
+        assert_eq!(
+            ClassifierModel::from_bytes(Bytes::from_static(b"XXXX\x01aaaaaaaaaaaaaaaaaaaa")),
+            Err(ModelDecodeError::BadMagic)
+        );
+        let mut good = model().to_bytes().to_vec();
+        good.truncate(good.len() - 3);
+        assert_eq!(
+            ClassifierModel::from_bytes(Bytes::from(good)),
+            Err(ModelDecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_model_rejected() {
+        let _ = ClassifierModel::new(
+            meta(),
+            vec![],
+            [1.0; NUM_TRACKED],
+            25.0,
+            CounterSet::ZERO,
+            CounterSet::ZERO,
+            vec![],
+            CounterSet::ZERO,
+            1,
+        );
+    }
+}

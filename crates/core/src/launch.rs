@@ -1,0 +1,88 @@
+//! Target-application launch detection (§3.2).
+//!
+//! The paper's monitoring process uses procfs side channels to detect the
+//! launch of a target application before it starts reading GPU counters.
+//! This reproduction detects launches from the GPU counters themselves: a
+//! cold launch renders the login screen, the on-screen keyboard and the
+//! status bar together, and that burst's counter delta is as much a
+//! fingerprint as any popup — it is rendered by the same deterministic
+//! pipeline the rest of the attack relies on.
+
+use adreno_sim::counters::CounterSet;
+use adreno_sim::time::SimInstant;
+
+use crate::trace::Delta;
+
+/// Detects the target app's cold-launch burst in a change stream.
+#[derive(Debug, Clone)]
+pub struct LaunchDetector {
+    signature: CounterSet,
+    /// Maximum relative L1 distance for a match.
+    tolerance: f64,
+}
+
+impl LaunchDetector {
+    /// Creates a detector for a trained launch signature (see
+    /// [`crate::ClassifierModel::launch_signature`]).
+    pub fn new(signature: CounterSet) -> Self {
+        LaunchDetector { signature, tolerance: 0.05 }
+    }
+
+    /// Whether one change matches the launch burst.
+    pub fn matches(&self, delta: &Delta) -> bool {
+        let sig_norm = self.signature.total().max(1) as f64;
+        let mut l1 = 0.0;
+        for (a, b) in delta.values.as_array().iter().zip(self.signature.as_array()) {
+            l1 += (*a as f64 - *b as f64).abs();
+        }
+        l1 / sig_norm <= self.tolerance
+    }
+
+    /// The first launch in a change stream, if any.
+    pub fn detect(&self, deltas: &[Delta]) -> Option<SimInstant> {
+        deltas.iter().find(|d| self.matches(d)).map(|d| d.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adreno_sim::counters::TrackedCounter;
+
+    fn sig() -> CounterSet {
+        let mut c = CounterSet::ZERO;
+        c[TrackedCounter::LrzVisiblePixelAfterLrz] = 200_000;
+        c[TrackedCounter::Ras8x4Tiles] = 90_000;
+        c[TrackedCounter::VpcPcPrimitives] = 400;
+        c
+    }
+
+    fn delta(ms: u64, values: CounterSet) -> Delta {
+        Delta { at: SimInstant::from_millis(ms), values }
+    }
+
+    #[test]
+    fn exact_burst_matches() {
+        let det = LaunchDetector::new(sig());
+        assert!(det.matches(&delta(10, sig())));
+        assert_eq!(det.detect(&[delta(5, CounterSet::ZERO), delta(10, sig())]),
+            Some(SimInstant::from_millis(10)));
+    }
+
+    #[test]
+    fn near_burst_within_tolerance_matches() {
+        let det = LaunchDetector::new(sig());
+        let mut near = sig();
+        near[TrackedCounter::LrzVisiblePixelAfterLrz] += 2_000; // <5% of total
+        assert!(det.matches(&delta(10, near)));
+    }
+
+    #[test]
+    fn unrelated_changes_do_not_match() {
+        let det = LaunchDetector::new(sig());
+        let mut half = sig();
+        half[TrackedCounter::LrzVisiblePixelAfterLrz] /= 2;
+        assert!(!det.matches(&delta(10, half)));
+        assert!(det.detect(&[delta(1, CounterSet::ZERO), delta(2, half)]).is_none());
+    }
+}

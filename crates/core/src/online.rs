@@ -1,0 +1,443 @@
+//! Online key-press inference — Algorithm 1 of the paper (§5.1).
+//!
+//! For every observed counter change `Δ` at time `t`:
+//!
+//! 1. **Duplication backtrace** — if a key press was already inferred within
+//!    the last `T_l = 75 ms`, the change is an animation duplicate and is
+//!    suppressed (human presses cannot be that close together).
+//! 2. **Classification** — if `Δ`'s nearest centroid is within `C_th`, infer
+//!    that key press.
+//! 3. **Split recombination** — otherwise combine `Δ` with the previous
+//!    unconsumed change and classify the sum; success means the draw was
+//!    split across two reads, and the press is inferred at the *earlier*
+//!    timestamp.
+//! 4. Otherwise `Δ` is system noise.
+//!
+//! The greedy combination can mis-attribute (§5.1 discusses the trade-off);
+//! [`infer_full_trace`] is the offline variant with one-step lookahead that
+//! the paper says requires the whole trace.
+
+use adreno_sim::time::{SimDuration, SimInstant};
+
+use crate::classify::{Classification, ClassifierModel};
+use crate::trace::Delta;
+
+/// Tuning of the online algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// The duplication backtrace window `T_l`. The paper uses 75 ms, the
+    /// shortest plausible interval between two human key presses.
+    pub t_l: SimDuration,
+    /// Maximum age of the previous change for split recombination. Splits
+    /// land in adjacent read windows, so a small multiple of the reading
+    /// interval suffices.
+    pub max_split_gap: SimDuration,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig { t_l: SimDuration::from_millis(75), max_split_gap: SimDuration::from_millis(20) }
+    }
+}
+
+/// One inferred key press.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferredKey {
+    /// When the press was inferred to have happened.
+    pub at: SimInstant,
+    /// The inferred character.
+    pub ch: char,
+    /// Whether split recombination was needed.
+    pub via_split: bool,
+}
+
+/// Counters of what the algorithm did — the Fig 11 taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferenceStats {
+    /// Changes accepted directly as key presses.
+    pub direct: usize,
+    /// Key presses recovered by peeling a field-redraw signature off a
+    /// merged read window.
+    pub peeled: usize,
+    /// Key presses recovered by combining split changes.
+    pub splits_recovered: usize,
+    /// Changes suppressed by the duplication backtrace.
+    pub duplications_suppressed: usize,
+    /// Changes dismissed as system noise.
+    pub noise: usize,
+}
+
+/// How many ranked alternatives are kept per accepted key press for the
+/// guessing post-processor.
+pub const CANDIDATES_PER_KEY: usize = 8;
+
+/// Streaming implementation of Algorithm 1.
+#[derive(Debug)]
+pub struct OnlineInference<'m> {
+    model: &'m ClassifierModel,
+    config: OnlineConfig,
+    /// Precomputed field-redraw signatures for the peeling step.
+    ambient: Vec<adreno_sim::counters::CounterSet>,
+    last_key_at: Option<SimInstant>,
+    prev: Option<Delta>,
+    inferred: Vec<InferredKey>,
+    /// Ranked alternative characters per accepted press, aligned with
+    /// `inferred`.
+    candidates: Vec<Vec<char>>,
+    rejected: Vec<Delta>,
+    stats: InferenceStats,
+}
+
+impl<'m> OnlineInference<'m> {
+    /// Creates a fresh inference engine over a trained model.
+    pub fn new(model: &'m ClassifierModel, config: OnlineConfig) -> Self {
+        OnlineInference {
+            model,
+            config,
+            ambient: model.ambient_signatures().to_vec(),
+            last_key_at: None,
+            prev: None,
+            inferred: Vec::new(),
+            candidates: Vec::new(),
+            rejected: Vec::new(),
+            stats: InferenceStats::default(),
+        }
+    }
+
+    /// Processes one counter change.
+    pub fn process(&mut self, delta: Delta) {
+        // Step 1: duplication backtrace over T_l. Only changes that *look
+        // like key presses* are animation duplicates; other changes inside
+        // the window (such as the release echo) are ordinary noise and must
+        // still reach the downstream correction detector.
+        if let Some(last) = self.last_key_at {
+            if delta.at.saturating_since(last) < self.config.t_l {
+                if self.model.classify(&delta.values).key().is_some() {
+                    self.stats.duplications_suppressed += 1;
+                    // A duplicate must not seed a later recombination, but a
+                    // leftover change it displaces is still noise downstream.
+                    if let Some(stale) = self.prev.take() {
+                        self.rejected.push(stale);
+                        self.stats.noise += 1;
+                    }
+                } else {
+                    self.rejected.push(delta);
+                    self.stats.noise += 1;
+                }
+                return;
+            }
+        }
+        // Step 2: direct classification.
+        if let Classification::Key { ch, .. } = self.model.classify(&delta.values) {
+            self.accept(InferredKey { at: delta.at, ch, via_split: false }, &delta.values);
+            self.stats.direct += 1;
+            return;
+        }
+        // Step 2b: ambient-signature peeling. A popup frame and a field
+        // redraw (echo or cursor blink) rendered at the same vsync land in
+        // one read window; subtracting the known field-redraw signatures
+        // recovers the popup. (Engineering extension beyond the paper's
+        // Algorithm 1; see DESIGN.md.)
+        // Evaluate every signature and keep the best-scoring residual: a
+        // wrong-length signature can leave a residual that still clears
+        // C_th but lands on a *neighbouring* key; the true signature's
+        // residual is exact and always scores better.
+        let mut best: Option<(f64, InferredKey, Delta, adreno_sim::counters::CounterSet)> = None;
+        for sig in &self.ambient {
+            let Some(residual) = delta.values.checked_sub(sig) else { continue };
+            if let Classification::Key { ch, distance } = self.model.classify(&residual) {
+                if best.as_ref().is_none_or(|(d, _, _, _)| distance < *d) {
+                    // Report the consumed field redraw as a synthetic echo
+                    // so the downstream correction detector keeps its length
+                    // and blink anchoring intact.
+                    let echo = Delta { at: delta.at, values: *sig };
+                    best = Some((
+                        distance,
+                        InferredKey { at: delta.at, ch, via_split: false },
+                        echo,
+                        residual,
+                    ));
+                }
+            }
+        }
+        if let Some((_, key, echo, residual)) = best {
+            self.accept(key, &residual);
+            self.rejected.push(echo);
+            self.stats.peeled += 1;
+            return;
+        }
+        // Step 3: split recombination with the previous unconsumed change.
+        if let Some(prev) = self.prev {
+            if delta.at.saturating_since(prev.at) <= self.config.max_split_gap {
+                let combined = prev.values + delta.values;
+                if let Classification::Key { ch, .. } = self.model.classify(&combined) {
+                    // Both fragments are consumed by the recombination.
+                    self.prev = None;
+                    self.accept(InferredKey { at: prev.at, ch, via_split: true }, &combined);
+                    self.stats.splits_recovered += 1;
+                    return;
+                }
+            } else {
+                // The stale leftover is definitively noise.
+                self.rejected.push(prev);
+                self.stats.noise += 1;
+                self.prev = None;
+            }
+        }
+        // Step 4: keep Δ around for one recombination attempt; if the next
+        // change does not consume it, it becomes noise.
+        if let Some(stale) = self.prev.replace(delta) {
+            self.rejected.push(stale);
+            self.stats.noise += 1;
+        }
+    }
+
+    fn accept(&mut self, key: InferredKey, observed: &adreno_sim::counters::CounterSet) {
+        self.last_key_at = Some(key.at);
+        // An unconsumed leftover change is ordinary noise (usually an echo
+        // frame); it must still reach the downstream correction detector.
+        if let Some(stale) = self.prev.take() {
+            self.rejected.push(stale);
+            self.stats.noise += 1;
+        }
+        self.candidates.push(
+            self.model
+                .nearest_k(observed, CANDIDATES_PER_KEY)
+                .into_iter()
+                .map(|(ch, _)| ch)
+                .collect(),
+        );
+        self.inferred.push(key);
+    }
+
+    /// Finishes the stream, flushing any leftover change as noise, and
+    /// returns `(inferred presses, rejected noise changes, statistics)`.
+    pub fn finish(self) -> (Vec<InferredKey>, Vec<Delta>, InferenceStats) {
+        let (keys, _, rejected, stats) = self.finish_with_candidates_impl();
+        (keys, rejected, stats)
+    }
+
+    /// Like [`OnlineInference::finish`], additionally returning the ranked
+    /// alternative characters per accepted press (for guessing).
+    pub fn finish_with_candidates(
+        self,
+    ) -> (Vec<InferredKey>, Vec<Vec<char>>, Vec<Delta>, InferenceStats) {
+        self.finish_with_candidates_impl()
+    }
+
+    fn finish_with_candidates_impl(
+        mut self,
+    ) -> (Vec<InferredKey>, Vec<Vec<char>>, Vec<Delta>, InferenceStats) {
+        if let Some(stale) = self.prev.take() {
+            self.rejected.push(stale);
+            self.stats.noise += 1;
+        }
+        // Rejections accumulate out of order relative to acceptance times;
+        // sort for downstream detectors.
+        self.rejected.sort_by_key(|d| d.at);
+        (self.inferred, self.candidates, self.rejected, self.stats)
+    }
+
+    /// Presses inferred so far.
+    pub fn inferred(&self) -> &[InferredKey] {
+        &self.inferred
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &InferenceStats {
+        &self.stats
+    }
+}
+
+/// Runs Algorithm 1 over a complete delta stream.
+pub fn infer_stream(
+    model: &ClassifierModel,
+    deltas: &[Delta],
+    config: OnlineConfig,
+) -> (Vec<InferredKey>, Vec<Delta>, InferenceStats) {
+    let mut engine = OnlineInference::new(model, config);
+    for d in deltas {
+        engine.process(*d);
+    }
+    engine.finish()
+}
+
+/// The full-trace variant: identical to the greedy algorithm except that a
+/// split recombination defers when combining the *next* change instead
+/// would classify strictly better — the fix §5.1 says needs the whole trace
+/// ("eavesdropping can only be done after the user input finishes").
+pub fn infer_full_trace(
+    model: &ClassifierModel,
+    deltas: &[Delta],
+    config: OnlineConfig,
+) -> (Vec<InferredKey>, Vec<Delta>, InferenceStats) {
+    let mut engine = OnlineInference::new(model, config);
+    for (i, d) in deltas.iter().enumerate() {
+        // Lookahead: would (d, next) make a better split pair than
+        // (prev, d)? If so, drop prev to noise now so the greedy step pairs
+        // d with next.
+        if let Some(prev) = engine.prev {
+            let prev_ok = d.at.saturating_since(prev.at) <= config.max_split_gap;
+            if prev_ok {
+                let with_prev = model.classify(&(prev.values + d.values));
+                if let Some(next) = deltas.get(i + 1) {
+                    let next_ok = next.at.saturating_since(d.at) <= config.max_split_gap;
+                    let with_next = model.classify(&(d.values + next.values));
+                    if next_ok {
+                        let dist = |c: &Classification| match c {
+                            Classification::Key { distance, .. } => Some(*distance),
+                            Classification::Rejected { .. } => None,
+                        };
+                        if let (Some(dp), Some(dn)) = (dist(&with_prev), dist(&with_next)) {
+                            if dn < dp {
+                                engine.rejected.push(prev);
+                                engine.stats.noise += 1;
+                                engine.prev = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        engine.process(*d);
+    }
+    engine.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{KeyCentroid, ModelMeta};
+    use adreno_sim::counters::{CounterSet, TrackedCounter, NUM_TRACKED};
+    use android_ui::{AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
+
+    fn set(tiles: u64, prims: u64) -> CounterSet {
+        let mut c = CounterSet::ZERO;
+        c[TrackedCounter::Ras8x4Tiles] = tiles;
+        c[TrackedCounter::VpcPcPrimitives] = prims;
+        c
+    }
+
+    fn model() -> ClassifierModel {
+        let meta = ModelMeta {
+            phone: PhoneModel::OnePlus8Pro,
+            android: AndroidVersion::V11,
+            resolution: Resolution::Fhd,
+            refresh: RefreshRate::Hz60,
+            keyboard: KeyboardKind::Gboard,
+            app: TargetApp::Chase,
+        };
+        ClassifierModel::new(
+            meta,
+            vec![
+                KeyCentroid { ch: 'w', values: set(1000, 160) },
+                KeyCentroid { ch: 'n', values: set(1100, 150) },
+            ],
+            [1.0; NUM_TRACKED],
+            20.0,
+            set(800, 120),
+            set(8000, 60),
+            vec![set(20, 2), set(24, 4)],
+            set(9_000, 600),
+            100_000,
+        )
+    }
+
+    fn d(ms: u64, tiles: u64, prims: u64) -> Delta {
+        Delta { at: SimInstant::from_millis(ms), values: set(tiles, prims) }
+    }
+
+    #[test]
+    fn direct_classification() {
+        let m = model();
+        let (keys, noise, stats) = infer_stream(&m, &[d(100, 1000, 160), d(400, 1100, 150)], OnlineConfig::default());
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].ch, 'w');
+        assert_eq!(keys[1].ch, 'n');
+        assert!(noise.is_empty());
+        assert_eq!(stats.direct, 2);
+    }
+
+    #[test]
+    fn duplication_suppressed_within_t_l() {
+        let m = model();
+        // GBoard animation: identical change 16 ms after the accepted one.
+        let (keys, _, stats) =
+            infer_stream(&m, &[d(100, 1000, 160), d(116, 1000, 160), d(400, 1100, 150)], OnlineConfig::default());
+        assert_eq!(keys.len(), 2, "duplicate must not become a second press");
+        assert_eq!(stats.duplications_suppressed, 1);
+    }
+
+    #[test]
+    fn presses_beyond_t_l_are_kept() {
+        let m = model();
+        // A genuine double letter 90 ms apart (fast typist) survives.
+        let (keys, _, stats) = infer_stream(&m, &[d(100, 1000, 160), d(190, 1000, 160)], OnlineConfig::default());
+        assert_eq!(keys.len(), 2);
+        assert_eq!(stats.duplications_suppressed, 0);
+    }
+
+    #[test]
+    fn split_recombination_recovers_the_press() {
+        let m = model();
+        // 'w' split across two adjacent reads (60% + 40%).
+        let (keys, noise, stats) =
+            infer_stream(&m, &[d(100, 600, 96), d(108, 400, 64)], OnlineConfig::default());
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].ch, 'w');
+        assert_eq!(keys[0].at, SimInstant::from_millis(100), "split press is backdated");
+        assert!(keys[0].via_split);
+        assert!(noise.is_empty());
+        assert_eq!(stats.splits_recovered, 1);
+    }
+
+    #[test]
+    fn distant_fragments_do_not_recombine() {
+        let m = model();
+        // Same fragments, but 300 ms apart: both are noise.
+        let (keys, noise, stats) =
+            infer_stream(&m, &[d(100, 600, 96), d(400, 400, 64)], OnlineConfig::default());
+        assert!(keys.is_empty());
+        assert_eq!(noise.len(), 2);
+        assert_eq!(stats.noise, 2);
+    }
+
+    #[test]
+    fn unmatched_changes_become_noise() {
+        let m = model();
+        let (keys, noise, stats) = infer_stream(&m, &[d(100, 5000, 10), d(300, 7000, 20)], OnlineConfig::default());
+        assert!(keys.is_empty());
+        assert_eq!(noise.len(), 2);
+        assert_eq!(stats.noise, 2);
+        assert!(noise.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn greedy_miscombination_fixed_by_full_trace() {
+        let m = model();
+        // A noise fragment at t=100 followed by a genuine split pair at
+        // t=108/116. Greedy combines (100,108) into a wrong-but-accepted
+        // key; full-trace lookahead pairs (108,116) correctly.
+        let noise_frag = d(100, 505, 86); // noise: combines with 108 to 'n'+ε (dist 5)
+        let split_a = d(108, 600, 64);
+        let split_b = d(116, 400, 96);
+        // greedy: 100+108 = (1105, 150) ≈ 'n' (dist 5 ≤ C_th) → accepted wrongly,
+        // and the real second fragment is then suppressed as a duplicate.
+        let (keys_greedy, _, _) = infer_stream(&m, &[noise_frag, split_a, split_b], OnlineConfig::default());
+        // full trace: 108+116 = (1000,160) = 'w' exactly (dist 0 < 5) wins the pairing.
+        let (keys_full, _, _) = infer_full_trace(&m, &[noise_frag, split_a, split_b], OnlineConfig::default());
+        assert_eq!(keys_greedy.first().map(|k| k.ch), Some('n'));
+        assert_eq!(keys_full.first().map(|k| k.ch), Some('w'));
+    }
+
+    #[test]
+    fn finish_flushes_leftover_as_noise() {
+        let m = model();
+        let mut eng = OnlineInference::new(&m, OnlineConfig::default());
+        eng.process(d(100, 600, 96)); // un-classifiable fragment
+        assert_eq!(eng.inferred().len(), 0);
+        let (_, noise, stats) = eng.finish();
+        assert_eq!(noise.len(), 1);
+        assert_eq!(stats.noise, 1);
+    }
+}

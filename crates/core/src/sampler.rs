@@ -1,0 +1,244 @@
+//! The performance-counter sampler.
+//!
+//! The attacking application's background service reads the eleven tracked
+//! counters through `/dev/kgsl-3d0` every few milliseconds (§4). By default
+//! the interval is 8 ms — half the 60 Hz frame interval, so every rendered
+//! frame is covered by at least one read.
+//!
+//! Under CPU contention the service gets scheduled late, so reads jitter
+//! and occasionally drop (§7.3, Fig 22a). The jitter model lives here, on
+//! the attacker's side — the victim UI is unaffected by CPU load.
+
+use adreno_sim::counters::ALL_TRACKED;
+use adreno_sim::time::{SimDuration, SimInstant};
+use android_ui::UiSimulation;
+use kgsl::abi::{
+    IoctlRequest, KgslPerfcounterGet, KgslPerfcounterReadGroup, IOCTL_KGSL_PERFCOUNTER_GET,
+    IOCTL_KGSL_PERFCOUNTER_READ,
+};
+use kgsl::{DeviceResult, KgslDevice, KgslFd, SelinuxDomain};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::Trace;
+
+/// Default reading interval (§4: "equal to or slightly smaller than half of
+/// the screen refresh interval" — 8 ms at 60 Hz).
+pub const DEFAULT_INTERVAL: SimDuration = SimDuration::from_millis(8);
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplerConfig {
+    /// Nominal interval between reads.
+    pub interval: SimDuration,
+    /// Background CPU utilisation on the victim device, `0.0..=1.0`; drives
+    /// scheduling jitter and dropped reads.
+    pub cpu_load: f64,
+    /// RNG seed for the jitter model.
+    pub seed: u64,
+}
+
+impl SamplerConfig {
+    /// 8 ms reads on an otherwise idle device.
+    pub fn default_8ms() -> Self {
+        SamplerConfig { interval: DEFAULT_INTERVAL, cpu_load: 0.0, seed: 0 }
+    }
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig::default_8ms()
+    }
+}
+
+/// A sampler bound to one open device-file handle with the eleven counters
+/// reserved.
+#[derive(Debug)]
+pub struct Sampler {
+    fd: KgslFd,
+    config: SamplerConfig,
+    rng: StdRng,
+}
+
+/// The pid the attacking app pretends to run as (any unprivileged pid).
+const ATTACKER_PID: u32 = 31337;
+
+impl Sampler {
+    /// Opens the device file as an unprivileged app and reserves the eleven
+    /// Table-1 counters via `IOCTL_KGSL_PERFCOUNTER_GET`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-file errors — notably `EACCES` when the §9.2
+    /// access-control mitigation denies counter reservation.
+    pub fn open(device: &KgslDevice, config: SamplerConfig) -> DeviceResult<Self> {
+        let fd = device.open(ATTACKER_PID, SelinuxDomain::UntrustedApp)?;
+        for c in ALL_TRACKED {
+            let id = c.id();
+            let mut get = KgslPerfcounterGet {
+                groupid: id.group.kgsl_id(),
+                countable: id.countable,
+                ..Default::default()
+            };
+            device.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, IoctlRequest::PerfcounterGet(&mut get))?;
+        }
+        Ok(Sampler { fd, config, rng: StdRng::seed_from_u64(config.seed ^ 0x5a5a) })
+    }
+
+    /// The sampler's device-file handle.
+    pub fn fd(&self) -> KgslFd {
+        self.fd
+    }
+
+    /// Performs one block-read of all eleven counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (`EACCES` under the DenyAll policy, …).
+    pub fn read_once(&self, device: &KgslDevice) -> DeviceResult<adreno_sim::CounterSet> {
+        let mut reads: Vec<KgslPerfcounterReadGroup> = ALL_TRACKED
+            .iter()
+            .map(|c| {
+                let id = c.id();
+                KgslPerfcounterReadGroup::new(id.group.kgsl_id(), id.countable)
+            })
+            .collect();
+        device.ioctl(self.fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))?;
+        let mut out = adreno_sim::CounterSet::ZERO;
+        for (c, r) in ALL_TRACKED.iter().zip(reads.iter()) {
+            out[*c] = r.value;
+        }
+        Ok(out)
+    }
+
+    /// Scheduling delay of the next read: a small baseline wobble (timer
+    /// slack — even an idle Android schedules a polling service a little
+    /// late, which is where mid-draw "split" reads come from) plus an
+    /// exponential tail whose mean grows superlinearly with CPU
+    /// utilisation, mimicking CFS latency under contention.
+    fn jitter(&mut self) -> SimDuration {
+        let base = SimDuration::from_nanos(self.rng.gen_range(0..1_200_000));
+        let load = self.config.cpu_load;
+        if load <= 0.0 {
+            return base;
+        }
+        let mean_ns = self.config.interval.as_nanos() as f64 * load * load * 1.2;
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        base + SimDuration::from_nanos((-u.ln() * mean_ns) as u64)
+    }
+
+    /// Whether this read gets skipped entirely (the service missed its
+    /// slot); only happens at high CPU load.
+    fn dropped(&mut self) -> bool {
+        let p = (self.config.cpu_load - 0.5).max(0.0) * 0.5;
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    /// Samples the victim simulation from its current time until `until`,
+    /// advancing the simulation between reads. Returns the raw trace.
+    ///
+    /// # Errors
+    ///
+    /// Stops and propagates the first device error (e.g. the mitigation
+    /// kicked in mid-session).
+    pub fn sample_until(&mut self, sim: &mut UiSimulation, until: SimInstant) -> DeviceResult<Trace> {
+        let mut trace = Trace::new();
+        let device = std::sync::Arc::clone(sim.device());
+        let mut next = sim.now();
+        while next <= until {
+            let at = next + self.jitter();
+            let at = if at > until { until } else { at };
+            sim.advance_to(at);
+            if !self.dropped() {
+                let values = self.read_once(&device)?;
+                trace.push(at, values);
+            }
+            next += self.config.interval;
+            if at > next {
+                // A long stall: resume on the next grid point after `at`.
+                let missed = at.saturating_since(next).as_nanos()
+                    / self.config.interval.as_nanos().max(1);
+                next += self.config.interval * (missed + 1);
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adreno_sim::counters::TrackedCounter;
+    use android_ui::keyboard::Key;
+    use android_ui::sim::SimConfig;
+    use kgsl::AccessPolicy;
+
+    fn quiet_sim(seed: u64) -> UiSimulation {
+        UiSimulation::new(SimConfig { system_noise_hz: 0.0, ..SimConfig::paper_default(seed) })
+    }
+
+    #[test]
+    fn sampler_reads_on_the_8ms_grid() {
+        let mut sim = quiet_sim(1);
+        let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(400)).unwrap();
+        assert_eq!(trace.len(), 51, "reads at 0, 8, …, 400 ms");
+        for w in trace.samples().windows(2) {
+            // Grid spacing ± the baseline timer-slack wobble.
+            let gap = (w[1].at - w[0].at).as_micros();
+            assert!((6_500..=9_500).contains(&gap), "gap {gap}us off the jittered grid");
+        }
+    }
+
+    #[test]
+    fn idle_windows_show_no_change_and_key_presses_do() {
+        let mut sim = quiet_sim(2);
+        sim.tap_key(SimInstant::from_millis(600), Key::Char('w'), SimDuration::from_millis(90));
+        let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(1_000)).unwrap();
+        let deltas = crate::trace::extract_deltas(&trace);
+        // Initial render, blinks at 500ms/1000ms, popup, echo, hide.
+        assert!(deltas.len() >= 4, "expected several changes, got {}", deltas.len());
+        // At least one delta must carry popup-sized primitive counts.
+        assert!(deltas.iter().any(|d| d.values[TrackedCounter::VpcPcPrimitives] > 50));
+    }
+
+    #[test]
+    fn cpu_load_jitters_the_schedule() {
+        let mut sim = UiSimulation::new(SimConfig {
+            system_noise_hz: 0.0,
+            cpu_load: 0.75,
+            ..SimConfig::paper_default(3)
+        });
+        let cfg = SamplerConfig { cpu_load: 0.75, ..SamplerConfig::default_8ms() };
+        let mut s = Sampler::open(sim.device(), cfg).unwrap();
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(2_000)).unwrap();
+        // Jitter + drops → noticeably fewer than the nominal 251 reads and
+        // irregular spacing.
+        assert!(trace.len() < 245, "expected drops, got {}", trace.len());
+        let irregular = trace
+            .samples()
+            .windows(2)
+            .filter(|w| (w[1].at - w[0].at).as_millis() != 8)
+            .count();
+        assert!(irregular > 10, "expected irregular spacing, got {irregular}");
+    }
+
+    #[test]
+    fn deny_all_policy_stops_the_sampler() {
+        let sim = quiet_sim(4);
+        sim.device().set_policy(AccessPolicy::DenyAll);
+        let err = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap_err();
+        assert_eq!(err, kgsl::Errno::Eacces);
+    }
+
+    #[test]
+    fn rbac_policy_freezes_the_attackers_view() {
+        let mut sim = quiet_sim(5);
+        sim.device().set_policy(AccessPolicy::role_based([SelinuxDomain::GpuProfiler]));
+        sim.tap_key(SimInstant::from_millis(500), Key::Char('q'), SimDuration::from_millis(80));
+        let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(1_000)).unwrap();
+        assert!(crate::trace::extract_deltas(&trace).is_empty(), "local view must never move");
+    }
+}

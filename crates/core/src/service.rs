@@ -1,0 +1,353 @@
+//! The attacking application's background service (§3.2 "Online Phase").
+//!
+//! Runs the full pipeline end to end:
+//!
+//! 1. sample the counters through the device file;
+//! 2. extract changes;
+//! 3. recognise the device configuration and pick the preloaded model;
+//! 4. filter out everything outside the target app (§5.2);
+//! 5. run Algorithm 1 to infer key presses (§5.1);
+//! 6. detect corrections from the echo stream and apply them (§5.3);
+//! 7. assemble the recovered credential.
+
+use adreno_sim::time::SimInstant;
+use android_ui::UiSimulation;
+use kgsl::Errno;
+use std::fmt;
+
+use crate::appswitch::{SwitchConfig, SwitchDetector};
+use crate::classify::ModelMeta;
+use crate::correction::{CorrectionConfig, CorrectionDetector, CorrectionEvent};
+use crate::metrics::{score_session, SessionScore};
+use crate::offline::ModelStore;
+use crate::online::{infer_full_trace, InferenceStats, InferredKey, OnlineConfig};
+use crate::sampler::{Sampler, SamplerConfig};
+use crate::trace::extract_deltas;
+
+/// Service configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    pub sampler: SamplerConfig,
+    pub online: OnlineConfig,
+    /// Use the full-trace (lookahead) variant of Algorithm 1 — accuracy
+    /// over timeliness (§5.1 trade-off).
+    pub full_trace: bool,
+    /// Only start inferring after the target app's cold-launch burst is
+    /// observed (§3.2: the monitoring service arms itself at launch). When
+    /// no launch is seen the session fails with
+    /// [`ServiceError::LaunchNotDetected`].
+    pub require_launch: bool,
+    /// Extension beyond the paper: drop inferred presses that no text echo
+    /// corroborates. Every real key press commits a character and therefore
+    /// produces a field-redraw echo within ~half a second; popup-shaped
+    /// system noise does not. Off by default so the stock pipeline matches
+    /// the paper; the `ablate-corroboration` experiment quantifies it.
+    pub echo_corroboration: bool,
+    pub correction: CorrectionConfig,
+}
+
+/// Errors from an eavesdropping session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The device file refused (mitigations, closed fd, …).
+    Device(Errno),
+    /// No preloaded model matched the observed device (§3.2 recognition
+    /// failed).
+    UnrecognisedDevice,
+    /// `require_launch` was set but the target app never launched.
+    LaunchNotDetected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Device(e) => write!(f, "device error: {e}"),
+            ServiceError::UnrecognisedDevice => write!(f, "no preloaded model matches this device"),
+            ServiceError::LaunchNotDetected => write!(f, "target app launch was not observed"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<Errno> for ServiceError {
+    fn from(e: Errno) -> Self {
+        ServiceError::Device(e)
+    }
+}
+
+/// The result of one eavesdropping session.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Which preloaded model the recognition step selected.
+    pub model: ModelMeta,
+    /// Inferred key presses, time-ordered, after removing presses undone by
+    /// detected backspaces.
+    pub keys: Vec<InferredKey>,
+    /// Ranked alternative characters per surviving press (aligned with
+    /// `keys`) — fuel for the §7.1 guessing post-processor.
+    pub candidates: Vec<Vec<char>>,
+    /// Every inferred press *including* the ones later excluded because a
+    /// backspace deleted them. Per-key accuracy is measured against these:
+    /// a corrected typo was still correctly eavesdropped (§5.3 merely keeps
+    /// it out of the recovered credential).
+    pub keys_before_corrections: Vec<InferredKey>,
+    /// The recovered credential text.
+    pub recovered_text: String,
+    /// Algorithm 1 statistics (Fig 11 taxonomy).
+    pub stats: InferenceStats,
+    /// Echo-stream events (additions / deletions / blinks).
+    pub corrections: Vec<CorrectionEvent>,
+    /// App-switch bursts detected.
+    pub switches: usize,
+    /// When the target app's launch burst was observed (None when the
+    /// session did not gate on launch).
+    pub launch_at: Option<adreno_sim::time::SimInstant>,
+}
+
+impl SessionResult {
+    /// Scores the session against a simulation's ground truth: per-key
+    /// accuracy over every true press (matched against the inference
+    /// *before* correction-exclusion — a corrected typo was still correctly
+    /// eavesdropped), text exactness over the recovered credential.
+    pub fn score(&self, sim: &UiSimulation) -> SessionScore {
+        let truth = sim.truth();
+        score_session(
+            &truth.keystrokes(),
+            &truth.final_text(),
+            &self.keys_before_corrections,
+            &self.recovered_text,
+        )
+    }
+}
+
+/// The attacking service.
+#[derive(Debug)]
+pub struct AttackService {
+    store: ModelStore,
+    config: ServiceConfig,
+}
+
+impl AttackService {
+    /// Creates a service with preloaded models.
+    pub fn new(store: ModelStore, config: ServiceConfig) -> Self {
+        AttackService { store, config }
+    }
+
+    /// The preloaded model store.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Eavesdrops the victim simulation until `until` and recovers the
+    /// credential typed in the target app.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::Device`] when the device file refuses reads (the
+    ///   §9 mitigations);
+    /// * [`ServiceError::UnrecognisedDevice`] when no preloaded model
+    ///   matches.
+    pub fn eavesdrop(
+        &self,
+        sim: &mut UiSimulation,
+        until: SimInstant,
+    ) -> Result<SessionResult, ServiceError> {
+        let mut sampler = Sampler::open(sim.device(), self.config.sampler)?;
+        let trace = sampler.sample_until(sim, until)?;
+        let deltas = extract_deltas(&trace);
+
+        let model = self.store.recognize(&deltas).ok_or(ServiceError::UnrecognisedDevice)?;
+
+        // §3.2: optionally wait for the target app's cold-launch burst and
+        // ignore everything before it.
+        let mut launch_at = None;
+        let deltas: Vec<crate::trace::Delta> = if self.config.require_launch {
+            let detector = crate::launch::LaunchDetector::new(*model.launch_signature());
+            let at = detector.detect(&deltas).ok_or(ServiceError::LaunchNotDetected)?;
+            launch_at = Some(at);
+            deltas.into_iter().filter(|d| d.at > at).collect()
+        } else {
+            deltas
+        };
+
+        // §5.2: drop everything produced outside the target app, and note
+        // when the victim returns (the cursor-blink timer restarts then).
+        let mut switch = SwitchDetector::new(SwitchConfig::with_threshold(model.switch_threshold()));
+        let mut in_target: Vec<crate::trace::Delta> = Vec::with_capacity(deltas.len());
+        let mut returns: Vec<adreno_sim::time::SimInstant> = Vec::new();
+        // The victim's cursor-blink timer restarts when the switch-back
+        // animation *finishes*, so the re-anchor time is the last frame of
+        // the return burst, not its first.
+        let mut pending_return: Option<adreno_sim::time::SimInstant> = None;
+        let mut was_inside = true;
+        for d in &deltas {
+            let burst = d.magnitude() >= model.switch_threshold();
+            let inside = switch.observe(d);
+            if inside && !was_inside {
+                pending_return = Some(d.at);
+            } else if inside && burst && pending_return.is_some() {
+                pending_return = Some(d.at); // burst still running
+            } else if inside && !burst {
+                if let Some(t) = pending_return.take() {
+                    returns.push(t);
+                }
+            }
+            was_inside = inside;
+            if inside && !burst {
+                in_target.push(*d);
+            }
+        }
+        if let Some(t) = pending_return.take() {
+            returns.push(t);
+        }
+
+        // §5.1: Algorithm 1 (candidate lists retained for guessing).
+        let (raw_keys, raw_candidates, rejected, stats) = if self.config.full_trace {
+            let (k, r, s) = infer_full_trace(model, &in_target, self.config.online);
+            // The full-trace variant reuses the streaming engine internally;
+            // recompute candidate ranks from the accepted keys' centroids.
+            let cands = k
+                .iter()
+                .map(|key| {
+                    let centroid = model
+                        .centroids()
+                        .iter()
+                        .find(|c| c.ch == key.ch)
+                        .map(|c| c.values)
+                        .unwrap_or_default();
+                    model
+                        .nearest_k(&centroid, crate::online::CANDIDATES_PER_KEY)
+                        .into_iter()
+                        .map(|(ch, _)| ch)
+                        .collect()
+                })
+                .collect();
+            (k, cands, r, s)
+        } else {
+            let mut engine = crate::online::OnlineInference::new(model, self.config.online);
+            for d in &in_target {
+                engine.process(*d);
+            }
+            engine.finish_with_candidates()
+        };
+
+        // §5.3: corrections from the echo stream, re-anchoring the blink
+        // grid at every detected return to the target app.
+        let mut corr = CorrectionDetector::new(model.ambient_signatures().to_vec(), self.config.correction);
+        let mut next_return = returns.iter().copied().peekable();
+        for d in &rejected {
+            while next_return.peek().is_some_and(|t| *t <= d.at) {
+                let t = next_return.next().expect("peeked");
+                corr.reanchor(t);
+            }
+            corr.observe(d);
+        }
+        corr.flush();
+        let corrections = corr.events().to_vec();
+
+        // Apply deletions: each deletion removes the latest not-yet-deleted
+        // inferred key before it.
+        let keys_before_corrections = raw_keys.clone();
+        let mut alive: Vec<(InferredKey, Vec<char>, bool)> = raw_keys
+            .into_iter()
+            .zip(raw_candidates)
+            .map(|(k, c)| (k, c, true))
+            .collect();
+        for del_at in corr.deletions() {
+            if let Some(slot) = alive
+                .iter_mut()
+                .rev()
+                .find(|(k, _, alive)| *alive && k.at < del_at)
+            {
+                slot.2 = false;
+            }
+        }
+        let mut keys = Vec::with_capacity(alive.len());
+        let mut candidates = Vec::with_capacity(alive.len());
+        for (k, c, a) in alive {
+            if a {
+                keys.push(k);
+                candidates.push(c);
+            }
+        }
+
+        // Optional insertion filter: every surviving press must have a
+        // corroborating echo (a CharAdded event shortly after it). Each
+        // echo vouches for at most one press.
+        if self.config.echo_corroboration {
+            let window = adreno_sim::time::SimDuration::from_millis(500);
+            let mut corroborated = vec![false; keys.len()];
+            // Bind each echo to the *latest* press preceding it: a phantom
+            // press must not steal the echo of the real press that followed
+            // it.
+            for e in &corrections {
+                let CorrectionEvent::CharAdded(t) = e else { continue };
+                if let Some(i) = keys
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(i, k)| {
+                        !corroborated[*i] && k.at < *t && t.saturating_since(k.at) <= window
+                    })
+                    .map(|(i, _)| i)
+                {
+                    corroborated[i] = true;
+                }
+            }
+            let mut kept_keys = Vec::with_capacity(keys.len());
+            let mut kept_cands = Vec::with_capacity(candidates.len());
+            for ((k, c), ok) in keys.into_iter().zip(candidates).zip(corroborated) {
+                if ok {
+                    kept_keys.push(k);
+                    kept_cands.push(c);
+                }
+            }
+            keys = kept_keys;
+            candidates = kept_cands;
+        }
+        let recovered_text: String = keys.iter().map(|k| k.ch).collect();
+
+        Ok(SessionResult {
+            model: *model.meta(),
+            keys,
+            candidates,
+            keys_before_corrections,
+            recovered_text,
+            stats,
+            corrections,
+            switches: switch.switches_detected(),
+            launch_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // End-to-end service tests need a trained model and live in
+    // `tests/attack_e2e.rs`; unit tests here cover the error plumbing.
+    use super::*;
+
+    #[test]
+    fn empty_store_is_unrecognised() {
+        let service = AttackService::new(ModelStore::new(), ServiceConfig::default());
+        let mut sim = UiSimulation::new(android_ui::SimConfig::paper_default(1));
+        let err = service.eavesdrop(&mut sim, SimInstant::from_millis(500)).unwrap_err();
+        assert_eq!(err, ServiceError::UnrecognisedDevice);
+    }
+
+    #[test]
+    fn mitigated_device_reports_device_error() {
+        let service = AttackService::new(ModelStore::new(), ServiceConfig::default());
+        let mut sim = UiSimulation::new(android_ui::SimConfig::paper_default(2));
+        sim.device().set_policy(kgsl::AccessPolicy::DenyAll);
+        let err = service.eavesdrop(&mut sim, SimInstant::from_millis(500)).unwrap_err();
+        assert_eq!(err, ServiceError::Device(Errno::Eacces));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ServiceError::UnrecognisedDevice.to_string().contains("no preloaded model"));
+        assert!(ServiceError::Device(Errno::Eacces).to_string().contains("EACCES"));
+    }
+}

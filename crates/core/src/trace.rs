@@ -1,0 +1,160 @@
+//! Counter traces and change extraction.
+//!
+//! The attack periodically reads the eleven tracked counters and works on
+//! the *changes* between consecutive reads (Fig 3, Fig 11). A [`Trace`] is
+//! the raw sample series; [`extract_deltas`] turns it into the nonzero
+//! change events all downstream inference consumes.
+
+use adreno_sim::counters::CounterSet;
+use adreno_sim::time::SimInstant;
+
+/// One raw counter sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// When the `ioctl` read returned.
+    pub at: SimInstant,
+    /// Cumulative counter values observed.
+    pub values: CounterSet,
+}
+
+/// A time-ordered series of raw counter samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    samples: Vec<Sample>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the previous sample (reads are issued
+    /// in time order).
+    pub fn push(&mut self, at: SimInstant, values: CounterSet) {
+        if let Some(last) = self.samples.last() {
+            assert!(at >= last.at, "samples must be time-ordered");
+        }
+        self.samples.push(Sample { at, values });
+    }
+
+    /// The samples in order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl Extend<Sample> for Trace {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s.at, s.values);
+        }
+    }
+}
+
+impl FromIterator<Sample> for Trace {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        let mut t = Trace::new();
+        t.extend(iter);
+        t
+    }
+}
+
+/// One observed counter *change*: the difference between two consecutive
+/// reads, attributed to the time of the later read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delta {
+    /// Read time at which the change was observed.
+    pub at: SimInstant,
+    /// The change in each tracked counter.
+    pub values: CounterSet,
+}
+
+impl Delta {
+    /// Sum of the change over all counters — a scalar magnitude used by the
+    /// app-switch burst detector.
+    pub fn magnitude(&self) -> u64 {
+        self.values.total()
+    }
+}
+
+/// Extracts the nonzero changes from a trace: `delta_i = s_i - s_{i-1}`,
+/// skipping reads where nothing moved ("the PC values remain unchanged if
+/// the screen display does not change", §3.4).
+pub fn extract_deltas(trace: &Trace) -> Vec<Delta> {
+    let mut out = Vec::new();
+    for w in trace.samples().windows(2) {
+        let d = w[1].values.saturating_sub(&w[0].values);
+        if !d.is_zero() {
+            out.push(Delta { at: w[1].at, values: d });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adreno_sim::counters::TrackedCounter;
+
+    fn set(v: u64) -> CounterSet {
+        let mut c = CounterSet::ZERO;
+        c[TrackedCounter::Ras8x4Tiles] = v;
+        c
+    }
+
+    #[test]
+    fn deltas_skip_idle_windows() {
+        let mut t = Trace::new();
+        t.push(SimInstant::from_millis(0), set(10));
+        t.push(SimInstant::from_millis(8), set(10)); // idle
+        t.push(SimInstant::from_millis(16), set(25));
+        t.push(SimInstant::from_millis(24), set(25)); // idle
+        let d = extract_deltas(&t);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, SimInstant::from_millis(16));
+        assert_eq!(d[0].values[TrackedCounter::Ras8x4Tiles], 15);
+        assert_eq!(d[0].magnitude(), 15);
+    }
+
+    #[test]
+    fn empty_and_single_sample_traces_have_no_deltas() {
+        let mut t = Trace::new();
+        assert!(extract_deltas(&t).is_empty());
+        t.push(SimInstant::ZERO, set(5));
+        assert!(extract_deltas(&t).is_empty());
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut t = Trace::new();
+        t.push(SimInstant::from_millis(10), set(1));
+        t.push(SimInstant::from_millis(5), set(2));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Trace = (0..5)
+            .map(|i| Sample { at: SimInstant::from_millis(i * 8), values: set(i * 3) })
+            .collect();
+        assert_eq!(t.len(), 5);
+        assert_eq!(extract_deltas(&t).len(), 4);
+    }
+}

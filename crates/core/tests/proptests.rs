@@ -1,0 +1,187 @@
+//! Property-based tests of the attack's invariants.
+
+use adreno_sim::counters::{CounterSet, NUM_TRACKED};
+use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_sc_attack::classify::{ClassifierModel, KeyCentroid, ModelMeta};
+use gpu_sc_attack::metrics::edit_distance;
+use gpu_sc_attack::online::{infer_full_trace, infer_stream, OnlineConfig};
+use gpu_sc_attack::trace::{extract_deltas, Delta, Trace};
+use gpu_sc_attack::ModelStore;
+use android_ui::{AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
+use proptest::prelude::*;
+
+fn meta() -> ModelMeta {
+    ModelMeta {
+        phone: PhoneModel::OnePlus8Pro,
+        android: AndroidVersion::V11,
+        resolution: Resolution::Fhd,
+        refresh: RefreshRate::Hz60,
+        keyboard: KeyboardKind::Gboard,
+        app: TargetApp::Chase,
+    }
+}
+
+fn arb_set(max: u64) -> impl Strategy<Value = CounterSet> {
+    prop::collection::vec(0..max, NUM_TRACKED)
+        .prop_map(|v| CounterSet::from_array(v.try_into().unwrap()))
+}
+
+/// An arbitrary well-formed model: distinct chars, positive threshold.
+fn arb_model() -> impl Strategy<Value = ClassifierModel> {
+    (
+        prop::collection::btree_map(
+            prop::char::range('a', 'z'),
+            arb_set(2_000_000).prop_filter("nonzero centroid", |s| s.total() > 0),
+            1..12,
+        ),
+        0.1f64..200.0,
+        arb_set(1_000_000),
+        arb_set(60_000),
+        prop::collection::vec(arb_set(60_000), 0..6),
+        arb_set(3_000_000),
+        1u64..2_000_000,
+    )
+        .prop_map(|(centroids, threshold, kb, app, sigs, launch, switch)| {
+            let centroids: Vec<KeyCentroid> =
+                centroids.into_iter().map(|(ch, values)| KeyCentroid { ch, values }).collect();
+            ClassifierModel::new(
+                meta(),
+                centroids,
+                [1.0; NUM_TRACKED],
+                threshold,
+                kb,
+                app,
+                sigs,
+                launch,
+                switch,
+            )
+        })
+}
+
+fn arb_deltas() -> impl Strategy<Value = Vec<Delta>> {
+    prop::collection::vec((0u64..20_000u64, arb_set(500_000)), 0..40).prop_map(|mut v| {
+        v.sort_by_key(|(ms, _)| *ms);
+        v.into_iter()
+            .map(|(ms, values)| Delta { at: SimInstant::from_millis(ms), values })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_serialisation_round_trips(model in arb_model()) {
+        let bytes = model.to_bytes();
+        let back = ClassifierModel::from_bytes(bytes).unwrap();
+        prop_assert_eq!(back.meta(), model.meta());
+        prop_assert_eq!(back.centroids(), model.centroids());
+        prop_assert_eq!(back.kb_signature(), model.kb_signature());
+        prop_assert_eq!(back.app_signature(), model.app_signature());
+        prop_assert_eq!(back.ambient_signatures(), model.ambient_signatures());
+        prop_assert_eq!(back.launch_signature(), model.launch_signature());
+        prop_assert_eq!(back.switch_threshold(), model.switch_threshold());
+        prop_assert!((back.threshold() - model.threshold()).abs() / model.threshold() < 1e-5);
+    }
+
+    #[test]
+    fn store_serialisation_round_trips(models in prop::collection::vec(arb_model(), 0..4)) {
+        let mut store = ModelStore::new();
+        for m in models {
+            store.add(m);
+        }
+        let back = ModelStore::from_bytes(store.to_bytes()).unwrap();
+        // Thresholds round-trip through f32, so compare the canonical wire
+        // form rather than the in-memory f64 values.
+        prop_assert_eq!(back.to_bytes(), store.to_bytes());
+        prop_assert_eq!(back.len(), store.len());
+    }
+
+    #[test]
+    fn truncated_models_never_panic(model in arb_model(), cut in 0usize..200) {
+        let bytes = model.to_bytes();
+        let cut = cut.min(bytes.len());
+        let truncated = bytes.slice(0..bytes.len() - cut);
+        // Any outcome is fine except a panic; full-length must decode.
+        let result = ClassifierModel::from_bytes(truncated);
+        if cut == 0 {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    #[test]
+    fn exact_centroids_always_classify_correctly(model in arb_model()) {
+        for c in model.centroids() {
+            // An exact replay of the training delta must classify as that
+            // key (degenerate equal-distance centroids may tie).
+            let got = model.classify(&c.values).key();
+            prop_assert!(got.is_some(), "exact centroid must be accepted");
+            let (_, dist) = model.nearest(&c.values);
+            prop_assert_eq!(dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn algorithm1_output_is_bounded_and_ordered(
+        model in arb_model(),
+        deltas in arb_deltas(),
+    ) {
+        for full in [false, true] {
+            let (keys, noise, stats) = if full {
+                infer_full_trace(&model, &deltas, OnlineConfig::default())
+            } else {
+                infer_stream(&model, &deltas, OnlineConfig::default())
+            };
+            // Every input change is accounted for at most once.
+            prop_assert!(keys.len() + noise.len() <= deltas.len());
+            prop_assert_eq!(stats.direct + stats.peeled + stats.splits_recovered, keys.len());
+            // Inferred presses are time-ordered and spaced by T_l.
+            for w in keys.windows(2) {
+                prop_assert!(w[0].at <= w[1].at);
+                prop_assert!(
+                    (w[1].at - w[0].at) >= SimDuration::from_millis(75),
+                    "accepted presses must respect the duplication window"
+                );
+            }
+            for w in noise.windows(2) {
+                prop_assert!(w[0].at <= w[1].at);
+            }
+        }
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in "[a-z0-9]{0,12}",
+        b in "[a-z0-9]{0,12}",
+        c in "[a-z0-9]{0,12}",
+    ) {
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        let ab = edit_distance(&a, &b);
+        let bc = edit_distance(&b, &c);
+        let ac = edit_distance(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle inequality");
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(ab >= la.abs_diff(lb));
+        prop_assert!(ab <= la.max(lb));
+    }
+
+    #[test]
+    fn deltas_reconstruct_trace_totals(
+        values in prop::collection::vec(arb_set(10_000), 2..20),
+        start in 0u64..1_000,
+    ) {
+        // Build a monotone trace by accumulating arbitrary increments.
+        let mut trace = Trace::new();
+        let mut acc = CounterSet::ZERO;
+        for (i, v) in values.iter().enumerate() {
+            acc += *v;
+            trace.push(SimInstant::from_millis(start + i as u64 * 8), acc);
+        }
+        let deltas = extract_deltas(&trace);
+        let sum = deltas.iter().fold(CounterSet::ZERO, |s, d| s + d.values);
+        let first = trace.samples().first().unwrap().values;
+        let last = trace.samples().last().unwrap().values;
+        prop_assert_eq!(sum + first, last, "deltas must sum to the end-to-end change");
+    }
+}

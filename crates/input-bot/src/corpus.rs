@@ -1,0 +1,176 @@
+//! Random credential corpora.
+//!
+//! The paper evaluates 300 random texts per length (8–16), drawn from the
+//! keyboard's character set. Usernames skew alphanumeric; passwords mix all
+//! four character classes.
+
+use rand::Rng;
+
+/// Character classes available on the keyboard, matching Fig 17(c)'s
+/// grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CharClass {
+    Lower,
+    Upper,
+    Number,
+    Symbol,
+}
+
+/// The printable characters of each class (the Fig 18 character set).
+pub fn class_chars(class: CharClass) -> &'static str {
+    match class {
+        CharClass::Lower => "abcdefghijklmnopqrstuvwxyz",
+        CharClass::Upper => "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+        CharClass::Number => "1234567890",
+        CharClass::Symbol => ",.@#$&-+()/*\"':;!?",
+    }
+}
+
+/// Classifies a character (None for space and unsupported characters).
+pub fn class_of(c: char) -> Option<CharClass> {
+    if c.is_ascii_lowercase() {
+        Some(CharClass::Lower)
+    } else if c.is_ascii_uppercase() {
+        Some(CharClass::Upper)
+    } else if c.is_ascii_digit() {
+        Some(CharClass::Number)
+    } else if class_chars(CharClass::Symbol).contains(c) {
+        Some(CharClass::Symbol)
+    } else {
+        None
+    }
+}
+
+/// What kind of credential to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CredentialKind {
+    /// Lowercase letters and digits (typical login username).
+    Username,
+    /// All four character classes (typical password).
+    Password,
+    /// Lowercase only (the "lower" group of Fig 17c / Fig 21c).
+    LowerOnly,
+    /// Uppercase only.
+    UpperOnly,
+    /// Digits only.
+    NumberOnly,
+    /// Symbols only.
+    SymbolOnly,
+}
+
+impl CredentialKind {
+    fn alphabet(self) -> String {
+        use CharClass::*;
+        match self {
+            CredentialKind::Username => format!("{}{}", class_chars(Lower), class_chars(Number)),
+            CredentialKind::Password => format!(
+                "{}{}{}{}",
+                class_chars(Lower),
+                class_chars(Upper),
+                class_chars(Number),
+                class_chars(Symbol)
+            ),
+            CredentialKind::LowerOnly => class_chars(Lower).to_owned(),
+            CredentialKind::UpperOnly => class_chars(Upper).to_owned(),
+            CredentialKind::NumberOnly => class_chars(Number).to_owned(),
+            CredentialKind::SymbolOnly => class_chars(Symbol).to_owned(),
+        }
+    }
+}
+
+/// Generates one random credential of exactly `len` characters.
+///
+/// # Examples
+///
+/// ```
+/// use input_bot::corpus::{generate, CredentialKind};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let cred = generate(&mut rng, CredentialKind::Password, 12);
+/// assert_eq!(cred.chars().count(), 12);
+/// ```
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, kind: CredentialKind, len: usize) -> String {
+    let alphabet: Vec<char> = kind.alphabet().chars().collect();
+    (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+}
+
+/// Generates one credential with a length drawn uniformly from
+/// `min_len..=max_len` (the paper uses 8–16).
+///
+/// # Panics
+///
+/// Panics if `min_len > max_len` or `min_len == 0`.
+pub fn generate_ranged<R: Rng + ?Sized>(
+    rng: &mut R,
+    kind: CredentialKind,
+    min_len: usize,
+    max_len: usize,
+) -> String {
+    assert!(min_len > 0 && min_len <= max_len, "invalid length range");
+    let len = rng.gen_range(min_len..=max_len);
+    generate(rng, kind, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_are_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in 8..=16 {
+            assert_eq!(generate(&mut rng, CredentialKind::Password, len).chars().count(), len);
+        }
+    }
+
+    #[test]
+    fn usernames_are_alphanumeric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let u = generate(&mut rng, CredentialKind::Username, 12);
+            assert!(u.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{u}");
+        }
+    }
+
+    #[test]
+    fn passwords_eventually_use_all_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for c in generate(&mut rng, CredentialKind::Password, 16).chars() {
+                seen.insert(class_of(c).expect("generated char must classify"));
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn class_of_is_total_on_generated_chars() {
+        assert_eq!(class_of('a'), Some(CharClass::Lower));
+        assert_eq!(class_of('Z'), Some(CharClass::Upper));
+        assert_eq!(class_of('5'), Some(CharClass::Number));
+        assert_eq!(class_of(';'), Some(CharClass::Symbol));
+        assert_eq!(class_of(' '), None);
+        assert_eq!(class_of('€'), None);
+    }
+
+    #[test]
+    fn ranged_lengths_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let len = generate_ranged(&mut rng, CredentialKind::Username, 8, 16).chars().count();
+            assert!((8..=16).contains(&len));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length range")]
+    fn zero_length_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = generate_ranged(&mut rng, CredentialKind::Username, 0, 4);
+    }
+}

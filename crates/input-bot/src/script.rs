@@ -1,0 +1,358 @@
+//! Scripted input sessions.
+//!
+//! This is the reproduction of the paper's bot program (§6): it converts
+//! texts into timed key-down/key-up event streams, handling keyboard page
+//! switches, human timing, input corrections, app switches and the other
+//! user behaviours of the practical experiments (§8, Fig 27).
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use android_ui::events::{TimedEvent, UiEvent};
+use android_ui::keyboard::{keys_to_reach, page_after, page_of, Key, Page};
+use rand::Rng;
+
+use crate::timing::{SpeedClass, VolunteerModel};
+
+/// A planned event stream plus the instant the plan finishes.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    pub events: Vec<TimedEvent>,
+    pub end: SimInstant,
+}
+
+impl Plan {
+    fn push(&mut self, at: SimInstant, event: UiEvent) {
+        self.events.push(TimedEvent::new(at, event));
+        if at > self.end {
+            self.end = at;
+        }
+    }
+
+    /// Merges another plan's events (the result is unsorted; the simulation
+    /// queue orders by time).
+    pub fn extend(&mut self, other: Plan) {
+        self.events.extend(other.events);
+        if other.end > self.end {
+            self.end = other.end;
+        }
+    }
+}
+
+/// A typist: tracks the keyboard page and produces tap streams with a
+/// volunteer's timing.
+///
+/// # Examples
+///
+/// ```
+/// use adreno_sim::time::SimInstant;
+/// use input_bot::script::Typist;
+/// use input_bot::timing::VOLUNTEERS;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut typist = Typist::new(VOLUNTEERS[0]);
+/// let plan = typist.type_text("Pa5s", SimInstant::from_millis(500), &mut rng);
+/// // 4 chars + page switches (→Upper, →Lower, →Number, →Lower) ≥ 8 taps.
+/// assert!(plan.events.len() >= 16, "each tap is a down+up pair");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Typist {
+    volunteer: VolunteerModel,
+    speed: Option<SpeedClass>,
+    page: Page,
+}
+
+impl Typist {
+    /// A typist with a volunteer's natural timing, starting on the
+    /// lowercase page.
+    pub fn new(volunteer: VolunteerModel) -> Self {
+        Typist { volunteer, speed: None, page: Page::Lower }
+    }
+
+    /// Constrains all intervals to a §7.2 speed class.
+    pub fn with_speed(volunteer: VolunteerModel, speed: SpeedClass) -> Self {
+        Typist { volunteer, speed: Some(speed), page: Page::Lower }
+    }
+
+    /// The page the typist believes the keyboard shows.
+    pub fn page(&self) -> Page {
+        self.page
+    }
+
+    fn interval<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match self.speed {
+            Some(class) => self.volunteer.sample_interval_in_class(rng, class),
+            None => self.volunteer.sample_interval(rng),
+        }
+    }
+
+    fn tap<R: Rng + ?Sized>(&mut self, plan: &mut Plan, at: SimInstant, key: Key, rng: &mut R) -> SimInstant {
+        let duration = self.volunteer.sample_duration(rng);
+        plan.push(at, UiEvent::KeyDown(key));
+        plan.push(at + duration, UiEvent::KeyUp(key));
+        self.page = page_after(self.page, key);
+        // The next press never lands before this key is released: one-finger
+        // typing has no rollover (Fig 16's interval/duration scatter shows
+        // intervals exceeding durations).
+        let gap = self.interval(rng);
+        let min_gap = duration + SimDuration::from_millis(40);
+        at + if gap > min_gap { gap } else { min_gap }
+    }
+
+    /// Plans typing `text` starting at `start`, inserting page-switch taps
+    /// as needed. Characters outside the keyboard's set are skipped.
+    pub fn type_text<R: Rng + ?Sized>(&mut self, text: &str, start: SimInstant, rng: &mut R) -> Plan {
+        let mut plan = Plan::default();
+        let mut at = start;
+        for c in text.chars() {
+            let Some(target_page) = page_of(c) else { continue };
+            for key in keys_to_reach(self.page, target_page) {
+                at = self.tap(&mut plan, at, key, rng);
+            }
+            let key = if c == ' ' { Key::Space } else { Key::Char(c) };
+            at = self.tap(&mut plan, at, key, rng);
+        }
+        plan.end = at;
+        plan
+    }
+
+    /// Plans `n` backspace taps starting at `start`.
+    pub fn backspaces<R: Rng + ?Sized>(&mut self, n: usize, start: SimInstant, rng: &mut R) -> Plan {
+        let mut plan = Plan::default();
+        let mut at = start;
+        for _ in 0..n {
+            at = self.tap(&mut plan, at, Key::Backspace, rng);
+        }
+        plan.end = at;
+        plan
+    }
+}
+
+/// Deterministic calibration taps for the offline phase: every character in
+/// `chars`, `reps` times each, spaced far apart, with fixed press duration —
+/// the §6 bot collecting training data.
+pub fn calibration_taps<I: IntoIterator<Item = char>>(
+    chars: I,
+    reps: usize,
+    start: SimInstant,
+) -> Plan {
+    const DURATION: SimDuration = SimDuration::from_millis(100);
+    let mut plan = Plan::default();
+    let mut page = Page::Lower;
+    let mut at = start;
+    let mut tap_idx: u64 = 0;
+    // Deterministic but *dephased* spacing: a cadence that is an exact
+    // multiple of the read interval and the frame interval would put every
+    // repetition at the same sampling phase, so a split read would corrupt
+    // every sample of a key identically. Varying the spacing by a few
+    // primes guarantees different phases across repetitions.
+    let spacing = |idx: u64| SimDuration::from_millis(391 + 17 * (idx % 5));
+    let mut tap = |plan: &mut Plan, at: SimInstant, key: Key, page: &mut Page| -> SimInstant {
+        plan.push(at, UiEvent::KeyDown(key));
+        plan.push(at + DURATION, UiEvent::KeyUp(key));
+        *page = page_after(*page, key);
+        tap_idx += 1;
+        at + spacing(tap_idx)
+    };
+    for c in chars {
+        let Some(target) = page_of(c) else { continue };
+        for _ in 0..reps {
+            for key in keys_to_reach(page, target) {
+                at = tap(&mut plan, at, key, &mut page);
+            }
+            let key = if c == ' ' { Key::Space } else { Key::Char(c) };
+            at = tap(&mut plan, at, key, &mut page);
+        }
+    }
+    plan.end = at;
+    plan
+}
+
+/// Behavioural parameters of a practical usage session (§8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Per-character probability of typing a wrong character and deleting
+    /// it with backspace before continuing.
+    pub correction_prob: f64,
+    /// Per-character probability of switching to another app mid-input,
+    /// using it briefly, and switching back.
+    pub switch_prob: f64,
+    /// Per-character probability of pulling down the notification shade.
+    pub shade_prob: f64,
+    /// How long the user stays in the other app, mean seconds.
+    pub away_secs_mean: f64,
+}
+
+impl Default for SessionConfig {
+    /// Rates tuned to resemble the Fig 27 event traces: a handful of
+    /// corrections and switches per 3-minute session.
+    fn default() -> Self {
+        SessionConfig { correction_prob: 0.06, switch_prob: 0.03, shade_prob: 0.02, away_secs_mean: 4.0 }
+    }
+}
+
+/// Plans a practical session: the volunteer types `text` into the target
+/// app while occasionally correcting mistakes, checking notifications and
+/// hopping to other apps (Fig 27/28).
+pub fn practical_session<R: Rng + ?Sized>(
+    typist: &mut Typist,
+    text: &str,
+    start: SimInstant,
+    cfg: &SessionConfig,
+    rng: &mut R,
+) -> Plan {
+    let mut plan = Plan::default();
+    let mut at = start;
+    for c in text.chars() {
+        // Possible detour before this character.
+        if rng.gen::<f64>() < cfg.switch_prob {
+            plan.push(at, UiEvent::SwitchAway);
+            let away = SimDuration::from_secs_f64(rng.gen_range(0.5..cfg.away_secs_mean * 2.0));
+            let mut t = at + SimDuration::from_millis(400);
+            while t < at + away {
+                plan.push(t, UiEvent::OtherAppActivity);
+                t += SimDuration::from_secs_f64(rng.gen_range(0.3..1.0));
+            }
+            plan.push(at + away, UiEvent::SwitchBack);
+            at = at + away + SimDuration::from_millis(600);
+        }
+        if rng.gen::<f64>() < cfg.shade_prob {
+            plan.push(at, UiEvent::ViewNotificationShade);
+            at += SimDuration::from_secs_f64(rng.gen_range(0.8..2.0));
+        }
+        // A typo: wrong character, then backspace, then the intended one.
+        if rng.gen::<f64>() < cfg.correction_prob {
+            if let Some(page) = page_of(c) {
+                let wrong = wrong_char_on(page, c, rng);
+                let p = typist.type_text(&wrong.to_string(), at, rng);
+                at = p.end;
+                plan.extend(p);
+                let p = typist.backspaces(1, at, rng);
+                at = p.end;
+                plan.extend(p);
+            }
+        }
+        let p = typist.type_text(&c.to_string(), at, rng);
+        at = p.end;
+        plan.extend(p);
+    }
+    plan.end = at;
+    plan
+}
+
+/// Picks a different character on the same page (so the typo needs no page
+/// switch, like real fat-finger errors).
+fn wrong_char_on<R: Rng + ?Sized>(page: Page, not: char, rng: &mut R) -> char {
+    let pool: &str = match page {
+        Page::Lower => "abcdefghijklmnopqrstuvwxyz",
+        Page::Upper => "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+        Page::Number => "1234567890",
+    };
+    let chars: Vec<char> = pool.chars().filter(|&c| c != not).collect();
+    chars[rng.gen_range(0..chars.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::VOLUNTEERS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lowercase_needs_no_page_switch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = Typist::new(VOLUNTEERS[0]);
+        let plan = t.type_text("abc", SimInstant::ZERO, &mut rng);
+        assert_eq!(plan.events.len(), 6, "3 taps, no page keys");
+        assert_eq!(t.page(), Page::Lower);
+    }
+
+    #[test]
+    fn page_switches_are_inserted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = Typist::new(VOLUNTEERS[0]);
+        let plan = t.type_text("a7B", SimInstant::ZERO, &mut rng);
+        // a(1), ?123(1)+7(1), ?123→Lower? Number→Upper = PageSwitch+Shift(2)+B(1) = 6 taps.
+        assert_eq!(plan.events.len(), 12);
+        assert_eq!(t.page(), Page::Upper);
+        // Events are down/up pairs with down before up.
+        let mut downs = 0;
+        for e in &plan.events {
+            match e.event {
+                UiEvent::KeyDown(_) => downs += 1,
+                UiEvent::KeyUp(_) => downs -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(downs, 0);
+    }
+
+    #[test]
+    fn events_are_time_ordered_per_key() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = Typist::new(VOLUNTEERS[2]);
+        let plan = t.type_text("hello7World", SimInstant::from_millis(100), &mut rng);
+        let mut sorted = plan.events.clone();
+        sorted.sort_by_key(|e| e.at);
+        // All downs precede their ups and intervals respect the human
+        // minimum between consecutive downs.
+        let downs: Vec<_> = sorted
+            .iter()
+            .filter(|e| matches!(e.event, UiEvent::KeyDown(_)))
+            .map(|e| e.at)
+            .collect();
+        for w in downs.windows(2) {
+            assert!((w[1] - w[0]).as_millis() >= 75, "human presses must be ≥75ms apart");
+        }
+    }
+
+    #[test]
+    fn speed_classes_constrain_intervals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut t = Typist::with_speed(VOLUNTEERS[1], SpeedClass::Slow);
+        let plan = t.type_text("abcdefgh", SimInstant::ZERO, &mut rng);
+        let downs: Vec<_> = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, UiEvent::KeyDown(_)))
+            .map(|e| e.at)
+            .collect();
+        for w in downs.windows(2) {
+            assert!((w[1] - w[0]).as_secs_f64() >= 0.4, "slow class must type slowly");
+        }
+    }
+
+    #[test]
+    fn calibration_covers_charset_deterministically() {
+        let a = calibration_taps("ab7".chars(), 2, SimInstant::ZERO);
+        let b = calibration_taps("ab7".chars(), 2, SimInstant::ZERO);
+        assert_eq!(a.events, b.events);
+        // a×2, b×2, ?123, 7, 7 → 7 taps... plus page key only once.
+        let taps = a.events.len() / 2;
+        assert_eq!(taps, 7);
+    }
+
+    #[test]
+    fn practical_session_contains_detours() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Typist::new(VOLUNTEERS[0]);
+        let cfg = SessionConfig { correction_prob: 0.5, switch_prob: 0.5, shade_prob: 0.3, away_secs_mean: 1.0 };
+        let plan = practical_session(&mut t, "abcdef", SimInstant::from_millis(200), &cfg, &mut rng);
+        let has = |f: &dyn Fn(&UiEvent) -> bool| plan.events.iter().any(|e| f(&e.event));
+        assert!(has(&|e| matches!(e, UiEvent::SwitchAway)));
+        assert!(has(&|e| matches!(e, UiEvent::SwitchBack)));
+        assert!(has(&|e| matches!(e, UiEvent::KeyDown(Key::Backspace))));
+    }
+
+    #[test]
+    fn practical_session_switches_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut t = Typist::new(VOLUNTEERS[3]);
+        let cfg = SessionConfig { switch_prob: 0.4, ..SessionConfig::default() };
+        let plan = practical_session(&mut t, "abcdefghij", SimInstant::ZERO, &cfg, &mut rng);
+        let aways = plan.events.iter().filter(|e| matches!(e.event, UiEvent::SwitchAway)).count();
+        let backs = plan.events.iter().filter(|e| matches!(e.event, UiEvent::SwitchBack)).count();
+        assert_eq!(aways, backs, "every switch away must return");
+    }
+}

@@ -1,0 +1,203 @@
+//! Human typing-timing models (Fig 16).
+//!
+//! The paper collects key-press *durations* (down→up) and *intervals*
+//! (press→press) from five student volunteers typing random 8–16 character
+//! strings, then replays those distributions when emulating inputs. This
+//! module reproduces the five volunteer profiles and the §7.2 speed classes
+//! (fast < 0.24 s, medium 0.24–0.4 s, slow > 0.4 s between presses).
+
+use adreno_sim::time::SimDuration;
+use rand::Rng;
+use std::fmt;
+
+/// A volunteer's typing profile: normal distributions over press duration
+/// and inter-press interval, truncated to plausible human ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VolunteerModel {
+    /// Volunteer index (1-based, matching Fig 16's legend).
+    pub id: u8,
+    /// Mean key-press duration in seconds.
+    pub duration_mean: f64,
+    /// Standard deviation of the duration.
+    pub duration_std: f64,
+    /// Mean interval between consecutive key presses in seconds.
+    pub interval_mean: f64,
+    /// Standard deviation of the interval.
+    pub interval_std: f64,
+}
+
+/// The five volunteers of Fig 16. Profiles are fitted by eye to the figure:
+/// durations cluster in 0.05–0.25 s, intervals spread 0.1–1.0 s, with
+/// noticeable heterogeneity across volunteers.
+pub const VOLUNTEERS: [VolunteerModel; 5] = [
+    VolunteerModel { id: 1, duration_mean: 0.08, duration_std: 0.020, interval_mean: 0.22, interval_std: 0.06 },
+    VolunteerModel { id: 2, duration_mean: 0.12, duration_std: 0.030, interval_mean: 0.30, interval_std: 0.10 },
+    VolunteerModel { id: 3, duration_mean: 0.10, duration_std: 0.025, interval_mean: 0.45, interval_std: 0.15 },
+    VolunteerModel { id: 4, duration_mean: 0.15, duration_std: 0.040, interval_mean: 0.28, interval_std: 0.08 },
+    VolunteerModel { id: 5, duration_mean: 0.09, duration_std: 0.020, interval_mean: 0.60, interval_std: 0.20 },
+];
+
+/// Shortest physiologically plausible press duration.
+const MIN_DURATION_S: f64 = 0.04;
+/// Longest press duration before it would register as a long-press.
+const MAX_DURATION_S: f64 = 0.30;
+/// Shortest interval between two presses of a human typist. The paper's
+/// duplication filter assumes ≥ 75 ms (§5.1, citing keystroke-dynamics
+/// work); humans are modelled never to beat 90 ms.
+const MIN_INTERVAL_S: f64 = 0.09;
+/// Longest interval we sample (a pause, not a walk-away).
+const MAX_INTERVAL_S: f64 = 1.6;
+
+/// Typing speed classes of §7.2, defined by the interval between presses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpeedClass {
+    /// Interval < 0.24 s.
+    Fast,
+    /// Interval 0.24–0.4 s.
+    Medium,
+    /// Interval > 0.4 s.
+    Slow,
+}
+
+impl SpeedClass {
+    /// The inclusive interval range (seconds) of this class.
+    pub const fn interval_range(self) -> (f64, f64) {
+        match self {
+            SpeedClass::Fast => (MIN_INTERVAL_S, 0.24),
+            SpeedClass::Medium => (0.24, 0.40),
+            SpeedClass::Slow => (0.40, MAX_INTERVAL_S),
+        }
+    }
+
+    /// Classifies an interval.
+    pub fn of_interval(seconds: f64) -> SpeedClass {
+        if seconds < 0.24 {
+            SpeedClass::Fast
+        } else if seconds <= 0.40 {
+            SpeedClass::Medium
+        } else {
+            SpeedClass::Slow
+        }
+    }
+
+    /// Name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpeedClass::Fast => "fast",
+            SpeedClass::Medium => "medium",
+            SpeedClass::Slow => "slow",
+        }
+    }
+}
+
+impl fmt::Display for SpeedClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Samples a normal variate via Box–Muller (keeps us off external distr
+/// crates).
+fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+impl VolunteerModel {
+    /// Samples one key-press duration.
+    pub fn sample_duration<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let s = normal(rng, self.duration_mean, self.duration_std)
+            .clamp(MIN_DURATION_S, MAX_DURATION_S);
+        SimDuration::from_secs_f64(s)
+    }
+
+    /// Samples one press-to-press interval.
+    pub fn sample_interval<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let s = normal(rng, self.interval_mean, self.interval_std)
+            .clamp(MIN_INTERVAL_S, MAX_INTERVAL_S);
+        SimDuration::from_secs_f64(s)
+    }
+
+    /// Samples an interval constrained to a §7.2 speed class (the paper
+    /// splits the collected presses into three equal parts by interval).
+    pub fn sample_interval_in_class<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        class: SpeedClass,
+    ) -> SimDuration {
+        let (lo, hi) = class.interval_range();
+        // Rejection-sample from the volunteer's own distribution, falling
+        // back to uniform within the class if the volunteer rarely types at
+        // that speed.
+        for _ in 0..32 {
+            let s = normal(rng, self.interval_mean, self.interval_std);
+            if s >= lo && s <= hi {
+                return SimDuration::from_secs_f64(s);
+            }
+        }
+        SimDuration::from_secs_f64(rng.gen_range(lo..hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn durations_stay_in_human_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in VOLUNTEERS {
+            for _ in 0..500 {
+                let d = v.sample_duration(&mut rng).as_secs_f64();
+                assert!((MIN_DURATION_S..=MAX_DURATION_S).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_never_beat_the_duplication_window() {
+        // §5.1 relies on real presses being ≥ 75 ms apart.
+        let mut rng = StdRng::seed_from_u64(2);
+        for v in VOLUNTEERS {
+            for _ in 0..500 {
+                assert!(v.sample_interval(&mut rng).as_millis() >= 75);
+            }
+        }
+    }
+
+    #[test]
+    fn volunteers_are_heterogeneous() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = |v: &VolunteerModel, rng: &mut StdRng| {
+            (0..300).map(|_| v.sample_interval(rng).as_secs_f64()).sum::<f64>() / 300.0
+        };
+        let m1 = mean(&VOLUNTEERS[0], &mut rng);
+        let m5 = mean(&VOLUNTEERS[4], &mut rng);
+        assert!(m5 > m1 + 0.2, "volunteer 5 must be visibly slower than volunteer 1");
+    }
+
+    #[test]
+    fn class_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for class in [SpeedClass::Fast, SpeedClass::Medium, SpeedClass::Slow] {
+            let (lo, hi) = class.interval_range();
+            for v in VOLUNTEERS {
+                for _ in 0..100 {
+                    let s = v.sample_interval_in_class(&mut rng, class).as_secs_f64();
+                    assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "{class}: {s} outside [{lo}, {hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_cuts() {
+        assert_eq!(SpeedClass::of_interval(0.1), SpeedClass::Fast);
+        assert_eq!(SpeedClass::of_interval(0.3), SpeedClass::Medium);
+        assert_eq!(SpeedClass::of_interval(0.5), SpeedClass::Slow);
+    }
+}

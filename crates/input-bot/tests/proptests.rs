@@ -1,0 +1,137 @@
+//! Property-based tests of the input bot's invariants.
+
+use adreno_sim::time::SimInstant;
+use android_ui::events::UiEvent;
+use input_bot::corpus::{class_of, generate, CredentialKind};
+use input_bot::script::{practical_session, SessionConfig, Typist};
+use input_bot::timing::{SpeedClass, VOLUNTEERS};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_volunteer() -> impl Strategy<Value = usize> {
+    0..VOLUNTEERS.len()
+}
+
+fn check_down_up_discipline(events: &[android_ui::TimedEvent]) -> Result<(), TestCaseError> {
+    let mut sorted = events.to_vec();
+    sorted.sort_by_key(|e| e.at);
+    let mut held: Option<android_ui::Key> = None;
+    let mut downs = Vec::new();
+    for e in &sorted {
+        match e.event {
+            UiEvent::KeyDown(k) => {
+                prop_assert!(held.is_none(), "one-finger typing never overlaps taps");
+                held = Some(k);
+                downs.push(e.at);
+            }
+            UiEvent::KeyUp(k) => {
+                prop_assert_eq!(held.take(), Some(k), "up must match the held key");
+            }
+            _ => {}
+        }
+    }
+    prop_assert!(held.is_none(), "every press is released");
+    for w in downs.windows(2) {
+        prop_assert!(
+            (w[1] - w[0]).as_millis() >= 75,
+            "press spacing must respect the human minimum"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn typed_text_has_clean_tap_discipline(
+        text in "[a-zA-Z0-9;:!?]{1,20}",
+        v in arb_volunteer(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut typist = Typist::new(VOLUNTEERS[v]);
+        let plan = typist.type_text(&text, SimInstant::from_millis(100), &mut rng);
+        check_down_up_discipline(&plan.events)?;
+        // Every character requires exactly one Char/Space tap.
+        let char_taps = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, UiEvent::KeyDown(android_ui::Key::Char(_) | android_ui::Key::Space)))
+            .count();
+        prop_assert_eq!(char_taps, text.chars().count());
+    }
+
+    #[test]
+    fn speed_constrained_typing_stays_in_class(
+        text in "[a-z]{4,12}",
+        class in prop::sample::select(vec![SpeedClass::Fast, SpeedClass::Medium, SpeedClass::Slow]),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut typist = Typist::with_speed(VOLUNTEERS[1], class);
+        let plan = typist.type_text(&text, SimInstant::from_millis(100), &mut rng);
+        let downs: Vec<_> = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, UiEvent::KeyDown(_)))
+            .map(|e| e.at)
+            .collect();
+        let (lo, hi) = class.interval_range();
+        for w in downs.windows(2) {
+            let gap = (w[1] - w[0]).as_secs_f64();
+            // The anti-rollover clamp may stretch a short sampled gap.
+            prop_assert!(gap >= lo - 1e-9, "gap {gap} under class floor {lo}");
+            prop_assert!(gap <= hi + 0.35, "gap {gap} far above class ceiling {hi}");
+        }
+    }
+
+    #[test]
+    fn practical_sessions_balance_switches_and_keys(
+        text in "[a-z0-9]{4,14}",
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut typist = Typist::new(VOLUNTEERS[seed as usize % VOLUNTEERS.len()]);
+        let cfg = SessionConfig { correction_prob: 0.2, switch_prob: 0.2, shade_prob: 0.1, away_secs_mean: 1.0 };
+        let plan = practical_session(&mut typist, &text, SimInstant::from_millis(500), &cfg, &mut rng);
+        let aways = plan.events.iter().filter(|e| matches!(e.event, UiEvent::SwitchAway)).count();
+        let backs = plan.events.iter().filter(|e| matches!(e.event, UiEvent::SwitchBack)).count();
+        prop_assert_eq!(aways, backs);
+        // Corrections add a wrong char + a backspace per correction: chars
+        // typed ≥ text length, backspaces = extras.
+        let chars = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, UiEvent::KeyDown(android_ui::Key::Char(_))))
+            .count();
+        let backspaces = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, UiEvent::KeyDown(android_ui::Key::Backspace)))
+            .count();
+        prop_assert_eq!(chars, text.chars().count() + backspaces);
+    }
+
+    #[test]
+    fn generated_credentials_match_their_class(
+        kind in prop::sample::select(vec![
+            CredentialKind::Username,
+            CredentialKind::Password,
+            CredentialKind::LowerOnly,
+            CredentialKind::UpperOnly,
+            CredentialKind::NumberOnly,
+            CredentialKind::SymbolOnly,
+        ]),
+        len in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = generate(&mut rng, kind, len);
+        prop_assert_eq!(s.chars().count(), len);
+        for c in s.chars() {
+            prop_assert!(class_of(c).is_some(), "{c:?} must be a classified keyboard char");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The userspace ABI of the KGSL driver, mirroring `msm_kgsl.h`.
+//!
+//! The attack never links a GPU library: it issues raw `ioctl()` calls
+//! against `/dev/kgsl-3d0` using the request codes and struct layouts from
+//! Qualcomm's open-source kernel header (§4, Fig 9 of the paper). This module
+//! reproduces those constants so that the simulated device file speaks the
+//! same "language".
+
+/// `KGSL_IOC_TYPE` — the ioctl magic byte of the KGSL driver.
+pub const KGSL_IOC_TYPE: u32 = 0x09;
+
+/// `KGSL_PERFCOUNTER_GROUP_VPC`.
+pub const KGSL_PERFCOUNTER_GROUP_VPC: u32 = 0x5;
+/// `KGSL_PERFCOUNTER_GROUP_RAS`.
+pub const KGSL_PERFCOUNTER_GROUP_RAS: u32 = 0x7;
+/// `KGSL_PERFCOUNTER_GROUP_LRZ`.
+pub const KGSL_PERFCOUNTER_GROUP_LRZ: u32 = 0x19;
+
+// Linux ioctl encoding: dir(2) | size(14) | type(8) | nr(8), dir in the top
+// bits. `_IOWR` is read+write.
+const IOC_NRBITS: u32 = 8;
+const IOC_TYPEBITS: u32 = 8;
+const IOC_SIZEBITS: u32 = 14;
+const IOC_NRSHIFT: u32 = 0;
+const IOC_TYPESHIFT: u32 = IOC_NRSHIFT + IOC_NRBITS;
+const IOC_SIZESHIFT: u32 = IOC_TYPESHIFT + IOC_TYPEBITS;
+const IOC_DIRSHIFT: u32 = IOC_SIZESHIFT + IOC_SIZEBITS;
+const IOC_WRITE: u32 = 1;
+const IOC_READ: u32 = 2;
+
+/// Encodes an `_IOWR(type, nr, size)` ioctl request number.
+pub const fn iowr(ty: u32, nr: u32, size: u32) -> u32 {
+    ((IOC_READ | IOC_WRITE) << IOC_DIRSHIFT) | (size << IOC_SIZESHIFT) | (ty << IOC_TYPESHIFT) | (nr << IOC_NRSHIFT)
+}
+
+/// Wire size of `struct kgsl_perfcounter_get` (3×u32 + padding + u64s in the
+/// real header; we use the 64-bit layout size).
+pub const SIZEOF_PERFCOUNTER_GET: u32 = 16;
+/// Wire size of `struct kgsl_perfcounter_read` (pointer + 2×u32 on 64-bit).
+pub const SIZEOF_PERFCOUNTER_READ: u32 = 16;
+/// Wire size of `struct kgsl_perfcounter_put`.
+pub const SIZEOF_PERFCOUNTER_PUT: u32 = 8;
+
+/// `IOCTL_KGSL_PERFCOUNTER_GET` — reserve a performance counter (nr `0x38`).
+pub const IOCTL_KGSL_PERFCOUNTER_GET: u32 = iowr(KGSL_IOC_TYPE, 0x38, SIZEOF_PERFCOUNTER_GET);
+/// `IOCTL_KGSL_PERFCOUNTER_PUT` — release a performance counter (nr `0x39`).
+pub const IOCTL_KGSL_PERFCOUNTER_PUT: u32 = iowr(KGSL_IOC_TYPE, 0x39, SIZEOF_PERFCOUNTER_PUT);
+/// `IOCTL_KGSL_PERFCOUNTER_READ` — block-read counter values (nr `0x3B`).
+pub const IOCTL_KGSL_PERFCOUNTER_READ: u32 = iowr(KGSL_IOC_TYPE, 0x3B, SIZEOF_PERFCOUNTER_READ);
+
+/// `struct kgsl_perfcounter_get`: reserves `(groupid, countable)` and
+/// returns the assigned hardware register offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KgslPerfcounterGet {
+    pub groupid: u32,
+    pub countable: u32,
+    /// Filled by the driver: low register offset of the assigned counter.
+    pub offset: u32,
+    /// Filled by the driver: high register offset.
+    pub offset_hi: u32,
+}
+
+/// `struct kgsl_perfcounter_put`: releases a reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KgslPerfcounterPut {
+    pub groupid: u32,
+    pub countable: u32,
+}
+
+/// `struct kgsl_perfcounter_read_group`: one entry of a block-read — the
+/// driver fills `value` with the counter's current cumulative value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KgslPerfcounterReadGroup {
+    pub groupid: u32,
+    pub countable: u32,
+    pub value: u64,
+}
+
+impl KgslPerfcounterReadGroup {
+    /// Creates a read request entry for `(groupid, countable)` with a zeroed
+    /// value slot.
+    pub const fn new(groupid: u32, countable: u32) -> Self {
+        KgslPerfcounterReadGroup { groupid, countable, value: 0 }
+    }
+}
+
+/// The ioctl request argument, dispatched by [`crate::KgslDevice::ioctl`].
+///
+/// In real code this is a raw pointer; here it is a typed enum so the
+/// simulation stays memory-safe while keeping the request-code dispatch
+/// structure of the driver.
+#[derive(Debug)]
+pub enum IoctlRequest<'a> {
+    PerfcounterGet(&'a mut KgslPerfcounterGet),
+    PerfcounterPut(KgslPerfcounterPut),
+    PerfcounterRead(&'a mut [KgslPerfcounterReadGroup]),
+}
+
+impl IoctlRequest<'_> {
+    /// The request code this argument must be paired with.
+    pub fn expected_code(&self) -> u32 {
+        match self {
+            IoctlRequest::PerfcounterGet(_) => IOCTL_KGSL_PERFCOUNTER_GET,
+            IoctlRequest::PerfcounterPut(_) => IOCTL_KGSL_PERFCOUNTER_PUT,
+            IoctlRequest::PerfcounterRead(_) => IOCTL_KGSL_PERFCOUNTER_READ,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ioctl_codes_use_kgsl_magic_and_paper_nrs() {
+        // nr is the low byte; type is the next byte.
+        assert_eq!(IOCTL_KGSL_PERFCOUNTER_GET & 0xff, 0x38);
+        assert_eq!(IOCTL_KGSL_PERFCOUNTER_READ & 0xff, 0x3B);
+        assert_eq!(IOCTL_KGSL_PERFCOUNTER_PUT & 0xff, 0x39);
+        assert_eq!((IOCTL_KGSL_PERFCOUNTER_GET >> 8) & 0xff, KGSL_IOC_TYPE);
+        // _IOWR direction bits (read|write = 3) live in the top two bits.
+        assert_eq!(IOCTL_KGSL_PERFCOUNTER_GET >> 30, 3);
+    }
+
+    #[test]
+    fn group_ids_match_paper_figure9() {
+        assert_eq!(KGSL_PERFCOUNTER_GROUP_VPC, 0x5);
+        assert_eq!(KGSL_PERFCOUNTER_GROUP_RAS, 0x7);
+        assert_eq!(KGSL_PERFCOUNTER_GROUP_LRZ, 0x19);
+    }
+
+    #[test]
+    fn distinct_codes() {
+        assert_ne!(IOCTL_KGSL_PERFCOUNTER_GET, IOCTL_KGSL_PERFCOUNTER_READ);
+        assert_ne!(IOCTL_KGSL_PERFCOUNTER_GET, IOCTL_KGSL_PERFCOUNTER_PUT);
+    }
+}

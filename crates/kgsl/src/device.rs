@@ -1,0 +1,446 @@
+//! The simulated `/dev/kgsl-3d0` device file.
+//!
+//! User-space drivers (OpenGL ES, Vulkan) and — crucially — any unprivileged
+//! process can `open()` this file and issue perf-counter ioctls (§4 of the
+//! paper). The device holds the GPU behind a lock, reads the shared clock for
+//! "now", validates requests exactly like the real driver (request-code
+//! match, reservation-before-read, group/countable bounds) and applies the
+//! configured [`AccessPolicy`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use adreno_sim::counters::{CounterGroup, CounterId, TrackedCounter};
+use adreno_sim::gpu::Gpu;
+use adreno_sim::time::{SharedClock, SimDuration};
+use parking_lot::Mutex;
+
+use crate::abi::{IoctlRequest, KgslPerfcounterReadGroup};
+use crate::error::{DeviceResult, Errno};
+use crate::policy::{AccessPolicy, CounterVisibility, SelinuxDomain};
+
+/// Maximum countable selector per group (the real hardware exposes a few
+/// dozen per group; requests beyond this are `EINVAL`).
+pub const MAX_COUNTABLE: u32 = 32;
+
+/// Physical counter registers available per group; `PERFCOUNTER_GET` beyond
+/// this returns `EBUSY`.
+pub const COUNTERS_PER_GROUP: usize = 16;
+
+/// An open handle to the device file (a simulated file descriptor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KgslFd(u32);
+
+#[derive(Debug, Clone)]
+struct HandleState {
+    pid: u32,
+    domain: SelinuxDomain,
+}
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    handles: HashMap<u32, HandleState>,
+    /// Reservation refcounts per `(group, countable)`.
+    reservations: HashMap<(u32, u32), usize>,
+}
+
+/// The device file.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use adreno_sim::{Gpu, GpuModel, SharedClock};
+/// use kgsl::abi::*;
+/// use kgsl::device::KgslDevice;
+/// use kgsl::policy::SelinuxDomain;
+/// use parking_lot::Mutex;
+///
+/// # fn main() -> Result<(), kgsl::error::Errno> {
+/// let gpu = Arc::new(Mutex::new(Gpu::new(GpuModel::Adreno650)));
+/// let clock = SharedClock::new();
+/// let dev = KgslDevice::new(gpu, clock);
+///
+/// let fd = dev.open(1234, SelinuxDomain::UntrustedApp)?;
+/// let mut get = KgslPerfcounterGet { groupid: KGSL_PERFCOUNTER_GROUP_LRZ, countable: 14, ..Default::default() };
+/// dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, IoctlRequest::PerfcounterGet(&mut get))?;
+///
+/// let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 14)];
+/// dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))?;
+/// assert_eq!(reads[0].value, 0); // nothing rendered yet
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KgslDevice {
+    gpu: Arc<Mutex<Gpu>>,
+    clock: SharedClock,
+    policy: Mutex<AccessPolicy>,
+    state: Mutex<DeviceState>,
+    next_fd: AtomicU32,
+}
+
+impl KgslDevice {
+    /// Creates the device over a GPU and a clock.
+    pub fn new(gpu: Arc<Mutex<Gpu>>, clock: SharedClock) -> Self {
+        KgslDevice {
+            gpu,
+            clock,
+            policy: Mutex::new(AccessPolicy::default()),
+            state: Mutex::new(DeviceState::default()),
+            next_fd: AtomicU32::new(3), // 0..2 are stdio, as a nod to realism
+        }
+    }
+
+    /// The shared clock this device reads.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// The GPU behind the device (shared with the compositor).
+    pub fn gpu(&self) -> &Arc<Mutex<Gpu>> {
+        &self.gpu
+    }
+
+    /// Installs a new access-control policy (the "OS security update" hook
+    /// used by the §9.2 mitigation experiments).
+    pub fn set_policy(&self, policy: AccessPolicy) {
+        *self.policy.lock() = policy;
+    }
+
+    /// The currently installed policy.
+    pub fn policy(&self) -> AccessPolicy {
+        self.policy.lock().clone()
+    }
+
+    /// Opens the device file from a process.
+    ///
+    /// Opening always succeeds on stock Android — user-space GPU drivers run
+    /// inside every app's process, so the file must be world-accessible
+    /// (§4). Policies restrict *ioctls*, not `open`.
+    pub fn open(&self, pid: u32, domain: SelinuxDomain) -> DeviceResult<KgslFd> {
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.state.lock().handles.insert(fd, HandleState { pid, domain });
+        Ok(KgslFd(fd))
+    }
+
+    /// Closes a handle. Closing an unknown handle returns `EBADF`.
+    pub fn close(&self, fd: KgslFd) -> DeviceResult<()> {
+        match self.state.lock().handles.remove(&fd.0) {
+            Some(_) => Ok(()),
+            None => Err(Errno::Ebadf),
+        }
+    }
+
+    fn domain_of(&self, fd: KgslFd) -> DeviceResult<SelinuxDomain> {
+        self.state.lock().handles.get(&fd.0).map(|h| h.domain).ok_or(Errno::Ebadf)
+    }
+
+    /// The pid that opened `fd` (as `lsof` would report).
+    pub fn owner_pid(&self, fd: KgslFd) -> DeviceResult<u32> {
+        self.state.lock().handles.get(&fd.0).map(|h| h.pid).ok_or(Errno::Ebadf)
+    }
+
+    /// The `ioctl(2)` entry point.
+    ///
+    /// # Errors
+    ///
+    /// * `EBADF` — `fd` is not open.
+    /// * `EINVAL` — request code does not match the argument, or the
+    ///   group/countable is out of range, or a read targets an unreserved
+    ///   counter.
+    /// * `EBUSY` — all physical counters of the group are reserved.
+    /// * `EACCES`/`EPERM` — blocked by the installed [`AccessPolicy`].
+    pub fn ioctl(&self, fd: KgslFd, code: u32, mut req: IoctlRequest<'_>) -> DeviceResult<()> {
+        let domain = self.domain_of(fd)?;
+        if code != req.expected_code() {
+            return Err(Errno::Einval);
+        }
+        match &mut req {
+            IoctlRequest::PerfcounterGet(get) => {
+                self.validate_target(get.groupid, get.countable)?;
+                if self.policy.lock().visibility(domain) == CounterVisibility::Denied {
+                    return Err(Errno::Eacces);
+                }
+                let mut st = self.state.lock();
+                let group_load: usize = st
+                    .reservations
+                    .iter()
+                    .filter(|((g, _), _)| *g == get.groupid)
+                    .count();
+                let entry = st.reservations.entry((get.groupid, get.countable)).or_insert(0);
+                if *entry == 0 && group_load >= COUNTERS_PER_GROUP {
+                    return Err(Errno::Ebusy);
+                }
+                *entry += 1;
+                // Fabricate plausible register offsets.
+                get.offset = 0xA000 + get.groupid * 0x40 + get.countable * 2;
+                get.offset_hi = get.offset + 1;
+                Ok(())
+            }
+            IoctlRequest::PerfcounterPut(put) => {
+                self.validate_target(put.groupid, put.countable)?;
+                let mut st = self.state.lock();
+                match st.reservations.get_mut(&(put.groupid, put.countable)) {
+                    Some(rc) if *rc > 0 => {
+                        *rc -= 1;
+                        if *rc == 0 {
+                            st.reservations.remove(&(put.groupid, put.countable));
+                        }
+                        Ok(())
+                    }
+                    _ => Err(Errno::Einval),
+                }
+            }
+            IoctlRequest::PerfcounterRead(reads) => self.perfcounter_read(domain, reads),
+        }
+    }
+
+    fn validate_target(&self, groupid: u32, countable: u32) -> DeviceResult<()> {
+        if CounterGroup::from_kgsl_id(groupid).is_none() {
+            return Err(Errno::Einval);
+        }
+        if countable > MAX_COUNTABLE {
+            return Err(Errno::Einval);
+        }
+        Ok(())
+    }
+
+    fn perfcounter_read(
+        &self,
+        domain: SelinuxDomain,
+        reads: &mut [KgslPerfcounterReadGroup],
+    ) -> DeviceResult<()> {
+        let visibility = self.policy.lock().visibility(domain);
+        match visibility {
+            CounterVisibility::Denied => return Err(Errno::Eacces),
+            CounterVisibility::LocalOnly => {
+                // The caller sees only its own GPU activity. The attacking
+                // process renders nothing, so its local view never moves —
+                // this is exactly how the mitigation starves the channel.
+                {
+                    let st = self.state.lock();
+                    for r in reads.iter() {
+                        self.validate_target(r.groupid, r.countable)?;
+                        if !st.reservations.contains_key(&(r.groupid, r.countable)) {
+                            return Err(Errno::Einval);
+                        }
+                    }
+                }
+                for r in reads.iter_mut() {
+                    r.value = 0;
+                }
+                return Ok(());
+            }
+            CounterVisibility::Global => {}
+        }
+        // Validate all targets first: the real driver fails the whole
+        // block-read on the first bad entry without partial writes.
+        {
+            let st = self.state.lock();
+            for r in reads.iter() {
+                self.validate_target(r.groupid, r.countable)?;
+                if !st.reservations.contains_key(&(r.groupid, r.countable)) {
+                    return Err(Errno::Einval);
+                }
+            }
+        }
+        let snapshot = self.gpu.lock().counters_at(self.clock.now());
+        for r in reads.iter_mut() {
+            let group = CounterGroup::from_kgsl_id(r.groupid).expect("validated above");
+            let id = CounterId::new(group, r.countable);
+            r.value = match TrackedCounter::from_id(id) {
+                Some(tracked) => snapshot[tracked],
+                // Valid hardware counter our simulation does not model:
+                // reads as a quiescent counter.
+                None => 0,
+            };
+        }
+        Ok(())
+    }
+
+    /// The `/sys/class/kgsl/kgsl-3d0/gpu_busy_percentage` sysfs endpoint:
+    /// GPU utilisation over the last 100 ms, in percent.
+    pub fn gpu_busy_percentage(&self) -> u32 {
+        let now = self.clock.now();
+        let frac = self.gpu.lock().busy_fraction(now, SimDuration::from_millis(100));
+        (frac * 100.0).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::*;
+    use adreno_sim::geom::Rect;
+    use adreno_sim::scene::DrawList;
+    use adreno_sim::time::SimInstant;
+    use adreno_sim::GpuModel;
+
+    fn device() -> KgslDevice {
+        let gpu = Arc::new(Mutex::new(Gpu::new(GpuModel::Adreno650)));
+        KgslDevice::new(gpu, SharedClock::new())
+    }
+
+    fn get_counter(dev: &KgslDevice, fd: KgslFd, group: u32, countable: u32) -> DeviceResult<()> {
+        let mut get = KgslPerfcounterGet { groupid: group, countable, ..Default::default() };
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, IoctlRequest::PerfcounterGet(&mut get))
+    }
+
+    #[test]
+    fn unprivileged_open_succeeds() {
+        let dev = device();
+        assert!(dev.open(1000, SelinuxDomain::UntrustedApp).is_ok());
+    }
+
+    #[test]
+    fn read_requires_reservation() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13)];
+        let err = dev
+            .ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap_err();
+        assert_eq!(err, Errno::Einval);
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+    }
+
+    #[test]
+    fn read_observes_rendered_frames() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+
+        // Some other process renders a frame.
+        let mut dl = DrawList::new(256, 256);
+        dl.layer("bg").quad(Rect::from_xywh(0, 0, 256, 256), true);
+        let end = {
+            let mut gpu = dev.gpu().lock();
+            gpu.submit(&dl, SimInstant::ZERO).end
+        };
+        dev.clock().advance_to(end);
+
+        let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13)];
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        assert_eq!(reads[0].value, 2, "the quad's two triangles are visible globally");
+    }
+
+    #[test]
+    fn mismatched_request_code_is_einval() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        let mut get = KgslPerfcounterGet::default();
+        let err = dev
+            .ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterGet(&mut get))
+            .unwrap_err();
+        assert_eq!(err, Errno::Einval);
+    }
+
+    #[test]
+    fn unknown_group_is_einval() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        assert_eq!(get_counter(&dev, fd, 0x42, 1).unwrap_err(), Errno::Einval);
+        assert_eq!(
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, MAX_COUNTABLE + 1).unwrap_err(),
+            Errno::Einval
+        );
+    }
+
+    #[test]
+    fn closed_fd_is_ebadf() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        dev.close(fd).unwrap();
+        assert_eq!(get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap_err(), Errno::Ebadf);
+        assert_eq!(dev.close(fd).unwrap_err(), Errno::Ebadf);
+    }
+
+    #[test]
+    fn group_capacity_exhaustion_is_ebusy() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        for c in 0..COUNTERS_PER_GROUP as u32 {
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_RAS, c).unwrap();
+        }
+        assert_eq!(
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_RAS, COUNTERS_PER_GROUP as u32).unwrap_err(),
+            Errno::Ebusy
+        );
+        // Re-getting an already reserved countable is fine (refcounted).
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_RAS, 0).unwrap();
+    }
+
+    #[test]
+    fn put_releases_reservation() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_VPC, 9).unwrap();
+        let put = KgslPerfcounterPut { groupid: KGSL_PERFCOUNTER_GROUP_VPC, countable: 9 };
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_PUT, IoctlRequest::PerfcounterPut(put)).unwrap();
+        // Second put fails: nothing reserved any more.
+        assert_eq!(
+            dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_PUT, IoctlRequest::PerfcounterPut(put))
+                .unwrap_err(),
+            Errno::Einval
+        );
+    }
+
+    #[test]
+    fn deny_all_policy_blocks_get_and_read() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        dev.set_policy(AccessPolicy::DenyAll);
+        let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13)];
+        assert_eq!(
+            dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+                .unwrap_err(),
+            Errno::Eacces
+        );
+        assert_eq!(get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 14).unwrap_err(), Errno::Eacces);
+    }
+
+    #[test]
+    fn rbac_gives_untrusted_apps_a_frozen_local_view() {
+        let dev = device();
+        dev.set_policy(AccessPolicy::role_based([SelinuxDomain::GpuProfiler]));
+        let attacker = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        let profiler = dev.open(2, SelinuxDomain::GpuProfiler).unwrap();
+        get_counter(&dev, attacker, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+
+        let mut dl = DrawList::new(256, 256);
+        dl.layer("bg").quad(Rect::from_xywh(0, 0, 256, 256), true);
+        let end = dev.gpu().lock().submit(&dl, SimInstant::ZERO).end;
+        dev.clock().advance_to(end);
+
+        let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13)];
+        dev.ioctl(attacker, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        assert_eq!(reads[0].value, 0, "attacker only sees its own (empty) activity");
+
+        dev.ioctl(profiler, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        assert_eq!(reads[0].value, 2, "profiler retains global visibility");
+    }
+
+    #[test]
+    fn busy_percentage_reflects_load() {
+        let dev = device();
+        assert_eq!(dev.gpu_busy_percentage(), 0);
+        let cycles = {
+            let mut gpu = dev.gpu().lock();
+            let c = gpu.params().clock_mhz as u64 * 1_000 * 50; // 50ms of work
+            gpu.submit_workload(adreno_sim::CounterSet::ZERO, c, SimInstant::ZERO);
+            c
+        };
+        let _ = cycles;
+        dev.clock().advance_to(SimInstant::from_millis(100));
+        let pct = dev.gpu_busy_percentage();
+        assert!((45..=55).contains(&pct), "expected ~50% busy, got {pct}");
+    }
+}

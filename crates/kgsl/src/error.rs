@@ -1,0 +1,79 @@
+//! Error types of the simulated device file.
+
+use std::error::Error;
+use std::fmt;
+
+/// Unix-style error numbers returned by the device file, matching what the
+/// real KGSL driver returns for the corresponding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// Operation not permitted (blocked by the kernel, e.g. the §9.2 RBAC
+    /// mitigation denying a global counter read).
+    Eperm,
+    /// Invalid argument (unknown group/countable, mismatched request code).
+    Einval,
+    /// Bad file descriptor (closed or never opened).
+    Ebadf,
+    /// Permission denied by a mandatory access control policy (SELinux).
+    Eacces,
+    /// No such device or address (device file not present).
+    Enodev,
+    /// Counter space exhausted — all physical counters of the group are
+    /// reserved.
+    Ebusy,
+}
+
+impl Errno {
+    /// The conventional errno value.
+    pub const fn code(self) -> i32 {
+        match self {
+            Errno::Eperm => 1,
+            Errno::Einval => 22,
+            Errno::Ebadf => 9,
+            Errno::Eacces => 13,
+            Errno::Enodev => 6,
+            Errno::Ebusy => 16,
+        }
+    }
+
+    /// The conventional symbol name, e.g. `"EPERM"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Errno::Eperm => "EPERM",
+            Errno::Einval => "EINVAL",
+            Errno::Ebadf => "EBADF",
+            Errno::Eacces => "EACCES",
+            Errno::Enodev => "ENODEV",
+            Errno::Ebusy => "EBUSY",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (errno {})", self.name(), self.code())
+    }
+}
+
+impl Error for Errno {}
+
+/// Result alias for device-file operations.
+pub type DeviceResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_unix_convention() {
+        assert_eq!(Errno::Eperm.code(), 1);
+        assert_eq!(Errno::Einval.code(), 22);
+        assert_eq!(Errno::Ebadf.code(), 9);
+        assert_eq!(Errno::Eacces.code(), 13);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Errno::Eperm.to_string(), "EPERM (errno 1)");
+    }
+}

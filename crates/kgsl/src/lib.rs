@@ -1,0 +1,50 @@
+//! # kgsl — simulated Kernel Graphics Support Layer
+//!
+//! The OS-boundary substrate of the reproduction: a software model of
+//! Qualcomm's `/dev/kgsl-3d0` device file, which is the interface the
+//! attack uses to read **global** GPU performance counters from an
+//! unprivileged Android app (§4 of the paper).
+//!
+//! The crate provides:
+//!
+//! * [`abi`] — the `msm_kgsl.h` request codes and struct layouts (Fig 9);
+//! * [`device::KgslDevice`] — `open`/`ioctl`/`close` semantics with the real
+//!   driver's validation rules (reservation before read, `EINVAL`/`EBUSY`/
+//!   `EBADF` paths) plus the `gpu_busy_percentage` sysfs endpoint;
+//! * [`policy`] — the §9.2 mitigation: SELinux-style role-based access
+//!   control over counter visibility;
+//! * [`obfuscate`] — the §9.3 mitigation: random decoy GPU workloads.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use adreno_sim::{Gpu, GpuModel, SharedClock};
+//! use kgsl::abi::*;
+//! use kgsl::{KgslDevice, SelinuxDomain};
+//! use parking_lot::Mutex;
+//!
+//! # fn main() -> Result<(), kgsl::Errno> {
+//! let gpu = Arc::new(Mutex::new(Gpu::new(GpuModel::Adreno650)));
+//! let dev = KgslDevice::new(gpu, SharedClock::new());
+//! // Any app may open the device file and reserve a counter...
+//! let fd = dev.open(4242, SelinuxDomain::UntrustedApp)?;
+//! let mut get = KgslPerfcounterGet {
+//!     groupid: KGSL_PERFCOUNTER_GROUP_LRZ,
+//!     countable: 14,
+//!     ..Default::default()
+//! };
+//! dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, IoctlRequest::PerfcounterGet(&mut get))?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod abi;
+pub mod device;
+pub mod gles;
+pub mod error;
+pub mod obfuscate;
+pub mod policy;
+
+pub use device::{KgslDevice, KgslFd};
+pub use error::{DeviceResult, Errno};
+pub use obfuscate::{ObfuscationConfig, Obfuscator};
+pub use policy::{AccessPolicy, CounterVisibility, SelinuxDomain};

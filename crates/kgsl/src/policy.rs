@@ -1,0 +1,155 @@
+//! Access control on GPU performance counters — the §9.2 mitigation.
+//!
+//! The paper argues that coarse "root or nothing" RBAC (as on desktop
+//! Nvidia) cannot work on Android, and proposes fine-grained role-based
+//! access control enforced at the ioctl boundary via SELinux command
+//! whitelisting: listed roles may read *global* counter values, every other
+//! process may only observe its *own* local counter activity.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The SELinux domain (role) a process runs in.
+///
+/// Android assigns `untrusted_app` to everything installed from an app
+/// store; system components and vendor profilers get privileged domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SelinuxDomain {
+    /// Ordinary installed application — the attacker's domain.
+    UntrustedApp,
+    /// Preinstalled platform application.
+    PlatformApp,
+    /// System server processes.
+    SystemServer,
+    /// Vendor GPU profiling/debugging tooling (Snapdragon Profiler etc.).
+    GpuProfiler,
+    /// Shell/adb debugging domain.
+    Shell,
+}
+
+impl SelinuxDomain {
+    /// The SELinux context string, as `ps -Z` would print it.
+    pub const fn context(self) -> &'static str {
+        match self {
+            SelinuxDomain::UntrustedApp => "u:r:untrusted_app:s0",
+            SelinuxDomain::PlatformApp => "u:r:platform_app:s0",
+            SelinuxDomain::SystemServer => "u:r:system_server:s0",
+            SelinuxDomain::GpuProfiler => "u:r:gpu_profiler:s0",
+            SelinuxDomain::Shell => "u:r:shell:s0",
+        }
+    }
+}
+
+impl fmt::Display for SelinuxDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.context())
+    }
+}
+
+/// What a counter-read request is allowed to observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterVisibility {
+    /// Global, device-wide counter values (the side channel).
+    Global,
+    /// Only the calling process's own contribution.
+    LocalOnly,
+    /// Nothing at all — the ioctl fails.
+    Denied,
+}
+
+/// An access-control policy over performance-counter ioctls.
+///
+/// # Examples
+///
+/// ```
+/// use kgsl::policy::{AccessPolicy, CounterVisibility, SelinuxDomain};
+///
+/// // Stock Android before the paper's disclosure: everyone sees everything.
+/// let stock = AccessPolicy::Unrestricted;
+/// assert_eq!(stock.visibility(SelinuxDomain::UntrustedApp), CounterVisibility::Global);
+///
+/// // The proposed fine-grained RBAC mitigation.
+/// let rbac = AccessPolicy::role_based([SelinuxDomain::GpuProfiler]);
+/// assert_eq!(rbac.visibility(SelinuxDomain::UntrustedApp), CounterVisibility::LocalOnly);
+/// assert_eq!(rbac.visibility(SelinuxDomain::GpuProfiler), CounterVisibility::Global);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPolicy {
+    /// Stock behaviour: any process may read global counters (the
+    /// vulnerability the paper exploits).
+    Unrestricted,
+    /// Blunt mitigation: nobody may read any counter. Breaks profiling
+    /// tools and run-time tuning (§9.2 explains why this is impractical).
+    DenyAll,
+    /// Fine-grained RBAC: allow-listed domains read global values, everyone
+    /// else only their local activity.
+    RoleBased {
+        /// Domains with global visibility.
+        allowed: BTreeSet<SelinuxDomain>,
+    },
+}
+
+impl AccessPolicy {
+    /// Convenience constructor for [`AccessPolicy::RoleBased`].
+    pub fn role_based<I: IntoIterator<Item = SelinuxDomain>>(allowed: I) -> Self {
+        AccessPolicy::RoleBased { allowed: allowed.into_iter().collect() }
+    }
+
+    /// What `domain` may observe under this policy.
+    pub fn visibility(&self, domain: SelinuxDomain) -> CounterVisibility {
+        match self {
+            AccessPolicy::Unrestricted => CounterVisibility::Global,
+            AccessPolicy::DenyAll => CounterVisibility::Denied,
+            AccessPolicy::RoleBased { allowed } => {
+                if allowed.contains(&domain) {
+                    CounterVisibility::Global
+                } else {
+                    CounterVisibility::LocalOnly
+                }
+            }
+        }
+    }
+}
+
+impl Default for AccessPolicy {
+    /// The default is the *vulnerable* stock configuration, because that is
+    /// what shipped on every device the paper evaluated.
+    fn default() -> Self {
+        AccessPolicy::Unrestricted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_all_blocks_everyone() {
+        for d in [
+            SelinuxDomain::UntrustedApp,
+            SelinuxDomain::PlatformApp,
+            SelinuxDomain::GpuProfiler,
+        ] {
+            assert_eq!(AccessPolicy::DenyAll.visibility(d), CounterVisibility::Denied);
+        }
+    }
+
+    #[test]
+    fn rbac_distinguishes_roles() {
+        let p = AccessPolicy::role_based([SelinuxDomain::GpuProfiler, SelinuxDomain::Shell]);
+        assert_eq!(p.visibility(SelinuxDomain::GpuProfiler), CounterVisibility::Global);
+        assert_eq!(p.visibility(SelinuxDomain::Shell), CounterVisibility::Global);
+        assert_eq!(p.visibility(SelinuxDomain::UntrustedApp), CounterVisibility::LocalOnly);
+        assert_eq!(p.visibility(SelinuxDomain::SystemServer), CounterVisibility::LocalOnly);
+    }
+
+    #[test]
+    fn default_is_vulnerable_stock() {
+        assert_eq!(AccessPolicy::default(), AccessPolicy::Unrestricted);
+    }
+
+    #[test]
+    fn contexts_look_like_selinux() {
+        assert!(SelinuxDomain::UntrustedApp.context().starts_with("u:r:"));
+    }
+}

@@ -1,0 +1,92 @@
+//! The full attack scenario of Fig 4: a preloaded multi-configuration model
+//! store, device recognition, and a realistic victim session with typos,
+//! app switches and notifications (§8).
+//!
+//! ```text
+//! cargo run --release --example credential_theft
+//! ```
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::service::{AttackService, ServiceConfig};
+use gpu_eaves::android_ui::{
+    DeviceConfig, KeyboardKind, PhoneModel, SimConfig, TargetApp, UiSimulation,
+};
+use gpu_eaves::input_bot::script::{practical_session, SessionConfig, Typist};
+use gpu_eaves::input_bot::timing::VOLUNTEERS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- Offline phase: stock the attacking app with models for several
+    // device configurations (§7.6: the real app would carry thousands).
+    let trainer = Trainer::new(TrainerConfig::default());
+    let mut store = ModelStore::new();
+    let configs = [
+        (PhoneModel::OnePlus8Pro, KeyboardKind::Gboard),
+        (PhoneModel::OnePlus8Pro, KeyboardKind::Swift),
+        (PhoneModel::GalaxyS21, KeyboardKind::Gboard),
+        (PhoneModel::GooglePixel2, KeyboardKind::Gboard),
+    ];
+    for (phone, keyboard) in configs {
+        let device = DeviceConfig::for_phone(phone);
+        println!("training {} / {keyboard} …", phone.name());
+        store.add(trainer.train(device, keyboard, TargetApp::Chase));
+    }
+    println!(
+        "model store: {} models, {:.1} kB total\n",
+        store.len(),
+        store.total_wire_bytes() as f64 / 1024.0
+    );
+
+    // ---- Online phase: the victim turns out to own a Galaxy S21. The
+    // attacker does not know this — device recognition (§3.2) figures it
+    // out from the keyboard's base-redraw fingerprint.
+    let victim_cfg = SimConfig {
+        device: DeviceConfig::for_phone(PhoneModel::GalaxyS21),
+        keyboard: KeyboardKind::Gboard,
+        ..SimConfig::paper_default(1234)
+    };
+    let mut victim = UiSimulation::new(victim_cfg);
+
+    // A realistic session: the victim types their credential with a typo
+    // (corrected via backspace), checks another app mid-way, then finishes.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut typist = Typist::new(VOLUNTEERS[3]);
+    let behaviour = SessionConfig {
+        correction_prob: 0.12,
+        switch_prob: 0.08,
+        shade_prob: 0.05,
+        away_secs_mean: 2.0,
+    };
+    let plan = practical_session(
+        &mut typist,
+        "myS3cretPass",
+        SimInstant::from_millis(900),
+        &behaviour,
+        &mut rng,
+    );
+    let end = plan.end + SimDuration::from_millis(1_000);
+    victim.queue_all(plan.events);
+
+    let service = AttackService::new(store, ServiceConfig::default());
+    let result = service.eavesdrop(&mut victim, end).expect("stock policy");
+
+    println!("recognised device : {}", result.model);
+    println!("app switches seen : {}", result.switches);
+    println!(
+        "corrections       : {} deletions detected",
+        result
+            .corrections
+            .iter()
+            .filter(|e| matches!(e, gpu_eaves::attack::correction::CorrectionEvent::CharDeleted(_)))
+            .count()
+    );
+    println!("victim submitted  : {:?}", victim.truth().final_text());
+    println!("attacker recovered: {:?}", result.recovered_text);
+    let score = result.score(&victim);
+    println!(
+        "score             : {}/{} presses correct, edit distance {}",
+        score.correct_keys, score.total_keys, score.edit_distance
+    );
+}

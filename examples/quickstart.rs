@@ -1,0 +1,61 @@
+//! Quickstart: steal one password on a simulated phone in ~30 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::service::{AttackService, ServiceConfig};
+use gpu_eaves::android_ui::{SimConfig, UiSimulation};
+use gpu_eaves::input_bot::script::Typist;
+use gpu_eaves::input_bot::timing::VOLUNTEERS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- Offline phase (attacker's lab) --------------------------------
+    // Train a classifier for the victim's configuration: OnePlus 8 Pro,
+    // GBoard, Chase — the paper's headline setup.
+    let cfg = SimConfig::paper_default(7);
+    println!("training model for {} / {} / {} …", cfg.device, cfg.keyboard, cfg.app);
+    let model = Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app);
+    println!(
+        "  {} key centroids, C_th = {:.2}, wire size {} B",
+        model.centroids().len(),
+        model.threshold(),
+        model.to_bytes().len()
+    );
+    let mut store = ModelStore::new();
+    store.add(model);
+
+    // ---- Online phase (victim's device) --------------------------------
+    // The victim opens the banking app and types their password.
+    let mut victim = UiSimulation::new(cfg);
+    let password = "hunter2passw0rd";
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut typist = Typist::new(VOLUNTEERS[1]);
+    let plan = typist.type_text(password, SimInstant::from_millis(900), &mut rng);
+    let end = plan.end + SimDuration::from_millis(800);
+    victim.queue_all(plan.events);
+
+    // The attacking app samples GPU counters through /dev/kgsl-3d0 and
+    // runs Algorithm 1 over the observed changes.
+    let service = AttackService::new(store, ServiceConfig::default());
+    let result = service.eavesdrop(&mut victim, end).expect("stock Android allows counter reads");
+
+    println!("victim typed : {:?}", victim.truth().final_text());
+    println!("recovered    : {:?}", result.recovered_text);
+    println!(
+        "stats        : {} direct, {} split-recovered, {} duplicates suppressed, {} noise",
+        result.stats.direct,
+        result.stats.splits_recovered,
+        result.stats.duplications_suppressed,
+        result.stats.noise
+    );
+    let score = result.score(&victim);
+    println!(
+        "accuracy     : {}/{} keys, exact = {}",
+        score.correct_keys, score.total_keys, score.text_exact
+    );
+}

@@ -1,0 +1,72 @@
+//! §3.2 launch gating: the attacking service arms itself only when the
+//! target app launches, ignoring everything the victim did before.
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::service::{AttackService, ServiceConfig, ServiceError};
+use gpu_eaves::android_ui::{SimConfig, TimedEvent, UiEvent, UiSimulation};
+use gpu_eaves::input_bot::script::Typist;
+use gpu_eaves::input_bot::timing::VOLUNTEERS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn service(require_launch: bool) -> AttackService {
+    let cfg = SimConfig::paper_default(0);
+    let model = Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app);
+    let mut store = ModelStore::new();
+    store.add(model);
+    AttackService::new(store, ServiceConfig { require_launch, ..ServiceConfig::default() })
+}
+
+fn pre_launch_session(seed: u64) -> (UiSimulation, SimInstant) {
+    // The victim browses another app, then opens the banking app at 3 s and
+    // types the credential.
+    let cfg = SimConfig { start_in_other: true, system_noise_hz: 0.0, ..SimConfig::paper_default(seed) };
+    let mut sim = UiSimulation::new(cfg);
+    for ms in (400..2_600).step_by(450) {
+        sim.queue(TimedEvent::new(SimInstant::from_millis(ms), UiEvent::OtherAppActivity));
+    }
+    sim.queue(TimedEvent::new(SimInstant::from_millis(3_000), UiEvent::LaunchTargetApp));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut typist = Typist::new(VOLUNTEERS[1]);
+    let plan = typist.type_text("openbanking1", SimInstant::from_millis(4_000), &mut rng);
+    let end = plan.end + SimDuration::from_millis(800);
+    sim.queue_all(plan.events);
+    (sim, end)
+}
+
+#[test]
+fn launch_gated_service_recovers_the_post_launch_credential() {
+    let (mut sim, end) = pre_launch_session(60);
+    let result = service(true).eavesdrop(&mut sim, end).expect("stock policy");
+    let launch = result.launch_at.expect("launch must be detected");
+    assert!(
+        launch >= SimInstant::from_millis(3_000) && launch <= SimInstant::from_millis(3_100),
+        "launch detected at {launch}, expected ≈3.0s"
+    );
+    assert_eq!(result.recovered_text, "openbanking1");
+}
+
+#[test]
+fn launch_gate_fails_cleanly_when_the_app_never_launches() {
+    let cfg = SimConfig { start_in_other: true, system_noise_hz: 0.0, ..SimConfig::paper_default(61) };
+    let mut sim = UiSimulation::new(cfg);
+    for ms in (400..4_000).step_by(500) {
+        sim.queue(TimedEvent::new(SimInstant::from_millis(ms), UiEvent::OtherAppActivity));
+    }
+    // Device recognition needs at least one keyboard-window redraw, which
+    // never happens here, so either failure mode is a dead attack.
+    let err = service(true).eavesdrop(&mut sim, SimInstant::from_millis(5_000)).unwrap_err();
+    assert!(
+        matches!(err, ServiceError::LaunchNotDetected | ServiceError::UnrecognisedDevice),
+        "got {err}"
+    );
+}
+
+#[test]
+fn ungated_service_still_works_on_launch_sessions() {
+    let (mut sim, end) = pre_launch_session(62);
+    let result = service(false).eavesdrop(&mut sim, end).expect("stock policy");
+    assert_eq!(result.launch_at, None);
+    assert_eq!(result.recovered_text, "openbanking1");
+}

@@ -1,0 +1,139 @@
+//! Practical-usage integration (§8): corrections, app switches and
+//! notification handling through the full pipeline.
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::attack::correction::CorrectionEvent;
+use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::service::{AttackService, ServiceConfig};
+use gpu_eaves::android_ui::{SimConfig, TimedEvent, UiEvent, UiSimulation};
+use gpu_eaves::input_bot::script::Typist;
+use gpu_eaves::input_bot::timing::VOLUNTEERS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn service() -> AttackService {
+    let cfg = SimConfig::paper_default(0);
+    let model = Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app);
+    let mut store = ModelStore::new();
+    store.add(model);
+    AttackService::new(store, ServiceConfig::default())
+}
+
+fn quiet(seed: u64) -> SimConfig {
+    SimConfig { system_noise_hz: 0.0, ..SimConfig::paper_default(seed) }
+}
+
+#[test]
+fn backspace_corrections_are_excluded_from_the_result() {
+    // §5.3: the victim types "pasX", deletes the typo, finishes "pass".
+    let mut sim = UiSimulation::new(quiet(1));
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut typist = Typist::new(VOLUNTEERS[1]);
+    let mut plan = typist.type_text("pasx", SimInstant::from_millis(900), &mut rng);
+    let p2 = typist.backspaces(1, plan.end, &mut rng);
+    let after = p2.end;
+    plan.extend(p2);
+    let p3 = typist.type_text("s", after, &mut rng);
+    let end = p3.end + SimDuration::from_millis(800);
+    plan.extend(p3);
+    sim.queue_all(plan.events);
+
+    let result = service().eavesdrop(&mut sim, end).expect("stock policy");
+    assert_eq!(sim.truth().final_text(), "pass");
+    assert_eq!(result.recovered_text, "pass", "the deleted 'x' must not appear");
+    assert!(result
+        .corrections
+        .iter()
+        .any(|e| matches!(e, CorrectionEvent::CharDeleted(_))));
+}
+
+#[test]
+fn app_switch_interruption_is_filtered_out() {
+    // §5.2: typing, a hop to another app (whose activity must not leak into
+    // the result), then more typing.
+    let mut sim = UiSimulation::new(quiet(2));
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut typist = Typist::new(VOLUNTEERS[0]);
+    let plan = typist.type_text("abc", SimInstant::from_millis(900), &mut rng);
+    let t1 = plan.end + SimDuration::from_millis(300);
+    sim.queue_all(plan.events);
+    sim.queue(TimedEvent::new(t1, UiEvent::SwitchAway));
+    for k in 0..4u64 {
+        sim.queue(TimedEvent::new(
+            t1 + SimDuration::from_millis(400 + k * 350),
+            UiEvent::OtherAppActivity,
+        ));
+    }
+    let t2 = t1 + SimDuration::from_millis(2_200);
+    sim.queue(TimedEvent::new(t2, UiEvent::SwitchBack));
+    let mut typist2 = typist.clone();
+    let plan2 = typist2.type_text("xyz", t2 + SimDuration::from_millis(900), &mut rng);
+    let end = plan2.end + SimDuration::from_millis(800);
+    sim.queue_all(plan2.events);
+
+    let result = service().eavesdrop(&mut sim, end).expect("stock policy");
+    assert_eq!(result.switches, 2, "away + back bursts");
+    assert_eq!(result.recovered_text, "abcxyz");
+}
+
+#[test]
+fn notifications_do_not_fabricate_keys() {
+    let mut sim = UiSimulation::new(quiet(3));
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut typist = Typist::new(VOLUNTEERS[2]);
+    let plan = typist.type_text("zz9", SimInstant::from_millis(900), &mut rng);
+    for k in 0..5u64 {
+        sim.queue(TimedEvent::new(
+            SimInstant::from_millis(700 + k * 650),
+            UiEvent::Notification,
+        ));
+    }
+    let end = plan.end + SimDuration::from_millis(800);
+    sim.queue_all(plan.events);
+
+    let result = service().eavesdrop(&mut sim, end).expect("stock policy");
+    assert_eq!(result.recovered_text, "zz9", "status-bar redraws are not key presses");
+}
+
+#[test]
+fn shade_view_does_not_fabricate_switches_or_keys() {
+    let mut sim = UiSimulation::new(quiet(4));
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut typist = Typist::new(VOLUNTEERS[3]);
+    let plan = typist.type_text("ab", SimInstant::from_millis(900), &mut rng);
+    sim.queue(TimedEvent::new(plan.end + SimDuration::from_millis(400), UiEvent::ViewNotificationShade));
+    let mut typist2 = typist.clone();
+    let plan2 =
+        typist2.type_text("cd", plan.end + SimDuration::from_millis(2_500), &mut rng);
+    let end = plan2.end + SimDuration::from_millis(800);
+    sim.queue_all(plan.events);
+    sim.queue_all(plan2.events);
+
+    let result = service().eavesdrop(&mut sim, end).expect("stock policy");
+    assert_eq!(result.switches, 0, "a shade pull is one frame, not a burst");
+    assert_eq!(result.recovered_text, "abcd");
+}
+
+#[test]
+fn full_trace_variant_matches_or_beats_greedy_here() {
+    let run = |full: bool| {
+        let mut sim = UiSimulation::new(quiet(5));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut typist = Typist::new(VOLUNTEERS[1]);
+        let plan = typist.type_text("qwertyuiop", SimInstant::from_millis(900), &mut rng);
+        let end = plan.end + SimDuration::from_millis(800);
+        sim.queue_all(plan.events);
+        let cfg = ServiceConfig { full_trace: full, ..ServiceConfig::default() };
+        let svc = {
+            let base = SimConfig::paper_default(0);
+            let model =
+                Trainer::new(TrainerConfig::default()).train(base.device, base.keyboard, base.app);
+            let mut store = ModelStore::new();
+            store.add(model);
+            AttackService::new(store, cfg)
+        };
+        let r = svc.eavesdrop(&mut sim, end).expect("stock policy");
+        r.score(&sim).correct_keys
+    };
+    assert!(run(true) >= run(false));
+}
