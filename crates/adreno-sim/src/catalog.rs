@@ -43,8 +43,8 @@ const RAS_NAMES: [&str; 12] = [
     "PERF_RAS_SUPERTILE_ACTIVE_CYCLES", // 1 — Table 1
     "PERF_RAS_STALL_CYCLES_LRZ",
     "PERF_RAS_STARVE_CYCLES_TSE",
-    "PERF_RAS_SUPER_TILES",             // 4 — Table 1
-    "PERF_RAS_8X4_TILES",               // 5 — Table 1
+    "PERF_RAS_SUPER_TILES", // 4 — Table 1
+    "PERF_RAS_8X4_TILES",   // 5 — Table 1
     "PERF_RAS_MASKGEN_ACTIVE",
     "PERF_RAS_FULLY_COVERED_SUPER_TILES",
     "PERF_RAS_FULLY_COVERED_8X4_TILES", // 8 — Table 1
@@ -64,10 +64,10 @@ const VPC_NAMES: [&str; 16] = [
     "PERF_VPC_STALL_CYCLES_SP_LM",
     "PERF_VPC_STARVE_CYCLES_SP",
     "PERF_VPC_STARVE_CYCLES_LRZ",
-    "PERF_VPC_PC_PRIMITIVES",          // 9 — Table 1
-    "PERF_VPC_SP_COMPONENTS",          // 10 — Table 1
+    "PERF_VPC_PC_PRIMITIVES", // 9 — Table 1
+    "PERF_VPC_SP_COMPONENTS", // 10 — Table 1
     "PERF_VPC_STALL_CYCLES_VPCRAM_POS",
-    "PERF_VPC_LRZ_ASSIGN_PRIMITIVES",  // 12 — Table 1
+    "PERF_VPC_LRZ_ASSIGN_PRIMITIVES", // 12 — Table 1
     "PERF_VPC_RB_VISIBLE_PRIMITIVES",
     "PERF_VPC_LM_TRANSACTION",
     "PERF_VPC_MRT_TRANSACTION",
@@ -130,8 +130,9 @@ mod tests {
     #[test]
     fn names_are_unique_within_a_group() {
         for group in [CounterGroup::Lrz, CounterGroup::Ras, CounterGroup::Vpc] {
-            let mut names: Vec<&str> =
-                (0..group_len(group)).filter_map(|i| countable_name(CounterId::new(group, i))).collect();
+            let mut names: Vec<&str> = (0..group_len(group))
+                .filter_map(|i| countable_name(CounterId::new(group, i)))
+                .collect();
             let before = names.len();
             names.sort_unstable();
             names.dedup();

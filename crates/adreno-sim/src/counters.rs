@@ -361,17 +361,32 @@ mod tests {
 
     #[test]
     fn table1_ids_match_paper() {
-        assert_eq!(TrackedCounter::LrzVisiblePrimAfterLrz.id(), CounterId::new(CounterGroup::Lrz, 13));
+        assert_eq!(
+            TrackedCounter::LrzVisiblePrimAfterLrz.id(),
+            CounterId::new(CounterGroup::Lrz, 13)
+        );
         assert_eq!(TrackedCounter::LrzFull8x8Tiles.id(), CounterId::new(CounterGroup::Lrz, 14));
         assert_eq!(TrackedCounter::LrzPartial8x8Tiles.id(), CounterId::new(CounterGroup::Lrz, 15));
-        assert_eq!(TrackedCounter::LrzVisiblePixelAfterLrz.id(), CounterId::new(CounterGroup::Lrz, 18));
-        assert_eq!(TrackedCounter::RasSupertileActiveCycles.id(), CounterId::new(CounterGroup::Ras, 1));
+        assert_eq!(
+            TrackedCounter::LrzVisiblePixelAfterLrz.id(),
+            CounterId::new(CounterGroup::Lrz, 18)
+        );
+        assert_eq!(
+            TrackedCounter::RasSupertileActiveCycles.id(),
+            CounterId::new(CounterGroup::Ras, 1)
+        );
         assert_eq!(TrackedCounter::RasSuperTiles.id(), CounterId::new(CounterGroup::Ras, 4));
         assert_eq!(TrackedCounter::Ras8x4Tiles.id(), CounterId::new(CounterGroup::Ras, 5));
-        assert_eq!(TrackedCounter::RasFullyCovered8x4Tiles.id(), CounterId::new(CounterGroup::Ras, 8));
+        assert_eq!(
+            TrackedCounter::RasFullyCovered8x4Tiles.id(),
+            CounterId::new(CounterGroup::Ras, 8)
+        );
         assert_eq!(TrackedCounter::VpcPcPrimitives.id(), CounterId::new(CounterGroup::Vpc, 9));
         assert_eq!(TrackedCounter::VpcSpComponents.id(), CounterId::new(CounterGroup::Vpc, 10));
-        assert_eq!(TrackedCounter::VpcLrzAssignPrimitives.id(), CounterId::new(CounterGroup::Vpc, 12));
+        assert_eq!(
+            TrackedCounter::VpcLrzAssignPrimitives.id(),
+            CounterId::new(CounterGroup::Vpc, 12)
+        );
     }
 
     #[test]

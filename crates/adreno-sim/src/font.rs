@@ -77,7 +77,15 @@ pub fn glyph_strokes(c: char) -> Option<&'static [Segment]> {
         'z' => segs![(2, 3, 6, 3), (6, 3, 2, 7), (2, 7, 6, 7)],
         // --- uppercase ---------------------------------------------------
         'A' => segs![(2, 7, 4, 1), (4, 1, 6, 7), (3, 5, 5, 5)],
-        'B' => segs![(2, 1, 2, 7), (2, 1, 5, 1), (5, 1, 5, 4), (2, 4, 5, 4), (5, 4, 6, 5.5), (6, 5.5, 5, 7), (5, 7, 2, 7)],
+        'B' => segs![
+            (2, 1, 2, 7),
+            (2, 1, 5, 1),
+            (5, 1, 5, 4),
+            (2, 4, 5, 4),
+            (5, 4, 6, 5.5),
+            (6, 5.5, 5, 7),
+            (5, 7, 2, 7)
+        ],
         'C' => segs![(6, 1, 2, 1), (2, 1, 2, 7), (2, 7, 6, 7)],
         'D' => segs![(2, 1, 2, 7), (2, 1, 5, 1), (5, 1, 6, 4), (6, 4, 5, 7), (5, 7, 2, 7)],
         'E' => segs![(2, 1, 2, 7), (2, 1, 6, 1), (2, 4, 5, 4), (2, 7, 6, 7)],
@@ -128,8 +136,21 @@ pub fn glyph_strokes(c: char) -> Option<&'static [Segment]> {
             (5, 5, 6, 5)
         ],
         '#' => segs![(3, 1, 3, 7), (5, 1, 5, 7), (2, 3, 6, 3), (2, 5, 6, 5)],
-        '$' => segs![(6, 1.5, 2, 1.5), (2, 1.5, 2, 4), (2, 4, 6, 4), (6, 4, 6, 6.5), (6, 6.5, 2, 6.5), (4, 0.6, 4, 7.4)],
-        '&' => segs![(6, 7, 3, 3), (3, 3, 3.8, 1.2), (3.8, 1.2, 5.2, 2.4), (2.2, 4.6, 2, 7), (2, 7, 6, 4.6)],
+        '$' => segs![
+            (6, 1.5, 2, 1.5),
+            (2, 1.5, 2, 4),
+            (2, 4, 6, 4),
+            (6, 4, 6, 6.5),
+            (6, 6.5, 2, 6.5),
+            (4, 0.6, 4, 7.4)
+        ],
+        '&' => segs![
+            (6, 7, 3, 3),
+            (3, 3, 3.8, 1.2),
+            (3.8, 1.2, 5.2, 2.4),
+            (2.2, 4.6, 2, 7),
+            (2, 7, 6, 4.6)
+        ],
         '-' => segs![(2, 4, 6, 4)],
         '+' => segs![(2, 4, 6, 4), (4, 2, 4, 6)],
         '(' => segs![(5, 1, 3.4, 3), (3.4, 3, 3.4, 5), (3.4, 5, 5, 7)],
@@ -141,7 +162,14 @@ pub fn glyph_strokes(c: char) -> Option<&'static [Segment]> {
         ':' => segs![(4, 2.8, 4, 3.5), (4, 5.8, 4, 6.5)],
         ';' => segs![(4, 2.8, 4, 3.5), (4, 6, 4, 6.8), (4, 6.8, 3.4, 7.8)],
         '!' => segs![(4, 1, 4, 5), (4, 6.3, 4, 7)],
-        '?' => segs![(2, 2, 2, 1.2), (2, 1.2, 6, 1.2), (6, 1.2, 6, 3), (6, 3, 4, 4.2), (4, 4.2, 4, 5), (4, 6.3, 4, 7)],
+        '?' => segs![
+            (2, 2, 2, 1.2),
+            (2, 1.2, 6, 1.2),
+            (6, 1.2, 6, 3),
+            (6, 3, 4, 4.2),
+            (4, 4.2, 4, 5),
+            (4, 6.3, 4, 7)
+        ],
         ' ' => segs![],
         _ => return None,
     };

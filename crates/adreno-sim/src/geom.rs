@@ -98,7 +98,10 @@ impl Rect {
     /// contained by everything.
     pub fn contains_rect(&self, other: &Rect) -> bool {
         other.is_empty()
-            || (other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1)
+            || (other.x0 >= self.x0
+                && other.x1 <= self.x1
+                && other.y0 >= self.y0
+                && other.y1 <= self.y1)
     }
 
     /// The overlapping region of two rectangles (possibly empty).

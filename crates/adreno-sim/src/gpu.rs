@@ -115,7 +115,12 @@ impl Gpu {
 
     /// Submits an opaque workload (e.g. a background 3D app or a mitigation
     /// decoy) that consumes `cycles` and bumps counters by `totals`.
-    pub fn submit_workload(&mut self, totals: CounterSet, cycles: u64, now: SimInstant) -> FrameStats {
+    pub fn submit_workload(
+        &mut self,
+        totals: CounterSet,
+        cycles: u64,
+        now: SimInstant,
+    ) -> FrameStats {
         // A single mid-job checkpoint keeps split behaviour for workloads too.
         let half = CounterSet::from_array({
             let mut a = [0u64; crate::counters::NUM_TRACKED];
@@ -272,7 +277,10 @@ mod tests {
     #[test]
     fn idle_gpu_reports_zero_busy() {
         let gpu = Gpu::new(GpuModel::Adreno650);
-        assert_eq!(gpu.busy_fraction(SimInstant::from_millis(100), SimDuration::from_millis(100)), 0.0);
+        assert_eq!(
+            gpu.busy_fraction(SimInstant::from_millis(100), SimDuration::from_millis(100)),
+            0.0
+        );
     }
 
     #[test]

@@ -56,7 +56,12 @@ impl OcclusionGrid {
         let cells_x = (width + LRZ_TILE - 1) / LRZ_TILE;
         let cells_y = (height + LRZ_TILE - 1) / LRZ_TILE;
         let words_per_row = (cells_x as usize).div_ceil(64);
-        OcclusionGrid { cells_x, cells_y, words_per_row, bits: vec![0; words_per_row * cells_y as usize] }
+        OcclusionGrid {
+            cells_x,
+            cells_y,
+            words_per_row,
+            bits: vec![0; words_per_row * cells_y as usize],
+        }
     }
 
     /// Grid width in cells.
@@ -289,7 +294,8 @@ fn process_stroke(
     params: &GpuParams,
 ) -> PrimStats {
     let mut s = PrimStats { submitted: 1, components: 24, ..PrimStats::default() };
-    let (touched, full, occluded) = stroke_tiles(seg, dest, thickness, LRZ_TILE, LRZ_TILE, Some(occ));
+    let (touched, full, occluded) =
+        stroke_tiles(seg, dest, thickness, LRZ_TILE, LRZ_TILE, Some(occ));
     if touched > 0 && occluded >= touched {
         s.lrz_assigned = true;
         s.cycles = params.prim_setup_cycles as u64;
@@ -303,7 +309,8 @@ fn process_stroke(
     s.partial_8x8 = scale(touched - full);
     s.visible_pixels = scale(seg.screen_coverage(dest, font::GRID, thickness) as u64);
     let (t84, f84, _) = stroke_tiles(seg, dest, thickness, RAS_TILE_W, RAS_TILE_H, None);
-    let (st, _, _) = stroke_tiles(seg, dest, thickness, params.supertile_w, params.supertile_h, None);
+    let (st, _, _) =
+        stroke_tiles(seg, dest, thickness, params.supertile_w, params.supertile_h, None);
     s.supertiles = scale(st).max(1);
     s.ras_8x4 = scale(t84);
     s.ras_full_8x4 = scale(f84);
@@ -327,7 +334,8 @@ impl PrimStats {
         c[TrackedCounter::RasFullyCovered8x4Tiles] = self.ras_full_8x4;
         c[TrackedCounter::VpcPcPrimitives] = self.submitted;
         c[TrackedCounter::VpcSpComponents] = if self.visible > 0 { self.components } else { 0 };
-        c[TrackedCounter::VpcLrzAssignPrimitives] = if self.lrz_assigned { self.submitted } else { 0 };
+        c[TrackedCounter::VpcLrzAssignPrimitives] =
+            if self.lrz_assigned { self.submitted } else { 0 };
         c
     }
 }
@@ -523,7 +531,9 @@ mod tests {
         let b = render(&over, &params());
 
         assert!(b.totals[TrackedCounter::Ras8x4Tiles] > a.totals[TrackedCounter::Ras8x4Tiles]);
-        assert!(b.totals[TrackedCounter::VpcPcPrimitives] > a.totals[TrackedCounter::VpcPcPrimitives]);
+        assert!(
+            b.totals[TrackedCounter::VpcPcPrimitives] > a.totals[TrackedCounter::VpcPcPrimitives]
+        );
         // The popup occludes part of the background → LRZ assignment changes.
         assert!(b.totals[TrackedCounter::VpcLrzAssignPrimitives] > 0);
     }

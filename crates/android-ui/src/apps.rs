@@ -146,7 +146,12 @@ impl LoginScreen {
         let h = config.height();
         let off = config.ui_scale_offset();
         let card = Rect::new(w / 12, h / 6 + off, w * 11 / 12, h / 2 + off);
-        let field = Rect::new(card.x0 + 24, card.y0 + card.height() / 2, card.x1 - 24, card.y0 + card.height() / 2 + 96);
+        let field = Rect::new(
+            card.x0 + 24,
+            card.y0 + card.height() / 2,
+            card.x1 - 24,
+            card.y0 + card.height() / 2 + 96,
+        );
         LoginScreen { app, width: w, height: h, card, field }
     }
 
@@ -172,7 +177,12 @@ impl LoginScreen {
         dl
     }
 
-    fn draw_field_content(&self, field_layer: &mut adreno_sim::scene::Layer, text_len: usize, cursor_visible: bool) {
+    fn draw_field_content(
+        &self,
+        field_layer: &mut adreno_sim::scene::Layer,
+        text_len: usize,
+        cursor_visible: bool,
+    ) {
         field_layer.quad(self.field, true);
         // Committed characters: one cell quad each (masked input dots). The
         // 40 px cell pitch is a multiple of the 8 px LRZ tile, so every cell
@@ -225,7 +235,11 @@ impl LoginScreen {
         let glyph_w = 54;
         let mut x = self.card.x0 + 32;
         for ch in logo.chars() {
-            chrome.glyph(ch, Rect::new(x, self.card.y0 + 28, x + glyph_w, self.card.y0 + 28 + 72), 6);
+            chrome.glyph(
+                ch,
+                Rect::new(x, self.card.y0 + 28, x + glyph_w, self.card.y0 + 28 + 72),
+                6,
+            );
             x += glyph_w + 6;
         }
 
@@ -248,11 +262,7 @@ impl LoginScreen {
             anim.quad(origin, false);
             for k in 0..6 {
                 let fx = k as f32 * 1.3;
-                anim.stroke(
-                    Segment::new(0.5 + fx * 0.3, 1.0, 1.5 + fx * 0.5, 7.0),
-                    origin,
-                    4,
-                );
+                anim.stroke(Segment::new(0.5 + fx * 0.3, 1.0, 1.5 + fx * 0.5, 7.0), origin, 4);
             }
         }
         dl
@@ -276,8 +286,7 @@ mod tests {
 
     #[test]
     fn apps_have_distinct_base_costs() {
-        let mut costs: Vec<u64> =
-            FIG19_APPS.iter().map(|&a| cost(a, 0, false, 0.0)).collect();
+        let mut costs: Vec<u64> = FIG19_APPS.iter().map(|&a| cost(a, 0, false, 0.0)).collect();
         costs.sort_unstable();
         costs.dedup();
         assert_eq!(costs.len(), FIG19_APPS.len(), "each app needs a unique chrome cost");
@@ -288,9 +297,12 @@ mod tests {
         use adreno_sim::counters::TrackedCounter;
         let screen = LoginScreen::new(TargetApp::Chase, &cfg());
         let params = GpuModel::Adreno650.params();
-        let p0 = render(&screen.draw(3, false, 0.0), &params).totals[TrackedCounter::LrzVisiblePrimAfterLrz];
-        let p1 = render(&screen.draw(4, false, 0.0), &params).totals[TrackedCounter::LrzVisiblePrimAfterLrz];
-        let p2 = render(&screen.draw(5, false, 0.0), &params).totals[TrackedCounter::LrzVisiblePrimAfterLrz];
+        let p0 = render(&screen.draw(3, false, 0.0), &params).totals
+            [TrackedCounter::LrzVisiblePrimAfterLrz];
+        let p1 = render(&screen.draw(4, false, 0.0), &params).totals
+            [TrackedCounter::LrzVisiblePrimAfterLrz];
+        let p2 = render(&screen.draw(5, false, 0.0), &params).totals
+            [TrackedCounter::LrzVisiblePrimAfterLrz];
         assert_eq!(p1 - p0, 2, "one character = one quad = two visible primitives (Fig 14)");
         assert_eq!(p2 - p1, 2);
     }

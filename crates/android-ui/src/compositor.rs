@@ -374,7 +374,8 @@ mod tests {
         kw.show_popup('g'); // middle of the keyboard: popup covers keys above
         let with = render(&kw.draw(), &params).totals;
         assert!(
-            with[TrackedCounter::VpcLrzAssignPrimitives] > base[TrackedCounter::VpcLrzAssignPrimitives],
+            with[TrackedCounter::VpcLrzAssignPrimitives]
+                > base[TrackedCounter::VpcLrzAssignPrimitives],
             "popup must occlude keys underneath"
         );
     }

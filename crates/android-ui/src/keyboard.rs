@@ -210,8 +210,23 @@ pub fn page_of(c: char) -> Option<Page> {
     match c {
         'a'..='z' | ',' | '.' | ' ' => Some(Page::Lower),
         'A'..='Z' => Some(Page::Upper),
-        '0'..='9' | '@' | '#' | '$' | '&' | '-' | '+' | '(' | ')' | '/' | '*' | '"' | '\'' | ':'
-        | ';' | '!' | '?' => Some(Page::Number),
+        '0'..='9'
+        | '@'
+        | '#'
+        | '$'
+        | '&'
+        | '-'
+        | '+'
+        | '('
+        | ')'
+        | '/'
+        | '*'
+        | '"'
+        | '\''
+        | ':'
+        | ';'
+        | '!'
+        | '?' => Some(Page::Number),
         _ => None,
     }
 }
@@ -297,16 +312,16 @@ impl KeyboardLayout {
             let chars: Vec<char> = row.chars().collect();
             // Row 2 carries shift (or page symmetry) on the left and
             // backspace on the right, like real layouts.
-            let (lead, trail): (Option<Key>, Option<Key>) = if ri == 2 {
-                (Some(Key::Shift), Some(Key::Backspace))
-            } else {
-                (None, None)
-            };
+            let (lead, trail): (Option<Key>, Option<Key>) =
+                if ri == 2 { (Some(Key::Shift), Some(Key::Backspace)) } else { (None, None) };
             let slots = chars.len() as i32 + lead.is_some() as i32 + trail.is_some() as i32;
             let key_w = kb.width() / slots.max(1);
             let mut x = kb.x0;
             if let Some(k) = lead {
-                out.push(KeyGeometry { key: k, rect: Rect::new(x + m, y0 + m, x + key_w - m, y0 + row_h - m) });
+                out.push(KeyGeometry {
+                    key: k,
+                    rect: Rect::new(x + m, y0 + m, x + key_w - m, y0 + row_h - m),
+                });
                 x += key_w;
             }
             for c in chars {
@@ -317,7 +332,10 @@ impl KeyboardLayout {
                 x += key_w;
             }
             if let Some(k) = trail {
-                out.push(KeyGeometry { key: k, rect: Rect::new(x + m, y0 + m, x + key_w - m, y0 + row_h - m) });
+                out.push(KeyGeometry {
+                    key: k,
+                    rect: Rect::new(x + m, y0 + m, x + key_w - m, y0 + row_h - m),
+                });
             }
         }
 
@@ -344,10 +362,7 @@ impl KeyboardLayout {
     pub fn key_for_char(&self, c: char) -> Option<(Page, Rect)> {
         let page = page_of(c)?;
         let key = if c == ' ' { Key::Space } else { Key::Char(c) };
-        self.keys(page)
-            .into_iter()
-            .find(|kg| kg.key == key)
-            .map(|kg| (page, kg.rect))
+        self.keys(page).into_iter().find(|kg| kg.key == key).map(|kg| (page, kg.rect))
     }
 
     /// The popup rectangle shown while `key_rect` is pressed.

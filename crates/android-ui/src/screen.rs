@@ -142,9 +142,10 @@ impl PhoneModel {
         match self {
             PhoneModel::LgV30Plus => AndroidVersion::V9,
             PhoneModel::GooglePixel2 => AndroidVersion::V10,
-            PhoneModel::OnePlus7Pro | PhoneModel::OnePlus8Pro | PhoneModel::OnePlus9 | PhoneModel::GalaxyS21 => {
-                AndroidVersion::V11
-            }
+            PhoneModel::OnePlus7Pro
+            | PhoneModel::OnePlus8Pro
+            | PhoneModel::OnePlus9
+            | PhoneModel::GalaxyS21 => AndroidVersion::V11,
         }
     }
 
@@ -231,7 +232,11 @@ impl DeviceConfig {
 
 impl fmt::Display for DeviceConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} / Android {} / {} / {}", self.phone, self.android, self.resolution, self.refresh)
+        write!(
+            f,
+            "{} / Android {} / {} / {}",
+            self.phone, self.android, self.resolution, self.refresh
+        )
     }
 }
 
@@ -272,10 +277,13 @@ mod tests {
 
     #[test]
     fn ui_offsets_differ_across_versions() {
-        let mut offs: Vec<i32> = [AndroidVersion::V8_1, AndroidVersion::V9, AndroidVersion::V10, AndroidVersion::V11]
-            .into_iter()
-            .map(|v| DeviceConfig { android: v, ..DeviceConfig::oneplus8pro() }.ui_scale_offset())
-            .collect();
+        let mut offs: Vec<i32> =
+            [AndroidVersion::V8_1, AndroidVersion::V9, AndroidVersion::V10, AndroidVersion::V11]
+                .into_iter()
+                .map(|v| {
+                    DeviceConfig { android: v, ..DeviceConfig::oneplus8pro() }.ui_scale_offset()
+                })
+                .collect();
         offs.dedup();
         assert_eq!(offs.len(), 4);
     }

@@ -467,7 +467,10 @@ impl UiSimulation {
                 self.restart_cursor(at);
                 self.truth.push(pressed_at, TruthKind::Commit(c));
                 if self.keyboard.popup().is_some() {
-                    self.queue(TimedEvent::new(at + POPUP_LINGER, UiEvent::PopupHide(self.popup_gen)));
+                    self.queue(TimedEvent::new(
+                        at + POPUP_LINGER,
+                        UiEvent::PopupHide(self.popup_gen),
+                    ));
                 }
             }
             Key::Space => {
@@ -530,10 +533,8 @@ impl UiSimulation {
             let tw = self.rng.gen_range(w / 3..w * 9 / 10);
             let th = self.rng.gen_range(80..220);
             let mut dl = adreno_sim::scene::DrawList::new(w, 320);
-            dl.layer("toast").quad(
-                adreno_sim::geom::Rect::new((w - tw) / 2, 40, (w + tw) / 2, 40 + th),
-                true,
-            );
+            dl.layer("toast")
+                .quad(adreno_sim::geom::Rect::new((w - tw) / 2, 40, (w + tw) / 2, 40 + th), true);
             dl
         };
         self.submit(&dl, at);
@@ -615,7 +616,8 @@ impl UiSimulation {
         // run below the panel rate, which is what leaves the attacker the
         // occasional clean read window (Fig 29).
         let anim_frame = self.config.app.animated_login() && {
-            let frame_idx = t.as_nanos() / self.config.device.refresh.frame_interval().as_nanos().max(1);
+            let frame_idx =
+                t.as_nanos() / self.config.device.refresh.frame_interval().as_nanos().max(1);
             frame_idx % 3 != 2
         };
         if self.damage.app_full || anim_frame {
@@ -803,10 +805,7 @@ mod tests {
 
     #[test]
     fn pnc_login_renders_every_frame() {
-        let mut sim = UiSimulation::new(SimConfig {
-            app: TargetApp::Pnc,
-            ..quiet_config(9)
-        });
+        let mut sim = UiSimulation::new(SimConfig { app: TargetApp::Pnc, ..quiet_config(9) });
         sim.advance_to(SimInstant::from_millis(1_000));
         // ~40 animation frames in 1s (decorative animations run below the
         // panel rate, leaving the attacker occasional clean read windows).

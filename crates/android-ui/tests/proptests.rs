@@ -1,6 +1,8 @@
 //! Property-based tests of the UI substrate's invariants.
 
-use android_ui::keyboard::{keys_to_reach, page_after, page_of, Key, KeyboardLayout, Page, ALL_KEYBOARDS};
+use android_ui::keyboard::{
+    keys_to_reach, page_after, page_of, Key, KeyboardLayout, Page, ALL_KEYBOARDS,
+};
 use android_ui::screen::{AndroidVersion, Resolution, ALL_PHONES};
 use android_ui::{DeviceConfig, RefreshRate};
 use proptest::prelude::*;

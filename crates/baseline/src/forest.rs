@@ -30,12 +30,7 @@ fn majority(rows: &[usize], labels: &[usize], n_classes: usize) -> usize {
     for &r in rows {
         counts[labels[r]] += 1;
     }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, c)| **c)
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -56,7 +51,7 @@ fn grow(
     }
     let dims = xs[0].len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
-    // Random feature subset (the "random" in random forest).
+                                                    // Random feature subset (the "random" in random forest).
     let mut features: Vec<usize> = (0..dims).collect();
     for i in (1..features.len()).rev() {
         features.swap(i, rng.gen_range(0..=i));
@@ -106,8 +101,28 @@ fn grow(
     Node::Split {
         feature: f,
         threshold: thr,
-        left: Box::new(grow(&left_rows, xs, ys, n_classes, depth + 1, max_depth, min_leaf, n_features_try, rng)),
-        right: Box::new(grow(&right_rows, xs, ys, n_classes, depth + 1, max_depth, min_leaf, n_features_try, rng)),
+        left: Box::new(grow(
+            &left_rows,
+            xs,
+            ys,
+            n_classes,
+            depth + 1,
+            max_depth,
+            min_leaf,
+            n_features_try,
+            rng,
+        )),
+        right: Box::new(grow(
+            &right_rows,
+            xs,
+            ys,
+            n_classes,
+            depth + 1,
+            max_depth,
+            min_leaf,
+            n_features_try,
+            rng,
+        )),
     }
 }
 

@@ -130,7 +130,10 @@ pub fn table2_cell(scene: DesktopScene, algo: BaselineAlgo, protocol: Protocol) 
             Box::new(move |x| m.predict(x))
         }
         BaselineAlgo::RandomForest => {
-            let m = RandomForest::fit(&train, ForestConfig { seed: protocol.seed, ..Default::default() });
+            let m = RandomForest::fit(
+                &train,
+                ForestConfig { seed: protocol.seed, ..Default::default() },
+            );
             Box::new(move |x| m.predict(x))
         }
     };

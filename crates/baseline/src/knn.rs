@@ -63,8 +63,7 @@ impl Knn {
         votes
             .into_iter()
             .max_by(|a, b| {
-                a.1.cmp(&b.1)
-                    .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+                a.1.cmp(&b.1).then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
             })
             .map(|(c, _, _)| c)
             .expect("k >= 1 guarantees one vote")
@@ -77,12 +76,7 @@ mod tests {
 
     #[test]
     fn majority_wins() {
-        let data = vec![
-            (vec![0.0], 0),
-            (vec![0.1], 0),
-            (vec![0.2], 1),
-            (vec![50.0], 1),
-        ];
+        let data = vec![(vec![0.0], 0), (vec![0.1], 0), (vec![0.2], 1), (vec![50.0], 1)];
         let knn = Knn::fit(3, &data);
         // Neighbours of 0.05: two class-0, one class-1.
         assert_eq!(knn.predict(&[0.05]), 0);

@@ -127,12 +127,7 @@ mod tests {
     #[test]
     fn priors_break_ties() {
         // Identical likelihoods → the larger class wins.
-        let data = vec![
-            (vec![0.0], 0),
-            (vec![0.0], 0),
-            (vec![0.0], 0),
-            (vec![0.0], 1),
-        ];
+        let data = vec![(vec![0.0], 0), (vec![0.0], 0), (vec![0.0], 0), (vec![0.0], 1)];
         let nb = GaussianNb::fit(&data);
         assert_eq!(nb.predict(&[0.0]), 0);
     }

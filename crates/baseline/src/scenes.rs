@@ -68,7 +68,10 @@ impl DesktopScene {
         let line = dl.layer("text-line");
         let line_y = 400;
         // Scene-specific invalidation overhead.
-        line.quad(Rect::from_xywh(60, line_y - self.chrome_rows() * 8, w - 120, self.chrome_rows() * 8), true);
+        line.quad(
+            Rect::from_xywh(60, line_y - self.chrome_rows() * 8, w - 120, self.chrome_rows() * 8),
+            true,
+        );
         line.quad(Rect::from_xywh(60, line_y, w - 120, 36), true);
         // Previously typed characters on the damaged line …
         for i in 0..pos.min(80) {

@@ -25,9 +25,7 @@ fn trained_model() -> ClassifierModel {
 fn bench_classify(c: &mut Criterion) {
     let model = trained_model();
     let probe = model.centroids()[17].values;
-    c.bench_function("classify_one_delta", |b| {
-        b.iter(|| model.classify(black_box(&probe)))
-    });
+    c.bench_function("classify_one_delta", |b| b.iter(|| model.classify(black_box(&probe))));
 }
 
 fn bench_algorithm1(c: &mut Criterion) {
@@ -39,7 +37,10 @@ fn bench_algorithm1(c: &mut Criterion) {
         .cycle()
         .take(200)
         .enumerate()
-        .map(|(i, kc)| Delta { at: SimInstant::from_millis(100 + 300 * i as u64), values: kc.values })
+        .map(|(i, kc)| Delta {
+            at: SimInstant::from_millis(100 + 300 * i as u64),
+            values: kc.values,
+        })
         .collect();
     c.bench_function("algorithm1_200_changes", |b| {
         b.iter(|| infer_stream(black_box(&model), black_box(&deltas), OnlineConfig::default()))

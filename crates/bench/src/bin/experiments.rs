@@ -38,11 +38,20 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("mitigation", "§9 mitigation matrix", experiments::mitigation::mitigation),
     ("modelsize", "§7.6 model sizes", experiments::adapt::modelsize),
     ("guessing", "recovery within G guesses (§7.1 extension)", experiments::extensions::guessing),
-    ("defense-tuning", "cheapest sufficient §9.3 decoy rate", experiments::extensions::defense_tuning),
+    (
+        "defense-tuning",
+        "cheapest sufficient §9.3 decoy rate",
+        experiments::extensions::defense_tuning,
+    ),
     ("ablate-greedy", "greedy vs full-trace Algorithm 1", experiments::ablate::ablate_greedy),
-    ("ablate-corroboration", "echo-corroboration insertion filter", experiments::extensions::ablate_corroboration),
+    (
+        "ablate-corroboration",
+        "echo-corroboration insertion filter",
+        experiments::extensions::ablate_corroboration,
+    ),
     ("ablate-counters", "counter-subset ablation", experiments::ablate::ablate_counters),
     ("ablate-threshold", "C_th sweep", experiments::ablate::ablate_threshold),
+    ("faults", "fault intensity × retry budget sweep", experiments::faults::faults),
 ];
 
 fn usage() -> ! {

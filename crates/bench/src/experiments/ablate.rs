@@ -20,7 +20,10 @@ pub fn ablate_greedy(ctx: &mut Ctx) {
         opts.service.full_trace = full;
         let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
         let agg = eval_credentials(&store, &opts, CredentialKind::Username, 12, trials, 0xAB1);
-        report::pct_row(name, &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())]);
+        report::pct_row(
+            name,
+            &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
+        );
     }
 }
 
@@ -43,12 +46,16 @@ pub fn ablate_counters(ctx: &mut Ctx) {
             }
             m
         });
-        let trainer = Trainer::new(TrainerConfig { counter_mask: mask, ..TrainerConfig::default() });
+        let trainer =
+            Trainer::new(TrainerConfig { counter_mask: mask, ..TrainerConfig::default() });
         let model = trainer.train(opts.sim.device, opts.sim.keyboard, opts.sim.app);
         let mut store = ModelStore::new();
         store.add(model);
         let agg = eval_credentials(&store, &opts, CredentialKind::Username, 12, trials, 0xAB2);
-        report::pct_row(name, &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())]);
+        report::pct_row(
+            name,
+            &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
+        );
     }
 }
 

@@ -42,8 +42,14 @@ pub fn fig11(ctx: &mut Ctx) {
         }
     }
     report::kv("key presses emulated", presses);
-    report::kv("duplications suppressed", format!("{dup} ({:.1}%)", dup as f64 / presses as f64 * 100.0));
-    report::kv("splits recombined", format!("{split} ({:.1}%)", split as f64 / presses as f64 * 100.0));
+    report::kv(
+        "duplications suppressed",
+        format!("{dup} ({:.1}%)", dup as f64 / presses as f64 * 100.0),
+    );
+    report::kv(
+        "splits recombined",
+        format!("{split} ({:.1}%)", split as f64 / presses as f64 * 100.0),
+    );
     report::kv("noise changes rejected", noise);
     println!("(paper: 633 dup / 316 split / 21 noise in 3,485 presses ≈ 18% / 9% / 0.6%)");
 }
@@ -55,12 +61,16 @@ pub fn fig17(ctx: &mut Ctx) {
     let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
     let per_len = ctx.trials(25);
     let mut all = Aggregate::default();
-    println!(
-        "{:<8} {:>10} {:>10} {:>12}",
-        "length", "text acc", "key acc", "errors/text"
-    );
+    println!("{:<8} {:>10} {:>10} {:>12}", "length", "text acc", "key acc", "errors/text");
     for len in 8..=16usize {
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, len, per_len, 1_700 + len as u64);
+        let agg = eval_credentials(
+            &store,
+            &opts,
+            CredentialKind::Username,
+            len,
+            per_len,
+            1_700 + len as u64,
+        );
         println!(
             "{:<8} {:>9.1}% {:>9.1}% {:>12.2}",
             len,
@@ -70,8 +80,14 @@ pub fn fig17(ctx: &mut Ctx) {
         );
         all.merge(&agg);
     }
-    report::kv("average text accuracy", format!("{:.1}% (paper: 81.3%)", all.text_accuracy() * 100.0));
-    report::kv("average key accuracy", format!("{:.1}% (paper: 98.3%)", all.key_accuracy() * 100.0));
+    report::kv(
+        "average text accuracy",
+        format!("{:.1}% (paper: 81.3%)", all.text_accuracy() * 100.0),
+    );
+    report::kv(
+        "average key accuracy",
+        format!("{:.1}% (paper: 98.3%)", all.key_accuracy() * 100.0),
+    );
 
     println!();
     println!("Fig 17(c): accuracy per character group");
@@ -81,7 +97,8 @@ pub fn fig17(ctx: &mut Ctx) {
         ("number", CredentialKind::NumberOnly),
         ("symbol", CredentialKind::SymbolOnly),
     ] {
-        let agg = eval_credentials(&store, &opts, kind, 10, ctx.trials(15), 0xC0 + name.len() as u64);
+        let agg =
+            eval_credentials(&store, &opts, kind, 10, ctx.trials(15), 0xC0 + name.len() as u64);
         report::pct_row(
             &format!("  {name}"),
             &[("key".into(), agg.key_accuracy()), ("text".into(), agg.text_accuracy())],
@@ -110,7 +127,9 @@ pub fn fig18(ctx: &mut Ctx) {
         sim.queue_all(plan.events);
         let service = AttackService::new(store.clone(), ServiceConfig::default());
         if let Ok(result) = service.eavesdrop(&mut sim, end) {
-            for (c, (ok, tot)) in per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections) {
+            for (c, (ok, tot)) in
+                per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections)
+            {
                 let e = tallies.entry(c).or_insert((0, 0));
                 e.0 += ok;
                 e.1 += tot;
@@ -128,7 +147,9 @@ pub fn fig18(ctx: &mut Ctx) {
         report::bar(&format!("{c:?} (n={tot})"), *acc, 1.0);
     }
     let overall: f64 = {
-        let (ok, tot) = rows.iter().fold((0.0, 0usize), |(a, b), (_, acc, tot)| (a + acc * *tot as f64, b + tot));
+        let (ok, tot) = rows
+            .iter()
+            .fold((0.0, 0usize), |(a, b), (_, acc, tot)| (a + acc * *tot as f64, b + tot));
         ok / tot as f64
     };
     report::kv("overall per-key accuracy", format!("{:.1}%", overall * 100.0));
@@ -173,5 +194,8 @@ pub fn fig20(ctx: &mut Ctx) {
     }
     let spread = accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - accs.iter().cloned().fold(f64::INFINITY, f64::min);
-    report::kv("text-accuracy spread across keyboards", format!("{:.1}pp (paper: <5pp)", spread * 100.0));
+    report::kv(
+        "text-accuracy spread across keyboards",
+        format!("{:.1}pp (paper: <5pp)", spread * 100.0),
+    );
 }

@@ -58,10 +58,15 @@ pub fn fig24(ctx: &mut Ctx) {
     }
 
     println!("(d) Android OS versions (OnePlus 8 Pro hardware)");
-    for android in [AndroidVersion::V8_1, AndroidVersion::V9, AndroidVersion::V10, AndroidVersion::V11] {
+    for android in
+        [AndroidVersion::V8_1, AndroidVersion::V9, AndroidVersion::V10, AndroidVersion::V11]
+    {
         let device = DeviceConfig { android, ..DeviceConfig::oneplus8pro() };
         let (text, key) = eval_device(ctx, device, trials, 24);
-        report::pct_row(&format!("  Android {android}"), &[("text".into(), text), ("key".into(), key)]);
+        report::pct_row(
+            &format!("  Android {android}"),
+            &[("text".into(), text), ("key".into(), key)],
+        );
     }
 }
 

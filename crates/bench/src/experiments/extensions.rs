@@ -60,7 +60,9 @@ pub fn guessing(ctx: &mut Ctx) {
         "single-edit repair (~1k)",
         &[("recovered".into(), one_edit as f64 / total.max(1) as f64)],
     );
-    println!("(errors here are mostly missed/extra presses, so edit repair dominates rank guessing)");
+    println!(
+        "(errors here are mostly missed/extra presses, so edit repair dominates rank guessing)"
+    );
 }
 
 /// Quantifies the echo-corroboration insertion filter: slow typists suffer
@@ -98,7 +100,8 @@ pub fn defense_tuning(ctx: &mut Ctx) {
     let measure = |ctx: &mut Ctx, rate: f64| -> f64 {
         let _ = &ctx;
         let mut o = base.clone();
-        o.sim.obfuscation = if rate > 0.0 { Some(ObfuscationConfig::popup_sized(rate)) } else { None };
+        o.sim.obfuscation =
+            if rate > 0.0 { Some(ObfuscationConfig::popup_sized(rate)) } else { None };
         eval_credentials(&store, &o, CredentialKind::Username, 10, trials, 0xDEF).key_accuracy()
     };
 

@@ -3,8 +3,8 @@
 
 use adreno_sim::time::SimDuration;
 use android_ui::TargetApp;
-use kgsl::{AccessPolicy, ObfuscationConfig, SelinuxDomain};
 use input_bot::corpus::CredentialKind;
+use kgsl::{AccessPolicy, ObfuscationConfig, SelinuxDomain};
 
 use crate::experiments::Ctx;
 use crate::report;
@@ -67,14 +67,13 @@ pub fn mitigation(ctx: &mut Ctx) {
         });
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(91);
         let mut typist = input_bot::script::Typist::new(input_bot::timing::VOLUNTEERS[2]);
-        let plan = typist.type_text("secretpass", adreno_sim::SimInstant::from_millis(900), &mut rng);
+        let plan =
+            typist.type_text("secretpass", adreno_sim::SimInstant::from_millis(900), &mut rng);
         let end = plan.end + SimDuration::from_millis(500);
         sim.queue_all(plan.events);
-        let mut sampler = gpu_sc_attack::Sampler::open(
-            sim.device(),
-            gpu_sc_attack::SamplerConfig::default_8ms(),
-        )
-        .expect("stock policy");
+        let mut sampler =
+            gpu_sc_attack::Sampler::open(sim.device(), gpu_sc_attack::SamplerConfig::default_8ms())
+                .expect("stock policy");
         let trace = sampler.sample_until(&mut sim, end).expect("stock policy");
         let mut detector = gpu_sc_attack::correction::CorrectionDetector::new(
             model.ambient_signatures().to_vec(),
@@ -120,12 +119,8 @@ pub fn mitigation(ctx: &mut Ctx) {
             let service = gpu_sc_attack::AttackService::new(store.clone(), Default::default());
             total += text.len();
             if let Ok(result) = service.eavesdrop(&mut sim, end) {
-                correct += result
-                    .recovered_text
-                    .chars()
-                    .zip(text.chars())
-                    .filter(|(a, b)| a == b)
-                    .count();
+                correct +=
+                    result.recovered_text.chars().zip(text.chars()).filter(|(a, b)| a == b).count();
             }
         }
         report::pct_row(name, &[("key".into(), correct as f64 / total.max(1) as f64)]);
@@ -137,7 +132,8 @@ pub fn mitigation(ctx: &mut Ctx) {
     println!("§9.3 obfuscation sweep (decoy injections/s vs accuracy vs GPU overhead)");
     for rate in [0.0, 5.0, 20.0, 60.0] {
         let mut opts = base.clone();
-        opts.sim.obfuscation = if rate > 0.0 { Some(ObfuscationConfig::popup_sized(rate)) } else { None };
+        opts.sim.obfuscation =
+            if rate > 0.0 { Some(ObfuscationConfig::popup_sized(rate)) } else { None };
         let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, trials, 93);
         // Overhead: decoy cycles per second relative to a 60 Hz frame budget.
         let decoy_cycles = 24_000.0 * rate;

@@ -2,9 +2,10 @@
 //! function per table/figure of the paper (see DESIGN.md §3 for the index).
 
 pub mod ablate;
-pub mod extensions;
 pub mod accuracy;
 pub mod adapt;
+pub mod extensions;
+pub mod faults;
 pub mod mitigation;
 pub mod overhead;
 pub mod practical;

@@ -40,7 +40,9 @@ fn session_sim(seed: u64, volunteer: usize) -> (UiSimulation, SimInstant) {
 /// Fig 27: the user-behaviour event traces of the practical sessions.
 pub fn fig27(_ctx: &mut Ctx) {
     report::section("Fig 27", "user behaviour events during practical sessions");
-    println!("legend: k=key press  x=backspace  <=switch away  >=switch back  n=notification  s=shade");
+    println!(
+        "legend: k=key press  x=backspace  <=switch away  >=switch back  n=notification  s=shade"
+    );
     for v in 0..VOLUNTEERS.len() {
         let (mut sim, end) = session_sim(2_700 + v as u64, v);
         sim.advance_to(end);
@@ -81,7 +83,9 @@ pub fn fig28(ctx: &mut Ctx) {
             if result.recovered_text == sim.truth().final_text() {
                 exact += 1;
             }
-            for (_, (ok, tot)) in per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections) {
+            for (_, (ok, tot)) in
+                per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections)
+            {
                 v_ok += ok;
                 v_tot += tot;
             }

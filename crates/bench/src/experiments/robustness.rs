@@ -92,8 +92,10 @@ pub fn fig23(ctx: &mut Ctx) {
         for interval_ms in [4u64, 8, 12] {
             let mut opts = TrialOptions::paper_default(0);
             opts.sim.device.refresh = refresh;
-            opts.service.sampler =
-                SamplerConfig { interval: SimDuration::from_millis(interval_ms), cpu_load: 0.0, seed: 0 };
+            opts.service.sampler = SamplerConfig {
+                interval: SimDuration::from_millis(interval_ms),
+                ..SamplerConfig::default_8ms()
+            };
             let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
             let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, per_point, 23);
             report::pct_row(

@@ -95,7 +95,10 @@ pub fn fig6(ctx: &mut Ctx) {
         .centroids()
         .iter()
         .map(|c| {
-            (c.values[TrackedCounter::LrzFull8x8Tiles], c.values[TrackedCounter::RasSupertileActiveCycles])
+            (
+                c.values[TrackedCounter::LrzFull8x8Tiles],
+                c.values[TrackedCounter::RasSupertileActiveCycles],
+            )
         })
         .collect();
     uniq.sort_unstable();
@@ -130,7 +133,11 @@ pub fn fig13(_ctx: &mut Ctx) {
         } else {
             prev_big = None;
         }
-        report::bar(&format!("t={}{}", d.at, if big { " *" } else { "" }), d.magnitude() as f64, 3_000_000.0);
+        report::bar(
+            &format!("t={}{}", d.at, if big { " *" } else { "" }),
+            d.magnitude() as f64,
+            3_000_000.0,
+        );
     }
     let within_50 = burst_gaps.iter().filter(|g| **g < 50).count();
     report::kv("burst inter-change gaps <50ms", format!("{within_50}/{}", burst_gaps.len()));
@@ -154,8 +161,8 @@ pub fn fig14(_ctx: &mut Ctx) {
     let app_pixels = {
         let cfg = SimConfig::paper_default(0);
         let screen = android_ui::LoginScreen::new(cfg.app, &cfg.device);
-        adreno_sim::pipeline::render(&screen.draw(0, true, 0.0), &cfg.device.gpu().params())
-            .totals[TrackedCounter::LrzVisiblePixelAfterLrz]
+        adreno_sim::pipeline::render(&screen.draw(0, true, 0.0), &cfg.device.gpu().params()).totals
+            [TrackedCounter::LrzVisiblePixelAfterLrz]
     };
     let mut prev: Option<u64> = None;
     for d in sample(&mut sim, 4_400) {

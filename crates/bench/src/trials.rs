@@ -63,6 +63,9 @@ pub struct TrialOptions {
     pub volunteer: VolunteerModel,
     /// Optional speed-class constraint (§7.2).
     pub speed: Option<SpeedClass>,
+    /// Optional device fault plan, installed before the attack starts (the
+    /// robustness sweeps in `experiments::faults`).
+    pub fault_plan: Option<kgsl::FaultPlan>,
 }
 
 impl TrialOptions {
@@ -73,6 +76,7 @@ impl TrialOptions {
             service: ServiceConfig::default(),
             volunteer: VOLUNTEERS[1],
             speed: None,
+            fault_plan: None,
         }
     }
 }
@@ -98,6 +102,9 @@ pub fn run_credential_trial(
     let plan = typist.type_text(text, SimInstant::from_millis(900), &mut rng);
     let end = plan.end + SimDuration::from_millis(800);
     sim.queue_all(plan.events);
+    if let Some(faults) = &opts.fault_plan {
+        sim.device().install_fault_plan(faults);
+    }
 
     let service = AttackService::new(store.clone(), opts.service.clone());
     let result = service.eavesdrop(&mut sim, end)?;

@@ -11,7 +11,9 @@
 //! primitive counts are not drowned out by pixel counts.
 
 use adreno_sim::counters::{CounterSet, NUM_TRACKED};
-use android_ui::{AndroidVersion, DeviceConfig, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
+use android_ui::{
+    AndroidVersion, DeviceConfig, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
@@ -263,12 +265,9 @@ impl ClassifierModel {
     pub fn classify(&self, v: &CounterSet) -> Classification {
         let (ch, distance) = self.nearest(v);
         if distance <= self.threshold {
-            let centroid_total = self
-                .centroids
-                .iter()
-                .find(|c| c.ch == ch)
-                .map(|c| c.values.total())
-                .unwrap_or(0) as f64;
+            let centroid_total =
+                self.centroids.iter().find(|c| c.ch == ch).map(|c| c.values.total()).unwrap_or(0)
+                    as f64;
             let total = v.total() as f64;
             if centroid_total > 0.0
                 && (total - centroid_total).abs() <= centroid_total * Self::MAGNITUDE_TOLERANCE
@@ -447,51 +446,75 @@ macro_rules! enum_codes {
     };
 }
 
-enum_codes!(phone_code, phone_from, PhoneModel, [
-    (PhoneModel::LgV30Plus, 0),
-    (PhoneModel::GooglePixel2, 1),
-    (PhoneModel::OnePlus7Pro, 2),
-    (PhoneModel::OnePlus8Pro, 3),
-    (PhoneModel::OnePlus9, 4),
-    (PhoneModel::GalaxyS21, 5),
-]);
-enum_codes!(android_code, android_from, AndroidVersion, [
-    (AndroidVersion::V8_1, 0),
-    (AndroidVersion::V9, 1),
-    (AndroidVersion::V10, 2),
-    (AndroidVersion::V11, 3),
-]);
-enum_codes!(resolution_code, resolution_from, Resolution, [
-    (Resolution::Fhd, 0),
-    (Resolution::Qhd, 1),
-]);
-enum_codes!(refresh_code, refresh_from, RefreshRate, [
-    (RefreshRate::Hz60, 0),
-    (RefreshRate::Hz120, 1),
-]);
-enum_codes!(keyboard_code, keyboard_from, KeyboardKind, [
-    (KeyboardKind::Gboard, 0),
-    (KeyboardKind::Swift, 1),
-    (KeyboardKind::Sogou, 2),
-    (KeyboardKind::GooglePinyin, 3),
-    (KeyboardKind::Go, 4),
-    (KeyboardKind::Grammarly, 5),
-]);
-enum_codes!(app_code, app_from, TargetApp, [
-    (TargetApp::Chase, 0),
-    (TargetApp::Amex, 1),
-    (TargetApp::Fidelity, 2),
-    (TargetApp::Schwab, 3),
-    (TargetApp::MyFico, 4),
-    (TargetApp::Experian, 5),
-    (TargetApp::ChromeChase, 6),
-    (TargetApp::ChromeSchwab, 7),
-    (TargetApp::ChromeExperian, 8),
-    (TargetApp::Pnc, 9),
-    (TargetApp::Gedit, 10),
-    (TargetApp::GmailWeb, 11),
-    (TargetApp::DropboxClient, 12),
-]);
+enum_codes!(
+    phone_code,
+    phone_from,
+    PhoneModel,
+    [
+        (PhoneModel::LgV30Plus, 0),
+        (PhoneModel::GooglePixel2, 1),
+        (PhoneModel::OnePlus7Pro, 2),
+        (PhoneModel::OnePlus8Pro, 3),
+        (PhoneModel::OnePlus9, 4),
+        (PhoneModel::GalaxyS21, 5),
+    ]
+);
+enum_codes!(
+    android_code,
+    android_from,
+    AndroidVersion,
+    [
+        (AndroidVersion::V8_1, 0),
+        (AndroidVersion::V9, 1),
+        (AndroidVersion::V10, 2),
+        (AndroidVersion::V11, 3),
+    ]
+);
+enum_codes!(
+    resolution_code,
+    resolution_from,
+    Resolution,
+    [(Resolution::Fhd, 0), (Resolution::Qhd, 1),]
+);
+enum_codes!(
+    refresh_code,
+    refresh_from,
+    RefreshRate,
+    [(RefreshRate::Hz60, 0), (RefreshRate::Hz120, 1),]
+);
+enum_codes!(
+    keyboard_code,
+    keyboard_from,
+    KeyboardKind,
+    [
+        (KeyboardKind::Gboard, 0),
+        (KeyboardKind::Swift, 1),
+        (KeyboardKind::Sogou, 2),
+        (KeyboardKind::GooglePinyin, 3),
+        (KeyboardKind::Go, 4),
+        (KeyboardKind::Grammarly, 5),
+    ]
+);
+enum_codes!(
+    app_code,
+    app_from,
+    TargetApp,
+    [
+        (TargetApp::Chase, 0),
+        (TargetApp::Amex, 1),
+        (TargetApp::Fidelity, 2),
+        (TargetApp::Schwab, 3),
+        (TargetApp::MyFico, 4),
+        (TargetApp::Experian, 5),
+        (TargetApp::ChromeChase, 6),
+        (TargetApp::ChromeSchwab, 7),
+        (TargetApp::ChromeExperian, 8),
+        (TargetApp::Pnc, 9),
+        (TargetApp::Gedit, 10),
+        (TargetApp::GmailWeb, 11),
+        (TargetApp::DropboxClient, 12),
+    ]
+);
 
 #[cfg(test)]
 mod tests {

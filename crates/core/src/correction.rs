@@ -262,12 +262,16 @@ impl CorrectionDetector {
             if on_grid && v == expected_blink {
                 return 2;
             }
-            // Text-change successor?
+            // Text-change successor? A ±1 length step and a cursor-restoring
+            // tap (length unchanged) are *equally* consistent readings — a
+            // pending blink-off whose successor taps the field must not lose
+            // to a fabricated delete-then-add pair just because ±1 sounded
+            // more eventful. Deletions are declared only when the successor
+            // confirms the restarted timer or contradicts the blink reading.
             let len_after_pending = (p.v - 2 - if cursor_after { 2 } else { 0 }) / 2;
             let len_new = (v - 4) / 2;
             match (len_new - len_after_pending).abs() {
-                1 => 1,
-                0 => 0,
+                0 | 1 => 1,
                 _ => -1,
             }
         };
@@ -361,11 +365,26 @@ mod tests {
         let mut det = CorrectionDetector::new(sigs(), CorrectionConfig::default());
         assert_eq!(det.observe(&echo(130, 40)), None, "first echo is the baseline");
         // Fig 14: 3 letters in, 2 deleted — all off the 0.5 s blink grid.
-        assert_eq!(det.observe(&echo(330, 42)), Some(CorrectionEvent::CharAdded(SimInstant::from_millis(330))));
-        assert_eq!(det.observe(&echo(630, 44)), Some(CorrectionEvent::CharAdded(SimInstant::from_millis(630))));
-        assert_eq!(det.observe(&echo(890, 46)), Some(CorrectionEvent::CharAdded(SimInstant::from_millis(890))));
-        assert_eq!(det.observe(&echo(1_230, 44)), Some(CorrectionEvent::CharDeleted(SimInstant::from_millis(1_230))));
-        assert_eq!(det.observe(&echo(1_430, 42)), Some(CorrectionEvent::CharDeleted(SimInstant::from_millis(1_430))));
+        assert_eq!(
+            det.observe(&echo(330, 42)),
+            Some(CorrectionEvent::CharAdded(SimInstant::from_millis(330)))
+        );
+        assert_eq!(
+            det.observe(&echo(630, 44)),
+            Some(CorrectionEvent::CharAdded(SimInstant::from_millis(630)))
+        );
+        assert_eq!(
+            det.observe(&echo(890, 46)),
+            Some(CorrectionEvent::CharAdded(SimInstant::from_millis(890)))
+        );
+        assert_eq!(
+            det.observe(&echo(1_230, 44)),
+            Some(CorrectionEvent::CharDeleted(SimInstant::from_millis(1_230)))
+        );
+        assert_eq!(
+            det.observe(&echo(1_430, 42)),
+            Some(CorrectionEvent::CharDeleted(SimInstant::from_millis(1_430)))
+        );
         assert_eq!(det.deletions().len(), 2);
     }
 
@@ -428,8 +447,14 @@ mod tests {
         // the restarted blink timer cannot have fired yet.
         let mut det = CorrectionDetector::new(sigs(), CorrectionConfig::default());
         det.observe(&echo(130, 40));
-        assert_eq!(det.observe(&echo(330, 42)), Some(CorrectionEvent::CharAdded(SimInstant::from_millis(330))));
-        assert_eq!(det.observe(&echo(530, 40)), Some(CorrectionEvent::CharDeleted(SimInstant::from_millis(530))));
+        assert_eq!(
+            det.observe(&echo(330, 42)),
+            Some(CorrectionEvent::CharAdded(SimInstant::from_millis(330)))
+        );
+        assert_eq!(
+            det.observe(&echo(530, 40)),
+            Some(CorrectionEvent::CharDeleted(SimInstant::from_millis(530)))
+        );
     }
 
     #[test]

@@ -65,8 +65,10 @@ mod tests {
     fn exact_burst_matches() {
         let det = LaunchDetector::new(sig());
         assert!(det.matches(&delta(10, sig())));
-        assert_eq!(det.detect(&[delta(5, CounterSet::ZERO), delta(10, sig())]),
-            Some(SimInstant::from_millis(10)));
+        assert_eq!(
+            det.detect(&[delta(5, CounterSet::ZERO), delta(10, sig())]),
+            Some(SimInstant::from_millis(10))
+        );
     }
 
     #[test]

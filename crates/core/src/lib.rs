@@ -63,6 +63,6 @@ pub use launch::LaunchDetector;
 pub use metrics::{Aggregate, SessionScore};
 pub use offline::{ModelStore, Trainer, TrainerConfig};
 pub use online::{InferenceStats, InferredKey, OnlineConfig};
-pub use sampler::{Sampler, SamplerConfig};
-pub use service::{AttackService, ServiceConfig, ServiceError, SessionResult};
-pub use trace::{extract_deltas, Delta, Sample, Trace};
+pub use sampler::{RetryPolicy, Sampler, SamplerConfig, SamplerReport};
+pub use service::{AttackService, DegradationReport, ServiceConfig, ServiceError, SessionResult};
+pub use trace::{extract_deltas, extract_deltas_with_resets, Delta, Sample, Trace};

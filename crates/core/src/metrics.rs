@@ -49,11 +49,10 @@ pub fn score_session(
     let mut used = vec![false; inferred.len()];
     let mut correct = 0usize;
     for &(t, c) in truth_presses {
-        let hit = inferred.iter().enumerate().find(|(i, k)| {
-            !used[*i]
-                && k.ch == c
-                && within(k.at, t, MATCH_WINDOW)
-        });
+        let hit = inferred
+            .iter()
+            .enumerate()
+            .find(|(i, k)| !used[*i] && k.ch == c && within(k.at, t, MATCH_WINDOW));
         if let Some((i, _)) = hit {
             used[i] = true;
             correct += 1;
@@ -76,7 +75,8 @@ pub fn per_char_tallies(
     inferred: &[InferredKey],
 ) -> std::collections::HashMap<char, (usize, usize)> {
     let mut used = vec![false; inferred.len()];
-    let mut tallies: std::collections::HashMap<char, (usize, usize)> = std::collections::HashMap::new();
+    let mut tallies: std::collections::HashMap<char, (usize, usize)> =
+        std::collections::HashMap::new();
     for &(t, c) in truth_presses {
         let e = tallies.entry(c).or_insert((0, 0));
         e.1 += 1;
@@ -269,8 +269,7 @@ mod tests {
     #[test]
     fn each_inferred_key_matches_once() {
         // One inferred press cannot satisfy two true presses.
-        let truth =
-            vec![(SimInstant::from_millis(100), 'a'), (SimInstant::from_millis(120), 'a')];
+        let truth = vec![(SimInstant::from_millis(100), 'a'), (SimInstant::from_millis(120), 'a')];
         let inferred = vec![key(110, 'a')];
         let s = score_session(&truth, "aa", &inferred, "a");
         assert_eq!(s.correct_keys, 1);
@@ -288,8 +287,20 @@ mod tests {
     #[test]
     fn aggregate_math() {
         let mut agg = Aggregate::default();
-        agg.add(&SessionScore { correct_keys: 9, total_keys: 10, spurious_keys: 0, text_exact: false, edit_distance: 1 });
-        agg.add(&SessionScore { correct_keys: 10, total_keys: 10, spurious_keys: 1, text_exact: true, edit_distance: 0 });
+        agg.add(&SessionScore {
+            correct_keys: 9,
+            total_keys: 10,
+            spurious_keys: 0,
+            text_exact: false,
+            edit_distance: 1,
+        });
+        agg.add(&SessionScore {
+            correct_keys: 10,
+            total_keys: 10,
+            spurious_keys: 1,
+            text_exact: true,
+            edit_distance: 0,
+        });
         assert_eq!(agg.sessions, 2);
         assert!((agg.text_accuracy() - 0.5).abs() < 1e-12);
         assert!((agg.key_accuracy() - 0.95).abs() < 1e-12);

@@ -86,7 +86,12 @@ impl Trainer {
     ///
     /// Panics if calibration produces no labelled sample for some character
     /// (which would mean the substrate lost popup frames entirely).
-    pub fn train(&self, device: DeviceConfig, keyboard: KeyboardKind, app: TargetApp) -> ClassifierModel {
+    pub fn train(
+        &self,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+    ) -> ClassifierModel {
         let sim_config = SimConfig {
             device,
             keyboard,
@@ -108,8 +113,13 @@ impl Trainer {
         let end = plan.end + SimDuration::from_millis(800);
         sim.queue_all(plan.events);
 
-        let sampler_cfg = SamplerConfig { interval: self.config.interval, cpu_load: 0.0, seed: 1 };
-        let mut sampler = Sampler::open(sim.device(), sampler_cfg).expect("stock policy allows sampling");
+        let sampler_cfg = SamplerConfig {
+            interval: self.config.interval,
+            seed: 1,
+            ..SamplerConfig::default_8ms()
+        };
+        let mut sampler =
+            Sampler::open(sim.device(), sampler_cfg).expect("stock policy allows sampling");
         let trace = sampler.sample_until(&mut sim, end).expect("stock policy allows reads");
         let deltas = extract_deltas(&trace);
         let presses = sim.truth().keystrokes();
@@ -117,9 +127,8 @@ impl Trainer {
         // Label: the first change within (t, t+POPUP_WINDOW] of each press.
         let mut samples: HashMap<char, Vec<CounterSet>> = HashMap::new();
         for &(t, c) in &presses {
-            if let Some(d) = deltas
-                .iter()
-                .find(|d| d.at > t && d.at.saturating_since(t) <= POPUP_WINDOW)
+            if let Some(d) =
+                deltas.iter().find(|d| d.at > t && d.at.saturating_since(t) <= POPUP_WINDOW)
             {
                 samples.entry(c).or_default().push(d.values);
             }
@@ -378,9 +387,9 @@ impl ModelStore {
 
     /// Finds the model trained for an exact configuration.
     pub fn find(&self, device: &DeviceConfig, keyboard: KeyboardKind) -> Option<&ClassifierModel> {
-        self.models.iter().find(|m| {
-            m.meta().device_config() == *device && m.meta().keyboard == keyboard
-        })
+        self.models
+            .iter()
+            .find(|m| m.meta().device_config() == *device && m.meta().keyboard == keyboard)
     }
 }
 
@@ -495,7 +504,10 @@ mod tests {
 
     #[test]
     fn from_bytes_rejects_truncation() {
-        assert_eq!(ModelStore::from_bytes(Bytes::from_static(b"\x00")), Err(ModelDecodeError::Truncated));
+        assert_eq!(
+            ModelStore::from_bytes(Bytes::from_static(b"\x00")),
+            Err(ModelDecodeError::Truncated)
+        );
         assert_eq!(
             ModelStore::from_bytes(Bytes::from_static(b"\x00\x00\x00\x02\x00\x00\x00\x10")),
             Err(ModelDecodeError::Truncated)

@@ -36,7 +36,10 @@ pub struct OnlineConfig {
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        OnlineConfig { t_l: SimDuration::from_millis(75), max_split_gap: SimDuration::from_millis(20) }
+        OnlineConfig {
+            t_l: SimDuration::from_millis(75),
+            max_split_gap: SimDuration::from_millis(20),
+        }
     }
 }
 
@@ -177,6 +180,35 @@ impl<'m> OnlineInference<'m> {
                     self.stats.splits_recovered += 1;
                     return;
                 }
+                // Step 3b: a field redraw (echo or cursor blink) can share a
+                // read window with one of the fragments, so the plain sum
+                // overshoots every centroid. Peel the known ambient
+                // signatures off the recombined sum, exactly as step 2b does
+                // for whole frames.
+                let mut best: Option<(
+                    f64,
+                    char,
+                    adreno_sim::counters::CounterSet,
+                    adreno_sim::counters::CounterSet,
+                )> = None;
+                for sig in &self.ambient {
+                    let Some(residual) = combined.checked_sub(sig) else { continue };
+                    if let Classification::Key { ch, distance } = self.model.classify(&residual) {
+                        if best.as_ref().is_none_or(|(d, _, _, _)| distance < *d) {
+                            best = Some((distance, ch, *sig, residual));
+                        }
+                    }
+                }
+                if let Some((_, ch, sig, residual)) = best {
+                    self.prev = None;
+                    self.accept(InferredKey { at: prev.at, ch, via_split: true }, &residual);
+                    // Surface the consumed field redraw to the correction
+                    // detector as a synthetic echo.
+                    self.rejected.push(Delta { at: delta.at, values: sig });
+                    self.stats.splits_recovered += 1;
+                    self.stats.peeled += 1;
+                    return;
+                }
             } else {
                 // The stale leftover is definitively noise.
                 self.rejected.push(prev);
@@ -309,7 +341,9 @@ mod tests {
     use super::*;
     use crate::classify::{KeyCentroid, ModelMeta};
     use adreno_sim::counters::{CounterSet, TrackedCounter, NUM_TRACKED};
-    use android_ui::{AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
+    use android_ui::{
+        AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp,
+    };
 
     fn set(tiles: u64, prims: u64) -> CounterSet {
         let mut c = CounterSet::ZERO;
@@ -350,7 +384,8 @@ mod tests {
     #[test]
     fn direct_classification() {
         let m = model();
-        let (keys, noise, stats) = infer_stream(&m, &[d(100, 1000, 160), d(400, 1100, 150)], OnlineConfig::default());
+        let (keys, noise, stats) =
+            infer_stream(&m, &[d(100, 1000, 160), d(400, 1100, 150)], OnlineConfig::default());
         assert_eq!(keys.len(), 2);
         assert_eq!(keys[0].ch, 'w');
         assert_eq!(keys[1].ch, 'n');
@@ -362,8 +397,11 @@ mod tests {
     fn duplication_suppressed_within_t_l() {
         let m = model();
         // GBoard animation: identical change 16 ms after the accepted one.
-        let (keys, _, stats) =
-            infer_stream(&m, &[d(100, 1000, 160), d(116, 1000, 160), d(400, 1100, 150)], OnlineConfig::default());
+        let (keys, _, stats) = infer_stream(
+            &m,
+            &[d(100, 1000, 160), d(116, 1000, 160), d(400, 1100, 150)],
+            OnlineConfig::default(),
+        );
         assert_eq!(keys.len(), 2, "duplicate must not become a second press");
         assert_eq!(stats.duplications_suppressed, 1);
     }
@@ -372,7 +410,8 @@ mod tests {
     fn presses_beyond_t_l_are_kept() {
         let m = model();
         // A genuine double letter 90 ms apart (fast typist) survives.
-        let (keys, _, stats) = infer_stream(&m, &[d(100, 1000, 160), d(190, 1000, 160)], OnlineConfig::default());
+        let (keys, _, stats) =
+            infer_stream(&m, &[d(100, 1000, 160), d(190, 1000, 160)], OnlineConfig::default());
         assert_eq!(keys.len(), 2);
         assert_eq!(stats.duplications_suppressed, 0);
     }
@@ -405,7 +444,8 @@ mod tests {
     #[test]
     fn unmatched_changes_become_noise() {
         let m = model();
-        let (keys, noise, stats) = infer_stream(&m, &[d(100, 5000, 10), d(300, 7000, 20)], OnlineConfig::default());
+        let (keys, noise, stats) =
+            infer_stream(&m, &[d(100, 5000, 10), d(300, 7000, 20)], OnlineConfig::default());
         assert!(keys.is_empty());
         assert_eq!(noise.len(), 2);
         assert_eq!(stats.noise, 2);
@@ -423,9 +463,11 @@ mod tests {
         let split_b = d(116, 400, 96);
         // greedy: 100+108 = (1105, 150) ≈ 'n' (dist 5 ≤ C_th) → accepted wrongly,
         // and the real second fragment is then suppressed as a duplicate.
-        let (keys_greedy, _, _) = infer_stream(&m, &[noise_frag, split_a, split_b], OnlineConfig::default());
+        let (keys_greedy, _, _) =
+            infer_stream(&m, &[noise_frag, split_a, split_b], OnlineConfig::default());
         // full trace: 108+116 = (1000,160) = 'w' exactly (dist 0 < 5) wins the pairing.
-        let (keys_full, _, _) = infer_full_trace(&m, &[noise_frag, split_a, split_b], OnlineConfig::default());
+        let (keys_full, _, _) =
+            infer_full_trace(&m, &[noise_frag, split_a, split_b], OnlineConfig::default());
         assert_eq!(keys_greedy.first().map(|k| k.ch), Some('n'));
         assert_eq!(keys_full.first().map(|k| k.ch), Some('w'));
     }

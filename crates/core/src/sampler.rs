@@ -8,15 +8,26 @@
 //! Under CPU contention the service gets scheduled late, so reads jitter
 //! and occasionally drop (§7.3, Fig 22a). The jitter model lives here, on
 //! the attacker's side — the victim UI is unaffected by CPU load.
+//!
+//! A real background service must also survive an unquiet kernel: ioctls
+//! that fail `EBUSY`/`EINTR`, reservations lost across a GPU slumber, file
+//! descriptors revoked by driver recovery, and policies that flip
+//! mid-session (all injectable via [`kgsl::fault`]). The sampler therefore
+//! retries transient errors with bounded sim-time backoff, re-runs the
+//! reservation loop when the device forgot it, reopens the device file when
+//! its fd dies, and keeps going through policy denials — a single read slot
+//! is abandoned only once its retry budget is spent, and `sample_until`
+//! fails only when it acquired *nothing at all*. Everything it survived is
+//! tallied in a [`SamplerReport`].
 
 use adreno_sim::counters::ALL_TRACKED;
 use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::UiSimulation;
 use kgsl::abi::{
-    IoctlRequest, KgslPerfcounterGet, KgslPerfcounterReadGroup, IOCTL_KGSL_PERFCOUNTER_GET,
-    IOCTL_KGSL_PERFCOUNTER_READ,
+    IoctlRequest, KgslPerfcounterGet, KgslPerfcounterPut, KgslPerfcounterReadGroup,
+    IOCTL_KGSL_PERFCOUNTER_GET, IOCTL_KGSL_PERFCOUNTER_PUT, IOCTL_KGSL_PERFCOUNTER_READ,
 };
-use kgsl::{DeviceResult, KgslDevice, KgslFd, SelinuxDomain};
+use kgsl::{DeviceResult, Errno, KgslDevice, KgslFd, SelinuxDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,6 +36,39 @@ use crate::trace::Trace;
 /// Default reading interval (§4: "equal to or slightly smaller than half of
 /// the screen refresh interval" — 8 ms at 60 Hz).
 pub const DEFAULT_INTERVAL: SimDuration = SimDuration::from_millis(8);
+
+/// How hard the sampler fights for each individual read slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Failed attempts tolerated per read slot before it is abandoned.
+    pub max_retries: u32,
+    /// First backoff delay; doubles after every failed attempt.
+    pub initial_backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The default budget: 8 attempts starting at 0.5 ms of backoff, which
+    /// keeps a fully-backed-off slot well under one 60 Hz frame.
+    pub fn default_bounded() -> Self {
+        RetryPolicy { max_retries: 8, initial_backoff: SimDuration::from_micros(500) }
+    }
+
+    /// Fail-stop behaviour: the first error abandons the slot.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, initial_backoff: SimDuration::from_micros(500) }
+    }
+
+    /// A budget of `max_retries` attempts with the default backoff.
+    pub fn with_budget(max_retries: u32) -> Self {
+        RetryPolicy { max_retries, ..RetryPolicy::default_bounded() }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::default_bounded()
+    }
+}
 
 /// Sampler configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,18 +80,70 @@ pub struct SamplerConfig {
     pub cpu_load: f64,
     /// RNG seed for the jitter model.
     pub seed: u64,
+    /// Per-read-slot retry budget for device errors.
+    pub retry: RetryPolicy,
 }
 
 impl SamplerConfig {
     /// 8 ms reads on an otherwise idle device.
     pub fn default_8ms() -> Self {
-        SamplerConfig { interval: DEFAULT_INTERVAL, cpu_load: 0.0, seed: 0 }
+        SamplerConfig {
+            interval: DEFAULT_INTERVAL,
+            cpu_load: 0.0,
+            seed: 0,
+            retry: RetryPolicy::default_bounded(),
+        }
     }
 }
 
 impl Default for SamplerConfig {
     fn default() -> Self {
         SamplerConfig::default_8ms()
+    }
+}
+
+/// What the sampler lived through, accumulated across every `sample_until`
+/// call on the same instance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerReport {
+    /// Read slots the scheduler actually attempted.
+    pub attempted: u64,
+    /// Slots that produced a sample.
+    pub acquired: u64,
+    /// Slots skipped by the CPU-load model before any ioctl (benign).
+    pub scheduler_drops: u64,
+    /// Slots abandoned after exhausting the retry budget (or a denial).
+    pub abandoned: u64,
+    /// `EBUSY`/`EINTR` failures observed.
+    pub transient_errors: u64,
+    /// `EACCES`/`EPERM` failures observed.
+    pub denied_reads: u64,
+    /// `EBADF` failures observed (fd revoked under us).
+    pub revocations_seen: u64,
+    /// `EINVAL` failures observed (reservations forgotten, e.g. slumber).
+    pub reservation_losses: u64,
+    /// Successful reopen + re-reserve cycles after a revocation.
+    pub fd_reopens: u64,
+    /// Successful re-reservation passes on the existing fd.
+    pub reservations_reacquired: u64,
+    /// Total retry attempts consumed.
+    pub retries_spent: u64,
+}
+
+impl SamplerReport {
+    /// Fraction of attempted read slots that produced a sample (1.0 when
+    /// nothing was ever attempted).
+    pub fn coverage(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.acquired as f64 / self.attempted as f64
+        }
+    }
+
+    /// Total device faults observed, of any kind.
+    pub fn faults_seen(&self) -> u64 {
+        self.transient_errors + self.denied_reads + self.revocations_seen + self.reservation_losses
     }
 }
 
@@ -58,10 +154,26 @@ pub struct Sampler {
     fd: KgslFd,
     config: SamplerConfig,
     rng: StdRng,
+    report: SamplerReport,
 }
 
 /// The pid the attacking app pretends to run as (any unprivileged pid).
 const ATTACKER_PID: u32 = 31337;
+
+/// Runs `f`, retrying immediately up to `budget` times while it fails with a
+/// transient errno (`EBUSY`/`EINTR`). Setup-path helper: unlike the sampling
+/// loop there is no sim-time to back off against, and an immediate retry of
+/// an interrupted syscall is exactly what libc wrappers do.
+fn retry_transient<T>(budget: u32, mut f: impl FnMut() -> DeviceResult<T>) -> DeviceResult<T> {
+    let mut attempts = 0;
+    loop {
+        match f() {
+            Ok(value) => return Ok(value),
+            Err(err) if err.is_transient() && attempts < budget => attempts += 1,
+            Err(err) => return Err(err),
+        }
+    }
+}
 
 impl Sampler {
     /// Opens the device file as an unprivileged app and reserves the eleven
@@ -70,24 +182,68 @@ impl Sampler {
     /// # Errors
     ///
     /// Propagates device-file errors — notably `EACCES` when the §9.2
-    /// access-control mitigation denies counter reservation.
+    /// access-control mitigation denies counter reservation. On any failure
+    /// nothing is leaked: counters acquired before the failing one are
+    /// released and the fd is closed. Transient errors (`EBUSY`/`EINTR`)
+    /// are retried per call within the configured budget.
     pub fn open(device: &KgslDevice, config: SamplerConfig) -> DeviceResult<Self> {
-        let fd = device.open(ATTACKER_PID, SelinuxDomain::UntrustedApp)?;
-        for c in ALL_TRACKED {
-            let id = c.id();
-            let mut get = KgslPerfcounterGet {
-                groupid: id.group.kgsl_id(),
-                countable: id.countable,
-                ..Default::default()
-            };
-            device.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, IoctlRequest::PerfcounterGet(&mut get))?;
+        let budget = config.retry.max_retries;
+        let fd =
+            retry_transient(budget, || device.open(ATTACKER_PID, SelinuxDomain::UntrustedApp))?;
+        if let Err(err) = Self::reserve_all(device, fd, budget) {
+            let _ = device.close(fd);
+            return Err(err);
         }
-        Ok(Sampler { fd, config, rng: StdRng::seed_from_u64(config.seed ^ 0x5a5a) })
+        Ok(Sampler {
+            fd,
+            config,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5a5a),
+            report: SamplerReport::default(),
+        })
+    }
+
+    /// Reserves all eleven tracked counters on `fd`, retrying each transient
+    /// `GET` failure up to `budget` times. On a definitive mid-loop failure
+    /// the counters already acquired are released (best-effort) so the
+    /// handle holds either everything or nothing.
+    fn reserve_all(device: &KgslDevice, fd: KgslFd, budget: u32) -> DeviceResult<()> {
+        for (i, c) in ALL_TRACKED.iter().enumerate() {
+            let id = c.id();
+            let result = retry_transient(budget, || {
+                let mut get = KgslPerfcounterGet {
+                    groupid: id.group.kgsl_id(),
+                    countable: id.countable,
+                    ..Default::default()
+                };
+                device.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, IoctlRequest::PerfcounterGet(&mut get))
+            });
+            if let Err(err) = result {
+                for prev in &ALL_TRACKED[..i] {
+                    let pid = prev.id();
+                    let put = KgslPerfcounterPut {
+                        groupid: pid.group.kgsl_id(),
+                        countable: pid.countable,
+                    };
+                    let _ = device.ioctl(
+                        fd,
+                        IOCTL_KGSL_PERFCOUNTER_PUT,
+                        IoctlRequest::PerfcounterPut(put),
+                    );
+                }
+                return Err(err);
+            }
+        }
+        Ok(())
     }
 
     /// The sampler's device-file handle.
     pub fn fd(&self) -> KgslFd {
         self.fd
+    }
+
+    /// Everything this sampler has survived so far.
+    pub fn report(&self) -> SamplerReport {
+        self.report
     }
 
     /// Performs one block-read of all eleven counters.
@@ -103,7 +259,11 @@ impl Sampler {
                 KgslPerfcounterReadGroup::new(id.group.kgsl_id(), id.countable)
             })
             .collect();
-        device.ioctl(self.fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))?;
+        device.ioctl(
+            self.fd,
+            IOCTL_KGSL_PERFCOUNTER_READ,
+            IoctlRequest::PerfcounterRead(&mut reads),
+        )?;
         let mut out = adreno_sim::CounterSet::ZERO;
         for (c, r) in ALL_TRACKED.iter().zip(reads.iter()) {
             out[*c] = r.value;
@@ -137,31 +297,135 @@ impl Sampler {
     /// Samples the victim simulation from its current time until `until`,
     /// advancing the simulation between reads. Returns the raw trace.
     ///
+    /// Device errors no longer stop the stream: each read slot is retried
+    /// within the configured [`RetryPolicy`] (reopening the fd or re-running
+    /// the reservation loop when the device forgot about us), and a slot
+    /// whose budget runs out is simply skipped — degrading the trace rather
+    /// than killing the session.
+    ///
     /// # Errors
     ///
-    /// Stops and propagates the first device error (e.g. the mitigation
-    /// kicked in mid-session).
-    pub fn sample_until(&mut self, sim: &mut UiSimulation, until: SimInstant) -> DeviceResult<Trace> {
+    /// Fails only when *no* read succeeded over the whole span — e.g. a
+    /// policy denying everything from the start — returning the last error
+    /// observed.
+    pub fn sample_until(
+        &mut self,
+        sim: &mut UiSimulation,
+        until: SimInstant,
+    ) -> DeviceResult<Trace> {
         let mut trace = Trace::new();
         let device = std::sync::Arc::clone(sim.device());
         let mut next = sim.now();
+        let mut last_err = None;
         while next <= until {
             let at = next + self.jitter();
             let at = if at > until { until } else { at };
             sim.advance_to(at);
             if !self.dropped() {
-                let values = self.read_once(&device)?;
-                trace.push(at, values);
+                self.report.attempted += 1;
+                // Backoff may advance the clock, so the sample is stamped
+                // with the time the read actually completed.
+                match self.read_resilient(sim, &device, until) {
+                    Ok(values) => {
+                        self.report.acquired += 1;
+                        trace.push(sim.now(), values);
+                    }
+                    Err(err) => {
+                        self.report.abandoned += 1;
+                        last_err = Some(err);
+                    }
+                }
+            } else {
+                self.report.scheduler_drops += 1;
             }
+            let resumed = sim.now();
             next += self.config.interval;
-            if at > next {
-                // A long stall: resume on the next grid point after `at`.
-                let missed = at.saturating_since(next).as_nanos()
+            if resumed > next {
+                // A long stall: resume on the next grid point after it.
+                let missed = resumed.saturating_since(next).as_nanos()
                     / self.config.interval.as_nanos().max(1);
                 next += self.config.interval * (missed + 1);
             }
         }
+        if trace.is_empty() {
+            if let Some(err) = last_err {
+                return Err(err);
+            }
+        }
         Ok(trace)
+    }
+
+    /// One read slot under the retry budget: classify each failure, attempt
+    /// the matching recovery, back off in sim-time, and try again.
+    fn read_resilient(
+        &mut self,
+        sim: &mut UiSimulation,
+        device: &KgslDevice,
+        until: SimInstant,
+    ) -> DeviceResult<adreno_sim::CounterSet> {
+        let mut backoff = self.config.retry.initial_backoff;
+        let mut failures = 0u32;
+        loop {
+            let err = match self.read_once(device) {
+                Ok(values) => return Ok(values),
+                Err(err) => err,
+            };
+            match err {
+                // Transient by definition: worth a plain retry.
+                Errno::Ebusy | Errno::Eintr => self.report.transient_errors += 1,
+                // Our fd died (driver recovery revoked it): reopen the
+                // device file and re-reserve everything on the new handle.
+                Errno::Ebadf => {
+                    self.report.revocations_seen += 1;
+                    if self.reacquire(device).is_ok() {
+                        self.report.fd_reopens += 1;
+                    }
+                }
+                // The device forgot our reservations (GPU slumber): re-run
+                // the reservation loop on the existing fd.
+                Errno::Einval => {
+                    self.report.reservation_losses += 1;
+                    if Self::reserve_all(device, self.fd, self.config.retry.max_retries).is_ok() {
+                        self.report.reservations_reacquired += 1;
+                    }
+                }
+                // A policy denial is not transient: give the slot up
+                // immediately but keep the stream alive — the policy may
+                // flip back before the next slot.
+                Errno::Eacces | Errno::Eperm => {
+                    self.report.denied_reads += 1;
+                    return Err(err);
+                }
+                Errno::Enodev => return Err(err),
+            }
+            failures += 1;
+            if failures > self.config.retry.max_retries {
+                return Err(err);
+            }
+            self.report.retries_spent += 1;
+            let wake = sim.now() + backoff;
+            if wake > until {
+                // Out of session time: no point sleeping past the end.
+                return Err(err);
+            }
+            sim.advance_to(wake);
+            backoff = backoff * 2;
+        }
+    }
+
+    /// Opens a fresh handle and moves the sampler onto it (after an fd
+    /// revocation). The reservation loop must fully succeed, otherwise the
+    /// new fd is closed again and the old (dead) one is kept.
+    fn reacquire(&mut self, device: &KgslDevice) -> DeviceResult<()> {
+        let budget = self.config.retry.max_retries;
+        let fd =
+            retry_transient(budget, || device.open(ATTACKER_PID, SelinuxDomain::UntrustedApp))?;
+        if let Err(err) = Self::reserve_all(device, fd, budget) {
+            let _ = device.close(fd);
+            return Err(err);
+        }
+        self.fd = fd;
+        Ok(())
     }
 }
 
@@ -216,11 +480,8 @@ mod tests {
         // Jitter + drops → noticeably fewer than the nominal 251 reads and
         // irregular spacing.
         assert!(trace.len() < 245, "expected drops, got {}", trace.len());
-        let irregular = trace
-            .samples()
-            .windows(2)
-            .filter(|w| (w[1].at - w[0].at).as_millis() != 8)
-            .count();
+        let irregular =
+            trace.samples().windows(2).filter(|w| (w[1].at - w[0].at).as_millis() != 8).count();
         assert!(irregular > 10, "expected irregular spacing, got {irregular}");
     }
 
@@ -240,5 +501,149 @@ mod tests {
         let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
         let trace = s.sample_until(&mut sim, SimInstant::from_millis(1_000)).unwrap();
         assert!(crate::trace::extract_deltas(&trace).is_empty(), "local view must never move");
+    }
+
+    #[test]
+    fn failed_open_releases_everything_it_acquired() {
+        use kgsl::abi::{
+            IoctlRequest, KgslPerfcounterGet, KgslPerfcounterReadGroup, IOCTL_KGSL_PERFCOUNTER_GET,
+            IOCTL_KGSL_PERFCOUNTER_READ,
+        };
+        use kgsl::device::COUNTERS_PER_GROUP;
+
+        let sim = quiet_sim(6);
+        let dev = sim.device();
+        // Exhaust the VPC group (the *last* tracked counters in the
+        // reservation loop) with unrelated countables, so `Sampler::open`
+        // fails mid-loop after acquiring the LRZ and RAS counters.
+        let squatter = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        let vpc = adreno_sim::counters::TrackedCounter::VpcPcPrimitives.id().group.kgsl_id();
+        let mut taken = 0;
+        for countable in 0..=32u32 {
+            if [9, 10, 12].contains(&countable) {
+                continue; // leave the tracked VPC countables free
+            }
+            let mut get = KgslPerfcounterGet { groupid: vpc, countable, ..Default::default() };
+            dev.ioctl(squatter, IOCTL_KGSL_PERFCOUNTER_GET, IoctlRequest::PerfcounterGet(&mut get))
+                .unwrap();
+            taken += 1;
+            if taken == COUNTERS_PER_GROUP {
+                break;
+            }
+        }
+
+        let err = Sampler::open(dev, SamplerConfig::default_8ms()).unwrap_err();
+        assert_eq!(err, kgsl::Errno::Ebusy);
+
+        // Nothing may be leaked: the LRZ counters acquired before the
+        // failure must be unreserved again (reads of them are EINVAL).
+        let probe = dev.open(2, SelinuxDomain::UntrustedApp).unwrap();
+        let lrz = adreno_sim::counters::TrackedCounter::LrzVisiblePrimAfterLrz.id();
+        let mut reads = [KgslPerfcounterReadGroup::new(lrz.group.kgsl_id(), lrz.countable)];
+        assert_eq!(
+            dev.ioctl(
+                probe,
+                IOCTL_KGSL_PERFCOUNTER_READ,
+                IoctlRequest::PerfcounterRead(&mut reads)
+            )
+            .unwrap_err(),
+            kgsl::Errno::Einval
+        );
+    }
+
+    #[test]
+    fn transient_faults_are_retried_not_fatal() {
+        use kgsl::FaultPlan;
+
+        let mut sim = quiet_sim(7);
+        sim.device().install_fault_plan(&FaultPlan::new(1).with_transient_rates(0.15, 0.1));
+        let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms())
+            .expect("open retries transients within its budget");
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(400)).unwrap();
+        let report = s.report();
+        assert!(report.transient_errors > 0, "the plan must actually have fired");
+        assert!(report.retries_spent > 0);
+        // Retries keep coverage near-perfect at these rates.
+        assert!(trace.len() >= 45, "expected near-full trace, got {}", trace.len());
+        assert!(report.coverage() > 0.9, "coverage {}", report.coverage());
+    }
+
+    #[test]
+    fn fd_revocation_is_survived_by_reopening() {
+        use kgsl::fault::FaultEvent;
+        use kgsl::FaultPlan;
+
+        let mut sim = quiet_sim(8);
+        let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+        sim.device().install_fault_plan(
+            &FaultPlan::new(0).at(SimInstant::from_millis(200), FaultEvent::RevokeFds),
+        );
+        let before = s.fd();
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(400)).unwrap();
+        let report = s.report();
+        assert!(report.revocations_seen >= 1);
+        assert_eq!(report.fd_reopens, 1, "exactly one reopen cycle");
+        assert_ne!(s.fd(), before, "the sampler moved to a fresh fd");
+        // At most a couple of slots lost around the revocation.
+        assert!(trace.len() >= 48, "expected near-full trace, got {}", trace.len());
+    }
+
+    #[test]
+    fn slumber_is_survived_by_rereserving() {
+        use kgsl::fault::FaultEvent;
+        use kgsl::FaultPlan;
+
+        let mut sim = quiet_sim(9);
+        let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+        sim.device().install_fault_plan(
+            &FaultPlan::new(0).at(SimInstant::from_millis(200), FaultEvent::Slumber),
+        );
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(400)).unwrap();
+        let report = s.report();
+        assert!(report.reservation_losses >= 1);
+        assert!(report.reservations_reacquired >= 1);
+        assert!(trace.len() >= 48, "expected near-full trace, got {}", trace.len());
+    }
+
+    #[test]
+    fn zero_retry_budget_restores_fail_stop_skipping() {
+        use kgsl::FaultPlan;
+
+        let mut sim = quiet_sim(10);
+        let cfg = SamplerConfig { retry: RetryPolicy::none(), ..SamplerConfig::default_8ms() };
+        // Open cleanly first: with a zero budget even `open` is fail-stop.
+        let mut s = Sampler::open(sim.device(), cfg).unwrap();
+        sim.device().install_fault_plan(&FaultPlan::new(2).with_transient_rates(0.3, 0.0));
+        let trace = s.sample_until(&mut sim, SimInstant::from_millis(400)).unwrap();
+        let report = s.report();
+        // Without retries every transient costs a slot.
+        assert_eq!(report.retries_spent, 0);
+        assert!(report.abandoned > 0);
+        assert!(trace.len() < 45, "slots must be lost without retries, got {}", trace.len());
+    }
+
+    #[test]
+    fn same_fault_seed_same_trace() {
+        use kgsl::FaultPlan;
+
+        let run = || {
+            let mut sim = quiet_sim(11);
+            sim.tap_key(SimInstant::from_millis(600), Key::Char('w'), SimDuration::from_millis(90));
+            sim.device().install_fault_plan(
+                &FaultPlan::new(5)
+                    .with_transient_rates(0.1, 0.05)
+                    .with_slumber_every(SimDuration::from_millis(700)),
+            );
+            let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+            let trace = s.sample_until(&mut sim, SimInstant::from_millis(1_000)).unwrap();
+            (trace, s.report())
+        };
+        let (ta, ra) = run();
+        let (tb, rb) = run();
+        assert_eq!(ra, rb, "reports must be identical");
+        assert_eq!(ta.samples().len(), tb.samples().len());
+        for (a, b) in ta.samples().iter().zip(tb.samples()) {
+            assert_eq!((a.at, a.values), (b.at, b.values));
+        }
     }
 }

@@ -21,8 +21,8 @@ use crate::correction::{CorrectionConfig, CorrectionDetector, CorrectionEvent};
 use crate::metrics::{score_session, SessionScore};
 use crate::offline::ModelStore;
 use crate::online::{infer_full_trace, InferenceStats, InferredKey, OnlineConfig};
-use crate::sampler::{Sampler, SamplerConfig};
-use crate::trace::extract_deltas;
+use crate::sampler::{Sampler, SamplerConfig, SamplerReport};
+use crate::trace::extract_deltas_with_resets;
 
 /// Service configuration.
 #[derive(Debug, Clone, Default)]
@@ -76,6 +76,64 @@ impl From<Errno> for ServiceError {
     }
 }
 
+/// How much the session was degraded by device faults — the difference
+/// between the credential the service *recovered* and the one it *could*
+/// have recovered on a quiet device.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct DegradationReport {
+    /// Device faults observed (transients, denials, revocations,
+    /// reservation losses).
+    pub faults_seen: u64,
+    /// Retry attempts the sampler spent recovering.
+    pub retries_spent: u64,
+    /// Read slots abandoned after their retry budget.
+    pub reads_lost: u64,
+    /// Successful reopen + re-reserve cycles after fd revocations.
+    pub fd_reopens: u64,
+    /// Successful re-reservation passes after the device forgot us.
+    pub reservations_reacquired: u64,
+    /// Backward counter jumps (GPU slumbers) the delta extractor
+    /// re-anchored across.
+    pub counter_resets: u64,
+    /// Fraction of attempted read slots that produced a sample.
+    pub coverage: f64,
+}
+
+impl DegradationReport {
+    fn from_sampler(report: &SamplerReport, counter_resets: usize) -> Self {
+        DegradationReport {
+            faults_seen: report.faults_seen(),
+            retries_spent: report.retries_spent,
+            reads_lost: report.abandoned,
+            fd_reopens: report.fd_reopens,
+            reservations_reacquired: report.reservations_reacquired,
+            counter_resets: counter_resets as u64,
+            coverage: report.coverage(),
+        }
+    }
+
+    /// Whether the session ran fault-free at full coverage.
+    pub fn is_clean(&self) -> bool {
+        self.faults_seen == 0 && self.counter_resets == 0 && self.reads_lost == 0
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults={} retries={} lost={} reopens={} rereservations={} resets={} coverage={:.1}%",
+            self.faults_seen,
+            self.retries_spent,
+            self.reads_lost,
+            self.fd_reopens,
+            self.reservations_reacquired,
+            self.counter_resets,
+            self.coverage * 100.0
+        )
+    }
+}
+
 /// The result of one eavesdropping session.
 #[derive(Debug, Clone)]
 pub struct SessionResult {
@@ -103,6 +161,10 @@ pub struct SessionResult {
     /// When the target app's launch burst was observed (None when the
     /// session did not gate on launch).
     pub launch_at: Option<adreno_sim::time::SimInstant>,
+    /// What the session survived. A faulty device degrades the result
+    /// (partial trace, lost windows) rather than failing the session; this
+    /// report says by how much.
+    pub degradation: DegradationReport,
 }
 
 impl SessionResult {
@@ -142,10 +204,16 @@ impl AttackService {
     /// Eavesdrops the victim simulation until `until` and recovers the
     /// credential typed in the target app.
     ///
+    /// Device faults degrade gracefully: transient errors are retried,
+    /// revoked fds reopened, lost reservations re-acquired, and counter
+    /// resets re-anchored. A partial trace yields a partial
+    /// [`SessionResult`] whose [`DegradationReport`] says what was lost.
+    ///
     /// # Errors
     ///
-    /// * [`ServiceError::Device`] when the device file refuses reads (the
-    ///   §9 mitigations);
+    /// * [`ServiceError::Device`] only when the session never acquired a
+    ///   single sample — e.g. the §9 mitigations denying everything from
+    ///   the start;
     /// * [`ServiceError::UnrecognisedDevice`] when no preloaded model
     ///   matches.
     pub fn eavesdrop(
@@ -155,7 +223,8 @@ impl AttackService {
     ) -> Result<SessionResult, ServiceError> {
         let mut sampler = Sampler::open(sim.device(), self.config.sampler)?;
         let trace = sampler.sample_until(sim, until)?;
-        let deltas = extract_deltas(&trace);
+        let (deltas, counter_resets) = extract_deltas_with_resets(&trace);
+        let degradation = DegradationReport::from_sampler(&sampler.report(), counter_resets);
 
         let model = self.store.recognize(&deltas).ok_or(ServiceError::UnrecognisedDevice)?;
 
@@ -173,7 +242,8 @@ impl AttackService {
 
         // §5.2: drop everything produced outside the target app, and note
         // when the victim returns (the cursor-blink timer restarts then).
-        let mut switch = SwitchDetector::new(SwitchConfig::with_threshold(model.switch_threshold()));
+        let mut switch =
+            SwitchDetector::new(SwitchConfig::with_threshold(model.switch_threshold()));
         let mut in_target: Vec<crate::trace::Delta> = Vec::with_capacity(deltas.len());
         let mut returns: Vec<adreno_sim::time::SimInstant> = Vec::new();
         // The victim's cursor-blink timer restarts when the switch-back
@@ -234,7 +304,8 @@ impl AttackService {
 
         // §5.3: corrections from the echo stream, re-anchoring the blink
         // grid at every detected return to the target app.
-        let mut corr = CorrectionDetector::new(model.ambient_signatures().to_vec(), self.config.correction);
+        let mut corr =
+            CorrectionDetector::new(model.ambient_signatures().to_vec(), self.config.correction);
         let mut next_return = returns.iter().copied().peekable();
         for d in &rejected {
             while next_return.peek().is_some_and(|t| *t <= d.at) {
@@ -249,16 +320,10 @@ impl AttackService {
         // Apply deletions: each deletion removes the latest not-yet-deleted
         // inferred key before it.
         let keys_before_corrections = raw_keys.clone();
-        let mut alive: Vec<(InferredKey, Vec<char>, bool)> = raw_keys
-            .into_iter()
-            .zip(raw_candidates)
-            .map(|(k, c)| (k, c, true))
-            .collect();
+        let mut alive: Vec<(InferredKey, Vec<char>, bool)> =
+            raw_keys.into_iter().zip(raw_candidates).map(|(k, c)| (k, c, true)).collect();
         for del_at in corr.deletions() {
-            if let Some(slot) = alive
-                .iter_mut()
-                .rev()
-                .find(|(k, _, alive)| *alive && k.at < del_at)
+            if let Some(slot) = alive.iter_mut().rev().find(|(k, _, alive)| *alive && k.at < del_at)
             {
                 slot.2 = false;
             }
@@ -318,6 +383,7 @@ impl AttackService {
             corrections,
             switches: switch.switches_detected(),
             launch_at,
+            degradation,
         })
     }
 }

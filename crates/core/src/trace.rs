@@ -95,15 +95,38 @@ impl Delta {
 /// Extracts the nonzero changes from a trace: `delta_i = s_i - s_{i-1}`,
 /// skipping reads where nothing moved ("the PC values remain unchanged if
 /// the screen display does not change", §3.4).
+///
+/// Counters are cumulative, so they can only ever grow — unless the GPU
+/// slumbered between the two reads and the registers restarted from zero.
+/// See [`extract_deltas_with_resets`] for how such windows are handled.
 pub fn extract_deltas(trace: &Trace) -> Vec<Delta> {
+    extract_deltas_with_resets(trace).0
+}
+
+/// [`extract_deltas`], also reporting how many counter resets were detected.
+///
+/// A window where any tracked counter moved *backwards* cannot be a real
+/// display change: cumulative registers never decrease. It means the
+/// hardware lost its state (GPU slumber / power collapse), so the window's
+/// difference is meaningless. Instead of clamping it to zero per counter —
+/// which silently fabricates a bogus partial delta — the window is dropped
+/// entirely and extraction re-anchors at the later sample, resuming normal
+/// differencing from there. The activity that fell inside the reset window
+/// is lost (degraded coverage), but nothing invented is emitted.
+pub fn extract_deltas_with_resets(trace: &Trace) -> (Vec<Delta>, usize) {
     let mut out = Vec::new();
+    let mut resets = 0;
     for w in trace.samples().windows(2) {
-        let d = w[1].values.saturating_sub(&w[0].values);
-        if !d.is_zero() {
-            out.push(Delta { at: w[1].at, values: d });
+        match w[1].values.checked_sub(&w[0].values) {
+            Some(d) => {
+                if !d.is_zero() {
+                    out.push(Delta { at: w[1].at, values: d });
+                }
+            }
+            None => resets += 1,
         }
     }
-    out
+    (out, resets)
 }
 
 #[cfg(test)]
@@ -147,6 +170,56 @@ mod tests {
         let mut t = Trace::new();
         t.push(SimInstant::from_millis(10), set(1));
         t.push(SimInstant::from_millis(5), set(2));
+    }
+
+    #[test]
+    fn counter_reset_reanchors_instead_of_fabricating_zero() {
+        let mut t = Trace::new();
+        t.push(SimInstant::from_millis(0), set(100));
+        t.push(SimInstant::from_millis(8), set(130));
+        // GPU slumber: registers restart near zero...
+        t.push(SimInstant::from_millis(16), set(5));
+        // ...and counting resumes from the new anchor.
+        t.push(SimInstant::from_millis(24), set(25));
+        let (d, resets) = extract_deltas_with_resets(&t);
+        assert_eq!(resets, 1);
+        assert_eq!(d.len(), 2, "the reset window itself must emit nothing");
+        assert_eq!(d[0].at, SimInstant::from_millis(8));
+        assert_eq!(d[0].values[TrackedCounter::Ras8x4Tiles], 30);
+        assert_eq!(d[1].at, SimInstant::from_millis(24));
+        assert_eq!(
+            d[1].values[TrackedCounter::Ras8x4Tiles],
+            20,
+            "re-anchored at the post-reset read"
+        );
+    }
+
+    #[test]
+    fn partial_backward_jump_still_counts_as_reset() {
+        // One counter moves forward while another moves backward: cumulative
+        // registers cannot do that, so the whole window is a reset.
+        let mut a = CounterSet::ZERO;
+        a[TrackedCounter::Ras8x4Tiles] = 50;
+        a[TrackedCounter::VpcPcPrimitives] = 10;
+        let mut b = CounterSet::ZERO;
+        b[TrackedCounter::Ras8x4Tiles] = 20; // backwards
+        b[TrackedCounter::VpcPcPrimitives] = 60; // forwards
+        let mut t = Trace::new();
+        t.push(SimInstant::from_millis(0), a);
+        t.push(SimInstant::from_millis(8), b);
+        let (d, resets) = extract_deltas_with_resets(&t);
+        assert!(d.is_empty());
+        assert_eq!(resets, 1);
+    }
+
+    #[test]
+    fn monotone_traces_report_zero_resets() {
+        let t: Trace = (0..6)
+            .map(|i| Sample { at: SimInstant::from_millis(i * 8), values: set(i * 3) })
+            .collect();
+        let (d, resets) = extract_deltas_with_resets(&t);
+        assert_eq!(resets, 0);
+        assert_eq!(d, extract_deltas(&t));
     }
 
     #[test]

@@ -2,12 +2,12 @@
 
 use adreno_sim::counters::{CounterSet, NUM_TRACKED};
 use adreno_sim::time::{SimDuration, SimInstant};
+use android_ui::{AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
 use gpu_sc_attack::classify::{ClassifierModel, KeyCentroid, ModelMeta};
 use gpu_sc_attack::metrics::edit_distance;
 use gpu_sc_attack::online::{infer_full_trace, infer_stream, OnlineConfig};
-use gpu_sc_attack::trace::{extract_deltas, Delta, Trace};
+use gpu_sc_attack::trace::{extract_deltas, extract_deltas_with_resets, Delta, Trace};
 use gpu_sc_attack::ModelStore;
-use android_ui::{AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
 use proptest::prelude::*;
 
 fn meta() -> ModelMeta {
@@ -183,5 +183,48 @@ proptest! {
         let first = trace.samples().first().unwrap().values;
         let last = trace.samples().last().unwrap().values;
         prop_assert_eq!(sum + first, last, "deltas must sum to the end-to-end change");
+    }
+
+    #[test]
+    fn counter_resets_reanchor_without_fabricating_deltas(
+        segments in prop::collection::vec(
+            prop::collection::vec(arb_set(10_000), 1..8),
+            1..6,
+        ),
+    ) {
+        // Each segment models one GPU power-up span: a first read right after
+        // the registers restarted (all zeros), then monotone accumulation.
+        // Every increment gets +1 on one counter so each span's final value
+        // is nonzero — making every span boundary a *detectable* backward
+        // jump for the extractor.
+        let mut trace = Trace::new();
+        let mut at = 0u64;
+        let mut expected_total = CounterSet::ZERO;
+        for increments in &segments {
+            let mut acc = CounterSet::ZERO;
+            trace.push(SimInstant::from_millis(at), acc);
+            at += 8;
+            for v in increments {
+                let mut bump = *v;
+                bump[adreno_sim::counters::TrackedCounter::Ras8x4Tiles] += 1;
+                acc += bump;
+                trace.push(SimInstant::from_millis(at), acc);
+                at += 8;
+            }
+            expected_total += acc;
+        }
+
+        let (deltas, resets) = extract_deltas_with_resets(&trace);
+        // Exactly the span boundaries are reported as resets...
+        prop_assert_eq!(resets, segments.len() - 1);
+        // ...and the surviving deltas are exactly the within-span activity:
+        // nothing from a reset window leaks through, nothing real is lost.
+        let sum = deltas.iter().fold(CounterSet::ZERO, |s, d| s + d.values);
+        prop_assert_eq!(sum, expected_total, "re-anchoring must keep all within-span activity");
+        for d in &deltas {
+            prop_assert!(!d.values.is_zero(), "idle windows are never emitted");
+        }
+        // The plain extractor is the same function minus the reset count.
+        prop_assert_eq!(extract_deltas(&trace), deltas);
     }
 }

@@ -86,7 +86,13 @@ impl Typist {
         }
     }
 
-    fn tap<R: Rng + ?Sized>(&mut self, plan: &mut Plan, at: SimInstant, key: Key, rng: &mut R) -> SimInstant {
+    fn tap<R: Rng + ?Sized>(
+        &mut self,
+        plan: &mut Plan,
+        at: SimInstant,
+        key: Key,
+        rng: &mut R,
+    ) -> SimInstant {
         let duration = self.volunteer.sample_duration(rng);
         plan.push(at, UiEvent::KeyDown(key));
         plan.push(at + duration, UiEvent::KeyUp(key));
@@ -101,7 +107,12 @@ impl Typist {
 
     /// Plans typing `text` starting at `start`, inserting page-switch taps
     /// as needed. Characters outside the keyboard's set are skipped.
-    pub fn type_text<R: Rng + ?Sized>(&mut self, text: &str, start: SimInstant, rng: &mut R) -> Plan {
+    pub fn type_text<R: Rng + ?Sized>(
+        &mut self,
+        text: &str,
+        start: SimInstant,
+        rng: &mut R,
+    ) -> Plan {
         let mut plan = Plan::default();
         let mut at = start;
         for c in text.chars() {
@@ -117,7 +128,12 @@ impl Typist {
     }
 
     /// Plans `n` backspace taps starting at `start`.
-    pub fn backspaces<R: Rng + ?Sized>(&mut self, n: usize, start: SimInstant, rng: &mut R) -> Plan {
+    pub fn backspaces<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        start: SimInstant,
+        rng: &mut R,
+    ) -> Plan {
         let mut plan = Plan::default();
         let mut at = start;
         for _ in 0..n {
@@ -187,7 +203,12 @@ impl Default for SessionConfig {
     /// Rates tuned to resemble the Fig 27 event traces: a handful of
     /// corrections and switches per 3-minute session.
     fn default() -> Self {
-        SessionConfig { correction_prob: 0.06, switch_prob: 0.03, shade_prob: 0.02, away_secs_mean: 4.0 }
+        SessionConfig {
+            correction_prob: 0.06,
+            switch_prob: 0.03,
+            shade_prob: 0.02,
+            away_secs_mean: 4.0,
+        }
     }
 }
 
@@ -337,8 +358,14 @@ mod tests {
     fn practical_session_contains_detours() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut t = Typist::new(VOLUNTEERS[0]);
-        let cfg = SessionConfig { correction_prob: 0.5, switch_prob: 0.5, shade_prob: 0.3, away_secs_mean: 1.0 };
-        let plan = practical_session(&mut t, "abcdef", SimInstant::from_millis(200), &cfg, &mut rng);
+        let cfg = SessionConfig {
+            correction_prob: 0.5,
+            switch_prob: 0.5,
+            shade_prob: 0.3,
+            away_secs_mean: 1.0,
+        };
+        let plan =
+            practical_session(&mut t, "abcdef", SimInstant::from_millis(200), &cfg, &mut rng);
         let has = |f: &dyn Fn(&UiEvent) -> bool| plan.events.iter().any(|e| f(&e.event));
         assert!(has(&|e| matches!(e, UiEvent::SwitchAway)));
         assert!(has(&|e| matches!(e, UiEvent::SwitchBack)));

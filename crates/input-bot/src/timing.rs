@@ -30,11 +30,41 @@ pub struct VolunteerModel {
 /// durations cluster in 0.05–0.25 s, intervals spread 0.1–1.0 s, with
 /// noticeable heterogeneity across volunteers.
 pub const VOLUNTEERS: [VolunteerModel; 5] = [
-    VolunteerModel { id: 1, duration_mean: 0.08, duration_std: 0.020, interval_mean: 0.22, interval_std: 0.06 },
-    VolunteerModel { id: 2, duration_mean: 0.12, duration_std: 0.030, interval_mean: 0.30, interval_std: 0.10 },
-    VolunteerModel { id: 3, duration_mean: 0.10, duration_std: 0.025, interval_mean: 0.45, interval_std: 0.15 },
-    VolunteerModel { id: 4, duration_mean: 0.15, duration_std: 0.040, interval_mean: 0.28, interval_std: 0.08 },
-    VolunteerModel { id: 5, duration_mean: 0.09, duration_std: 0.020, interval_mean: 0.60, interval_std: 0.20 },
+    VolunteerModel {
+        id: 1,
+        duration_mean: 0.08,
+        duration_std: 0.020,
+        interval_mean: 0.22,
+        interval_std: 0.06,
+    },
+    VolunteerModel {
+        id: 2,
+        duration_mean: 0.12,
+        duration_std: 0.030,
+        interval_mean: 0.30,
+        interval_std: 0.10,
+    },
+    VolunteerModel {
+        id: 3,
+        duration_mean: 0.10,
+        duration_std: 0.025,
+        interval_mean: 0.45,
+        interval_std: 0.15,
+    },
+    VolunteerModel {
+        id: 4,
+        duration_mean: 0.15,
+        duration_std: 0.040,
+        interval_mean: 0.28,
+        interval_std: 0.08,
+    },
+    VolunteerModel {
+        id: 5,
+        duration_mean: 0.09,
+        duration_std: 0.020,
+        interval_mean: 0.60,
+        interval_std: 0.20,
+    },
 ];
 
 /// Shortest physiologically plausible press duration.

@@ -30,7 +30,10 @@ const IOC_READ: u32 = 2;
 
 /// Encodes an `_IOWR(type, nr, size)` ioctl request number.
 pub const fn iowr(ty: u32, nr: u32, size: u32) -> u32 {
-    ((IOC_READ | IOC_WRITE) << IOC_DIRSHIFT) | (size << IOC_SIZESHIFT) | (ty << IOC_TYPESHIFT) | (nr << IOC_NRSHIFT)
+    ((IOC_READ | IOC_WRITE) << IOC_DIRSHIFT)
+        | (size << IOC_SIZESHIFT)
+        | (ty << IOC_TYPESHIFT)
+        | (nr << IOC_NRSHIFT)
 }
 
 /// Wire size of `struct kgsl_perfcounter_get` (3×u32 + padding + u64s in the

@@ -11,13 +11,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use adreno_sim::counters::{CounterGroup, CounterId, TrackedCounter};
+use adreno_sim::counters::{CounterGroup, CounterId, CounterSet, TrackedCounter};
 use adreno_sim::gpu::Gpu;
 use adreno_sim::time::{SharedClock, SimDuration};
 use parking_lot::Mutex;
 
 use crate::abi::{IoctlRequest, KgslPerfcounterReadGroup};
 use crate::error::{DeviceResult, Errno};
+use crate::fault::{FaultEvent, FaultInjector, FaultLog, FaultPlan};
 use crate::policy::{AccessPolicy, CounterVisibility, SelinuxDomain};
 
 /// Maximum countable selector per group (the real hardware exposes a few
@@ -36,13 +37,39 @@ pub struct KgslFd(u32);
 struct HandleState {
     pid: u32,
     domain: SelinuxDomain,
+    /// This handle's own reservation refcounts, so `close()` can release
+    /// exactly what the handle still holds (like the real driver's per-context
+    /// cleanup).
+    reservations: HashMap<(u32, u32), usize>,
 }
 
 #[derive(Debug, Default)]
 struct DeviceState {
     handles: HashMap<u32, HandleState>,
-    /// Reservation refcounts per `(group, countable)`.
+    /// Device-wide reservation refcounts per `(group, countable)` — the sum
+    /// of every handle's counts, used for capacity (`EBUSY`) and read
+    /// validation.
     reservations: HashMap<(u32, u32), usize>,
+}
+
+impl DeviceState {
+    /// Drops one reservation refcount device-wide.
+    fn release_one(&mut self, key: (u32, u32)) {
+        if let Some(rc) = self.reservations.get_mut(&key) {
+            *rc -= 1;
+            if *rc == 0 {
+                self.reservations.remove(&key);
+            }
+        }
+    }
+
+    /// Forgets every reservation, device-wide and per-handle (GPU slumber).
+    fn clear_reservations(&mut self) {
+        self.reservations.clear();
+        for handle in self.handles.values_mut() {
+            handle.reservations.clear();
+        }
+    }
 }
 
 /// The device file.
@@ -79,6 +106,13 @@ pub struct KgslDevice {
     policy: Mutex<AccessPolicy>,
     state: Mutex<DeviceState>,
     next_fd: AtomicU32,
+    /// Installed fault injector, if any (see [`crate::fault`]).
+    fault: Mutex<Option<FaultInjector>>,
+    /// Counter values at the last GPU slumber. Hardware registers reset to
+    /// zero across a power collapse, so reads report cumulative values
+    /// *since* this baseline — which is what makes post-slumber reads jump
+    /// backwards from the attacker's point of view.
+    counter_baseline: Mutex<CounterSet>,
 }
 
 impl KgslDevice {
@@ -90,7 +124,52 @@ impl KgslDevice {
             policy: Mutex::new(AccessPolicy::default()),
             state: Mutex::new(DeviceState::default()),
             next_fd: AtomicU32::new(3), // 0..2 are stdio, as a nod to realism
+            fault: Mutex::new(None),
+            counter_baseline: Mutex::new(CounterSet::ZERO),
         }
+    }
+
+    /// Installs a fault-injection plan. Subsequent `open`/`ioctl` calls
+    /// consult the plan's schedule and transient rates; see [`crate::fault`].
+    /// Replaces any previously installed plan (and its log).
+    pub fn install_fault_plan(&self, plan: &FaultPlan) {
+        *self.fault.lock() = Some(FaultInjector::new(plan));
+    }
+
+    /// Removes the fault injector; the device returns to ideal behaviour.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// Counts of faults delivered so far, if a plan is installed.
+    pub fn fault_log(&self) -> Option<FaultLog> {
+        self.fault.lock().as_ref().map(|inj| inj.log())
+    }
+
+    /// Delivers due scheduled fault events, then makes this call's transient
+    /// draw. Called at every `open`/`ioctl` entry; `Some(errno)` means the
+    /// call fails with that transient error.
+    fn service_faults(&self) -> Option<Errno> {
+        let mut guard = self.fault.lock();
+        let injector = guard.as_mut()?;
+        let now = self.clock.now();
+        for event in injector.due_events(now) {
+            match event {
+                FaultEvent::Slumber => {
+                    // The hardware forgets: registers restart from zero and
+                    // reservations are gone.
+                    *self.counter_baseline.lock() = self.gpu.lock().counters_at(now);
+                    self.state.lock().clear_reservations();
+                }
+                FaultEvent::RevokeFds => {
+                    let mut st = self.state.lock();
+                    st.handles.clear();
+                    st.reservations.clear();
+                }
+                FaultEvent::PolicyChange(policy) => *self.policy.lock() = policy,
+            }
+        }
+        injector.draw_transient()
     }
 
     /// The shared clock this device reads.
@@ -118,17 +197,35 @@ impl KgslDevice {
     ///
     /// Opening always succeeds on stock Android — user-space GPU drivers run
     /// inside every app's process, so the file must be world-accessible
-    /// (§4). Policies restrict *ioctls*, not `open`.
+    /// (§4). Policies restrict *ioctls*, not `open`. Under fault injection
+    /// the call may still fail transiently (`EBUSY`/`EINTR`), like any
+    /// interrupted syscall.
     pub fn open(&self, pid: u32, domain: SelinuxDomain) -> DeviceResult<KgslFd> {
+        if let Some(errno) = self.service_faults() {
+            return Err(errno);
+        }
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.state.lock().handles.insert(fd, HandleState { pid, domain });
+        self.state
+            .lock()
+            .handles
+            .insert(fd, HandleState { pid, domain, reservations: HashMap::new() });
         Ok(KgslFd(fd))
     }
 
-    /// Closes a handle. Closing an unknown handle returns `EBADF`.
+    /// Closes a handle, releasing every reservation it still holds (the real
+    /// driver's per-context cleanup). Closing an unknown handle returns
+    /// `EBADF`.
     pub fn close(&self, fd: KgslFd) -> DeviceResult<()> {
-        match self.state.lock().handles.remove(&fd.0) {
-            Some(_) => Ok(()),
+        let mut st = self.state.lock();
+        match st.handles.remove(&fd.0) {
+            Some(handle) => {
+                for (key, count) in handle.reservations {
+                    for _ in 0..count {
+                        st.release_one(key);
+                    }
+                }
+                Ok(())
+            }
             None => Err(Errno::Ebadf),
         }
     }
@@ -150,9 +247,14 @@ impl KgslDevice {
     /// * `EINVAL` — request code does not match the argument, or the
     ///   group/countable is out of range, or a read targets an unreserved
     ///   counter.
-    /// * `EBUSY` — all physical counters of the group are reserved.
+    /// * `EBUSY` — all physical counters of the group are reserved, or an
+    ///   injected transient fault.
+    /// * `EINTR` — an injected transient fault (simulated signal delivery).
     /// * `EACCES`/`EPERM` — blocked by the installed [`AccessPolicy`].
     pub fn ioctl(&self, fd: KgslFd, code: u32, mut req: IoctlRequest<'_>) -> DeviceResult<()> {
+        if let Some(errno) = self.service_faults() {
+            return Err(errno);
+        }
         let domain = self.domain_of(fd)?;
         if code != req.expected_code() {
             return Err(Errno::Einval);
@@ -164,16 +266,20 @@ impl KgslDevice {
                     return Err(Errno::Eacces);
                 }
                 let mut st = self.state.lock();
-                let group_load: usize = st
-                    .reservations
-                    .iter()
-                    .filter(|((g, _), _)| *g == get.groupid)
-                    .count();
-                let entry = st.reservations.entry((get.groupid, get.countable)).or_insert(0);
+                let group_load: usize =
+                    st.reservations.iter().filter(|((g, _), _)| *g == get.groupid).count();
+                let key = (get.groupid, get.countable);
+                let entry = st.reservations.entry(key).or_insert(0);
                 if *entry == 0 && group_load >= COUNTERS_PER_GROUP {
                     return Err(Errno::Ebusy);
                 }
                 *entry += 1;
+                *st.handles
+                    .get_mut(&fd.0)
+                    .expect("checked by domain_of")
+                    .reservations
+                    .entry(key)
+                    .or_insert(0) += 1;
                 // Fabricate plausible register offsets.
                 get.offset = 0xA000 + get.groupid * 0x40 + get.countable * 2;
                 get.offset_hi = get.offset + 1;
@@ -181,15 +287,20 @@ impl KgslDevice {
             }
             IoctlRequest::PerfcounterPut(put) => {
                 self.validate_target(put.groupid, put.countable)?;
+                let key = (put.groupid, put.countable);
                 let mut st = self.state.lock();
-                match st.reservations.get_mut(&(put.groupid, put.countable)) {
+                let handle = st.handles.get_mut(&fd.0).expect("checked by domain_of");
+                match handle.reservations.get_mut(&key) {
                     Some(rc) if *rc > 0 => {
                         *rc -= 1;
                         if *rc == 0 {
-                            st.reservations.remove(&(put.groupid, put.countable));
+                            handle.reservations.remove(&key);
                         }
+                        st.release_one(key);
                         Ok(())
                     }
+                    // This handle holds no such reservation (it may never
+                    // have taken one, or lost it across a slumber).
                     _ => Err(Errno::Einval),
                 }
             }
@@ -247,11 +358,14 @@ impl KgslDevice {
             }
         }
         let snapshot = self.gpu.lock().counters_at(self.clock.now());
+        // Registers physically reset across a GPU slumber, so a read reports
+        // the cumulative count since the most recent slumber baseline.
+        let baseline = *self.counter_baseline.lock();
         for r in reads.iter_mut() {
             let group = CounterGroup::from_kgsl_id(r.groupid).expect("validated above");
             let id = CounterId::new(group, r.countable);
             r.value = match TrackedCounter::from_id(id) {
-                Some(tracked) => snapshot[tracked],
+                Some(tracked) => snapshot[tracked].saturating_sub(baseline[tracked]),
                 // Valid hardware counter our simulation does not model:
                 // reads as a quiescent counter.
                 None => 0,
@@ -356,7 +470,10 @@ mod tests {
         let dev = device();
         let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
         dev.close(fd).unwrap();
-        assert_eq!(get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap_err(), Errno::Ebadf);
+        assert_eq!(
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap_err(),
+            Errno::Ebadf
+        );
         assert_eq!(dev.close(fd).unwrap_err(), Errno::Ebadf);
     }
 
@@ -368,7 +485,8 @@ mod tests {
             get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_RAS, c).unwrap();
         }
         assert_eq!(
-            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_RAS, COUNTERS_PER_GROUP as u32).unwrap_err(),
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_RAS, COUNTERS_PER_GROUP as u32)
+                .unwrap_err(),
             Errno::Ebusy
         );
         // Re-getting an already reserved countable is fine (refcounted).
@@ -391,6 +509,70 @@ mod tests {
     }
 
     #[test]
+    fn close_releases_the_handles_reservations() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        // Exhaust the group from one handle...
+        for c in 0..COUNTERS_PER_GROUP as u32 {
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_RAS, c).unwrap();
+        }
+        let other = dev.open(2, SelinuxDomain::UntrustedApp).unwrap();
+        assert_eq!(
+            get_counter(&dev, other, KGSL_PERFCOUNTER_GROUP_RAS, COUNTERS_PER_GROUP as u32)
+                .unwrap_err(),
+            Errno::Ebusy
+        );
+        // ...then close it: the capacity must come back for other handles.
+        dev.close(fd).unwrap();
+        get_counter(&dev, other, KGSL_PERFCOUNTER_GROUP_RAS, COUNTERS_PER_GROUP as u32).unwrap();
+        let mut reads =
+            [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_RAS, COUNTERS_PER_GROUP as u32)];
+        dev.ioctl(other, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        // The closed handle's reservations are gone: reading one is EINVAL.
+        let mut stale = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_RAS, 0)];
+        assert_eq!(
+            dev.ioctl(
+                other,
+                IOCTL_KGSL_PERFCOUNTER_READ,
+                IoctlRequest::PerfcounterRead(&mut stale)
+            )
+            .unwrap_err(),
+            Errno::Einval
+        );
+    }
+
+    #[test]
+    fn close_only_releases_its_own_refcounts() {
+        let dev = device();
+        let a = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        let b = dev.open(2, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, a, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        get_counter(&dev, b, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        dev.close(a).unwrap();
+        // b's reservation must survive a's close.
+        let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13)];
+        dev.ioctl(b, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+    }
+
+    #[test]
+    fn put_requires_the_handles_own_reservation() {
+        let dev = device();
+        let a = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        let b = dev.open(2, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, a, KGSL_PERFCOUNTER_GROUP_VPC, 9).unwrap();
+        let put = KgslPerfcounterPut { groupid: KGSL_PERFCOUNTER_GROUP_VPC, countable: 9 };
+        // b never reserved it, so b cannot release it.
+        assert_eq!(
+            dev.ioctl(b, IOCTL_KGSL_PERFCOUNTER_PUT, IoctlRequest::PerfcounterPut(put))
+                .unwrap_err(),
+            Errno::Einval
+        );
+        dev.ioctl(a, IOCTL_KGSL_PERFCOUNTER_PUT, IoctlRequest::PerfcounterPut(put)).unwrap();
+    }
+
+    #[test]
     fn deny_all_policy_blocks_get_and_read() {
         let dev = device();
         let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
@@ -402,7 +584,10 @@ mod tests {
                 .unwrap_err(),
             Errno::Eacces
         );
-        assert_eq!(get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 14).unwrap_err(), Errno::Eacces);
+        assert_eq!(
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 14).unwrap_err(),
+            Errno::Eacces
+        );
     }
 
     #[test]
@@ -426,6 +611,115 @@ mod tests {
         dev.ioctl(profiler, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
             .unwrap();
         assert_eq!(reads[0].value, 2, "profiler retains global visibility");
+    }
+
+    fn render_a_frame(dev: &KgslDevice, at: SimInstant) {
+        let mut dl = DrawList::new(256, 256);
+        dl.layer("bg").quad(Rect::from_xywh(0, 0, 256, 256), true);
+        let end = dev.gpu().lock().submit(&dl, at).end;
+        dev.clock().advance_to(end);
+    }
+
+    #[test]
+    fn slumber_zeroes_live_counters_and_drops_reservations() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        render_a_frame(&dev, SimInstant::ZERO);
+
+        let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13)];
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        assert_eq!(reads[0].value, 2);
+
+        let plan = FaultPlan::new(0)
+            .at(dev.clock().now() + SimDuration::from_millis(1), crate::fault::FaultEvent::Slumber);
+        dev.install_fault_plan(&plan);
+        dev.clock().advance_to(dev.clock().now() + SimDuration::from_millis(2));
+
+        // The reservation is gone: the read is EINVAL until re-acquired.
+        assert_eq!(
+            dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+                .unwrap_err(),
+            Errno::Einval
+        );
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        assert_eq!(reads[0].value, 0, "registers restart from zero after slumber");
+        assert_eq!(dev.fault_log().unwrap().slumbers, 1);
+
+        // New work after the slumber is visible again.
+        render_a_frame(&dev, dev.clock().now());
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        assert_eq!(reads[0].value, 2);
+    }
+
+    #[test]
+    fn revocation_makes_every_fd_ebadf() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        dev.install_fault_plan(
+            &FaultPlan::new(0).at(SimInstant::from_millis(10), crate::fault::FaultEvent::RevokeFds),
+        );
+        dev.clock().advance_to(SimInstant::from_millis(20));
+        assert_eq!(
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 14).unwrap_err(),
+            Errno::Ebadf
+        );
+        // Reopening works and the device is fully functional again.
+        let fd2 = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd2, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        assert_eq!(dev.fault_log().unwrap().revocations, 1);
+    }
+
+    #[test]
+    fn scheduled_policy_flip_is_applied() {
+        let dev = device();
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        dev.install_fault_plan(&FaultPlan::new(0).at(
+            SimInstant::from_millis(5),
+            crate::fault::FaultEvent::PolicyChange(AccessPolicy::DenyAll),
+        ));
+        dev.clock().advance_to(SimInstant::from_millis(6));
+        assert_eq!(
+            get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 14).unwrap_err(),
+            Errno::Eacces
+        );
+    }
+
+    #[test]
+    fn transient_faults_are_deterministic_per_seed() {
+        let run = || {
+            let dev = device();
+            dev.install_fault_plan(&FaultPlan::new(77).with_transient_rates(0.3, 0.2));
+            let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap_or(KgslFd(u32::MAX));
+            (0..64)
+                .map(|i| get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, i % 8).err())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|e| matches!(e, Some(Errno::Ebusy))));
+        assert!(a.iter().any(|e| matches!(e, Some(Errno::Eintr))));
+    }
+
+    #[test]
+    fn null_fault_plan_changes_nothing() {
+        let dev = device();
+        dev.install_fault_plan(&FaultPlan::new(123));
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        render_a_frame(&dev, SimInstant::ZERO);
+        let mut reads = [KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13)];
+        dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+            .unwrap();
+        assert_eq!(reads[0].value, 2);
+        assert_eq!(dev.fault_log().unwrap().total(), 0);
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum Errno {
     /// Counter space exhausted — all physical counters of the group are
     /// reserved.
     Ebusy,
+    /// Interrupted system call — the ioctl was cut short by a signal (or,
+    /// under fault injection, a simulated one) and may simply be retried.
+    Eintr,
 }
 
 impl Errno {
@@ -33,7 +36,15 @@ impl Errno {
             Errno::Eacces => 13,
             Errno::Enodev => 6,
             Errno::Ebusy => 16,
+            Errno::Eintr => 4,
         }
+    }
+
+    /// Whether the failure is transient in the Unix sense: the same call may
+    /// succeed if simply retried (`EBUSY`, `EINTR`). Policy denials, bad
+    /// descriptors and validation errors are not retryable as-is.
+    pub const fn is_transient(self) -> bool {
+        matches!(self, Errno::Ebusy | Errno::Eintr)
     }
 
     /// The conventional symbol name, e.g. `"EPERM"`.
@@ -45,6 +56,7 @@ impl Errno {
             Errno::Eacces => "EACCES",
             Errno::Enodev => "ENODEV",
             Errno::Ebusy => "EBUSY",
+            Errno::Eintr => "EINTR",
         }
     }
 }
@@ -70,6 +82,16 @@ mod tests {
         assert_eq!(Errno::Einval.code(), 22);
         assert_eq!(Errno::Ebadf.code(), 9);
         assert_eq!(Errno::Eacces.code(), 13);
+        assert_eq!(Errno::Eintr.code(), 4);
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(Errno::Ebusy.is_transient());
+        assert!(Errno::Eintr.is_transient());
+        assert!(!Errno::Eacces.is_transient());
+        assert!(!Errno::Ebadf.is_transient());
+        assert!(!Errno::Einval.is_transient());
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   `EBADF` paths) plus the `gpu_busy_percentage` sysfs endpoint;
 //! * [`policy`] — the §9.2 mitigation: SELinux-style role-based access
 //!   control over counter visibility;
-//! * [`obfuscate`] — the §9.3 mitigation: random decoy GPU workloads.
+//! * [`obfuscate`] — the §9.3 mitigation: random decoy GPU workloads;
+//! * [`fault`] — deterministic fault injection (transient `EBUSY`/`EINTR`,
+//!   GPU slumber, fd revocation, mid-session policy flips) for robustness
+//!   testing of everything built on the device.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -39,12 +42,14 @@
 
 pub mod abi;
 pub mod device;
-pub mod gles;
 pub mod error;
+pub mod fault;
+pub mod gles;
 pub mod obfuscate;
 pub mod policy;
 
 pub use device::{KgslDevice, KgslFd};
 pub use error::{DeviceResult, Errno};
+pub use fault::{FaultEvent, FaultLog, FaultPlan};
 pub use obfuscate::{ObfuscationConfig, Obfuscator};
 pub use policy::{AccessPolicy, CounterVisibility, SelinuxDomain};

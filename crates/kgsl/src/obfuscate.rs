@@ -87,7 +87,12 @@ fn decoy_counters(magnitude: f64) -> (CounterSet, u64) {
 impl Obfuscator {
     /// Creates an obfuscator with a deterministic seed.
     pub fn new(config: ObfuscationConfig, seed: u64) -> Self {
-        Obfuscator { config, rng: StdRng::seed_from_u64(seed), next_at: None, cursor: SimInstant::ZERO }
+        Obfuscator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_at: None,
+            cursor: SimInstant::ZERO,
+        }
     }
 
     /// The active configuration.
@@ -123,7 +128,8 @@ impl Obfuscator {
             if due > until {
                 break;
             }
-            let magnitude = self.rng.gen_range(self.config.min_magnitude..=self.config.max_magnitude);
+            let magnitude =
+                self.rng.gen_range(self.config.min_magnitude..=self.config.max_magnitude);
             let (counters, cycles) = decoy_counters(magnitude);
             gpu.submit_workload(counters, cycles, due);
             injected += 1;

@@ -125,11 +125,9 @@ mod tests {
 
     #[test]
     fn deny_all_blocks_everyone() {
-        for d in [
-            SelinuxDomain::UntrustedApp,
-            SelinuxDomain::PlatformApp,
-            SelinuxDomain::GpuProfiler,
-        ] {
+        for d in
+            [SelinuxDomain::UntrustedApp, SelinuxDomain::PlatformApp, SelinuxDomain::GpuProfiler]
+        {
             assert_eq!(AccessPolicy::DenyAll.visibility(d), CounterVisibility::Denied);
         }
     }

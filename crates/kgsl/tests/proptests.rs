@@ -33,9 +33,21 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         arb_domain().prop_map(Op::Open),
         (0usize..8).prop_map(Op::Close),
-        (0usize..8, 0u32..0x20, 0u32..40).prop_map(|(fd, group, countable)| Op::Get { fd, group, countable }),
-        (0usize..8, 0u32..0x20, 0u32..40).prop_map(|(fd, group, countable)| Op::Put { fd, group, countable }),
-        (0usize..8, 0u32..0x20, 0u32..40).prop_map(|(fd, group, countable)| Op::Read { fd, group, countable }),
+        (0usize..8, 0u32..0x20, 0u32..40).prop_map(|(fd, group, countable)| Op::Get {
+            fd,
+            group,
+            countable
+        }),
+        (0usize..8, 0u32..0x20, 0u32..40).prop_map(|(fd, group, countable)| Op::Put {
+            fd,
+            group,
+            countable
+        }),
+        (0usize..8, 0u32..0x20, 0u32..40).prop_map(|(fd, group, countable)| Op::Read {
+            fd,
+            group,
+            countable
+        }),
         (0u8..3).prop_map(Op::SetPolicy),
     ]
 }

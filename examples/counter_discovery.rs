@@ -69,11 +69,7 @@ fn main() {
         .expect("blockread");
     println!("\nioctl(IOCTL_KGSL_PERFCOUNTER_READ) on the same span:");
     for (id, r) in selected.iter().zip(&reads) {
-        println!(
-            "  {:<36} = {}",
-            gles::get_perf_monitor_counter_string(*id).unwrap(),
-            r.value
-        );
+        println!("  {:<36} = {}", gles::get_perf_monitor_counter_string(*id).unwrap(), r.value);
     }
     println!("\n→ global values from an unprivileged fd: the §4 vulnerability in one screen.");
 }

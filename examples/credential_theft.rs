@@ -7,11 +7,11 @@
 //! ```
 
 use adreno_sim::time::{SimDuration, SimInstant};
-use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
-use gpu_eaves::attack::service::{AttackService, ServiceConfig};
 use gpu_eaves::android_ui::{
     DeviceConfig, KeyboardKind, PhoneModel, SimConfig, TargetApp, UiSimulation,
 };
+use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::service::{AttackService, ServiceConfig};
 use gpu_eaves::input_bot::script::{practical_session, SessionConfig, Typist};
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
 use rand::rngs::StdRng;

@@ -6,9 +6,9 @@
 //! ```
 
 use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::android_ui::{SimConfig, TargetApp, UiSimulation};
 use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
 use gpu_eaves::attack::service::{AttackService, ServiceConfig};
-use gpu_eaves::android_ui::{SimConfig, TargetApp, UiSimulation};
 use gpu_eaves::input_bot::script::Typist;
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
 use gpu_eaves::kgsl::{AccessPolicy, ObfuscationConfig, SelinuxDomain};
@@ -83,5 +83,7 @@ fn main() {
         SimConfig { app: TargetApp::Pnc, ..SimConfig::paper_default(6) },
         None,
     );
-    println!("\n(the paper's conclusion: only access control stops the channel without side effects)");
+    println!(
+        "\n(the paper's conclusion: only access control stops the channel without side effects)"
+    );
 }

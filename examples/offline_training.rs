@@ -6,9 +6,9 @@
 //! ```
 
 use adreno_sim::counters::TrackedCounter;
+use gpu_eaves::android_ui::SimConfig;
 use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
 use gpu_eaves::attack::ClassifierModel;
-use gpu_eaves::android_ui::SimConfig;
 
 fn main() {
     let cfg = SimConfig::paper_default(0);
@@ -20,7 +20,10 @@ fn main() {
     println!("  centroids      : {}", model.centroids().len());
     println!("  C_th           : {:.3}", model.threshold());
     println!("  switch thresh. : {} (counter units)", model.switch_threshold());
-    println!("  field sigs     : {} (input lengths x cursor states)", model.ambient_signatures().len());
+    println!(
+        "  field sigs     : {} (input lengths x cursor states)",
+        model.ambient_signatures().len()
+    );
 
     // Which counters carry the per-key signal? The whitening weights are
     // the inverse inter-centroid spreads: the most discriminative counters
@@ -50,7 +53,11 @@ fn main() {
 
     // Wire format round trip.
     let bytes = model.to_bytes();
-    println!("\nserialised model: {} bytes ({:.2} kB; paper reports 3.59 kB)", bytes.len(), bytes.len() as f64 / 1024.0);
+    println!(
+        "\nserialised model: {} bytes ({:.2} kB; paper reports 3.59 kB)",
+        bytes.len(),
+        bytes.len() as f64 / 1024.0
+    );
     let restored = ClassifierModel::from_bytes(bytes).expect("round trip");
     assert_eq!(restored.centroids(), model.centroids());
 

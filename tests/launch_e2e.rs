@@ -2,9 +2,9 @@
 //! target app launches, ignoring everything the victim did before.
 
 use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::android_ui::{SimConfig, TimedEvent, UiEvent, UiSimulation};
 use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
 use gpu_eaves::attack::service::{AttackService, ServiceConfig, ServiceError};
-use gpu_eaves::android_ui::{SimConfig, TimedEvent, UiEvent, UiSimulation};
 use gpu_eaves::input_bot::script::Typist;
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
 use rand::rngs::StdRng;
@@ -21,7 +21,8 @@ fn service(require_launch: bool) -> AttackService {
 fn pre_launch_session(seed: u64) -> (UiSimulation, SimInstant) {
     // The victim browses another app, then opens the banking app at 3 s and
     // types the credential.
-    let cfg = SimConfig { start_in_other: true, system_noise_hz: 0.0, ..SimConfig::paper_default(seed) };
+    let cfg =
+        SimConfig { start_in_other: true, system_noise_hz: 0.0, ..SimConfig::paper_default(seed) };
     let mut sim = UiSimulation::new(cfg);
     for ms in (400..2_600).step_by(450) {
         sim.queue(TimedEvent::new(SimInstant::from_millis(ms), UiEvent::OtherAppActivity));
@@ -49,7 +50,8 @@ fn launch_gated_service_recovers_the_post_launch_credential() {
 
 #[test]
 fn launch_gate_fails_cleanly_when_the_app_never_launches() {
-    let cfg = SimConfig { start_in_other: true, system_noise_hz: 0.0, ..SimConfig::paper_default(61) };
+    let cfg =
+        SimConfig { start_in_other: true, system_noise_hz: 0.0, ..SimConfig::paper_default(61) };
     let mut sim = UiSimulation::new(cfg);
     for ms in (400..4_000).step_by(500) {
         sim.queue(TimedEvent::new(SimInstant::from_millis(ms), UiEvent::OtherAppActivity));

@@ -1,9 +1,9 @@
 //! End-to-end tests of every §9 mitigation against the full attack.
 
 use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::android_ui::{SimConfig, TargetApp, UiSimulation};
 use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
 use gpu_eaves::attack::service::{AttackService, ServiceConfig, ServiceError};
-use gpu_eaves::android_ui::{SimConfig, TargetApp, UiSimulation};
 use gpu_eaves::input_bot::script::Typist;
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
 use gpu_eaves::kgsl::{AccessPolicy, Errno, ObfuscationConfig, SelinuxDomain};
@@ -32,7 +32,8 @@ fn victim(cfg: SimConfig, seed: u64) -> (UiSimulation, SimInstant) {
 
 #[test]
 fn stock_android_leaks_the_credential() {
-    let (mut sim, end) = victim(SimConfig { system_noise_hz: 0.0, ..SimConfig::paper_default(1) }, 1);
+    let (mut sim, end) =
+        victim(SimConfig { system_noise_hz: 0.0, ..SimConfig::paper_default(1) }, 1);
     let service = AttackService::new(store(), ServiceConfig::default());
     let result = service.eavesdrop(&mut sim, end).expect("stock policy");
     assert_eq!(result.recovered_text, SECRET);
@@ -60,7 +61,8 @@ fn rbac_starves_the_attacker_but_not_the_profiler() {
 
 #[test]
 fn disabling_popups_kills_per_key_recovery() {
-    let cfg = SimConfig { popups_enabled: false, system_noise_hz: 0.0, ..SimConfig::paper_default(4) };
+    let cfg =
+        SimConfig { popups_enabled: false, system_noise_hz: 0.0, ..SimConfig::paper_default(4) };
     let (mut sim, end) = victim(cfg, 4);
     let service = AttackService::new(store(), ServiceConfig::default());
     match service.eavesdrop(&mut sim, end) {
@@ -94,7 +96,8 @@ fn heavy_obfuscation_collapses_accuracy() {
 
 #[test]
 fn pnc_animation_acts_as_accidental_obfuscation() {
-    let cfg = SimConfig { app: TargetApp::Pnc, system_noise_hz: 0.0, ..SimConfig::paper_default(6) };
+    let cfg =
+        SimConfig { app: TargetApp::Pnc, system_noise_hz: 0.0, ..SimConfig::paper_default(6) };
     let (mut sim, end) = victim(cfg, 6);
     let service = AttackService::new(store(), ServiceConfig::default());
     let result = service.eavesdrop(&mut sim, end).expect("reads allowed");
@@ -109,8 +112,10 @@ fn pnc_animation_acts_as_accidental_obfuscation() {
 
 #[test]
 fn mid_session_policy_change_stops_the_stream() {
-    // Install the mitigation *after* the attack already started sampling:
-    // the service observes a device error rather than silently stale data.
+    // Install the mitigation *after* the attack already started sampling.
+    // The resilient sampler keeps trying (the policy might flip back), but a
+    // span in which every read is denied yields nothing — and a span with
+    // zero acquired samples reports the denial instead of an empty trace.
     let (mut sim, _) = victim(SimConfig::paper_default(7), 7);
     let device = std::sync::Arc::clone(sim.device());
     let mut sampler = gpu_eaves::attack::Sampler::open(
@@ -122,4 +127,28 @@ fn mid_session_policy_change_stops_the_stream() {
     device.set_policy(AccessPolicy::DenyAll);
     let err = sampler.sample_until(&mut sim, SimInstant::from_millis(600)).unwrap_err();
     assert_eq!(err, Errno::Eacces);
+    assert!(sampler.report().denied_reads > 0, "every slot was denied and recorded");
+}
+
+#[test]
+fn policy_flip_and_back_yields_a_partial_stream() {
+    // If the denial is temporary, the resilient sampler must ride it out:
+    // the session degrades (a gap in the trace) instead of dying.
+    let (mut sim, _) = victim(SimConfig::paper_default(8), 8);
+    let device = std::sync::Arc::clone(sim.device());
+    let mut sampler = gpu_eaves::attack::Sampler::open(
+        sim.device(),
+        gpu_eaves::attack::SamplerConfig::default_8ms(),
+    )
+    .unwrap();
+    sampler.sample_until(&mut sim, SimInstant::from_millis(200)).unwrap();
+    device.set_policy(AccessPolicy::DenyAll);
+    sampler.sample_until(&mut sim, SimInstant::from_millis(400)).unwrap_err();
+    device.set_policy(AccessPolicy::default());
+    // The same sampler keeps working once access returns.
+    let trace = sampler.sample_until(&mut sim, SimInstant::from_millis(600)).unwrap();
+    assert!(!trace.is_empty(), "stream resumes after the policy flips back");
+    let report = sampler.report();
+    assert!(report.denied_reads > 0);
+    assert!(report.coverage() < 1.0, "the denied span must show up as lost coverage");
 }

@@ -2,10 +2,10 @@
 //! notification handling through the full pipeline.
 
 use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::android_ui::{SimConfig, TimedEvent, UiEvent, UiSimulation};
 use gpu_eaves::attack::correction::CorrectionEvent;
 use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
 use gpu_eaves::attack::service::{AttackService, ServiceConfig};
-use gpu_eaves::android_ui::{SimConfig, TimedEvent, UiEvent, UiSimulation};
 use gpu_eaves::input_bot::script::Typist;
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
 use rand::rngs::StdRng;
@@ -41,10 +41,7 @@ fn backspace_corrections_are_excluded_from_the_result() {
     let result = service().eavesdrop(&mut sim, end).expect("stock policy");
     assert_eq!(sim.truth().final_text(), "pass");
     assert_eq!(result.recovered_text, "pass", "the deleted 'x' must not appear");
-    assert!(result
-        .corrections
-        .iter()
-        .any(|e| matches!(e, CorrectionEvent::CharDeleted(_))));
+    assert!(result.corrections.iter().any(|e| matches!(e, CorrectionEvent::CharDeleted(_))));
 }
 
 #[test]
@@ -83,10 +80,7 @@ fn notifications_do_not_fabricate_keys() {
     let mut typist = Typist::new(VOLUNTEERS[2]);
     let plan = typist.type_text("zz9", SimInstant::from_millis(900), &mut rng);
     for k in 0..5u64 {
-        sim.queue(TimedEvent::new(
-            SimInstant::from_millis(700 + k * 650),
-            UiEvent::Notification,
-        ));
+        sim.queue(TimedEvent::new(SimInstant::from_millis(700 + k * 650), UiEvent::Notification));
     }
     let end = plan.end + SimDuration::from_millis(800);
     sim.queue_all(plan.events);
@@ -101,10 +95,12 @@ fn shade_view_does_not_fabricate_switches_or_keys() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut typist = Typist::new(VOLUNTEERS[3]);
     let plan = typist.type_text("ab", SimInstant::from_millis(900), &mut rng);
-    sim.queue(TimedEvent::new(plan.end + SimDuration::from_millis(400), UiEvent::ViewNotificationShade));
+    sim.queue(TimedEvent::new(
+        plan.end + SimDuration::from_millis(400),
+        UiEvent::ViewNotificationShade,
+    ));
     let mut typist2 = typist.clone();
-    let plan2 =
-        typist2.type_text("cd", plan.end + SimDuration::from_millis(2_500), &mut rng);
+    let plan2 = typist2.type_text("cd", plan.end + SimDuration::from_millis(2_500), &mut rng);
     let end = plan2.end + SimDuration::from_millis(800);
     sim.queue_all(plan.events);
     sim.queue_all(plan2.events);

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `criterion` crate (the subset this workspace
+//! uses). Each `bench_function` warms up briefly, runs a fixed wall-clock
+//! budget of iterations, and prints a mean time per iteration. No
+//! statistics, plots, or CLI — enough to keep `cargo bench` (and
+//! `cargo test --benches`) compiling and producing useful numbers.
+
+// Vendored API stand-in: keep the real crate's surface even where clippy
+// would restyle it.
+#![allow(clippy::all)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like upstream.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// Per-benchmark timing harness handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly, accumulating iterations and elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches and branch predictors settle, and estimate
+        // per-iteration cost to pick a batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let batch =
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters += batch;
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` under a [`Bencher`] and prints the mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 0, total: Duration::ZERO };
+        f(&mut b);
+        if b.iters > 0 {
+            let mean_ns = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("{id:<40} {:>12} iters   mean {}", b.iters, fmt_ns(mean_ns));
+        } else {
+            println!("{id:<40} (no iterations recorded)");
+        }
+        self
+    }
+
+    /// Upstream parity; configuration is ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher { iters: 0, total: Duration::ZERO };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.iters > 0);
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,71 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use rand::{Rng, Standard};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T> {
+    gen: fn(&mut TestRng) -> T,
+}
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy { gen: |rng| <$t as Standard>::sample(rng) }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+impl Arbitrary for char {
+    fn arbitrary() -> ArbitraryStrategy<char> {
+        // Printable ASCII keeps generated chars meaningful for UI tests.
+        ArbitraryStrategy { gen: |rng| char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let strat = any::<bool>();
+        let mut rng = TestRng::from_seed(5);
+        let trues = (0..100).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 20 && trues < 80);
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let strat = any::<u64>();
+        let mut rng = TestRng::from_seed(6);
+        let a = strat.generate(&mut rng);
+        let b = strat.generate(&mut rng);
+        assert_ne!(a, b);
+    }
+}

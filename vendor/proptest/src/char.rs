@@ -1,0 +1,55 @@
+//! `prop::char` — character strategies.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Surrogate gaps are re-rolled; for the BMP ranges used in tests
+        // this virtually never loops.
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(self.lo..=self.hi)) {
+                return c;
+            }
+        }
+    }
+}
+
+/// Characters in `lo..=hi` (inclusive, like upstream).
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "char range {lo:?}..={hi:?} is empty");
+    CharRange { lo: lo as u32, hi: hi as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let s = range('a', 'c');
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..60 {
+            let c = s.generate(&mut rng);
+            assert!(('a'..='c').contains(&c));
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Charclass-regex string generation, backing `"[a-z0-9]{2,8}"`-style
+//! strategies. Supported grammar (the subset the workspace's tests use,
+//! plus the obvious neighbours):
+//!
+//! ```text
+//! pattern := atom*
+//! atom    := (class | literal) repeat?
+//! class   := '[' (char '-' char | char)+ ']'
+//! repeat  := '{' n '}' | '{' m ',' n '}' | '?' | '*' | '+'
+//! ```
+//!
+//! `*` and `+` are bounded at 8 repetitions.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax this mini-grammar does not cover.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated [ in regex {pattern:?}"));
+                let class = &chars[i + 1..i + close];
+                i += close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                i += 2;
+                vec![*chars.get(i - 1).unwrap_or_else(|| panic!("trailing \\ in {pattern:?}"))]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated {{ in regex {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                        n.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "empty [] in regex {pattern:?}");
+    assert!(class[0] != '^', "negated classes unsupported in regex {pattern:?}");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "decreasing range in regex {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(class[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_within_class_and_length() {
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..100 {
+            let s = generate_matching("[a-z0-9]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn mixed_classes_and_literals() {
+        let mut rng = TestRng::from_seed(22);
+        for _ in 0..50 {
+            let s = generate_matching("[a-zA-Z0-9;:!?]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || ";:!?".contains(c)));
+            let t = generate_matching("ab[01]{2}c?", &mut rng);
+            assert!(t.starts_with("ab"));
+        }
+    }
+
+    #[test]
+    fn exact_repeat_counts() {
+        let mut rng = TestRng::from_seed(23);
+        assert_eq!(generate_matching("[x]{5}", &mut rng), "xxxxx");
+    }
+}

@@ -1,0 +1,100 @@
+//! Test-run configuration, RNG, and failure type.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Upstream-compatible alias: a rejected (filtered) case is treated as
+    /// a failure here since this stand-in retries filters internally.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic RNG driving value generation: seeded from the test's
+/// fully-qualified name, so every run of a test sees the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// An RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("x::z");
+        let mut a2 = TestRng::for_test("x::y");
+        a2.next_u64();
+        assert_ne!(a2.next_u64(), c.next_u64());
+    }
+}
