@@ -9,8 +9,8 @@
 use std::collections::VecDeque;
 
 use crate::counters::CounterSet;
+use crate::memo::render_cached;
 use crate::model::{GpuModel, GpuParams};
-use crate::pipeline::{render, RenderOutput};
 use crate::scene::DrawList;
 use crate::time::{SimDuration, SimInstant};
 
@@ -108,9 +108,13 @@ impl Gpu {
 
     /// Renders `draw_list` as a frame job submitted at `now`. If the GPU is
     /// still busy, the job queues behind in-flight work.
+    ///
+    /// Rendering goes through the process-global memo cache
+    /// ([`crate::memo::render_cached`]): repeated submissions of an
+    /// identical draw list reuse the first render's output.
     pub fn submit(&mut self, draw_list: &DrawList, now: SimInstant) -> FrameStats {
-        let RenderOutput { totals, total_cycles, checkpoints } = render(draw_list, &self.params);
-        self.enqueue(now, totals, total_cycles, checkpoints)
+        let out = render_cached(draw_list, &self.params);
+        self.enqueue(now, out.totals, out.total_cycles, out.checkpoints.clone())
     }
 
     /// Submits an opaque workload (e.g. a background 3D app or a mitigation

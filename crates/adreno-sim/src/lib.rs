@@ -48,6 +48,7 @@ pub mod counters;
 pub mod font;
 pub mod geom;
 pub mod gpu;
+pub mod memo;
 pub mod model;
 pub mod pipeline;
 pub mod scene;
@@ -55,6 +56,7 @@ pub mod time;
 
 pub use counters::{CounterGroup, CounterId, CounterSet, TrackedCounter, ALL_TRACKED, NUM_TRACKED};
 pub use gpu::{FrameStats, Gpu};
+pub use memo::{render_cache_stats, render_cached, reset_render_caches, CacheStats};
 pub use model::{GpuModel, GpuParams, ALL_MODELS};
 pub use scene::{DrawList, Layer, Primitive};
 pub use time::{SharedClock, SimDuration, SimInstant};

@@ -18,9 +18,12 @@
 //! same counter increments. All noise in the reproduction comes from timing
 //! (sampling alignment) and the UI layer, never from the pipeline itself.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::counters::{CounterSet, TrackedCounter};
 use crate::font::{self, FALLBACK};
 use crate::geom::{Rect, Segment};
+use crate::memo;
 use crate::model::GpuParams;
 use crate::scene::{DrawList, Primitive};
 
@@ -180,7 +183,7 @@ fn rect_tile_counts(rect: &Rect, tw: i32, th: i32) -> (u64, u64) {
 
 /// Per-primitive pipeline result, before aggregation.
 #[derive(Debug, Clone, Copy, Default)]
-struct PrimStats {
+pub(crate) struct PrimStats {
     /// Primitives submitted to the primitive controller.
     submitted: u64,
     /// Primitives surviving the LRZ kill.
@@ -320,6 +323,62 @@ fn process_stroke(
     s
 }
 
+/// Expands a glyph into its per-stroke pipeline stats, uncached.
+fn glyph_stats(
+    ch: char,
+    dest: &Rect,
+    thickness: i32,
+    occ: &OcclusionGrid,
+    params: &GpuParams,
+) -> Vec<PrimStats> {
+    let strokes = font::glyph_strokes(ch).unwrap_or(FALLBACK);
+    strokes.iter().map(|seg| process_stroke(seg, dest, thickness, occ, params)).collect()
+}
+
+/// [`glyph_stats`] through the process-global per-glyph cache. The key
+/// captures everything the stroke walk reads: the glyph identity and
+/// placement, the GPU parameters, and the occlusion bits inside the glyph's
+/// padded bounding region (strokes never query cells outside their
+/// [`Segment::screen_bounds`]).
+fn glyph_stats_cached(
+    ch: char,
+    dest: &Rect,
+    thickness: i32,
+    occ: &OcclusionGrid,
+    params: &GpuParams,
+) -> Arc<Vec<PrimStats>> {
+    let strokes = font::glyph_strokes(ch).unwrap_or(FALLBACK);
+    let bounds = strokes
+        .iter()
+        .map(|s| s.screen_bounds(dest, font::GRID, thickness))
+        .fold(Rect::EMPTY, |acc, r| acc.union(&r));
+    let mut m = memo::Mixer::new();
+    m.write(ch as u64);
+    m.write_i32(dest.x0);
+    m.write_i32(dest.y0);
+    m.write_i32(dest.x1);
+    m.write_i32(dest.y1);
+    m.write_i32(thickness);
+    memo::write_params(&mut m, params);
+    let occ_fp = memo::glyph_occlusion_fingerprint(&bounds, occ);
+    m.write(occ_fp.lo);
+    m.write(occ_fp.hi);
+    glyph_cache().get_or_insert_with(m.finish(), || glyph_stats(ch, dest, thickness, occ, params))
+}
+
+fn glyph_cache() -> &'static memo::GlyphCache<Vec<PrimStats>> {
+    static CACHE: OnceLock<memo::GlyphCache<Vec<PrimStats>>> = OnceLock::new();
+    CACHE.get_or_init(memo::GlyphCache::new)
+}
+
+pub(crate) fn glyph_cache_stats() -> memo::CacheStats {
+    glyph_cache().stats()
+}
+
+pub(crate) fn reset_glyph_cache() {
+    glyph_cache().reset()
+}
+
 impl PrimStats {
     fn to_counters(self) -> CounterSet {
         let mut c = CounterSet::ZERO;
@@ -373,20 +432,53 @@ pub struct RenderOutput {
 /// assert!(out.totals.total() > 0);
 /// ```
 pub fn render(draw_list: &DrawList, params: &GpuParams) -> RenderOutput {
+    render_impl(draw_list, params, true)
+}
+
+/// [`render`] with every cache layer bypassed: glyph stroke stats are
+/// recomputed from scratch. Reference implementation for the memoization
+/// property tests and the cold-path benchmarks; produces output identical
+/// to [`render`] and [`crate::memo::render_cached`].
+pub fn render_uncached(draw_list: &DrawList, params: &GpuParams) -> RenderOutput {
+    render_impl(draw_list, params, false)
+}
+
+fn render_impl(draw_list: &DrawList, params: &GpuParams, use_glyph_cache: bool) -> RenderOutput {
     let layers = draw_list.layers();
 
     // Pass 1 (front-to-back): per-layer occlusion masks from higher layers.
-    // `masks[i]` is the occlusion seen by layer i.
-    let masks: Vec<OcclusionGrid> = {
-        let mut acc = OcclusionGrid::new(draw_list.width(), draw_list.height());
-        // Build from the top: walk indices in reverse, pushing clones.
-        let mut rev: Vec<OcclusionGrid> = Vec::with_capacity(layers.len());
-        for layer in layers.iter().rev() {
-            rev.push(acc.clone());
+    // `masks[i]` is the occlusion seen by layer i. Snapshots are shared:
+    // a layer adding no opaque occlusion reuses the previous snapshot `Arc`
+    // untouched, and the bottom layer takes the accumulator by move, so a
+    // full grid clone happens only per *occluding* interior layer.
+    let masks: Vec<Arc<OcclusionGrid>> = {
+        let mut acc = Some(OcclusionGrid::new(draw_list.width(), draw_list.height()));
+        // `snap`, when set, is an Arc whose contents equal `acc`.
+        let mut snap: Option<Arc<OcclusionGrid>> = None;
+        let mut rev: Vec<Arc<OcclusionGrid>> = Vec::with_capacity(layers.len());
+        for (k, layer) in layers.iter().rev().enumerate() {
+            let is_bottom = k + 1 == layers.len();
+            let cur: Arc<OcclusionGrid> = match snap.take() {
+                Some(s) => s,
+                None if is_bottom => Arc::new(acc.take().expect("acc taken only at bottom")),
+                None => Arc::new(acc.as_ref().expect("acc alive above bottom").clone()),
+            };
+            rev.push(Arc::clone(&cur));
+            if is_bottom {
+                break; // nothing below observes further occlusion
+            }
+            let grid = acc.as_mut().expect("acc alive above bottom");
+            let mut changed = false;
             for prim in &layer.prims {
                 if let Primitive::Quad { rect, opaque: true } = prim {
-                    acc.add_opaque_rect(rect);
+                    if !rect.is_empty() {
+                        grid.add_opaque_rect(rect);
+                        changed = true;
+                    }
                 }
+            }
+            if !changed {
+                snap = Some(cur);
             }
         }
         rev.reverse();
@@ -402,9 +494,11 @@ pub fn render(draw_list: &DrawList, params: &GpuParams) -> RenderOutput {
                     per_prim.push(process_quad(rect, *opaque, mask, params));
                 }
                 Primitive::Glyph { ch, dest, thickness } => {
-                    let strokes = font::glyph_strokes(*ch).unwrap_or(FALLBACK);
-                    for seg in strokes {
-                        per_prim.push(process_stroke(seg, dest, *thickness, mask, params));
+                    if use_glyph_cache {
+                        let stats = glyph_stats_cached(*ch, dest, *thickness, mask, params);
+                        per_prim.extend(stats.iter().copied());
+                    } else {
+                        per_prim.extend(glyph_stats(*ch, dest, *thickness, mask, params));
                     }
                 }
                 Primitive::Stroke { seg, dest, thickness } => {

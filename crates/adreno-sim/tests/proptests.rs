@@ -3,8 +3,9 @@
 use adreno_sim::counters::{CounterSet, NUM_TRACKED};
 use adreno_sim::geom::Rect;
 use adreno_sim::gpu::Gpu;
+use adreno_sim::memo::render_cached;
 use adreno_sim::model::{GpuModel, ALL_MODELS};
-use adreno_sim::pipeline::{render, OcclusionGrid};
+use adreno_sim::pipeline::{render, render_uncached, OcclusionGrid};
 use adreno_sim::scene::DrawList;
 use adreno_sim::time::{SimDuration, SimInstant};
 use proptest::prelude::*;
@@ -43,8 +44,44 @@ fn arb_scene() -> impl Strategy<Value = DrawList> {
         })
 }
 
+/// A scene with arbitrary layer structure — including layers with no opaque
+/// quads, which exercise the occlusion-snapshot sharing in render pass 1.
+fn arb_layered_scene() -> impl Strategy<Value = DrawList> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((arb_rect(), any::<bool>()), 0..4),
+            prop::collection::vec((arb_char(), arb_rect()), 0..3),
+        ),
+        1..5,
+    )
+    .prop_map(|layers| {
+        let mut dl = DrawList::new(800, 800);
+        for (quads, glyphs) in layers {
+            let layer = dl.layer("layer");
+            for (r, opaque) in quads {
+                layer.quad(r, opaque);
+            }
+            for (c, r) in glyphs {
+                layer.glyph(c, r, 4);
+            }
+        }
+        dl
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memoized_render_matches_uncached(scene in arb_layered_scene(), model in arb_model()) {
+        let params = model.params();
+        let reference = render_uncached(&scene, &params);
+        // Glyph-stats cache only.
+        prop_assert_eq!(&render(&scene, &params), &reference);
+        // Whole-list cache on top: cold fill, then warm hit.
+        prop_assert_eq!(&*render_cached(&scene, &params), &reference);
+        prop_assert_eq!(&*render_cached(&scene, &params), &reference);
+    }
 
     #[test]
     fn render_is_deterministic(scene in arb_scene(), model in arb_model()) {

@@ -5,17 +5,20 @@
 
 use adreno_sim::geom::Rect;
 use adreno_sim::model::GpuModel;
-use adreno_sim::pipeline::render;
+use adreno_sim::pipeline::{render, render_uncached};
 use adreno_sim::scene::DrawList;
 use adreno_sim::SimInstant;
 use android_ui::compositor::KeyboardWindow;
 use android_ui::sim::SimConfig;
 use android_ui::KeyboardKind;
+use bench::{eval_credentials, ModelCache, TrialOptions};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gpu_sc_attack::offline::{Trainer, TrainerConfig};
 use gpu_sc_attack::online::{infer_stream, OnlineConfig};
 use gpu_sc_attack::trace::Delta;
 use gpu_sc_attack::ClassifierModel;
+use input_bot::corpus::CredentialKind;
+use minipool::Pool;
 
 fn trained_model() -> ClassifierModel {
     let cfg = SimConfig::paper_default(0);
@@ -85,12 +88,49 @@ fn bench_ioctl_read(c: &mut Criterion) {
     });
 }
 
+fn bench_render_memoized(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default(0);
+    let mut kw = KeyboardWindow::new(KeyboardKind::Gboard, &cfg.device, true);
+    kw.show_popup('w');
+    let dl = kw.draw();
+    let params = GpuModel::Adreno650.params();
+    // The same frame through the raw pipeline vs through the memo layer
+    // once it is warm — the steady-state cost of a repeated popup frame.
+    c.bench_function("render_popup_frame_uncached", |b| {
+        b.iter(|| render_uncached(black_box(&dl), &params))
+    });
+    adreno_sim::reset_render_caches();
+    black_box(adreno_sim::render_cached(&dl, &params));
+    c.bench_function("render_popup_frame_memoized", |b| {
+        b.iter(|| adreno_sim::render_cached(black_box(&dl), &params))
+    });
+}
+
+fn eval_fig17_style(pool: &Pool) -> f64 {
+    let cache = ModelCache::new();
+    let opts = TrialOptions::paper_default(0);
+    let store = cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
+    eval_credentials(pool, &store, &opts, CredentialKind::Username, 10, 8, 1_710).key_accuracy()
+}
+
+fn bench_eval_parallelism(c: &mut Criterion) {
+    // An 8-trial fig17-style evaluation, sequential vs fanned out. On a
+    // multi-core host the parallel variant approaches jobs× faster; the
+    // two must (and do) produce identical aggregates.
+    let seq = Pool::sequential();
+    c.bench_function("eval_8_credentials_seq", |b| b.iter(|| black_box(eval_fig17_style(&seq))));
+    let par = Pool::new(4);
+    c.bench_function("eval_8_credentials_jobs4", |b| b.iter(|| black_box(eval_fig17_style(&par))));
+}
+
 criterion_group!(
     benches,
     bench_classify,
     bench_algorithm1,
     bench_render_keyboard_frame,
     bench_render_fullscreen,
+    bench_render_memoized,
+    bench_eval_parallelism,
     bench_model_serde,
     bench_ioctl_read
 );

@@ -4,14 +4,27 @@
 //! cargo run --release -p bench --bin experiments -- all
 //! cargo run --release -p bench --bin experiments -- fig17 fig18
 //! cargo run --release -p bench --bin experiments -- --scale 4 fig17   # closer to paper scale
+//! cargo run --release -p bench --bin experiments -- --jobs 4 all      # 4 workers
 //! ```
+//!
+//! `--jobs N` sets the worker count for both trial fan-out inside an
+//! experiment and experiment-level fan-out when several are selected
+//! (default: available parallelism; `--jobs 1` runs everything inline).
+//! Output is byte-identical at every worker count: trial inputs are
+//! pre-drawn in sequential order and each experiment's report is captured
+//! and printed in selection order. Per-experiment wall-clock timings land
+//! in `BENCH_experiments.json`.
 //!
 //! See DESIGN.md §3 for the experiment ↔ module index and EXPERIMENTS.md
 //! for recorded paper-vs-measured results.
 
-use bench::experiments::{self, Ctx};
+use std::io::Write as _;
 
-type Runner = fn(&mut Ctx);
+use bench::experiments::{self, Ctx};
+use bench::report;
+use minipool::Pool;
+
+type Runner = fn(&Ctx);
 
 const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("fig3", "three counter changes per key press", experiments::signals::fig3),
@@ -54,8 +67,11 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("faults", "fault intensity × retry budget sweep", experiments::faults::faults),
 ];
 
+/// Where per-experiment wall-clock timings are recorded.
+const BENCH_OUT: &str = "BENCH_experiments.json";
+
 fn usage() -> ! {
-    eprintln!("usage: experiments [--scale N] <name>... | all | list");
+    eprintln!("usage: experiments [--scale N] [--jobs N] <name>... | all | list");
     eprintln!("experiments:");
     for (name, what, _) in EXPERIMENTS {
         eprintln!("  {name:<18} {what}");
@@ -63,16 +79,46 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Pulls `--flag <value>` out of `args`; exits via `usage` on a malformed
+/// value or a missing operand.
+fn take_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        usage();
+    }
+    let value = args[pos + 1].parse().unwrap_or_else(|_| usage());
+    args.drain(pos..=pos + 1);
+    Some(value)
+}
+
+/// Writes the timing record. JSON is assembled by hand — the only strings
+/// involved are the experiment names from the static table, which need no
+/// escaping.
+fn write_bench_json(
+    jobs: usize,
+    scale: f64,
+    total_s: f64,
+    rows: &[(&str, f64)],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"total_seconds\": {total_s:.3},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (name, secs)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::File::create(BENCH_OUT)?.write_all(out.as_bytes())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = 1.0f64;
-    if let Some(pos) = args.iter().position(|a| a == "--scale") {
-        if pos + 1 >= args.len() {
-            usage();
-        }
-        scale = args[pos + 1].parse().unwrap_or_else(|_| usage());
-        args.drain(pos..=pos + 1);
-    }
+    let scale = take_flag::<f64>(&mut args, "--scale").unwrap_or(1.0);
+    let jobs =
+        take_flag::<usize>(&mut args, "--jobs").unwrap_or_else(Pool::available_parallelism).max(1);
     if args.is_empty() {
         usage();
     }
@@ -96,12 +142,42 @@ fn main() {
             .collect()
     };
 
-    let mut ctx = Ctx::new(scale);
+    let ctx = Ctx::with_pool(scale, Pool::new(jobs));
     let started = std::time::Instant::now();
-    for (name, _, run) in selected {
-        let t = std::time::Instant::now();
-        run(&mut ctx);
-        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+    let timings: Vec<(&str, f64)> = if jobs == 1 || selected.len() == 1 {
+        // Inline: reports stream straight to stdout as they are produced.
+        selected
+            .iter()
+            .map(|(name, _, run)| {
+                let t = std::time::Instant::now();
+                run(&ctx);
+                let secs = t.elapsed().as_secs_f64();
+                eprintln!("[{name} done in {secs:.1}s]");
+                (*name, secs)
+            })
+            .collect()
+    } else {
+        // Fan the experiments themselves out too. Each worker captures its
+        // experiment's report; the main thread prints the captured reports
+        // in selection order, so stdout is byte-identical to a sequential
+        // run at any worker count.
+        let runs = ctx.pool.par_map(selected, |_, (name, _, run)| {
+            let t = std::time::Instant::now();
+            let ((), text) = report::capture(|| run(&ctx));
+            let secs = t.elapsed().as_secs_f64();
+            eprintln!("[{name} done in {secs:.1}s]");
+            (*name, secs, text)
+        });
+        runs.into_iter()
+            .map(|(name, secs, text)| {
+                print!("{text}");
+                (name, secs)
+            })
+            .collect()
+    };
+    let total_s = started.elapsed().as_secs_f64();
+    eprintln!("[total {total_s:.1}s, scale {scale}, jobs {jobs}]");
+    if let Err(e) = write_bench_json(jobs, scale, total_s, &timings) {
+        eprintln!("warning: could not write {BENCH_OUT}: {e}");
     }
-    eprintln!("[total {:.1}s, scale {scale}]", started.elapsed().as_secs_f64());
 }

@@ -5,13 +5,14 @@ use gpu_sc_attack::offline::{ModelStore, Trainer, TrainerConfig};
 use input_bot::corpus::CredentialKind;
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::{eval_credentials, TrialOptions};
 
 /// Greedy (online) vs full-trace (offline) Algorithm 1 — §5.1's
 /// accuracy/timeliness trade-off, measured where splits are common
 /// (12 ms sampling).
-pub fn ablate_greedy(ctx: &mut Ctx) {
+pub fn ablate_greedy(ctx: &Ctx) {
     report::section("Ablation", "greedy vs full-trace Algorithm 1");
     let trials = ctx.trials(20);
     for (name, full) in [("greedy (online)", false), ("full-trace (offline)", true)] {
@@ -19,7 +20,8 @@ pub fn ablate_greedy(ctx: &mut Ctx) {
         opts.service.sampler.interval = adreno_sim::SimDuration::from_millis(12);
         opts.service.full_trace = full;
         let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 12, trials, 0xAB1);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 12, trials, 0xAB1);
         report::pct_row(
             name,
             &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
@@ -28,7 +30,7 @@ pub fn ablate_greedy(ctx: &mut Ctx) {
 }
 
 /// Counter-subset ablation: why the attack uses all three groups.
-pub fn ablate_counters(ctx: &mut Ctx) {
+pub fn ablate_counters(ctx: &Ctx) {
     report::section("Ablation", "counter subsets (LRZ / RAS / VPC / all)");
     let trials = ctx.trials(15);
     let opts = TrialOptions::paper_default(0);
@@ -51,7 +53,8 @@ pub fn ablate_counters(ctx: &mut Ctx) {
         let model = trainer.train(opts.sim.device, opts.sim.keyboard, opts.sim.app);
         let mut store = ModelStore::new();
         store.add(model);
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 12, trials, 0xAB2);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 12, trials, 0xAB2);
         report::pct_row(
             name,
             &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
@@ -60,7 +63,7 @@ pub fn ablate_counters(ctx: &mut Ctx) {
 }
 
 /// Threshold sweep: C_th balances noise rejection against split tolerance.
-pub fn ablate_threshold(ctx: &mut Ctx) {
+pub fn ablate_threshold(ctx: &Ctx) {
     report::section("Ablation", "acceptance threshold C_th sweep");
     let trials = ctx.trials(15);
     let opts = TrialOptions::paper_default(0);
@@ -72,8 +75,9 @@ pub fn ablate_threshold(ctx: &mut Ctx) {
         // More ambient noise makes the FP side of the trade-off visible.
         let mut o = opts.clone();
         o.sim.system_noise_hz = 0.4;
-        let agg = eval_credentials(&store, &o, CredentialKind::Username, 12, trials, 0xAB3);
-        println!(
+        let agg =
+            eval_credentials(&ctx.pool, &store, &o, CredentialKind::Username, 12, trials, 0xAB3);
+        outln!(
             "C_th x{factor:<5} text={:>5.1}%  key={:>5.1}%  spurious/session={:.2}",
             agg.text_accuracy() * 100.0,
             agg.key_accuracy() * 100.0,

@@ -10,36 +10,57 @@ use gpu_sc_attack::metrics::{per_char_tallies, Aggregate};
 use gpu_sc_attack::service::{AttackService, ServiceConfig};
 use input_bot::corpus::CredentialKind;
 use input_bot::script::Typist;
-use input_bot::timing::VOLUNTEERS;
+use input_bot::timing::{VolunteerModel, VOLUNTEERS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::{eval_credentials, run_credential_trial, TrialOptions};
 
+/// Draws the per-trial `(text, volunteer, seed)` plan the sequential loop
+/// would have produced, so parallel trials consume identical inputs.
+fn trial_plan(
+    root_seed: u64,
+    kind: CredentialKind,
+    len: usize,
+    trials: usize,
+) -> Vec<(String, VolunteerModel, u64)> {
+    let mut rng = StdRng::seed_from_u64(root_seed);
+    (0..trials)
+        .map(|t| {
+            let text = input_bot::corpus::generate(&mut rng, kind, len);
+            (text, VOLUNTEERS[t % VOLUNTEERS.len()], rng.gen::<u64>())
+        })
+        .collect()
+}
+
 /// Fig 11 companion (§5.1): the duplication / split / noise census over
 /// many key presses (the paper found 633 / 316 / 21 in 3,485 presses).
-pub fn fig11(ctx: &mut Ctx) {
+pub fn fig11(ctx: &Ctx) {
     report::section("Fig 11 / §5.1", "system-factor census over many key presses");
     let opts = TrialOptions::paper_default(0);
     let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
-    let trials = ctx.trials(40);
-    let mut presses = 0usize;
-    let mut dup = 0usize;
-    let mut split = 0usize;
-    let mut noise = 0usize;
-    let mut rng = StdRng::seed_from_u64(11);
-    for t in 0..trials {
-        let text = input_bot::corpus::generate(&mut rng, CredentialKind::Username, 12);
+    let plan = trial_plan(11, CredentialKind::Username, 12, ctx.trials(40));
+    let tallies = ctx.pool.par_map(plan, |_, (text, volunteer, seed)| {
         let mut o = opts.clone();
-        o.volunteer = VOLUNTEERS[t % VOLUNTEERS.len()];
-        if let Ok((_, result)) = run_credential_trial(&store, &o, &text, rng.gen()) {
-            presses += text.chars().count();
-            dup += result.stats.duplications_suppressed;
-            split += result.stats.splits_recovered;
-            noise += result.stats.noise;
-        }
+        o.volunteer = volunteer;
+        run_credential_trial(&store, &o, &text, seed).ok().map(|(_, result)| {
+            (
+                text.chars().count(),
+                result.stats.duplications_suppressed,
+                result.stats.splits_recovered,
+                result.stats.noise,
+            )
+        })
+    });
+    let (mut presses, mut dup, mut split, mut noise) = (0usize, 0usize, 0usize, 0usize);
+    for (p, d, s, n) in tallies.into_iter().flatten() {
+        presses += p;
+        dup += d;
+        split += s;
+        noise += n;
     }
     report::kv("key presses emulated", presses);
     report::kv(
@@ -51,19 +72,20 @@ pub fn fig11(ctx: &mut Ctx) {
         format!("{split} ({:.1}%)", split as f64 / presses as f64 * 100.0),
     );
     report::kv("noise changes rejected", noise);
-    println!("(paper: 633 dup / 316 split / 21 noise in 3,485 presses ≈ 18% / 9% / 0.6%)");
+    outln!("(paper: 633 dup / 316 split / 21 noise in 3,485 presses ≈ 18% / 9% / 0.6%)");
 }
 
 /// Fig 17: text and per-key accuracy vs credential length on Chase.
-pub fn fig17(ctx: &mut Ctx) {
+pub fn fig17(ctx: &Ctx) {
     report::section("Fig 17", "accuracy of inferring text inputs (Chase, lengths 8-16)");
     let opts = TrialOptions::paper_default(0);
     let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
     let per_len = ctx.trials(25);
     let mut all = Aggregate::default();
-    println!("{:<8} {:>10} {:>10} {:>12}", "length", "text acc", "key acc", "errors/text");
+    outln!("{:<8} {:>10} {:>10} {:>12}", "length", "text acc", "key acc", "errors/text");
     for len in 8..=16usize {
         let agg = eval_credentials(
+            &ctx.pool,
             &store,
             &opts,
             CredentialKind::Username,
@@ -71,7 +93,7 @@ pub fn fig17(ctx: &mut Ctx) {
             per_len,
             1_700 + len as u64,
         );
-        println!(
+        outln!(
             "{:<8} {:>9.1}% {:>9.1}% {:>12.2}",
             len,
             agg.text_accuracy() * 100.0,
@@ -89,16 +111,23 @@ pub fn fig17(ctx: &mut Ctx) {
         format!("{:.1}% (paper: 98.3%)", all.key_accuracy() * 100.0),
     );
 
-    println!();
-    println!("Fig 17(c): accuracy per character group");
+    outln!();
+    outln!("Fig 17(c): accuracy per character group");
     for (name, kind) in [
         ("lower", CredentialKind::LowerOnly),
         ("upper", CredentialKind::UpperOnly),
         ("number", CredentialKind::NumberOnly),
         ("symbol", CredentialKind::SymbolOnly),
     ] {
-        let agg =
-            eval_credentials(&store, &opts, kind, 10, ctx.trials(15), 0xC0 + name.len() as u64);
+        let agg = eval_credentials(
+            &ctx.pool,
+            &store,
+            &opts,
+            kind,
+            10,
+            ctx.trials(15),
+            0xC0 + name.len() as u64,
+        );
         report::pct_row(
             &format!("  {name}"),
             &[("key".into(), agg.key_accuracy()), ("text".into(), agg.text_accuracy())],
@@ -107,18 +136,14 @@ pub fn fig17(ctx: &mut Ctx) {
 }
 
 /// Fig 18: inference accuracy over every individual key.
-pub fn fig18(ctx: &mut Ctx) {
+pub fn fig18(ctx: &Ctx) {
     report::section("Fig 18", "inference accuracy over individual key presses");
     let opts = TrialOptions::paper_default(0);
     let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
-    let trials = ctx.trials(90);
-    let mut rng = StdRng::seed_from_u64(18);
-    let mut tallies: HashMap<char, (usize, usize)> = HashMap::new();
-    for t in 0..trials {
-        let text = input_bot::corpus::generate(&mut rng, CredentialKind::Password, 12);
+    let plan = trial_plan(18, CredentialKind::Password, 12, ctx.trials(90));
+    let per_trial = ctx.pool.par_map(plan, |_, (text, volunteer, seed)| {
         let mut o = opts.clone();
-        o.volunteer = VOLUNTEERS[t % VOLUNTEERS.len()];
-        let seed = rng.gen();
+        o.volunteer = volunteer;
         let mut sim = UiSimulation::new(SimConfig { seed, ..o.sim.clone() });
         let mut trng = StdRng::seed_from_u64(seed ^ 0x7157);
         let mut typist = Typist::new(o.volunteer);
@@ -126,14 +151,16 @@ pub fn fig18(ctx: &mut Ctx) {
         let end = plan.end + SimDuration::from_millis(800);
         sim.queue_all(plan.events);
         let service = AttackService::new(store.clone(), ServiceConfig::default());
-        if let Ok(result) = service.eavesdrop(&mut sim, end) {
-            for (c, (ok, tot)) in
-                per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections)
-            {
-                let e = tallies.entry(c).or_insert((0, 0));
-                e.0 += ok;
-                e.1 += tot;
-            }
+        service.eavesdrop(&mut sim, end).ok().map(|result| {
+            per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections)
+        })
+    });
+    let mut tallies: HashMap<char, (usize, usize)> = HashMap::new();
+    for per_char in per_trial.into_iter().flatten() {
+        for (c, (ok, tot)) in per_char {
+            let e = tallies.entry(c).or_insert((0, 0));
+            e.0 += ok;
+            e.1 += tot;
         }
     }
     let mut rows: Vec<(char, f64, usize)> = tallies
@@ -141,8 +168,12 @@ pub fn fig18(ctx: &mut Ctx) {
         .filter(|(_, (_, tot))| *tot > 0)
         .map(|(c, (ok, tot))| (c, ok as f64 / tot as f64, tot))
         .collect();
-    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    println!("(worst 12 keys first — the paper's errors concentrate on ';' and '\\'')");
+    // Tie-break on the character so equal accuracies order identically in
+    // every run and process (HashMap iteration order is not stable).
+    rows.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    outln!("(worst 12 keys first — the paper's errors concentrate on ';' and '\\'')");
     for (c, acc, tot) in rows.iter().take(12) {
         report::bar(&format!("{c:?} (n={tot})"), *acc, 1.0);
     }
@@ -158,7 +189,7 @@ pub fn fig18(ctx: &mut Ctx) {
 }
 
 /// Fig 19: accuracy per target application (apps and Chrome pages).
-pub fn fig19(ctx: &mut Ctx) {
+pub fn fig19(ctx: &Ctx) {
     report::section("Fig 19", "inference accuracy on different target apps");
     let per_app = ctx.trials(25);
     for app in FIG19_APPS {
@@ -167,7 +198,15 @@ pub fn fig19(ctx: &mut Ctx) {
         let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, app);
         // Paired design: identical credentials and typing across apps, so
         // differences reflect the apps' screen geometry, not sampling.
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, per_app, 1_900);
+        let agg = eval_credentials(
+            &ctx.pool,
+            &store,
+            &opts,
+            CredentialKind::Username,
+            10,
+            per_app,
+            1_900,
+        );
         report::pct_row(
             app.name(),
             &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
@@ -176,7 +215,7 @@ pub fn fig19(ctx: &mut Ctx) {
 }
 
 /// Fig 20: accuracy per on-screen keyboard.
-pub fn fig20(ctx: &mut Ctx) {
+pub fn fig20(ctx: &Ctx) {
     report::section("Fig 20", "inference accuracy on different keyboards");
     let per_kb = ctx.trials(25);
     let mut accs = Vec::new();
@@ -185,7 +224,8 @@ pub fn fig20(ctx: &mut Ctx) {
         opts.sim.keyboard = kb;
         let store = ctx.cache.store(opts.sim.device, kb, opts.sim.app);
         // Paired design: identical credentials and typing across keyboards.
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, per_kb, 2_000);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 10, per_kb, 2_000);
         accs.push(agg.text_accuracy());
         report::pct_row(
             kb.name(),

@@ -7,25 +7,27 @@ use gpu_sc_attack::offline::ModelStore;
 use input_bot::corpus::CredentialKind;
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::{eval_credentials, TrialOptions};
 
-fn eval_device(ctx: &mut Ctx, device: DeviceConfig, trials: usize, seed: u64) -> (f64, f64) {
+fn eval_device(ctx: &Ctx, device: DeviceConfig, trials: usize, seed: u64) -> (f64, f64) {
     let mut opts = TrialOptions::paper_default(0);
     opts.sim.device = device;
     let store = ctx.cache.store(device, opts.sim.keyboard, opts.sim.app);
-    let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, trials, seed);
+    let agg =
+        eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 10, trials, seed);
     (agg.text_accuracy(), agg.key_accuracy())
 }
 
 /// Fig 24: the attack adapts across GPU models, resolutions, phone models
 /// and Android versions because each configuration carries its own trained
 /// model.
-pub fn fig24(ctx: &mut Ctx) {
+pub fn fig24(ctx: &Ctx) {
     report::section("Fig 24", "adaptability of the attack");
     let trials = ctx.trials(12);
 
-    println!("(a) GPU models");
+    outln!("(a) GPU models");
     for phone in [
         PhoneModel::LgV30Plus,   // Adreno 540
         PhoneModel::OnePlus7Pro, // Adreno 640
@@ -40,14 +42,14 @@ pub fn fig24(ctx: &mut Ctx) {
         );
     }
 
-    println!("(b) screen resolutions (OnePlus 8 Pro)");
+    outln!("(b) screen resolutions (OnePlus 8 Pro)");
     for resolution in [Resolution::Fhd, Resolution::Qhd] {
         let device = DeviceConfig { resolution, ..DeviceConfig::oneplus8pro() };
         let (text, key) = eval_device(ctx, device, trials, 24);
         report::pct_row(&format!("  {resolution}"), &[("text".into(), text), ("key".into(), key)]);
     }
 
-    println!("(c) phone models sharing a GPU");
+    outln!("(c) phone models sharing a GPU");
     for phone in ALL_PHONES {
         let device = DeviceConfig::for_phone(phone);
         let (text, key) = eval_device(ctx, device, trials, 24);
@@ -57,7 +59,7 @@ pub fn fig24(ctx: &mut Ctx) {
         );
     }
 
-    println!("(d) Android OS versions (OnePlus 8 Pro hardware)");
+    outln!("(d) Android OS versions (OnePlus 8 Pro hardware)");
     for android in
         [AndroidVersion::V8_1, AndroidVersion::V9, AndroidVersion::V10, AndroidVersion::V11]
     {
@@ -72,7 +74,7 @@ pub fn fig24(ctx: &mut Ctx) {
 
 /// §7.6: model wire size and the projected size of a fully-stocked
 /// attacking app.
-pub fn modelsize(ctx: &mut Ctx) {
+pub fn modelsize(ctx: &Ctx) {
     report::section("§7.6", "classifier model sizes");
     let opts = TrialOptions::paper_default(0);
     let model = ctx.cache.model(opts.sim.device, opts.sim.keyboard, opts.sim.app);
@@ -83,7 +85,7 @@ pub fn modelsize(ctx: &mut Ctx) {
     let mut store = ModelStore::new();
     for phone in [PhoneModel::OnePlus8Pro, PhoneModel::OnePlus9] {
         for kb in [android_ui::KeyboardKind::Gboard, android_ui::KeyboardKind::Swift] {
-            store.add(ctx.cache.model(DeviceConfig::for_phone(phone), kb, opts.sim.app));
+            store.add_shared(ctx.cache.model(DeviceConfig::for_phone(phone), kb, opts.sim.app));
         }
     }
     report::kv(

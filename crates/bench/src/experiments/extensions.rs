@@ -9,44 +9,54 @@
 
 use gpu_sc_attack::metrics::guesses_needed;
 use input_bot::corpus::{generate, CredentialKind};
-use input_bot::timing::VOLUNTEERS;
+use input_bot::timing::{VolunteerModel, VOLUNTEERS};
 use kgsl::ObfuscationConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::{eval_credentials, run_credential_trial, TrialOptions};
 
 /// Accuracy-within-G-guesses over random credentials.
-pub fn guessing(ctx: &mut Ctx) {
+pub fn guessing(ctx: &Ctx) {
     report::section("Extension", "credentials recovered within G guesses (§7.1)");
     let opts = TrialOptions::paper_default(0);
     let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
     let trials = ctx.trials(60);
     let budgets: [u128; 4] = [1, 5, 25, 100];
+    let mut rng = StdRng::seed_from_u64(0x63E5);
+    let plan: Vec<(String, VolunteerModel, u64)> = (0..trials)
+        .map(|t| {
+            let text = generate(&mut rng, CredentialKind::Username, 12);
+            (text, VOLUNTEERS[t % VOLUNTEERS.len()], rng.gen())
+        })
+        .collect();
+    let outcomes = ctx.pool.par_map(plan, |_, (text, volunteer, seed)| {
+        let mut o = opts.clone();
+        o.volunteer = volunteer;
+        let (_, result) = run_credential_trial(&store, &o, &text, seed).ok()?;
+        let truth = text; // no corrections in these sessions
+                          // Misses/insertions fall outside ranked-candidate guessing, but a
+                          // single-edit repair sweep (~|Σ|·(len+1) ≈ 1k guesses for the
+                          // Fig 18 charset) still recovers them.
+        let one_edit = gpu_sc_attack::metrics::edit_distance(&result.recovered_text, &truth) <= 1;
+        Some((guesses_needed(&truth, &result.candidates), one_edit))
+    });
     let mut within = [0usize; 4];
     let mut one_edit = 0usize;
     let mut total = 0usize;
-    let mut rng = StdRng::seed_from_u64(0x63E5);
-    for t in 0..trials {
-        let text = generate(&mut rng, CredentialKind::Username, 12);
-        let mut o = opts.clone();
-        o.volunteer = VOLUNTEERS[t % VOLUNTEERS.len()];
-        let Ok((_, result)) = run_credential_trial(&store, &o, &text, rng.gen()) else { continue };
+    for (guesses, repaired) in outcomes.into_iter().flatten() {
         total += 1;
-        let truth = text; // no corrections in these sessions
-        if let Some(g) = guesses_needed(&truth, &result.candidates) {
+        if let Some(g) = guesses {
             for (i, b) in budgets.iter().enumerate() {
                 if g <= *b {
                     within[i] += 1;
                 }
             }
         }
-        // Misses/insertions fall outside ranked-candidate guessing, but a
-        // single-edit repair sweep (~|Σ|·(len+1) ≈ 1k guesses for the
-        // Fig 18 charset) still recovers them.
-        if gpu_sc_attack::metrics::edit_distance(&result.recovered_text, &truth) <= 1 {
+        if repaired {
             one_edit += 1;
         }
     }
@@ -60,16 +70,14 @@ pub fn guessing(ctx: &mut Ctx) {
         "single-edit repair (~1k)",
         &[("recovered".into(), one_edit as f64 / total.max(1) as f64)],
     );
-    println!(
-        "(errors here are mostly missed/extra presses, so edit repair dominates rank guessing)"
-    );
+    outln!("(errors here are mostly missed/extra presses, so edit repair dominates rank guessing)");
 }
 
 /// Quantifies the echo-corroboration insertion filter: slow typists suffer
 /// most from noise insertions (§7.2's stated cause of the slow-typing
 /// degradation), so the comparison runs at slow speed and with elevated
 /// ambient noise.
-pub fn ablate_corroboration(ctx: &mut Ctx) {
+pub fn ablate_corroboration(ctx: &Ctx) {
     report::section("Ablation", "echo corroboration (insertion filter, beyond the paper)");
     let trials = ctx.trials(20);
     for (name, corroborate) in [("paper pipeline", false), ("with echo corroboration", true)] {
@@ -78,36 +86,37 @@ pub fn ablate_corroboration(ctx: &mut Ctx) {
         opts.speed = Some(input_bot::timing::SpeedClass::Slow);
         opts.service.echo_corroboration = corroborate;
         let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 12, trials, 0xEC0);
-        println!(
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 12, trials, 0xEC0);
+        outln!(
             "{name:<26} text={:>5.1}%  key={:>5.1}%  errors/text={:.2}",
             agg.text_accuracy() * 100.0,
             agg.key_accuracy() * 100.0,
             agg.mean_errors()
         );
     }
-    println!("(negative result: fewer phantom keys but occasional real presses dropped on mislabeled echoes — kept off by default)");
+    outln!("(negative result: fewer phantom keys but occasional real presses dropped on mislabeled echoes — kept off by default)");
 }
 
 /// Finds the cheapest §9.3 decoy rate that pushes per-key accuracy below a
 /// target, by bisection over the injection rate.
-pub fn defense_tuning(ctx: &mut Ctx) {
+pub fn defense_tuning(ctx: &Ctx) {
     report::section("Extension", "tuning the §9.3 obfuscation defence");
     let base = TrialOptions::paper_default(0);
     let store = ctx.cache.store(base.sim.device, base.sim.keyboard, base.sim.app);
     let trials = ctx.trials(10);
 
-    let measure = |ctx: &mut Ctx, rate: f64| -> f64 {
-        let _ = &ctx;
+    let measure = |rate: f64| -> f64 {
         let mut o = base.clone();
         o.sim.obfuscation =
             if rate > 0.0 { Some(ObfuscationConfig::popup_sized(rate)) } else { None };
-        eval_credentials(&store, &o, CredentialKind::Username, 10, trials, 0xDEF).key_accuracy()
+        eval_credentials(&ctx.pool, &store, &o, CredentialKind::Username, 10, trials, 0xDEF)
+            .key_accuracy()
     };
 
     let target = 0.5; // push the attacker below coin-flip-per-key territory
     let (mut lo, mut hi) = (0.0f64, 160.0f64);
-    let hi_acc = measure(ctx, hi);
+    let hi_acc = measure(hi);
     report::kv("target per-key accuracy", format!("{:.0}%", target * 100.0));
     if hi_acc > target {
         report::kv("result", format!("even {hi} decoys/s leaves {:.0}% accuracy", hi_acc * 100.0));
@@ -115,8 +124,8 @@ pub fn defense_tuning(ctx: &mut Ctx) {
     }
     for _ in 0..6 {
         let mid = (lo + hi) / 2.0;
-        let acc = measure(ctx, mid);
-        println!("  rate={mid:>6.1}/s  key accuracy={:.1}%", acc * 100.0);
+        let acc = measure(mid);
+        outln!("  rate={mid:>6.1}/s  key accuracy={:.1}%", acc * 100.0);
         if acc > target {
             lo = mid;
         } else {
@@ -130,5 +139,5 @@ pub fn defense_tuning(ctx: &mut Ctx) {
         "cheapest sufficient rate",
         format!("≈{hi:.0} decoys/s ({:.3}% GPU time)", 24_000.0 * hi / clock * 100.0),
     );
-    println!("(the paper calls sizing this workload an open question — this is the knee)");
+    outln!("(the paper calls sizing this workload an open question — this is the knee)");
 }

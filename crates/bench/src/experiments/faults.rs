@@ -14,10 +14,12 @@ use gpu_sc_attack::sampler::RetryPolicy;
 use input_bot::corpus::{generate, CredentialKind};
 use input_bot::timing::VOLUNTEERS;
 use kgsl::FaultPlan;
+use minipool::Pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::{run_credential_trial, TrialOptions};
 
@@ -57,8 +59,11 @@ impl SweepCell {
 }
 
 /// Runs `trials` credential sessions under a per-trial fault plan of the
-/// given intensity and the given retry budget.
+/// given intensity and the given retry budget, fanned out on `pool`. Texts
+/// and seeds are pre-drawn in sequential order; per-trial results fold into
+/// the cell in trial order, so the cell is identical at any worker count.
 fn sweep_cell(
+    pool: &Pool,
     store: &ModelStore,
     base: &TrialOptions,
     intensity: f64,
@@ -66,16 +71,23 @@ fn sweep_cell(
     trials: usize,
     seed: u64,
 ) -> SweepCell {
-    let mut cell = SweepCell::default();
     let mut rng = StdRng::seed_from_u64(seed);
-    for t in 0..trials {
-        let text = generate(&mut rng, CredentialKind::Username, CREDENTIAL_LEN);
-        let trial_seed = rng.gen::<u64>();
+    let plan: Vec<(String, u64, usize)> = (0..trials)
+        .map(|t| (generate(&mut rng, CredentialKind::Username, CREDENTIAL_LEN), rng.gen(), t))
+        .collect();
+    let outcomes = pool.par_map(plan, |_, (text, trial_seed, t)| {
         let mut opts = base.clone();
         opts.volunteer = VOLUNTEERS[t % VOLUNTEERS.len()];
         opts.service.sampler.retry = RetryPolicy::with_budget(budget);
         opts.fault_plan = Some(FaultPlan::with_intensity(trial_seed ^ 0xFA, intensity, HORIZON));
         match run_credential_trial(store, &opts, &text, trial_seed) {
+            Ok(sr) => Ok(sr),
+            Err(e) => Err((text.chars().count(), e)),
+        }
+    });
+    let mut cell = SweepCell::default();
+    for outcome in outcomes {
+        match outcome {
             Ok((score, result)) => {
                 cell.agg.add(&score);
                 cell.completed += 1;
@@ -83,16 +95,16 @@ fn sweep_cell(
                 cell.retries_spent += result.degradation.retries_spent;
                 cell.coverage_sum += result.degradation.coverage;
             }
-            Err(_) => {
+            Err((lost_keys, _)) => {
                 // The service acquired nothing (or could not recognise the
                 // device through the noise): every key of this text is lost.
                 cell.failed += 1;
                 cell.agg.add(&gpu_sc_attack::SessionScore {
                     correct_keys: 0,
-                    total_keys: text.chars().count(),
+                    total_keys: lost_keys,
                     spurious_keys: 0,
                     text_exact: false,
-                    edit_distance: text.chars().count(),
+                    edit_distance: lost_keys,
                 });
             }
         }
@@ -104,7 +116,7 @@ fn sweep_cell(
 /// checks the fault layer guarantees: a null plan reproduces the fault-free
 /// baseline bit for bit, and the same fault seed reproduces the same
 /// degraded session.
-pub fn faults(ctx: &mut Ctx) {
+pub fn faults(ctx: &Ctx) {
     report::section("faults", "fault injection: intensity × retry budget");
     let base = TrialOptions::paper_default(0);
     let store = ctx.cache.store(base.sim.device, base.sim.keyboard, base.sim.app);
@@ -150,15 +162,21 @@ pub fn faults(ctx: &mut Ctx) {
     // The sweep. Budget 0 is the fail-stop sampler this PR replaced; 8 is
     // the default; 2 sits in between.
     let per_cell = ctx.trials(8);
-    println!();
-    println!(
+    outln!();
+    outln!(
         "{:<11} {:>7} {:>12} {:>12} {:>10} {:>9} {:>7}",
-        "intensity", "budget", "text-acc", "key-acc", "coverage", "faults/s", "failed"
+        "intensity",
+        "budget",
+        "text-acc",
+        "key-acc",
+        "coverage",
+        "faults/s",
+        "failed"
     );
     for &intensity in &[0.0, 0.1, 0.25, 0.5, 0.75] {
         for &budget in &[0u32, 2, 8] {
-            let cell = sweep_cell(&store, &base, intensity, budget, per_cell, 0xFA017);
-            println!(
+            let cell = sweep_cell(&ctx.pool, &store, &base, intensity, budget, per_cell, 0xFA017);
+            outln!(
                 "{:<11.2} {:>7} {:>11.1}% {:>11.1}% {:>9.1}% {:>9.1} {:>4}/{:<2}",
                 intensity,
                 budget,
@@ -171,6 +189,6 @@ pub fn faults(ctx: &mut Ctx) {
             );
         }
     }
-    println!("(expected: budget 8 holds key accuracy far above budget 0 as intensity grows;");
-    println!(" intensity 0.00 rows match the fault-free accuracy experiments exactly)");
+    outln!("(expected: budget 8 holds key accuracy far above budget 0 as intensity grows;");
+    outln!(" intensity 0.00 rows match the fault-free accuracy experiments exactly)");
 }

@@ -7,12 +7,13 @@ use input_bot::corpus::CredentialKind;
 use kgsl::{AccessPolicy, ObfuscationConfig, SelinuxDomain};
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::{eval_credentials, TrialOptions};
 
 /// Fig 29: the PNC login screen's decorative animation acts as accidental
 /// obfuscation, collapsing accuracy (paper: 30.2%).
-pub fn fig29(ctx: &mut Ctx) {
+pub fn fig29(ctx: &Ctx) {
     report::section("Fig 29", "login-screen animation as accidental obfuscation (PNC)");
     let trials = ctx.trials(15);
     // Key centroids depend on the keyboard window only, so the attacker's
@@ -23,24 +24,25 @@ pub fn fig29(ctx: &mut Ctx) {
     for app in [TargetApp::Chase, TargetApp::Pnc] {
         let mut opts = base.clone();
         opts.sim.app = app;
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, trials, 29);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 10, trials, 29);
         report::pct_row(
             app.name(),
             &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
         );
     }
-    println!("(paper: PNC reduces eavesdropping accuracy to 30.2%)");
+    outln!("(paper: PNC reduces eavesdropping accuracy to 30.2%)");
 }
 
 /// §9: the mitigation matrix — what each defence does to the attack.
-pub fn mitigation(ctx: &mut Ctx) {
+pub fn mitigation(ctx: &Ctx) {
     report::section("§9", "mitigation matrix");
     let base = TrialOptions::paper_default(0);
     let store = ctx.cache.store(base.sim.device, base.sim.keyboard, base.sim.app);
     let trials = ctx.trials(12);
 
     // Stock (vulnerable) configuration.
-    let agg = eval_credentials(&store, &base, CredentialKind::Username, 10, trials, 9);
+    let agg = eval_credentials(&ctx.pool, &store, &base, CredentialKind::Username, 10, trials, 9);
     report::pct_row(
         "stock (no mitigation)",
         &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
@@ -51,7 +53,8 @@ pub fn mitigation(ctx: &mut Ctx) {
     {
         let mut opts = base.clone();
         opts.sim.popups_enabled = false;
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, trials, 9);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 10, trials, 9);
         report::pct_row(
             "§9.1 popups disabled",
             &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
@@ -129,16 +132,17 @@ pub fn mitigation(ctx: &mut Ctx) {
     // §9.3: OS-level decoy workloads, swept over injection rate. The open
     // question the paper poses: accuracy falls with rate, but so does the
     // GPU-time overhead budget.
-    println!("§9.3 obfuscation sweep (decoy injections/s vs accuracy vs GPU overhead)");
+    outln!("§9.3 obfuscation sweep (decoy injections/s vs accuracy vs GPU overhead)");
     for rate in [0.0, 5.0, 20.0, 60.0] {
         let mut opts = base.clone();
         opts.sim.obfuscation =
             if rate > 0.0 { Some(ObfuscationConfig::popup_sized(rate)) } else { None };
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, trials, 93);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 10, trials, 93);
         // Overhead: decoy cycles per second relative to a 60 Hz frame budget.
         let decoy_cycles = 24_000.0 * rate;
         let budget = opts.sim.device.gpu().params().clock_mhz as f64 * 1e6;
-        println!(
+        outln!(
             "  rate={rate:>5.0}/s  text={:>5.1}%  key={:>5.1}%  gpu-overhead={:.2}%",
             agg.text_accuracy() * 100.0,
             agg.key_accuracy() * 100.0,

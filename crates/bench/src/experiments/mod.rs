@@ -13,20 +13,33 @@ pub mod robustness;
 pub mod signals;
 pub mod table2;
 
+use minipool::Pool;
+
 use crate::trials::ModelCache;
 
-/// Shared experiment context: the model cache plus a trial-count scale
-/// (1.0 = quick defaults, larger = closer to paper-scale runs).
+/// Shared experiment context: the model cache, a trial-count scale
+/// (1.0 = quick defaults, larger = closer to paper-scale runs) and the
+/// worker pool trials fan out on.
+///
+/// `Ctx` is shared by reference across concurrently-running experiments,
+/// so everything in it is thread-safe; the seeded trial plan keeps results
+/// byte-identical at any worker count.
 #[derive(Debug)]
 pub struct Ctx {
     pub cache: ModelCache,
     pub scale: f64,
+    pub pool: Pool,
 }
 
 impl Ctx {
-    /// Creates a context with the given trial scale.
+    /// Creates a sequential context with the given trial scale.
     pub fn new(scale: f64) -> Self {
-        Ctx { cache: ModelCache::new(), scale }
+        Ctx::with_pool(scale, Pool::sequential())
+    }
+
+    /// Creates a context fanning trials out on `pool`.
+    pub fn with_pool(scale: f64, pool: Pool) -> Self {
+        Ctx { cache: ModelCache::new(), scale, pool }
     }
 
     /// Scales a default trial count, keeping at least 4 trials.

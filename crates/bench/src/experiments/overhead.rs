@@ -11,11 +11,12 @@ use crate::experiments::Ctx;
 use crate::power::extra_battery_percent;
 use crate::report;
 use crate::trials::TrialOptions;
+use crate::{out, outln};
 
 /// Fig 25: wall-clock time to infer one key press. The paper reports >95 %
 /// of presses inferred within 0.1 ms; our nearest-centroid step is far
 /// below that even with the full Algorithm 1 state machine around it.
-pub fn fig25(ctx: &mut Ctx) {
+pub fn fig25(ctx: &Ctx) {
     report::section("Fig 25", "computing time needed for eavesdropping");
     let opts = TrialOptions::paper_default(0);
     let model = ctx.cache.model(opts.sim.device, opts.sim.keyboard, opts.sim.app);
@@ -71,7 +72,7 @@ pub fn fig25(ctx: &mut Ctx) {
 
 /// Fig 26: extra battery consumption over two hours of continuous
 /// eavesdropping, per device.
-pub fn fig26(_ctx: &mut Ctx) {
+pub fn fig26(_ctx: &Ctx) {
     report::section("Fig 26", "power consumption for inferring user inputs");
     let devices = [
         PhoneModel::LgV30Plus,
@@ -79,17 +80,17 @@ pub fn fig26(_ctx: &mut Ctx) {
         PhoneModel::OnePlus7Pro,
         PhoneModel::OnePlus8Pro,
     ];
-    print!("{:<18}", "minutes");
+    out!("{:<18}", "minutes");
     for m in [30, 60, 90, 120] {
-        print!("{m:>9}");
+        out!("{m:>9}");
     }
-    println!();
+    outln!();
     for phone in devices {
-        print!("{:<18}", phone.name());
+        out!("{:<18}", phone.name());
         for minutes in [30.0, 60.0, 90.0, 120.0] {
-            print!("{:>8.2}%", extra_battery_percent(phone, 8, minutes));
+            out!("{:>8.2}%", extra_battery_percent(phone, 8, minutes));
         }
-        println!();
+        outln!();
     }
     let worst = ALL_PHONES
         .into_iter()

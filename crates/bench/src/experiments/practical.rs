@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::TrialOptions;
 
@@ -38,9 +39,9 @@ fn session_sim(seed: u64, volunteer: usize) -> (UiSimulation, SimInstant) {
 }
 
 /// Fig 27: the user-behaviour event traces of the practical sessions.
-pub fn fig27(_ctx: &mut Ctx) {
+pub fn fig27(_ctx: &Ctx) {
     report::section("Fig 27", "user behaviour events during practical sessions");
-    println!(
+    outln!(
         "legend: k=key press  x=backspace  <=switch away  >=switch back  n=notification  s=shade"
     );
     for v in 0..VOLUNTEERS.len() {
@@ -59,37 +60,41 @@ pub fn fig27(_ctx: &mut Ctx) {
             };
             line.push(c);
         }
-        println!("Volunteer {}: {}", v + 1, line);
+        outln!("Volunteer {}: {}", v + 1, line);
     }
 }
 
 /// Fig 28: trace and character accuracy in practical usage, per volunteer.
-pub fn fig28(ctx: &mut Ctx) {
+pub fn fig28(ctx: &Ctx) {
     report::section("Fig 28", "accuracy in practical usage (switches + corrections)");
     let opts = TrialOptions::paper_default(0);
     let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
     let runs = ctx.trials(12);
+    // Sessions are self-seeded from (volunteer, run), so the whole
+    // volunteer × run grid fans out at once and folds back per volunteer.
+    let grid: Vec<(usize, usize)> =
+        (0..VOLUNTEERS.len()).flat_map(|v| (0..runs).map(move |r| (v, r))).collect();
+    let outcomes = ctx.pool.par_map(grid, |_, (v, r)| {
+        let (mut sim, end) = session_sim(0x2800 + (v * 131 + r) as u64, v);
+        let service = AttackService::new(store.clone(), ServiceConfig::default());
+        let result = service.eavesdrop(&mut sim, end).ok()?;
+        let exact = result.recovered_text == sim.truth().final_text();
+        let (ok, tot) =
+            per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections)
+                .into_iter()
+                .fold((0usize, 0usize), |(a, b), (_, (ok, tot))| (a + ok, b + tot));
+        Some((v, exact, ok, tot))
+    });
     let mut total_trace = 0.0;
     let mut char_ok = 0usize;
     let mut char_tot = 0usize;
-    for v in 0..VOLUNTEERS.len() {
-        let mut exact = 0usize;
-        let mut v_ok = 0usize;
-        let mut v_tot = 0usize;
-        for r in 0..runs {
-            let (mut sim, end) = session_sim(0x2800 + (v * 131 + r) as u64, v);
-            let service = AttackService::new(store.clone(), ServiceConfig::default());
-            let Ok(result) = service.eavesdrop(&mut sim, end) else { continue };
-            if result.recovered_text == sim.truth().final_text() {
-                exact += 1;
-            }
-            for (_, (ok, tot)) in
-                per_char_tallies(&sim.truth().keystrokes(), &result.keys_before_corrections)
-            {
-                v_ok += ok;
-                v_tot += tot;
-            }
-        }
+    let mut per_v = vec![(0usize, 0usize, 0usize); VOLUNTEERS.len()];
+    for (v, exact, ok, tot) in outcomes.into_iter().flatten() {
+        per_v[v].0 += exact as usize;
+        per_v[v].1 += ok;
+        per_v[v].2 += tot;
+    }
+    for (v, (exact, v_ok, v_tot)) in per_v.into_iter().enumerate() {
         let trace_acc = exact as f64 / runs as f64;
         let char_acc = if v_tot > 0 { v_ok as f64 / v_tot as f64 } else { 0.0 };
         total_trace += trace_acc;

@@ -8,13 +8,14 @@ use input_bot::corpus::CredentialKind;
 use input_bot::timing::SpeedClass;
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 use crate::trials::{eval_credentials, TrialOptions};
 
 /// Fig 21: the impact of typing speed. Per-key accuracy stays flat; text
 /// accuracy falls for slow typists because long sessions accumulate more
 /// system-noise insertions (§7.2).
-pub fn fig21(ctx: &mut Ctx) {
+pub fn fig21(ctx: &Ctx) {
     report::section("Fig 21", "impact of user input speed");
     let base = TrialOptions::paper_default(0);
     let store = ctx.cache.store(base.sim.device, base.sim.keyboard, base.sim.app);
@@ -22,8 +23,9 @@ pub fn fig21(ctx: &mut Ctx) {
     for class in [SpeedClass::Slow, SpeedClass::Medium, SpeedClass::Fast] {
         let mut opts = base.clone();
         opts.speed = Some(class);
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 12, per_class, 21);
-        println!(
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 12, per_class, 21);
+        outln!(
             "{:<8} text={:>5.1}%  key={:>5.1}%  errors/text={:.2}",
             class.name(),
             agg.text_accuracy() * 100.0,
@@ -31,10 +33,10 @@ pub fn fig21(ctx: &mut Ctx) {
             agg.mean_errors()
         );
     }
-    println!("(paper: slow ≈60% text accuracy at unchanged per-key accuracy, errors <1.3)");
+    outln!("(paper: slow ≈60% text accuracy at unchanged per-key accuracy, errors <1.3)");
 
-    println!();
-    println!("Fig 21(c): per character group at each speed");
+    outln!();
+    outln!("Fig 21(c): per character group at each speed");
     for class in [SpeedClass::Fast, SpeedClass::Medium, SpeedClass::Slow] {
         let mut row = Vec::new();
         for (name, kind) in [
@@ -45,7 +47,7 @@ pub fn fig21(ctx: &mut Ctx) {
         ] {
             let mut opts = base.clone();
             opts.speed = Some(class);
-            let agg = eval_credentials(&store, &opts, kind, 10, ctx.trials(8), 0x21C);
+            let agg = eval_credentials(&ctx.pool, &store, &opts, kind, 10, ctx.trials(8), 0x21C);
             row.push((name.to_owned(), agg.key_accuracy()));
         }
         report::pct_row(class.name(), &row);
@@ -53,39 +55,41 @@ pub fn fig21(ctx: &mut Ctx) {
 }
 
 /// Fig 22: the impact of concurrent CPU and GPU workloads.
-pub fn fig22(ctx: &mut Ctx) {
+pub fn fig22(ctx: &Ctx) {
     report::section("Fig 22", "impact of CPU and GPU workloads");
     let base = TrialOptions::paper_default(0);
     let store = ctx.cache.store(base.sim.device, base.sim.keyboard, base.sim.app);
     let per_point = ctx.trials(15);
 
-    println!("(a) CPU utilisation sweep");
+    outln!("(a) CPU utilisation sweep");
     for load in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut opts = base.clone();
         opts.sim.cpu_load = load;
         opts.service.sampler = SamplerConfig { cpu_load: load, ..SamplerConfig::default_8ms() };
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, per_point, 22);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 10, per_point, 22);
         report::pct_row(
             &format!("  cpu={:>3.0}%", load * 100.0),
             &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
         );
     }
 
-    println!("(b) GPU utilisation sweep");
+    outln!("(b) GPU utilisation sweep");
     for load in [0.0, 0.25, 0.5, 0.75] {
         let mut opts = base.clone();
         opts.sim.gpu_load = load;
-        let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, per_point, 22);
+        let agg =
+            eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 10, per_point, 22);
         report::pct_row(
             &format!("  gpu={:>3.0}%", load * 100.0),
             &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
         );
     }
-    println!("(paper: negligible up to 50% CPU / 25% GPU, ~60% text accuracy at 75%)");
+    outln!("(paper: negligible up to 50% CPU / 25% GPU, ~60% text accuracy at 75%)");
 }
 
 /// Fig 23: sampling interval vs refresh rate.
-pub fn fig23(ctx: &mut Ctx) {
+pub fn fig23(ctx: &Ctx) {
     report::section("Fig 23", "accuracy with different counter-reading intervals");
     let per_point = ctx.trials(15);
     for refresh in [RefreshRate::Hz60, RefreshRate::Hz120] {
@@ -97,12 +101,20 @@ pub fn fig23(ctx: &mut Ctx) {
                 ..SamplerConfig::default_8ms()
             };
             let store = ctx.cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
-            let agg = eval_credentials(&store, &opts, CredentialKind::Username, 10, per_point, 23);
+            let agg = eval_credentials(
+                &ctx.pool,
+                &store,
+                &opts,
+                CredentialKind::Username,
+                10,
+                per_point,
+                23,
+            );
             report::pct_row(
                 &format!("{refresh} / {interval_ms}ms"),
                 &[("text".into(), agg.text_accuracy()), ("key".into(), agg.key_accuracy())],
             );
         }
     }
-    println!("(paper: text accuracy drops ~20pp at 12ms; 120Hz needs ≤4ms)");
+    outln!("(paper: text accuracy drops ~20pp at 12ms; 120Hz needs ≤4ms)");
 }

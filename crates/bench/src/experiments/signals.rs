@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::experiments::Ctx;
+use crate::outln;
 use crate::report;
 
 fn quiet_sim(seed: u64) -> UiSimulation {
@@ -26,7 +27,7 @@ fn sample(sim: &mut UiSimulation, until_ms: u64) -> Vec<gpu_sc_attack::Delta> {
 
 /// Fig 3: one key press produces exactly three counter changes — popup
 /// appear, text echo, popup hide.
-pub fn fig3(_ctx: &mut Ctx) {
+pub fn fig3(_ctx: &Ctx) {
     report::section("Fig 3", "a key press results in 3 GPU PC value changes");
     let mut sim = quiet_sim(1);
     sim.advance_to(SimInstant::from_millis(440));
@@ -54,7 +55,7 @@ pub fn fig3(_ctx: &mut Ctx) {
 
 /// Fig 5: per-key uniqueness plus the duplication / split / noise factors,
 /// shown on `PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ`.
-pub fn fig5(_ctx: &mut Ctx) {
+pub fn fig5(_ctx: &Ctx) {
     report::section("Fig 5", "PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ variations for 'w','w','n'");
     // Seed chosen so the second 'w' rolls the duplicated animation frame.
     let mut sim = quiet_sim(3);
@@ -73,18 +74,18 @@ pub fn fig5(_ctx: &mut Ctx) {
             report::bar(&format!("t={}", d.at), v as f64, 400.0);
         }
     }
-    println!("(identical bars ~16ms apart = duplication; large bars = app echo/blink)");
+    outln!("(identical bars ~16ms apart = duplication; large bars = app echo/blink)");
 }
 
 /// Fig 6: the per-key scatter in counter space — one LRZ and one RAS
 /// counter, every lowercase key.
-pub fn fig6(ctx: &mut Ctx) {
+pub fn fig6(ctx: &Ctx) {
     report::section("Fig 6", "per-key popup deltas: LRZ_FULL_8X8 vs RAS_SUPERTILE_ACTIVE_CYCLES");
     let cfg = SimConfig::paper_default(0);
     let model = ctx.cache.model(cfg.device, cfg.keyboard, cfg.app);
-    println!("{:<5} {:>14} {:>14}", "key", "LRZ full 8x8", "RAS cycles");
+    outln!("{:<5} {:>14} {:>14}", "key", "LRZ full 8x8", "RAS cycles");
     for c in model.centroids().iter().filter(|c| c.ch.is_ascii_lowercase()) {
-        println!(
+        outln!(
             "{:<5} {:>14} {:>14}",
             format!("{:?}", c.ch),
             c.values[TrackedCounter::LrzFull8x8Tiles],
@@ -108,7 +109,7 @@ pub fn fig6(ctx: &mut Ctx) {
 
 /// Fig 13: app switching produces fierce counter bursts with <50 ms
 /// spacing.
-pub fn fig13(_ctx: &mut Ctx) {
+pub fn fig13(_ctx: &Ctx) {
     report::section("Fig 13", "PC value changes across an app switch");
     let mut sim = quiet_sim(5);
     sim.advance_to(SimInstant::from_millis(420));
@@ -145,7 +146,7 @@ pub fn fig13(_ctx: &mut Ctx) {
 
 /// Fig 14: visible prims move ±2 per character; cursor blinks sit on the
 /// 0.5 s grid.
-pub fn fig14(_ctx: &mut Ctx) {
+pub fn fig14(_ctx: &Ctx) {
     report::section("Fig 14", "echo deltas: 3 letters typed, then 2 deleted");
     let mut sim = quiet_sim(7);
     sim.advance_to(SimInstant::from_millis(420));
@@ -182,17 +183,17 @@ pub fn fig14(_ctx: &mut Ctx) {
                 (Some(x), false) if x < 0 => format!("{x:+} deletion"),
                 (Some(x), _) => format!("{x:+}"),
             };
-            println!("t={:<12} visible_prims={v:<6} {tag}", d.at.to_string());
+            outln!("t={:<12} visible_prims={v:<6} {tag}", d.at.to_string());
             prev = Some(v);
         }
     }
 }
 
 /// Fig 16: durations and intervals of the five volunteers.
-pub fn fig16(_ctx: &mut Ctx) {
+pub fn fig16(_ctx: &Ctx) {
     report::section("Fig 16", "key-press durations and intervals per volunteer");
     let mut rng = StdRng::seed_from_u64(16);
-    println!("{:<12} {:>18} {:>18}", "volunteer", "duration mean±std", "interval mean±std");
+    outln!("{:<12} {:>18} {:>18}", "volunteer", "duration mean±std", "interval mean±std");
     for v in VOLUNTEERS {
         let n = 250;
         let durs: Vec<f64> = (0..n).map(|_| v.sample_duration(&mut rng).as_secs_f64()).collect();
@@ -204,7 +205,7 @@ pub fn fig16(_ctx: &mut Ctx) {
         };
         let (dm, ds) = stat(&durs);
         let (im, is) = stat(&ints);
-        println!(
+        outln!(
             "{:<12} {:>10.3}±{:.3}s {:>10.3}±{:.3}s",
             format!("Volunteer {}", v.id),
             dm,

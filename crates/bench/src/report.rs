@@ -1,33 +1,88 @@
 //! Minimal ASCII reporting helpers so every experiment prints paper-style
 //! rows/series that are easy to diff against EXPERIMENTS.md.
+//!
+//! All output funnels through a thread-local sink: by default it goes
+//! straight to stdout, but [`capture`] redirects the current thread's
+//! output into a string. The experiment runner uses that to execute
+//! experiments concurrently and still print their reports in selection
+//! order — worker threads capture, the main thread prints.
 
+use std::cell::RefCell;
 use std::fmt::Display;
+
+thread_local! {
+    /// Stack of capture buffers for this thread; empty means stdout.
+    static SINK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Writes formatted text to this thread's current sink. Prefer the
+/// [`out!`](crate::out) / [`outln!`](crate::outln) macros.
+#[doc(hidden)]
+pub fn emit(args: std::fmt::Arguments<'_>) {
+    SINK.with(|s| {
+        let mut stack = s.borrow_mut();
+        match stack.last_mut() {
+            Some(buf) => {
+                use std::fmt::Write;
+                buf.write_fmt(args).expect("writing to a String cannot fail");
+            }
+            None => {
+                use std::io::Write;
+                std::io::stdout().write_fmt(args).expect("stdout write failed");
+            }
+        }
+    });
+}
+
+/// Runs `f` with this thread's report output redirected into a string;
+/// returns `f`'s result and everything it printed. Nests.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, String) {
+    SINK.with(|s| s.borrow_mut().push(String::new()));
+    let result = f();
+    let buf = SINK.with(|s| s.borrow_mut().pop().expect("pushed above"));
+    (result, buf)
+}
+
+/// Like `print!`, but honouring the report sink of the current thread.
+#[macro_export]
+macro_rules! out {
+    ($($arg:tt)*) => { $crate::report::emit(std::format_args!($($arg)*)) };
+}
+
+/// Like `println!`, but honouring the report sink of the current thread.
+#[macro_export]
+macro_rules! outln {
+    () => { $crate::report::emit(std::format_args!("\n")) };
+    ($($arg:tt)*) => {
+        $crate::report::emit(std::format_args!("{}\n", std::format_args!($($arg)*)))
+    };
+}
 
 /// Prints a section header for one experiment.
 pub fn section(id: &str, title: &str) {
-    println!();
-    println!("=== {id}: {title} ===");
+    outln!();
+    outln!("=== {id}: {title} ===");
 }
 
 /// Prints a labelled percentage row.
 pub fn pct_row(label: &str, values: &[(String, f64)]) {
-    print!("{label:<26}");
+    out!("{label:<26}");
     for (name, v) in values {
-        print!("  {name}={:.1}%", v * 100.0);
+        out!("  {name}={:.1}%", v * 100.0);
     }
-    println!();
+    outln!();
 }
 
 /// Prints a key/value line.
 pub fn kv(label: &str, value: impl Display) {
-    println!("{label:<34} {value}");
+    outln!("{label:<34} {value}");
 }
 
 /// Renders a crude horizontal bar for quick visual comparison.
 pub fn bar(label: &str, value: f64, max: f64) {
     let width = 40.0;
     let n = if max > 0.0 { ((value / max) * width).round() as usize } else { 0 };
-    println!("{label:<26} {:<41} {value:.3}", "#".repeat(n.min(41)));
+    outln!("{label:<26} {:<41} {value:.3}", "#".repeat(n.min(41)));
 }
 
 /// Renders an ASCII histogram from bucket counts.
@@ -35,7 +90,7 @@ pub fn histogram(buckets: &[(String, usize)]) {
     let max = buckets.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
     for (label, count) in buckets {
         let n = (*count as f64 / max as f64 * 40.0).round() as usize;
-        println!("{label:<18} {:<41} {count}", "#".repeat(n));
+        outln!("{label:<18} {:<41} {count}", "#".repeat(n));
     }
 }
 
@@ -52,5 +107,26 @@ mod tests {
         bar("clamped", 10.0, 1.0);
         histogram(&[("b0".into(), 0), ("b1".into(), 3)]);
         histogram(&[]);
+    }
+
+    #[test]
+    fn capture_redirects_and_nests() {
+        let ((), outer) = capture(|| {
+            crate::outln!("before");
+            let ((), inner) = capture(|| kv("k", "v"));
+            assert_eq!(inner, format!("{:<34} v\n", "k"));
+            crate::out!("after");
+        });
+        assert_eq!(outer, "before\nafter");
+    }
+
+    #[test]
+    fn capture_returns_value() {
+        let (n, text) = capture(|| {
+            crate::outln!("x");
+            7
+        });
+        assert_eq!(n, 7);
+        assert_eq!(text, "x\n");
     }
 }

@@ -1,6 +1,7 @@
 //! Trial runners: one victim session, end to end, scored.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::sim::{SimConfig, UiSimulation};
@@ -8,18 +9,26 @@ use android_ui::{DeviceConfig, KeyboardKind, TargetApp};
 use gpu_sc_attack::metrics::Aggregate;
 use gpu_sc_attack::offline::{ModelStore, Trainer, TrainerConfig};
 use gpu_sc_attack::service::{AttackService, ServiceConfig, ServiceError, SessionResult};
-use gpu_sc_attack::SessionScore;
+use gpu_sc_attack::{ClassifierModel, SessionScore};
 use input_bot::corpus::{generate, CredentialKind};
 use input_bot::script::Typist;
 use input_bot::timing::{SpeedClass, VolunteerModel, VOLUNTEERS};
+use minipool::Pool;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+type ModelKey = (DeviceConfig, KeyboardKind, TargetApp);
+
 /// Caches trained models across experiments in one process (training takes
 /// seconds per configuration).
+///
+/// Thread-safe: concurrent lookups of the same configuration train it
+/// exactly once — the first caller trains while the others block on the
+/// per-key cell — and every hit returns a shared `Arc`, never a model copy.
 #[derive(Debug, Default)]
 pub struct ModelCache {
-    trained: HashMap<(DeviceConfig, KeyboardKind, TargetApp), gpu_sc_attack::ClassifierModel>,
+    trained: Mutex<HashMap<ModelKey, Arc<OnceLock<Arc<ClassifierModel>>>>>,
 }
 
 impl ModelCache {
@@ -30,27 +39,39 @@ impl ModelCache {
 
     /// Returns (training on miss) the model for a configuration.
     pub fn model(
-        &mut self,
+        &self,
         device: DeviceConfig,
         keyboard: KeyboardKind,
         app: TargetApp,
-    ) -> gpu_sc_attack::ClassifierModel {
-        self.trained
-            .entry((device, keyboard, app))
-            .or_insert_with(|| Trainer::new(TrainerConfig::default()).train(device, keyboard, app))
-            .clone()
+    ) -> Arc<ClassifierModel> {
+        // The map lock is held only for the entry lookup; training happens
+        // on the key's own cell so other configurations stay available.
+        let cell = Arc::clone(self.trained.lock().entry((device, keyboard, app)).or_default());
+        Arc::clone(cell.get_or_init(|| {
+            Arc::new(Trainer::new(TrainerConfig::default()).train(device, keyboard, app))
+        }))
     }
 
     /// A one-model store for a configuration.
     pub fn store(
-        &mut self,
+        &self,
         device: DeviceConfig,
         keyboard: KeyboardKind,
         app: TargetApp,
     ) -> ModelStore {
         let mut store = ModelStore::new();
-        store.add(self.model(device, keyboard, app));
+        store.add_shared(self.model(device, keyboard, app));
         store
+    }
+
+    /// Number of configurations trained so far.
+    pub fn len(&self) -> usize {
+        self.trained.lock().len()
+    }
+
+    /// Whether nothing has been trained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -114,8 +135,14 @@ pub fn run_credential_trial(
 
 /// Evaluates `trials` random credentials of length `len` under `opts`,
 /// aggregating the paper's accuracy metrics. Volunteer models rotate across
-/// trials.
+/// trials; trials fan out across `pool`'s workers.
+///
+/// Deterministic at any worker count: every trial's text and seed are drawn
+/// up front from the sequential RNG (in the exact order the sequential loop
+/// drew them), each trial consumes only its own seed, and scores are folded
+/// in trial order.
 pub fn eval_credentials(
+    pool: &Pool,
     store: &ModelStore,
     opts: &TrialOptions,
     kind: CredentialKind,
@@ -123,28 +150,43 @@ pub fn eval_credentials(
     trials: usize,
     seed: u64,
 ) -> Aggregate {
-    let mut agg = Aggregate::default();
     let mut rng = StdRng::seed_from_u64(seed);
-    for t in 0..trials {
-        let text = generate(&mut rng, kind, len);
+    let inputs: Vec<(String, VolunteerModel, u64)> = (0..trials)
+        .map(|t| {
+            let text = generate(&mut rng, kind, len);
+            (text, VOLUNTEERS[t % VOLUNTEERS.len()], rng.gen::<u64>())
+        })
+        .collect();
+    let scores = pool.par_map(inputs, |_, (text, volunteer, trial_seed)| {
         let mut o = opts.clone();
-        o.volunteer = VOLUNTEERS[t % VOLUNTEERS.len()];
-        let trial_seed = rng.gen::<u64>();
-        match run_credential_trial(store, &o, &text, trial_seed) {
-            Ok((score, _)) => agg.add(&score),
-            Err(_) => {
-                // A failed session recovers nothing: all keys missed.
-                agg.add(&SessionScore {
-                    correct_keys: 0,
-                    total_keys: text.chars().count(),
-                    spurious_keys: 0,
-                    text_exact: false,
-                    edit_distance: text.chars().count(),
-                });
-            }
-        }
+        o.volunteer = volunteer;
+        score_or_miss(store, &o, &text, trial_seed)
+    });
+    let mut agg = Aggregate::default();
+    for score in &scores {
+        agg.add(score);
     }
     agg
+}
+
+/// Runs one trial and scores it; a failed session recovers nothing (all
+/// keys missed).
+pub fn score_or_miss(
+    store: &ModelStore,
+    opts: &TrialOptions,
+    text: &str,
+    seed: u64,
+) -> SessionScore {
+    match run_credential_trial(store, opts, text, seed) {
+        Ok((score, _)) => score,
+        Err(_) => SessionScore {
+            correct_keys: 0,
+            total_keys: text.chars().count(),
+            spurious_keys: 0,
+            text_exact: false,
+            edit_distance: text.chars().count(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -153,17 +195,29 @@ mod tests {
 
     #[test]
     fn cache_trains_once() {
-        let mut cache = ModelCache::new();
+        let cache = ModelCache::new();
         let cfg = SimConfig::paper_default(0);
         let a = cache.model(cfg.device, cfg.keyboard, cfg.app);
         let b = cache.model(cfg.device, cfg.keyboard, cfg.app);
-        assert_eq!(a.to_bytes(), b.to_bytes());
-        assert_eq!(cache.trained.len(), 1);
+        assert!(Arc::ptr_eq(&a, &b), "hits share one trained model");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_model() {
+        let cache = ModelCache::new();
+        let cfg = SimConfig::paper_default(0);
+        let models = Pool::new(4)
+            .par_map(vec![(); 4], |_, ()| cache.model(cfg.device, cfg.keyboard, cfg.app));
+        assert_eq!(cache.len(), 1, "no double training under contention");
+        for m in &models {
+            assert!(Arc::ptr_eq(m, &models[0]));
+        }
     }
 
     #[test]
     fn trial_round_trips() {
-        let mut cache = ModelCache::new();
+        let cache = ModelCache::new();
         let opts = TrialOptions::paper_default(5);
         let store = cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
         let (score, result) = run_credential_trial(&store, &opts, "abcd", 11).unwrap();

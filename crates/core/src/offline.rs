@@ -12,10 +12,11 @@
 //! victim device at run time from the keyboard's base-redraw fingerprint.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use adreno_sim::counters::{CounterSet, NUM_TRACKED};
 use adreno_sim::font::FIG18_CHARSET;
-use adreno_sim::pipeline::render;
+use adreno_sim::memo::render_cached;
 use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::apps::LoginScreen;
 use android_ui::compositor::KeyboardWindow;
@@ -157,9 +158,11 @@ impl Trainer {
         }
 
         // Signatures computed from the attacker's own (identical) hardware.
+        // These draw lists are identical across every training run for the
+        // same configuration, so they go through the render memo cache.
         let params = device.gpu().params();
         let kb_signature = KeyboardWindow::new(keyboard, &device, true).draw();
-        let kb_signature = render(&kb_signature, &params).totals;
+        let kb_signature = render_cached(&kb_signature, &params).totals;
         let login = LoginScreen::new(app, &device);
         // Field-region redraw signatures for every anticipated input
         // length, cursor off and on. They drive the §5.3 correction
@@ -169,15 +172,17 @@ impl Trainer {
         let max_len = 22.min(login.max_cells());
         let mut field_signatures = Vec::with_capacity((max_len + 1) * 2);
         for len in 0..=max_len {
-            field_signatures.push(render(&login.draw_field_update(len, false), &params).totals);
-            field_signatures.push(render(&login.draw_field_update(len, true), &params).totals);
+            field_signatures
+                .push(render_cached(&login.draw_field_update(len, false), &params).totals);
+            field_signatures
+                .push(render_cached(&login.draw_field_update(len, true), &params).totals);
         }
-        let app_signature = render(&login.draw_field_update(0, true), &params).totals;
+        let app_signature = render_cached(&login.draw_field_update(0, true), &params).totals;
         // Cold launch renders the full login screen, the keyboard and the
         // status bar on one vsync: their merged delta is the launch burst.
-        let launch_signature = render(&login.draw(0, true, 0.0), &params).totals
+        let launch_signature = render_cached(&login.draw(0, true, 0.0), &params).totals
             + kb_signature
-            + render(&android_ui::StatusBar::new(&device).draw(), &params).totals;
+            + render_cached(&android_ui::StatusBar::new(&device).draw(), &params).totals;
         // App-switch bursts dwarf any window redraw; three keyboard frames
         // is a robust floor.
         let switch_threshold = kb_signature.total() * 3;
@@ -287,9 +292,13 @@ fn whitening_weights(centroids: &[KeyCentroid]) -> [f64; NUM_TRACKED] {
 
 /// The preloaded collection of per-configuration models (§7.6 discusses
 /// shipping thousands of them in a 13 MB app).
+///
+/// Models are held behind `Arc`, so cloning a store (e.g. to hand one to
+/// each of many concurrent attack services) shares the trained models
+/// instead of copying them.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelStore {
-    models: Vec<ClassifierModel>,
+    models: Vec<Arc<ClassifierModel>>,
 }
 
 impl ModelStore {
@@ -300,11 +309,16 @@ impl ModelStore {
 
     /// Adds a trained model.
     pub fn add(&mut self, model: ClassifierModel) {
+        self.models.push(Arc::new(model));
+    }
+
+    /// Adds an already-shared model without copying it.
+    pub fn add_shared(&mut self, model: Arc<ClassifierModel>) {
         self.models.push(model);
     }
 
     /// The models.
-    pub fn models(&self) -> &[ClassifierModel] {
+    pub fn models(&self) -> &[Arc<ClassifierModel>] {
         &self.models
     }
 
@@ -356,7 +370,7 @@ impl ModelStore {
                 return Err(ModelDecodeError::Truncated);
             }
             let body = data.split_to(len);
-            models.push(ClassifierModel::from_bytes(body)?);
+            models.push(Arc::new(ClassifierModel::from_bytes(body)?));
         }
         Ok(ModelStore { models })
     }
@@ -367,7 +381,7 @@ impl ModelStore {
     /// observed change is close to any fingerprint.
     pub fn recognize(&self, deltas: &[Delta]) -> Option<&ClassifierModel> {
         let mut best: Option<(&ClassifierModel, f64)> = None;
-        for m in &self.models {
+        for m in self.models.iter().map(Arc::as_ref) {
             let sig = m.kb_signature();
             let sig_norm = sig.total().max(1) as f64;
             for d in deltas {
@@ -389,6 +403,7 @@ impl ModelStore {
     pub fn find(&self, device: &DeviceConfig, keyboard: KeyboardKind) -> Option<&ClassifierModel> {
         self.models
             .iter()
+            .map(Arc::as_ref)
             .find(|m| m.meta().device_config() == *device && m.meta().keyboard == keyboard)
     }
 }

@@ -1,0 +1,212 @@
+//! A tiny scoped thread pool with a *deterministic* parallel map.
+//!
+//! The experiment suite needs fan-out whose results are byte-identical to
+//! the sequential run regardless of worker count or OS scheduling. Two
+//! properties deliver that:
+//!
+//! 1. **Order-preserving collection** — [`Pool::par_map`] returns results in
+//!    item order, never completion order.
+//! 2. **Per-item seed derivation** — [`Pool::par_map_seeded`] hands every
+//!    work item an independent RNG seed derived *only* from the root seed
+//!    and the item index (SplitMix64), so no item observes another item's
+//!    random stream no matter which worker runs it.
+//!
+//! With `jobs = 1` no threads are spawned at all: the closure runs inline on
+//! the caller's thread, item by item — exactly the sequential execution
+//! path.
+//!
+//! Workers are scoped (`std::thread::scope`): borrows of the caller's stack
+//! (model stores, trial options) flow into the closure without `'static`
+//! gymnastics, and a panicking item propagates to the caller at the end of
+//! the call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A handle describing how much parallelism to use. Cheap to clone; holds no
+/// threads — workers are spawned per [`Pool::par_map`] call and joined
+/// before it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool that runs `jobs` work items concurrently (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A single-threaded pool: `par_map` degenerates to a plain inline map.
+    pub fn sequential() -> Self {
+        Pool::new(1)
+    }
+
+    /// The number of hardware threads available, for `--jobs` defaults.
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    ///
+    /// `f` receives `(index, item)`. With `jobs = 1` (or ≤ 1 item) the
+    /// closure runs inline sequentially; otherwise up to `jobs` scoped
+    /// worker threads pull items from a shared cursor. Results are
+    /// reassembled by index, so the output is independent of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panicked on any item (the first worker panic is
+    /// propagated after all workers stop).
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.jobs == 1 || n <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+
+        // Item slots the workers drain. Options let each worker `take`
+        // ownership of its item without cloning.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.jobs.min(n);
+
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take()
+                            .expect("each slot is drained exactly once");
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(local) => tagged.extend(local),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(tagged.len(), n);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// [`Pool::par_map`] with a per-item RNG seed derived from `root_seed`
+    /// and the item index. `f` receives `(derived_seed, item)`; the same
+    /// `(root_seed, index)` always yields the same derived seed, so results
+    /// are identical at any worker count.
+    pub fn par_map_seeded<T, R, F>(&self, root_seed: u64, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(u64, T) -> R + Sync,
+    {
+        self.par_map(items, move |i, item| f(derive_seed(root_seed, i as u64), item))
+    }
+}
+
+/// Derives the seed for work item `index` under `root`: one SplitMix64 step
+/// over a position-keyed state. Pure, stateless, and collision-scrambled —
+/// adjacent indices produce statistically independent streams.
+pub fn derive_seed(root: u64, index: u64) -> u64 {
+    let mut z =
+        root ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.par_map(items, |i, x| {
+            assert_eq!(i, x);
+            // Stagger completion so out-of-order finishes are likely.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let items: Vec<u64> = (0..50).collect();
+        let run = |jobs| {
+            Pool::new(jobs).par_map_seeded(42, items.clone(), |seed, x| seed.wrapping_add(x))
+        };
+        let seq = run(1);
+        assert_eq!(run(2), seq);
+        assert_eq!(run(4), seq);
+        assert_eq!(run(13), seq);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1000, "no collisions across 1000 items");
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0), "root seed matters");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.par_map(Vec::<u8>::new(), |_, x| x), Vec::<u8>::new());
+        assert_eq!(pool.par_map(vec![9u8], |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn borrows_flow_into_workers() {
+        let data = vec![1u64, 2, 3, 4];
+        let pool = Pool::new(2);
+        let sum: Vec<u64> = pool.par_map((0..4).collect(), |_, i: usize| data[i]);
+        assert_eq!(sum, data);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let pool = Pool::new(3);
+        pool.par_map((0..10).collect::<Vec<usize>>(), |_, x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}
