@@ -212,9 +212,11 @@ pub fn render_cached(draw_list: &DrawList, params: &GpuParams) -> Arc<RenderOutp
     let cache = render_cache();
     if let Some(hit) = lock(&cache.map).get(&fp) {
         cache.hits.fetch_add(1, Ordering::Relaxed);
+        spansight::count("adreno.memo.render_hits", 1);
         return Arc::clone(hit);
     }
     cache.misses.fetch_add(1, Ordering::Relaxed);
+    spansight::count("adreno.memo.render_misses", 1);
     // Render outside the lock: a concurrent miss on the same key computes
     // the same pure value, and the first insert wins.
     let out = Arc::new(pipeline::render(draw_list, params));
@@ -268,9 +270,11 @@ impl<V> GlyphCache<V> {
     ) -> Arc<V> {
         if let Some(hit) = lock(&self.map).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            spansight::count("adreno.memo.glyph_hits", 1);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        spansight::count("adreno.memo.glyph_misses", 1);
         let value = Arc::new(compute());
         let mut map = lock(&self.map);
         if map.len() >= GLYPH_CACHE_CAP {

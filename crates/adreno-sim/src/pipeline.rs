@@ -444,9 +444,11 @@ pub fn render_uncached(draw_list: &DrawList, params: &GpuParams) -> RenderOutput
 }
 
 fn render_impl(draw_list: &DrawList, params: &GpuParams, use_glyph_cache: bool) -> RenderOutput {
+    let _span = spansight::span("adreno", "render");
     let layers = draw_list.layers();
 
     // Pass 1 (front-to-back): per-layer occlusion masks from higher layers.
+    let pass1 = spansight::span("adreno", "render.occlusion_pass");
     // `masks[i]` is the occlusion seen by layer i. Snapshots are shared:
     // a layer adding no opaque occlusion reuses the previous snapshot `Arc`
     // untouched, and the bottom layer takes the accumulator by move, so a
@@ -484,8 +486,10 @@ fn render_impl(draw_list: &DrawList, params: &GpuParams, use_glyph_cache: bool) 
         rev.reverse();
         rev
     };
+    drop(pass1);
 
     // Pass 2 (back-to-front): process primitives against their layer's mask.
+    let pass2 = spansight::span("adreno", "render.prim_pass");
     let mut per_prim: Vec<PrimStats> = Vec::with_capacity(draw_list.prim_count() * 2);
     for (layer, mask) in layers.iter().zip(masks.iter()) {
         for prim in &layer.prims {
@@ -508,6 +512,8 @@ fn render_impl(draw_list: &DrawList, params: &GpuParams, use_glyph_cache: bool) 
         }
     }
 
+    drop(pass2);
+
     // Aggregate + checkpoint.
     let mut totals = CounterSet::ZERO;
     let mut total_cycles = 0u64;
@@ -515,6 +521,13 @@ fn render_impl(draw_list: &DrawList, params: &GpuParams, use_glyph_cache: bool) 
         totals += s.to_counters();
         total_cycles += s.cycles;
     }
+    spansight::count("adreno.render.calls", 1);
+    spansight::count("adreno.render.prims", per_prim.len() as u64);
+    spansight::count(
+        "adreno.render.lrz_8x8_tiles",
+        totals[TrackedCounter::LrzFull8x8Tiles] + totals[TrackedCounter::LrzPartial8x8Tiles],
+    );
+    spansight::count("adreno.render.ras_8x4_tiles", totals[TrackedCounter::Ras8x4Tiles]);
     let mut checkpoints = Vec::with_capacity(CHECKPOINTS_PER_FRAME);
     if !per_prim.is_empty() {
         let chunk = per_prim.len().div_ceil(CHECKPOINTS_PER_FRAME);

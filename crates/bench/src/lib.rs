@@ -1,8 +1,33 @@
 //! Shared infrastructure for the experiment harness and Criterion benches.
 //!
 //! Everything the `experiments` binary needs to regenerate the paper's
-//! tables and figures: trial runners, model caching, the battery model of
-//! Fig 26 and small ASCII reporting helpers.
+//! tables and figures:
+//!
+//! * [`trials`] — end-to-end trial runners ([`run_credential_trial`],
+//!   [`eval_credentials`]) and the cross-experiment [`ModelCache`];
+//! * [`experiments`] — one module per paper table/figure plus the
+//!   beyond-the-paper extensions and ablations;
+//! * [`power`] — the Fig 26 battery model;
+//! * [`report`] — ASCII tables/plots routed through a thread-local sink so
+//!   parallel experiment fan-out can capture its output (the stdout
+//!   byte-identity contract of `tests/determinism.rs`).
+//!
+//! Trial runners are instrumented with `spansight` spans/counters; see
+//! ARCHITECTURE.md for the observability layer and EXPERIMENTS.md for how
+//! to read the exported aggregates and Chrome traces.
+//!
+//! ## Running one trial
+//!
+//! ```no_run
+//! use bench::{run_credential_trial, ModelCache, TrialOptions};
+//!
+//! let cache = ModelCache::new();                      // trains on first use
+//! let opts = TrialOptions::paper_default(5);
+//! let store = cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
+//! let (score, result) = run_credential_trial(&store, &opts, "hunter2", 11).unwrap();
+//! assert_eq!(score.total_keys, 7);
+//! println!("recovered: {:?}", result.recovered_text);
+//! ```
 
 pub mod experiments;
 pub mod power;

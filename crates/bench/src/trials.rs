@@ -46,8 +46,10 @@ impl ModelCache {
     ) -> Arc<ClassifierModel> {
         // The map lock is held only for the entry lookup; training happens
         // on the key's own cell so other configurations stay available.
+        spansight::count("bench.model_cache.lookups", 1);
         let cell = Arc::clone(self.trained.lock().entry((device, keyboard, app)).or_default());
         Arc::clone(cell.get_or_init(|| {
+            spansight::count("bench.model_cache.trainings", 1);
             Arc::new(Trainer::new(TrainerConfig::default()).train(device, keyboard, app))
         }))
     }
@@ -114,6 +116,7 @@ pub fn run_credential_trial(
     text: &str,
     seed: u64,
 ) -> Result<(SessionScore, SessionResult), ServiceError> {
+    let _span = spansight::span("bench", "trial");
     let mut sim = UiSimulation::new(SimConfig { seed, ..opts.sim.clone() });
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7157);
     let mut typist = match opts.speed {

@@ -60,3 +60,21 @@ fn experiment_reports_are_identical_at_any_worker_count() {
     assert!(!seq.is_empty(), "reports should capture, not hit stdout");
     assert_eq!(seq, par, "captured reports must not depend on worker count");
 }
+
+/// Telemetry collection (aggregates + trace events) must not leak into the
+/// captured reports: with tracing on, `--jobs 1` and `--jobs 4` still agree
+/// byte for byte.
+#[test]
+fn reports_stay_identical_with_telemetry_enabled() {
+    spansight::enable_tracing(4096);
+    let run = |jobs: usize| -> String {
+        let pool = if jobs == 1 { Pool::sequential() } else { Pool::new(jobs) };
+        let ctx = Ctx::with_pool(0.1, pool);
+        let ((), text) = capture(|| accuracy::fig17(&ctx));
+        text
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert!(spansight::tracing_enabled());
+    assert_eq!(seq, par, "telemetry must stay off the report stream");
+}

@@ -20,18 +20,26 @@ use std::fmt;
 /// One key's trained centroid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KeyCentroid {
+    /// The key this centroid was trained on.
     pub ch: char,
+    /// Mean per-press counter deltas across the training presses.
     pub values: CounterSet,
 }
 
 /// Identifies the configuration a model was trained for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelMeta {
+    /// Phone the training traces came from.
     pub phone: PhoneModel,
+    /// Android version of the training device.
     pub android: AndroidVersion,
+    /// Screen resolution (affects tile counts).
     pub resolution: Resolution,
+    /// Display refresh rate (affects frame cadence).
     pub refresh: RefreshRate,
+    /// Keyboard app the victim types on.
     pub keyboard: KeyboardKind,
+    /// Target app whose text field receives the input.
     pub app: TargetApp,
 }
 
@@ -62,13 +70,28 @@ impl fmt::Display for ModelMeta {
     }
 }
 
+/// Bucket edges of the per-call classification-latency histogram
+/// (`core.classify.latency_ns`): 1 µs, 10 µs, 0.1 ms (the paper's Fig 25
+/// bound), 1 ms, overflow.
+pub const CLASSIFY_LATENCY_EDGES: &[u64] = &[1_000, 10_000, 100_000, 1_000_000];
+
 /// Result of classifying one counter delta.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Classification {
     /// Accepted as the key press of `ch` (weighted distance below `C_th`).
-    Key { ch: char, distance: f64 },
+    Key {
+        /// The inferred key.
+        ch: char,
+        /// Weighted distance to that key's centroid.
+        distance: f64,
+    },
     /// Rejected: not close enough to any centroid.
-    Rejected { nearest: char, distance: f64 },
+    Rejected {
+        /// The closest centroid's key.
+        nearest: char,
+        /// Weighted distance to that nearest centroid (≥ `C_th`).
+        distance: f64,
+    },
 }
 
 impl Classification {
@@ -263,6 +286,23 @@ impl ClassifierModel {
     /// (the `SearchMinDist` + threshold test of Algorithm 1) *and* of
     /// key-frame-sized total magnitude.
     pub fn classify(&self, v: &CounterSet) -> Classification {
+        let started = std::time::Instant::now();
+        let out = self.classify_inner(v);
+        // Fig 25's headline claim is <0.1 ms per inference; the 100 µs edge
+        // of this histogram checks it on every call of every experiment.
+        spansight::record(
+            "core.classify.latency_ns",
+            CLASSIFY_LATENCY_EDGES,
+            started.elapsed().as_nanos() as u64,
+        );
+        match out {
+            Classification::Key { .. } => spansight::count("core.classify.accepted", 1),
+            Classification::Rejected { .. } => spansight::count("core.classify.rejected", 1),
+        }
+        out
+    }
+
+    fn classify_inner(&self, v: &CounterSet) -> Classification {
         let (ch, distance) = self.nearest(v);
         if distance <= self.threshold {
             let centroid_total =
@@ -411,9 +451,13 @@ impl ClassifierModel {
 /// Errors from [`ClassifierModel::from_bytes`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelDecodeError {
+    /// The byte slice ended before the encoded model did.
     Truncated,
+    /// The leading magic bytes did not match.
     BadMagic,
+    /// Unsupported format version.
     BadVersion(u8),
+    /// A field decoded to an out-of-range value.
     BadField(&'static str),
 }
 

@@ -47,6 +47,8 @@
 //! println!("recovered: {}", result.recovered_text);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod appswitch;
 pub mod classify;
 pub mod correction;

@@ -154,11 +154,17 @@ pub fn edit_distance(a: &str, b: &str) -> usize {
 /// plot.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Aggregate {
+    /// Sessions folded in.
     pub sessions: usize,
+    /// Sessions whose recovered text matched the typed text exactly.
     pub exact_texts: usize,
+    /// Typed keys recovered in order, summed over sessions.
     pub correct_keys: usize,
+    /// Keys typed, summed over sessions.
     pub total_keys: usize,
+    /// Edit distance between typed and recovered text, summed.
     pub total_edit_distance: usize,
+    /// Inferred keys that matched nothing typed, summed.
     pub spurious_keys: usize,
 }
 

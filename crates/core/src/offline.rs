@@ -93,6 +93,8 @@ impl Trainer {
         keyboard: KeyboardKind,
         app: TargetApp,
     ) -> ClassifierModel {
+        let _span = spansight::span("core", "offline.train");
+        spansight::count("core.offline.models_trained", 1);
         let sim_config = SimConfig {
             device,
             keyboard,

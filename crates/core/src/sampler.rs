@@ -130,7 +130,54 @@ pub struct SamplerReport {
     pub retries_spent: u64,
 }
 
+/// Bucket edges of the per-slot retry-count histogram
+/// (`core.sampler.slot_retries`): 0 retries, 1, 2, ≤4, ≤8, overflow.
+pub const RETRY_HIST_EDGES: &[u64] = &[0, 1, 2, 4, 8];
+
 impl SamplerReport {
+    /// The field-wise difference `self - earlier` (each field saturates at
+    /// zero). Used to attribute one `sample_until` call's worth of events
+    /// out of the cumulative report.
+    pub fn diff(&self, earlier: &SamplerReport) -> SamplerReport {
+        SamplerReport {
+            attempted: self.attempted.saturating_sub(earlier.attempted),
+            acquired: self.acquired.saturating_sub(earlier.acquired),
+            scheduler_drops: self.scheduler_drops.saturating_sub(earlier.scheduler_drops),
+            abandoned: self.abandoned.saturating_sub(earlier.abandoned),
+            transient_errors: self.transient_errors.saturating_sub(earlier.transient_errors),
+            denied_reads: self.denied_reads.saturating_sub(earlier.denied_reads),
+            revocations_seen: self.revocations_seen.saturating_sub(earlier.revocations_seen),
+            reservation_losses: self.reservation_losses.saturating_sub(earlier.reservation_losses),
+            fd_reopens: self.fd_reopens.saturating_sub(earlier.fd_reopens),
+            reservations_reacquired: self
+                .reservations_reacquired
+                .saturating_sub(earlier.reservations_reacquired),
+            retries_spent: self.retries_spent.saturating_sub(earlier.retries_spent),
+        }
+    }
+
+    /// Publishes this report's (non-zero) fields as `core.sampler.*`
+    /// telemetry counters.
+    pub fn count_telemetry(&self) {
+        for (name, value) in [
+            ("core.sampler.attempted", self.attempted),
+            ("core.sampler.acquired", self.acquired),
+            ("core.sampler.scheduler_drops", self.scheduler_drops),
+            ("core.sampler.abandoned", self.abandoned),
+            ("core.sampler.transient_errors", self.transient_errors),
+            ("core.sampler.denied_reads", self.denied_reads),
+            ("core.sampler.revocations_seen", self.revocations_seen),
+            ("core.sampler.reservation_losses", self.reservation_losses),
+            ("core.sampler.fd_reopens", self.fd_reopens),
+            ("core.sampler.reservations_reacquired", self.reservations_reacquired),
+            ("core.sampler.retries_spent", self.retries_spent),
+        ] {
+            if value > 0 {
+                spansight::count(name, value);
+            }
+        }
+    }
+
     /// Fraction of attempted read slots that produced a sample (1.0 when
     /// nothing was ever attempted).
     pub fn coverage(&self) -> f64 {
@@ -313,6 +360,9 @@ impl Sampler {
         sim: &mut UiSimulation,
         until: SimInstant,
     ) -> DeviceResult<Trace> {
+        let mut span = spansight::span("core", "sampler.sample_until");
+        span.sim_range(sim.now().as_nanos(), until.as_nanos());
+        let report_before = self.report;
         let mut trace = Trace::new();
         let device = std::sync::Arc::clone(sim.device());
         let mut next = sim.now();
@@ -323,6 +373,7 @@ impl Sampler {
             sim.advance_to(at);
             if !self.dropped() {
                 self.report.attempted += 1;
+                let retries_before = self.report.retries_spent;
                 // Backoff may advance the clock, so the sample is stamped
                 // with the time the read actually completed.
                 match self.read_resilient(sim, &device, until) {
@@ -335,6 +386,11 @@ impl Sampler {
                         last_err = Some(err);
                     }
                 }
+                spansight::record(
+                    "core.sampler.slot_retries",
+                    RETRY_HIST_EDGES,
+                    self.report.retries_spent - retries_before,
+                );
             } else {
                 self.report.scheduler_drops += 1;
             }
@@ -347,6 +403,7 @@ impl Sampler {
                 next += self.config.interval * (missed + 1);
             }
         }
+        self.report.diff(&report_before).count_telemetry();
         if trace.is_empty() {
             if let Some(err) = last_err {
                 return Err(err);

@@ -27,7 +27,9 @@ use crate::trace::extract_deltas_with_resets;
 /// Service configuration.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
+    /// Counter-sampling loop configuration.
     pub sampler: SamplerConfig,
+    /// Algorithm 1 (online inference) configuration.
     pub online: OnlineConfig,
     /// Use the full-trace (lookahead) variant of Algorithm 1 — accuracy
     /// over timeliness (§5.1 trade-off).
@@ -43,6 +45,7 @@ pub struct ServiceConfig {
     /// system noise does not. Off by default so the stock pipeline matches
     /// the paper; the `ablate-corroboration` experiment quantifies it.
     pub echo_corroboration: bool,
+    /// Backspace/length-tracking (§5.3) configuration.
     pub correction: CorrectionConfig,
 }
 
@@ -221,12 +224,20 @@ impl AttackService {
         sim: &mut UiSimulation,
         until: SimInstant,
     ) -> Result<SessionResult, ServiceError> {
+        let mut session_span = spansight::span("core", "service.eavesdrop");
+        session_span.sim_range(sim.now().as_nanos(), until.as_nanos());
+        let stage = spansight::span("core", "service.sample");
         let mut sampler = Sampler::open(sim.device(), self.config.sampler)?;
         let trace = sampler.sample_until(sim, until)?;
+        drop(stage);
+        let stage = spansight::span("core", "service.extract");
         let (deltas, counter_resets) = extract_deltas_with_resets(&trace);
+        drop(stage);
         let degradation = DegradationReport::from_sampler(&sampler.report(), counter_resets);
 
+        let stage = spansight::span("core", "service.recognize");
         let model = self.store.recognize(&deltas).ok_or(ServiceError::UnrecognisedDevice)?;
+        drop(stage);
 
         // §3.2: optionally wait for the target app's cold-launch burst and
         // ignore everything before it.
@@ -242,6 +253,7 @@ impl AttackService {
 
         // §5.2: drop everything produced outside the target app, and note
         // when the victim returns (the cursor-blink timer restarts then).
+        let stage = spansight::span("core", "service.switch_filter");
         let mut switch =
             SwitchDetector::new(SwitchConfig::with_threshold(model.switch_threshold()));
         let mut in_target: Vec<crate::trace::Delta> = Vec::with_capacity(deltas.len());
@@ -271,8 +283,10 @@ impl AttackService {
         if let Some(t) = pending_return.take() {
             returns.push(t);
         }
+        drop(stage);
 
         // §5.1: Algorithm 1 (candidate lists retained for guessing).
+        let stage = spansight::span("core", "service.infer");
         let (raw_keys, raw_candidates, rejected, stats) = if self.config.full_trace {
             let (k, r, s) = infer_full_trace(model, &in_target, self.config.online);
             // The full-trace variant reuses the streaming engine internally;
@@ -301,15 +315,18 @@ impl AttackService {
             }
             engine.finish_with_candidates()
         };
+        drop(stage);
 
         // §5.3: corrections from the echo stream, re-anchoring the blink
         // grid at every detected return to the target app.
+        let stage = spansight::span("core", "service.corrections");
         let mut corr =
             CorrectionDetector::new(model.ambient_signatures().to_vec(), self.config.correction);
         let mut next_return = returns.iter().copied().peekable();
         for d in &rejected {
             while next_return.peek().is_some_and(|t| *t <= d.at) {
                 let t = next_return.next().expect("peeked");
+                spansight::count("core.service.reanchors", 1);
                 corr.reanchor(t);
             }
             corr.observe(d);
@@ -371,7 +388,10 @@ impl AttackService {
             keys = kept_keys;
             candidates = kept_cands;
         }
+        drop(stage);
         let recovered_text: String = keys.iter().map(|k| k.ch).collect();
+        spansight::count("core.service.sessions", 1);
+        spansight::count("core.service.keys_inferred", keys.len() as u64);
 
         Ok(SessionResult {
             model: *model.meta(),

@@ -126,6 +126,10 @@ pub fn extract_deltas_with_resets(trace: &Trace) -> (Vec<Delta>, usize) {
             None => resets += 1,
         }
     }
+    spansight::count("core.trace.deltas", out.len() as u64);
+    if resets > 0 {
+        spansight::count("core.trace.resets", resets as u64);
+    }
     (out, resets)
 }
 

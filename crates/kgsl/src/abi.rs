@@ -55,7 +55,9 @@ pub const IOCTL_KGSL_PERFCOUNTER_READ: u32 = iowr(KGSL_IOC_TYPE, 0x3B, SIZEOF_PE
 /// returns the assigned hardware register offsets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KgslPerfcounterGet {
+    /// Counter group to reserve from (`KGSL_PERFCOUNTER_GROUP_*`).
     pub groupid: u32,
+    /// Event selector within the group.
     pub countable: u32,
     /// Filled by the driver: low register offset of the assigned counter.
     pub offset: u32,
@@ -66,7 +68,9 @@ pub struct KgslPerfcounterGet {
 /// `struct kgsl_perfcounter_put`: releases a reservation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KgslPerfcounterPut {
+    /// Counter group the reservation was made in.
     pub groupid: u32,
+    /// Event selector of the reservation being released.
     pub countable: u32,
 }
 
@@ -74,8 +78,11 @@ pub struct KgslPerfcounterPut {
 /// driver fills `value` with the counter's current cumulative value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KgslPerfcounterReadGroup {
+    /// Counter group to read from.
     pub groupid: u32,
+    /// Event selector within the group.
     pub countable: u32,
+    /// Filled by the driver: the counter's cumulative value.
     pub value: u64,
 }
 
@@ -94,8 +101,11 @@ impl KgslPerfcounterReadGroup {
 /// structure of the driver.
 #[derive(Debug)]
 pub enum IoctlRequest<'a> {
+    /// `IOCTL_KGSL_PERFCOUNTER_GET`: reserve a counter.
     PerfcounterGet(&'a mut KgslPerfcounterGet),
+    /// `IOCTL_KGSL_PERFCOUNTER_PUT`: release a reservation.
     PerfcounterPut(KgslPerfcounterPut),
+    /// `IOCTL_KGSL_PERFCOUNTER_READ`: block-read reserved counters.
     PerfcounterRead(&'a mut [KgslPerfcounterReadGroup]),
 }
 

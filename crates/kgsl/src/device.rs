@@ -29,6 +29,29 @@ pub const MAX_COUNTABLE: u32 = 32;
 /// this returns `EBUSY`.
 pub const COUNTERS_PER_GROUP: usize = 16;
 
+/// The telemetry span name for one ioctl request kind.
+fn ioctl_span_name(req: &IoctlRequest<'_>) -> &'static str {
+    match req {
+        IoctlRequest::PerfcounterGet(_) => "ioctl.perfcounter_get",
+        IoctlRequest::PerfcounterPut(_) => "ioctl.perfcounter_put",
+        IoctlRequest::PerfcounterRead(_) => "ioctl.perfcounter_read",
+    }
+}
+
+/// Counts a failed device call under its errno.
+fn count_errno(errno: Errno) {
+    let name = match errno {
+        Errno::Eperm => "kgsl.errno.eperm",
+        Errno::Einval => "kgsl.errno.einval",
+        Errno::Ebadf => "kgsl.errno.ebadf",
+        Errno::Eacces => "kgsl.errno.eacces",
+        Errno::Enodev => "kgsl.errno.enodev",
+        Errno::Ebusy => "kgsl.errno.ebusy",
+        Errno::Eintr => "kgsl.errno.eintr",
+    };
+    spansight::count(name, 1);
+}
+
 /// An open handle to the device file (a simulated file descriptor).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KgslFd(u32);
@@ -156,20 +179,29 @@ impl KgslDevice {
         for event in injector.due_events(now) {
             match event {
                 FaultEvent::Slumber => {
+                    spansight::instant("kgsl", "kgsl.fault.slumber");
                     // The hardware forgets: registers restart from zero and
                     // reservations are gone.
                     *self.counter_baseline.lock() = self.gpu.lock().counters_at(now);
                     self.state.lock().clear_reservations();
                 }
                 FaultEvent::RevokeFds => {
+                    spansight::instant("kgsl", "kgsl.fault.revoke_fds");
                     let mut st = self.state.lock();
                     st.handles.clear();
                     st.reservations.clear();
                 }
-                FaultEvent::PolicyChange(policy) => *self.policy.lock() = policy,
+                FaultEvent::PolicyChange(policy) => {
+                    spansight::instant("kgsl", "kgsl.fault.policy_change");
+                    *self.policy.lock() = policy;
+                }
             }
         }
-        injector.draw_transient()
+        let transient = injector.draw_transient();
+        if transient.is_some() {
+            spansight::count("kgsl.fault.transient", 1);
+        }
+        transient
     }
 
     /// The shared clock this device reads.
@@ -201,7 +233,9 @@ impl KgslDevice {
     /// the call may still fail transiently (`EBUSY`/`EINTR`), like any
     /// interrupted syscall.
     pub fn open(&self, pid: u32, domain: SelinuxDomain) -> DeviceResult<KgslFd> {
+        spansight::count("kgsl.open", 1);
         if let Some(errno) = self.service_faults() {
+            count_errno(errno);
             return Err(errno);
         }
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
@@ -216,6 +250,7 @@ impl KgslDevice {
     /// driver's per-context cleanup). Closing an unknown handle returns
     /// `EBADF`.
     pub fn close(&self, fd: KgslFd) -> DeviceResult<()> {
+        spansight::count("kgsl.close", 1);
         let mut st = self.state.lock();
         match st.handles.remove(&fd.0) {
             Some(handle) => {
@@ -251,7 +286,17 @@ impl KgslDevice {
     ///   injected transient fault.
     /// * `EINTR` — an injected transient fault (simulated signal delivery).
     /// * `EACCES`/`EPERM` — blocked by the installed [`AccessPolicy`].
-    pub fn ioctl(&self, fd: KgslFd, code: u32, mut req: IoctlRequest<'_>) -> DeviceResult<()> {
+    pub fn ioctl(&self, fd: KgslFd, code: u32, req: IoctlRequest<'_>) -> DeviceResult<()> {
+        let _span = spansight::span("kgsl", ioctl_span_name(&req));
+        spansight::count("kgsl.ioctl.calls", 1);
+        let result = self.ioctl_inner(fd, code, req);
+        if let Err(errno) = result {
+            count_errno(errno);
+        }
+        result
+    }
+
+    fn ioctl_inner(&self, fd: KgslFd, code: u32, mut req: IoctlRequest<'_>) -> DeviceResult<()> {
         if let Some(errno) = self.service_faults() {
             return Err(errno);
         }

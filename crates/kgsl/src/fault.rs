@@ -173,9 +173,9 @@ impl FaultLog {
 
 /// The runtime half: a concrete, sorted event schedule plus the transient RNG.
 ///
-/// Built from a [`FaultPlan`] by [`KgslDevice::install_fault_plan`]
-/// (crate::KgslDevice::install_fault_plan); the device consults it at every
-/// `open`/`ioctl` entry.
+/// Built from a [`FaultPlan`] by
+/// [`KgslDevice::install_fault_plan`](crate::KgslDevice::install_fault_plan);
+/// the device consults it at every `open`/`ioctl` entry.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     rng: StdRng,

@@ -5,7 +5,7 @@
 //! identifiers, and run a monitor over a span of your own rendering. The
 //! paper uses the enumeration half to discover the Table 1 counters — and
 //! then abandons the extension, because a monitor only reports the *local*
-//! counter activity of the calling application ([28] in the paper), which
+//! counter activity of the calling application (\[28\] in the paper), which
 //! for a background attacker is zero. The global values come from the raw
 //! device file instead ([`crate::KgslDevice`]).
 

@@ -40,6 +40,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod abi;
 pub mod device;
 pub mod error;

@@ -79,12 +79,16 @@ impl Pool {
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let cursor = AtomicUsize::new(0);
         let workers = self.jobs.min(n);
+        // Workers inherit the caller's telemetry track so fanned-out trials
+        // stay attributed to the experiment that spawned them.
+        let track = spansight::current_track();
 
         let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
                 handles.push(scope.spawn(|| {
+                    let _track = spansight::enter_track(track);
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);

@@ -42,7 +42,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -1,0 +1,354 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders the events captured by [`crate::take_events`] into the
+//! [Trace Event Format] consumed by `chrome://tracing` and Perfetto:
+//! a top-level object with a `traceEvents` array of `ph:"X"` (complete)
+//! and `ph:"i"` (instant) events, timestamps and durations in
+//! microseconds. Each registered track becomes a named "process" row so
+//! an experiment's spans group together in the viewer; each recording
+//! thread becomes a tid within it.
+//!
+//! The JSON is hand-rolled (this crate has no dependencies); a matching
+//! minimal [`validate_json`] parser exists so tests and smoke jobs can
+//! assert well-formedness without serde.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! ```
+//! spansight::enable_tracing(1024);
+//! drop(spansight::span("doc", "chrome.example"));
+//! let (events, _) = spansight::take_events();
+//! let json = spansight::chrome::render(&events, &spansight::snapshot().tracks);
+//! spansight::chrome::validate_json(&json).expect("well-formed");
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+use crate::{TraceEvent, UNTRACKED};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    escape(key, out);
+    out.push_str("\":\"");
+    escape(val, out);
+    out.push('"');
+}
+
+/// Renders `events` as a Chrome trace-event JSON document.
+///
+/// `tracks` is the registered track-name table (index `i` names track
+/// `i + 1`, as in [`crate::Snapshot::tracks`]); events on [`UNTRACKED`]
+/// land in a pid-0 "untracked" process. Timestamps are converted from
+/// nanoseconds to the format's microseconds with three decimals kept, so
+/// sub-microsecond spans stay visible.
+pub fn render(events: &[TraceEvent], tracks: &[String]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+
+    // Process-name metadata: one row per track plus the untracked row.
+    for (i, name) in
+        std::iter::once("untracked").chain(tracks.iter().map(String::as_str)).enumerate()
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        out.push_str(&i.to_string());
+        out.push_str(",\"tid\":0,\"args\":{");
+        push_str_field(&mut out, "name", name);
+        out.push_str("}}");
+    }
+
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('{');
+        push_str_field(&mut out, "name", e.name);
+        out.push(',');
+        push_str_field(&mut out, "cat", e.cat);
+        out.push_str(",\"ph\":\"");
+        out.push(e.ph);
+        out.push_str("\",\"ts\":");
+        push_us(&mut out, e.ts_ns);
+        if e.ph == 'X' {
+            out.push_str(",\"dur\":");
+            push_us(&mut out, e.dur_ns);
+        }
+        if e.ph == 'i' {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"pid\":");
+        out.push_str(&pid_of(e.track, tracks).to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&e.tid.to_string());
+        if let Some((s0, s1)) = e.sim {
+            out.push_str(",\"args\":{\"sim_start_ns\":");
+            out.push_str(&s0.to_string());
+            out.push_str(",\"sim_end_ns\":");
+            out.push_str(&s1.to_string());
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds → microseconds with three decimal places, as JSON number.
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&(ns / 1_000).to_string());
+    let frac = ns % 1_000;
+    if frac != 0 {
+        out.push('.');
+        out.push_str(&format!("{frac:03}"));
+    }
+}
+
+fn pid_of(track: u32, tracks: &[String]) -> u32 {
+    if track == UNTRACKED || track as usize > tracks.len() {
+        0
+    } else {
+        track
+    }
+}
+
+/// A minimal recursive-descent JSON well-formedness check.
+///
+/// Accepts exactly RFC-8259 JSON (objects, arrays, strings with escapes,
+/// numbers, literals) and returns the byte offset of the first error.
+/// This exists so tests can validate [`render`]'s output without a JSON
+/// dependency; it checks syntax only, not any schema.
+pub fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, i),
+        _ => Err(*i),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // consume '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(*i);
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // consume '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(*i);
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        *i += 1;
+                        for _ in 0..4 {
+                            if !b.get(*i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(*i);
+                            }
+                            *i += 1;
+                        }
+                    }
+                    _ => return Err(*i),
+                }
+            }
+            0x00..=0x1f => return Err(*i),
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let start = *i;
+    while b.get(*i).is_some_and(u8::is_ascii_digit) {
+        *i += 1;
+    }
+    if *i == start {
+        return Err(*i);
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        let fstart = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        if *i == fstart {
+            return Err(*i);
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        let estart = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        if *i == estart {
+            return Err(*i);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, ph: char, ts_ns: u64, dur_ns: u64, track: u32) -> TraceEvent {
+        TraceEvent { cat: "test", name, ph, ts_ns, dur_ns, tid: 1, track, sim: None }
+    }
+
+    #[test]
+    fn render_is_valid_json_with_expected_fields() {
+        let tracks = vec!["fig17".to_string()];
+        let mut events = vec![ev("stage.a", 'X', 1_500, 2_250, 1), ev("fault", 'i', 4_000, 0, 0)];
+        events[0].sim = Some((0, 8_000_000));
+        let json = render(&events, &tracks);
+        validate_json(&json).expect("render output must be valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":1.500"), "ns converted to µs with decimals: {json}");
+        assert!(json.contains("\"dur\":2.250"));
+        assert!(json.contains("\"sim_start_ns\":0"));
+        assert!(json.contains("fig17"), "track becomes a named process");
+    }
+
+    #[test]
+    fn render_escapes_names() {
+        let json = render(&[], &["we\"ird\\track\n".to_string()]);
+        validate_json(&json).expect("escaped output must stay valid");
+    }
+
+    #[test]
+    fn empty_render_is_valid() {
+        let json = render(&[], &[]);
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e+10",
+            r#"{"a":[1,2,{"b":"c\n"}],"d":true}"#,
+            "  [ 1 , \"x\" ]  ",
+        ] {
+            assert!(validate_json(ok).is_ok(), "should accept {ok:?}");
+        }
+        for bad in ["{", "[1,]", "{\"a\":}", "\"unterminated", "01x", "{}, extra", "{'a':1}"] {
+            assert!(validate_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,708 @@
+//! # spansight — zero-dependency structured observability
+//!
+//! The attack reproduction is a pipeline of timed stages — ioctl sampling,
+//! delta extraction, inference, classification — and this crate is the
+//! telemetry substrate the whole signal path reports into: nestable
+//! [`Span`]s timed on the wall clock (with optional simulated-time bounds),
+//! monotonic [counters](count), and [histograms](record) with fixed bucket
+//! edges.
+//!
+//! ## Design constraints
+//!
+//! * **Determinism-preserving.** Nothing here ever writes to stdout, and no
+//!   instrumented code path behaves differently because telemetry is
+//!   collected. Experiment output therefore stays byte-identical at any
+//!   worker count whether or not tracing is enabled.
+//! * **Cheap on hot paths.** Every event lands in a thread-local buffer
+//!   (one hash-map update, no locks) that is flushed to the process-global
+//!   registry in batches and when the thread exits.
+//! * **Zero dependencies.** `std` only, like the other `vendor/` stand-ins.
+//!
+//! ## Tracks
+//!
+//! Aggregates are attributed to the current *track* — a small integer the
+//! experiment runner binds to each experiment via [`register_track`] /
+//! [`enter_track`]. `minipool` propagates the spawning thread's track into
+//! its workers, so trial fan-out stays attributed to its experiment.
+//! Track `0` means "untracked" (tests, examples, library use).
+//!
+//! ## Example
+//!
+//! ```
+//! // A timed stage with a counter and a histogram observation.
+//! {
+//!     let mut span = spansight::span("demo", "stage.work");
+//!     span.sim_range(0, 8_000_000); // optional simulated-time bounds (ns)
+//!     spansight::count("demo.items", 3);
+//!     spansight::record("demo.size", &[1, 10, 100], 42);
+//! } // span records on drop
+//! let snap = spansight::snapshot();
+//! assert!(snap.counter("demo.items") >= 3);
+//! assert_eq!(snap.spans.iter().filter(|s| s.name == "stage.work").count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod table;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The track id meaning "not attributed to any registered track".
+pub const UNTRACKED: u32 = 0;
+
+/// Thread-local buffers flush into the global registry after this many
+/// recorded observations (or earlier, when the trace-event buffer fills).
+const FLUSH_EVERY: usize = 4096;
+
+/// Thread-local trace events flush into the global buffer in batches of
+/// this size.
+const EVENT_FLUSH_EVERY: usize = 256;
+
+/// Aggregate of one span name: how often it ran and for how long.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed span instances.
+    pub count: u64,
+    /// Total wall-clock time inside the span, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single instance, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanAgg {
+    /// Mean duration per instance in nanoseconds (0 when never run).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn merge(&mut self, other: &SpanAgg) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Histogram data: fixed bucket edges plus one overflow bucket.
+///
+/// `counts[i]` counts observations `v <= edges[i]` (for the smallest such
+/// `i`); `counts[edges.len()]` counts everything above the last edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// The fixed, ascending bucket edges (inclusive upper bounds).
+    pub edges: &'static [u64],
+    /// Per-bucket observation counts; one longer than `edges`.
+    pub counts: Vec<u64>,
+}
+
+impl Hist {
+    fn new(edges: &'static [u64]) -> Self {
+        Hist { edges, counts: vec![0; edges.len() + 1] }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_of(edges: &[u64], value: u64) -> usize {
+        edges.iter().position(|e| value <= *e).unwrap_or(edges.len())
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_of(self.edges, value)] += 1;
+    }
+
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        debug_assert_eq!(self.edges, other.edges);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// One completed trace event, recorded only while tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span category (e.g. `"kgsl"`, `"adreno"`, `"core"`, `"bench"`).
+    pub cat: &'static str,
+    /// Span or instant name.
+    pub name: &'static str,
+    /// `'X'` for complete spans, `'i'` for instant events.
+    pub ph: char,
+    /// Start time, nanoseconds since the registry epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Small per-thread id (assigned in first-use order).
+    pub tid: u32,
+    /// Track the event was attributed to.
+    pub track: u32,
+    /// Optional simulated-time bounds `(start_ns, end_ns)`.
+    pub sim: Option<(u64, u64)>,
+}
+
+type Key = (&'static str, u32);
+type SpanKey = ((&'static str, &'static str), u32);
+
+#[derive(Default)]
+struct Aggregates {
+    counters: HashMap<Key, u64>,
+    hists: HashMap<Key, Hist>,
+    spans: HashMap<SpanKey, SpanAgg>,
+}
+
+impl Aggregates {
+    fn merge_from(&mut self, other: &mut Aggregates) {
+        for (k, v) in other.counters.drain() {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in other.hists.drain() {
+            self.hists.entry(k).or_insert_with(|| Hist::new(h.edges)).merge(&h);
+        }
+        for (k, s) in other.spans.drain() {
+            self.spans.entry(k).or_default().merge(&s);
+        }
+    }
+}
+
+#[derive(Default)]
+struct TraceBuf {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+struct Registry {
+    epoch: Instant,
+    agg: Mutex<Aggregates>,
+    trace: Mutex<TraceBuf>,
+    tracing: AtomicBool,
+    tracks: Mutex<Vec<String>>,
+    next_tid: AtomicU32,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        epoch: Instant::now(),
+        agg: Mutex::new(Aggregates::default()),
+        trace: Mutex::new(TraceBuf::default()),
+        tracing: AtomicBool::new(false),
+        tracks: Mutex::new(Vec::new()),
+        next_tid: AtomicU32::new(1),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct LocalBuf {
+    tid: u32,
+    track: u32,
+    pending: usize,
+    agg: Aggregates,
+    events: Vec<TraceEvent>,
+}
+
+impl LocalBuf {
+    fn new() -> Self {
+        LocalBuf {
+            tid: registry().next_tid.fetch_add(1, Ordering::Relaxed),
+            track: UNTRACKED,
+            pending: 0,
+            agg: Aggregates::default(),
+            events: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        let reg = registry();
+        if self.pending > 0 {
+            lock(&reg.agg).merge_from(&mut self.agg);
+            self.pending = 0;
+        }
+        if !self.events.is_empty() {
+            let mut trace = lock(&reg.trace);
+            let room = trace.capacity.saturating_sub(trace.events.len());
+            if self.events.len() > room {
+                trace.dropped += (self.events.len() - room) as u64;
+                self.events.truncate(room);
+            }
+            trace.events.append(&mut self.events);
+        }
+    }
+
+    fn bump(&mut self) {
+        self.pending += 1;
+        if self.pending >= FLUSH_EVERY || self.events.len() >= EVENT_FLUSH_EVERY {
+            self.flush();
+        }
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+/// Runs `f` with this thread's local buffer. Telemetry recorded *from
+/// inside a TLS destructor* (where the buffer is gone) is silently dropped.
+fn with_local<R: Default>(f: impl FnOnce(&mut LocalBuf) -> R) -> R {
+    LOCAL.try_with(|l| f(&mut l.borrow_mut())).unwrap_or_default()
+}
+
+fn now_ns() -> u64 {
+    registry().epoch.elapsed().as_nanos() as u64
+}
+
+/// Adds `n` to the monotonic counter `name`, attributed to the current
+/// track.
+pub fn count(name: &'static str, n: u64) {
+    with_local(|l| {
+        *l.agg.counters.entry((name, l.track)).or_insert(0) += n;
+        l.bump();
+    });
+}
+
+/// Records `value` into the fixed-edge histogram `name`.
+///
+/// All call sites of one histogram name must pass the same `edges` slice
+/// (the first registration wins; observations always bucket by the edges
+/// passed at the recording site, so mismatched edges would mis-merge).
+pub fn record(name: &'static str, edges: &'static [u64], value: u64) {
+    debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must ascend");
+    with_local(|l| {
+        l.agg.hists.entry((name, l.track)).or_insert_with(|| Hist::new(edges)).observe(value);
+        l.bump();
+    });
+}
+
+/// Records an instant event (a point in time, e.g. an injected fault) into
+/// the trace buffer when tracing is enabled, and always counts it under
+/// `name`.
+pub fn instant(cat: &'static str, name: &'static str) {
+    let ts = if tracing_enabled() { Some(now_ns()) } else { None };
+    with_local(|l| {
+        *l.agg.counters.entry((name, l.track)).or_insert(0) += 1;
+        if let Some(ts_ns) = ts {
+            l.events.push(TraceEvent {
+                cat,
+                name,
+                ph: 'i',
+                ts_ns,
+                dur_ns: 0,
+                tid: l.tid,
+                track: l.track,
+                sim: None,
+            });
+        }
+        l.bump();
+    });
+}
+
+/// An in-flight span. Created by [`span`]; records its duration into the
+/// per-`(category, name)` aggregate — and, when tracing is enabled, a
+/// [`TraceEvent`] — when dropped. Spans nest freely: each instance is
+/// independent, so a span opened inside another simply records a shorter
+/// interval inside the outer one.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; binding it to _ drops it immediately"]
+pub struct Span {
+    cat: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    sim: Option<(u64, u64)>,
+}
+
+impl Span {
+    /// Attaches simulated-time bounds (nanoseconds on the `SimInstant`
+    /// timeline) to this span; exported as `args` in the Chrome trace.
+    pub fn sim_range(&mut self, start_ns: u64, end_ns: u64) {
+        self.sim = Some((start_ns, end_ns));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let end_ns = now_ns();
+        let dur_ns = end_ns.saturating_sub(self.start_ns);
+        let tracing = tracing_enabled();
+        with_local(|l| {
+            let agg = l.agg.spans.entry(((self.cat, self.name), l.track)).or_default();
+            agg.count += 1;
+            agg.total_ns += dur_ns;
+            agg.max_ns = agg.max_ns.max(dur_ns);
+            if tracing {
+                l.events.push(TraceEvent {
+                    cat: self.cat,
+                    name: self.name,
+                    ph: 'X',
+                    ts_ns: self.start_ns,
+                    dur_ns,
+                    tid: l.tid,
+                    track: l.track,
+                    sim: self.sim,
+                });
+            }
+            l.bump();
+        });
+    }
+}
+
+/// Opens a span; it records when dropped.
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    Span { cat, name, start_ns: now_ns(), sim: None }
+}
+
+/// Restores the previous track when dropped (see [`enter_track`]).
+/// The default guard restores [`UNTRACKED`].
+#[derive(Debug, Default)]
+pub struct TrackGuard {
+    prev: u32,
+}
+
+impl Drop for TrackGuard {
+    fn drop(&mut self) {
+        with_local(|l| l.track = self.prev);
+    }
+}
+
+/// Registers (or finds) a track by name and returns its id. Ids are
+/// assigned in registration order starting at 1.
+pub fn register_track(name: &str) -> u32 {
+    let mut tracks = lock(&registry().tracks);
+    if let Some(i) = tracks.iter().position(|t| t == name) {
+        return i as u32 + 1;
+    }
+    tracks.push(name.to_string());
+    tracks.len() as u32
+}
+
+/// Attributes telemetry from this thread to `track` until the guard drops.
+pub fn enter_track(track: u32) -> TrackGuard {
+    with_local(|l| {
+        let prev = l.track;
+        l.track = track;
+        TrackGuard { prev }
+    })
+}
+
+/// Convenience: [`register_track`] + [`enter_track`].
+pub fn track(name: &str) -> TrackGuard {
+    enter_track(register_track(name))
+}
+
+/// The track currently attributed on this thread (for propagation into
+/// worker threads — see `minipool`).
+pub fn current_track() -> u32 {
+    with_local(|l| l.track)
+}
+
+/// Starts recording trace events, keeping at most `capacity` of them
+/// (further events are dropped and counted). Idempotent; the capacity of
+/// the first enablement wins.
+pub fn enable_tracing(capacity: usize) {
+    let reg = registry();
+    {
+        let mut trace = lock(&reg.trace);
+        if trace.capacity == 0 {
+            trace.capacity = capacity;
+            trace.events.reserve(capacity.min(1 << 16));
+        }
+    }
+    reg.tracing.store(true, Ordering::Release);
+}
+
+/// Whether trace events are being recorded.
+pub fn tracing_enabled() -> bool {
+    registry().tracing.load(Ordering::Acquire)
+}
+
+/// Flushes this thread's buffered telemetry into the global registry.
+/// Worker threads flush automatically when they exit; the main thread must
+/// call this (or [`snapshot`], which does) before exporting.
+pub fn flush() {
+    with_local(|l| l.flush());
+}
+
+/// Takes every recorded trace event out of the global buffer, plus the
+/// count of events dropped at capacity. Flushes the calling thread first.
+pub fn take_events() -> (Vec<TraceEvent>, u64) {
+    flush();
+    let mut trace = lock(&registry().trace);
+    let dropped = trace.dropped;
+    trace.dropped = 0;
+    (std::mem::take(&mut trace.events), dropped)
+}
+
+/// One counter in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Counter name.
+    pub name: &'static str,
+    /// Owning track id.
+    pub track: u32,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One histogram in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistStat {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Owning track id.
+    pub track: u32,
+    /// Edges and bucket counts.
+    pub hist: Hist,
+}
+
+/// One span aggregate in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span category.
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Owning track id.
+    pub track: u32,
+    /// The aggregate.
+    pub agg: SpanAgg,
+}
+
+/// A deterministic-ordered view of everything aggregated so far.
+///
+/// Ordering is by `(category, name, track)` regardless of the hash-map
+/// iteration order underneath, so rendered tables are stable run to run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters, sorted by `(name, track)`.
+    pub counters: Vec<CounterStat>,
+    /// All histograms, sorted by `(name, track)`.
+    pub hists: Vec<HistStat>,
+    /// All span aggregates, sorted by `(category, name, track)`.
+    pub spans: Vec<SpanStat>,
+    /// Registered track names; track id `i + 1` is `tracks[i]`.
+    pub tracks: Vec<String>,
+}
+
+impl Snapshot {
+    /// The name of a track id (`"-"` for [`UNTRACKED`] or unknown ids).
+    pub fn track_name(&self, track: u32) -> &str {
+        if track == UNTRACKED {
+            return "-";
+        }
+        self.tracks.get(track as usize - 1).map(String::as_str).unwrap_or("-")
+    }
+
+    /// Sum of a counter across all tracks.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
+    }
+
+    /// A snapshot restricted to one track.
+    pub fn for_track(&self, track: u32) -> Snapshot {
+        Snapshot {
+            counters: self.counters.iter().filter(|c| c.track == track).cloned().collect(),
+            hists: self.hists.iter().filter(|h| h.track == track).cloned().collect(),
+            spans: self.spans.iter().filter(|s| s.track == track).cloned().collect(),
+            tracks: self.tracks.clone(),
+        }
+    }
+
+    /// A snapshot with every track merged per name (track ids become
+    /// [`UNTRACKED`]).
+    pub fn totals(&self) -> Snapshot {
+        let mut counters: HashMap<&'static str, u64> = HashMap::new();
+        for c in &self.counters {
+            *counters.entry(c.name).or_insert(0) += c.value;
+        }
+        let mut hists: HashMap<&'static str, Hist> = HashMap::new();
+        for h in &self.hists {
+            hists.entry(h.name).or_insert_with(|| Hist::new(h.hist.edges)).merge(&h.hist);
+        }
+        let mut spans: HashMap<(&'static str, &'static str), SpanAgg> = HashMap::new();
+        for s in &self.spans {
+            spans.entry((s.cat, s.name)).or_default().merge(&s.agg);
+        }
+        let mut snap = Snapshot {
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterStat { name, track: UNTRACKED, value })
+                .collect(),
+            hists: hists
+                .into_iter()
+                .map(|(name, hist)| HistStat { name, track: UNTRACKED, hist })
+                .collect(),
+            spans: spans
+                .into_iter()
+                .map(|((cat, name), agg)| SpanStat { cat, name, track: UNTRACKED, agg })
+                .collect(),
+            tracks: self.tracks.clone(),
+        };
+        snap.sort();
+        snap
+    }
+
+    fn sort(&mut self) {
+        self.counters.sort_by_key(|c| (c.name, c.track));
+        self.hists.sort_by_key(|h| (h.name, h.track));
+        self.spans.sort_by_key(|s| (s.cat, s.name, s.track));
+    }
+}
+
+/// Captures a deterministic-ordered snapshot of every aggregate. Flushes
+/// the calling thread first; other threads' unflushed buffers are *not*
+/// visible until they flush (worker threads flush on exit).
+pub fn snapshot() -> Snapshot {
+    flush();
+    let reg = registry();
+    let agg = lock(&reg.agg);
+    let mut snap = Snapshot {
+        counters: agg
+            .counters
+            .iter()
+            .map(|(&(name, track), &value)| CounterStat { name, track, value })
+            .collect(),
+        hists: agg
+            .hists
+            .iter()
+            .map(|(&(name, track), hist)| HistStat { name, track, hist: hist.clone() })
+            .collect(),
+        spans: agg
+            .spans
+            .iter()
+            .map(|(&((cat, name), track), &agg)| SpanStat { cat, name, track, agg })
+            .collect(),
+        tracks: lock(&reg.tracks).clone(),
+    };
+    snap.sort();
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorts() {
+        count("test.lib.counter_a", 2);
+        count("test.lib.counter_a", 3);
+        count("test.lib.counter_b", 1);
+        let snap = snapshot();
+        assert!(snap.counter("test.lib.counter_a") >= 5);
+        assert!(snap.counter("test.lib.counter_b") >= 1);
+        let names: Vec<_> = snap.counters.iter().map(|c| (c.name, c.track)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot order must be deterministic");
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_edge() {
+        const EDGES: &[u64] = &[10, 100, 1000];
+        assert_eq!(Hist::bucket_of(EDGES, 0), 0);
+        assert_eq!(Hist::bucket_of(EDGES, 10), 0, "edges are inclusive upper bounds");
+        assert_eq!(Hist::bucket_of(EDGES, 11), 1);
+        assert_eq!(Hist::bucket_of(EDGES, 100), 1);
+        assert_eq!(Hist::bucket_of(EDGES, 1000), 2);
+        assert_eq!(Hist::bucket_of(EDGES, 1001), 3, "overflow bucket");
+
+        for v in [0, 10, 11, 100, 1000, 5000] {
+            record("test.lib.hist", EDGES, v);
+        }
+        let snap = snapshot();
+        let h = snap.hists.iter().find(|h| h.name == "test.lib.hist").expect("recorded");
+        assert_eq!(h.hist.counts.len(), EDGES.len() + 1);
+        assert!(h.hist.total() >= 6);
+        assert!(h.hist.counts[3] >= 1, "5000 lands in the overflow bucket");
+    }
+
+    #[test]
+    fn spans_nest_and_both_record() {
+        {
+            let _outer = span("test", "lib.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = span("test", "lib.inner");
+        }
+        let snap = snapshot();
+        let get = |name: &str| {
+            snap.spans.iter().filter(|s| s.name == name).fold(SpanAgg::default(), |mut acc, s| {
+                acc.merge(&s.agg);
+                acc
+            })
+        };
+        let outer = get("lib.outer");
+        let inner = get("lib.inner");
+        assert!(outer.count >= 1 && inner.count >= 1);
+        assert!(
+            outer.max_ns >= inner.max_ns,
+            "an inner span cannot outlast the outer one enclosing it"
+        );
+        assert!(outer.max_ns >= 2_000_000, "outer span covers the sleep");
+    }
+
+    #[test]
+    fn tracks_attribute_and_restore() {
+        let id = register_track("test-track-attr");
+        assert_eq!(register_track("test-track-attr"), id, "registration is idempotent");
+        let before = current_track();
+        {
+            let _g = enter_track(id);
+            assert_eq!(current_track(), id);
+            count("test.lib.tracked", 7);
+            {
+                let _g2 = track("test-track-nested");
+                assert_ne!(current_track(), id);
+            }
+            assert_eq!(current_track(), id, "nested guard restores");
+        }
+        assert_eq!(current_track(), before);
+        let snap = snapshot();
+        let mine = snap.for_track(id);
+        assert!(mine.counter("test.lib.tracked") >= 7);
+        assert_eq!(snap.track_name(id), "test-track-attr");
+        assert!(snap.totals().counter("test.lib.tracked") >= 7);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let id = register_track("test-track-worker");
+        std::thread::spawn(move || {
+            let _g = enter_track(id);
+            count("test.lib.worker", 11);
+            // No explicit flush: the TLS destructor must do it.
+        })
+        .join()
+        .unwrap();
+        let snap = snapshot();
+        assert!(snap.for_track(id).counter("test.lib.worker") >= 11);
+    }
+
+    #[test]
+    fn tracing_records_span_and_instant_events() {
+        enable_tracing(1 << 16);
+        {
+            let mut s = span("test", "lib.traced");
+            s.sim_range(1_000, 9_000);
+        }
+        instant("test", "test.lib.fault");
+        let (events, _) = take_events();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "lib.traced" && e.ph == 'X' && e.sim == Some((1_000, 9_000))));
+        assert!(events.iter().any(|e| e.name == "test.lib.fault" && e.ph == 'i'));
+    }
+}

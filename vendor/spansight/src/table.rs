@@ -1,0 +1,178 @@
+//! Human-readable summary tables for a [`Snapshot`].
+//!
+//! The experiments binary prints these to **stderr** alongside its
+//! `[name done in Xs]` progress lines, keeping stdout byte-identical to a
+//! telemetry-free run.
+//!
+//! ```
+//! drop(spansight::span("doc", "table.example"));
+//! spansight::count("doc.table.items", 2);
+//! let text = spansight::table::render(&spansight::snapshot().totals());
+//! assert!(text.contains("table.example"));
+//! assert!(text.contains("doc.table.items"));
+//! ```
+
+use crate::Snapshot;
+
+/// Formats a nanosecond duration compactly (`17ns`, `4.20µs`, `1.35ms`,
+/// `2.801s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.2}\u{b5}s", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.3}s", ns as f64 / 1e9),
+    }
+}
+
+fn pad(s: &str, width: usize) -> String {
+    format!("{s:<width$}")
+}
+
+fn pad_r(s: &str, width: usize) -> String {
+    format!("{s:>width$}")
+}
+
+/// Renders the span, counter and histogram sections of `snap` as aligned
+/// ASCII tables. Sections with no data are omitted; an entirely empty
+/// snapshot renders to an empty string. Rows follow the snapshot's
+/// deterministic `(category, name, track)` order.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    if !snap.spans.is_empty() {
+        let rows: Vec<[String; 5]> = snap
+            .spans
+            .iter()
+            .map(|s| {
+                [
+                    format!("{}/{}", s.cat, s.name),
+                    s.agg.count.to_string(),
+                    fmt_ns(s.agg.total_ns),
+                    fmt_ns(s.agg.mean_ns()),
+                    fmt_ns(s.agg.max_ns),
+                ]
+            })
+            .collect();
+        section(&mut out, "spans", &["span", "count", "total", "mean", "max"], &rows);
+    }
+
+    if !snap.counters.is_empty() {
+        let rows: Vec<[String; 2]> =
+            snap.counters.iter().map(|c| [c.name.to_string(), c.value.to_string()]).collect();
+        section(&mut out, "counters", &["counter", "value"], &rows);
+    }
+
+    if !snap.hists.is_empty() {
+        let rows: Vec<[String; 3]> = snap
+            .hists
+            .iter()
+            .map(|h| {
+                let buckets = h
+                    .hist
+                    .edges
+                    .iter()
+                    .map(|e| format!("\u{2264}{e}"))
+                    .chain(std::iter::once(">".to_string()))
+                    .zip(&h.hist.counts)
+                    .map(|(lbl, c)| format!("{lbl}:{c}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                [h.name.to_string(), h.hist.total().to_string(), buckets]
+            })
+            .collect();
+        section(&mut out, "histograms", &["histogram", "n", "buckets"], &rows);
+    }
+
+    out
+}
+
+fn section<const N: usize>(
+    out: &mut String,
+    title: &str,
+    headers: &[&str; N],
+    rows: &[[String; N]],
+) {
+    let mut widths = [0usize; N];
+    for (w, h) in widths.iter_mut().zip(headers) {
+        *w = h.len();
+    }
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    out.push_str(&format!("  {title}\n"));
+    let mut line = String::from("    ");
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            line.push_str("  ");
+        }
+        line.push_str(&pad(h, widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    for row in rows {
+        let mut line = String::from("    ");
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            // numbers right-align, names left-align
+            if i == 0 || cell.chars().next().is_some_and(|c| !c.is_ascii_digit()) {
+                line.push_str(&pad(cell, widths[i]));
+            } else {
+                line.push_str(&pad_r(cell, widths[i]));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterStat, HistStat, SpanAgg, SpanStat};
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(4_200), "4.20\u{b5}s");
+        assert_eq!(fmt_ns(1_350_000), "1.35ms");
+        assert_eq!(fmt_ns(2_801_000_000), "2.801s");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render(&Snapshot::default()), "");
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let snap = Snapshot {
+            counters: vec![CounterStat { name: "c.x", track: 0, value: 42 }],
+            hists: vec![HistStat {
+                name: "h.y",
+                track: 0,
+                hist: crate::Hist { edges: &[1, 2], counts: vec![3, 0, 1] },
+            }],
+            spans: vec![SpanStat {
+                cat: "k",
+                name: "s.z",
+                track: 0,
+                agg: SpanAgg { count: 2, total_ns: 2_000, max_ns: 1_500 },
+            }],
+            tracks: vec![],
+        };
+        let text = render(&snap);
+        assert!(text.contains("spans"));
+        assert!(text.contains("k/s.z"));
+        assert!(text.contains("counters"));
+        assert!(text.contains("c.x"));
+        assert!(text.contains("42"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("\u{2264}1:3"));
+        assert!(text.contains(">:1"));
+    }
+}
