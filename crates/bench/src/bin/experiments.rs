@@ -73,6 +73,7 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("ablate-counters", "counter-subset ablation", experiments::ablate::ablate_counters),
     ("ablate-threshold", "C_th sweep", experiments::ablate::ablate_threshold),
     ("faults", "fault intensity × retry budget sweep", experiments::faults::faults),
+    ("latency", "press-to-inference latency, greedy vs lookahead", experiments::latency::latency),
 ];
 
 /// Where per-experiment wall-clock timings are recorded.

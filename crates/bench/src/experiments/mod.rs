@@ -6,6 +6,7 @@ pub mod accuracy;
 pub mod adapt;
 pub mod extensions;
 pub mod faults;
+pub mod latency;
 pub mod mitigation;
 pub mod overhead;
 pub mod practical;

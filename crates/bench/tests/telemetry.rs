@@ -30,12 +30,16 @@ fn end_to_end_run_records_spans_from_every_layer() {
         ("kgsl", "ioctl.perfcounter_read"),
         ("core", "sampler.sample_until"),
         ("core", "service.eavesdrop"),
-        ("core", "service.infer"),
     ] {
         assert!(span_keys.contains(&expect), "missing span {expect:?} in {span_keys:?}");
     }
     assert!(mine.counter("kgsl.ioctl.calls") > 0);
     assert!(mine.counter("core.sampler.acquired") > 0);
+    // The streaming pipeline interleaves its stages per sample instead of
+    // running spanned whole-trace passes; stage activity surfaces as
+    // counters.
+    assert!(mine.counter("core.trace.deltas") > 0);
+    assert!(mine.counter("core.service.sessions") > 0);
     // The render memo cache is process-global, so a sibling test may have
     // warmed it and render_impl (the "adreno"/"render" span) never runs
     // here. The memo counters fire on hits and misses alike.

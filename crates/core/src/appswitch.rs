@@ -8,6 +8,7 @@
 
 use adreno_sim::time::{SimDuration, SimInstant};
 
+use crate::stage::Stage;
 use crate::trace::Delta;
 
 /// Configuration of the burst detector.
@@ -44,6 +45,31 @@ pub struct SwitchDetector {
     /// long animation doesn't toggle twice.
     toggled_this_burst: bool,
     switches_detected: usize,
+    /// The last frame of a return burst still running: the victim's
+    /// cursor-blink timer restarts when the switch-back animation
+    /// *finishes*, so the re-anchor time is the burst's last frame, not its
+    /// first. Resolved by the first quiet in-target change (or at end of
+    /// stream via [`SwitchDetector::finish`]).
+    pending_return: Option<SimInstant>,
+    /// `in_target` after the previous [`SwitchDetector::feed`] call; a
+    /// false→true edge starts the pending-return tracking.
+    was_inside: bool,
+}
+
+/// Verdict of one [`SwitchDetector::feed`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOutcome {
+    /// A typing-sized change inside the target app — downstream inference
+    /// should consume it. When the change is the first quiet one after a
+    /// completed return burst, `returned_at` carries the burst's last-frame
+    /// timestamp (the blink-grid re-anchor point, §5.3).
+    Typing {
+        /// Re-anchor time of the return burst this change resolved, if any.
+        returned_at: Option<SimInstant>,
+    },
+    /// Outside the target app, or part of a switch animation burst — dropped
+    /// from the inference stream.
+    Filtered,
 }
 
 impl SwitchDetector {
@@ -56,6 +82,8 @@ impl SwitchDetector {
             last_big_at: None,
             toggled_this_burst: false,
             switches_detected: 0,
+            pending_return: None,
+            was_inside: true,
         }
     }
 
@@ -94,6 +122,93 @@ impl SwitchDetector {
             self.toggled_this_burst = false;
         }
         self.in_target
+    }
+
+    /// Observes one change and classifies it for the inference stream:
+    /// [`SwitchDetector::observe`] plus the return-burst bookkeeping the
+    /// service used to inline. A burst frame that re-enters the target app
+    /// starts a pending return; further burst frames push its timestamp
+    /// forward ("burst still running"); the first quiet in-target change
+    /// resolves it as `returned_at`.
+    pub fn feed(&mut self, delta: &Delta) -> SwitchOutcome {
+        let burst = delta.magnitude() >= self.config.magnitude_threshold;
+        let was_inside = self.was_inside;
+        let inside = self.observe(delta);
+        self.was_inside = inside;
+        let mut returned_at = None;
+        if inside && !was_inside {
+            self.pending_return = Some(delta.at);
+        } else if inside && burst && self.pending_return.is_some() {
+            self.pending_return = Some(delta.at); // burst still running
+        } else if inside && !burst {
+            returned_at = self.pending_return.take();
+        }
+        if inside && !burst {
+            SwitchOutcome::Typing { returned_at }
+        } else {
+            SwitchOutcome::Filtered
+        }
+    }
+
+    /// Flushes a return burst still running at end of stream, yielding its
+    /// re-anchor time.
+    pub fn finish(&mut self) -> Option<SimInstant> {
+        self.pending_return.take()
+    }
+}
+
+/// Events out of the app-switch filter stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchEvent {
+    /// The victim returned to the target app; the cursor-blink grid
+    /// re-anchors at this instant. Emitted *before* the typing change that
+    /// resolved the return.
+    Return(SimInstant),
+    /// A typing-sized change inside the target app.
+    Typing(Delta),
+}
+
+/// [`Stage`] adapter over [`SwitchDetector::feed`] (§5.2): drops switch
+/// bursts and everything outside the target app, forwards typing-sized
+/// changes, and surfaces completed return bursts as [`SwitchEvent::Return`]
+/// markers.
+#[derive(Debug)]
+pub struct SwitchStage {
+    detector: SwitchDetector,
+}
+
+impl SwitchStage {
+    /// A stage over a fresh detector.
+    pub fn new(config: SwitchConfig) -> Self {
+        SwitchStage { detector: SwitchDetector::new(config) }
+    }
+
+    /// The underlying detector (for `switches_detected`).
+    pub fn detector(&self) -> &SwitchDetector {
+        &self.detector
+    }
+}
+
+impl Stage for SwitchStage {
+    type In = Delta;
+    type Out = SwitchEvent;
+
+    fn push(&mut self, input: Delta, out: &mut Vec<SwitchEvent>) {
+        match self.detector.feed(&input) {
+            SwitchOutcome::Typing { returned_at } => {
+                if let Some(t) = returned_at {
+                    out.push(SwitchEvent::Return(t));
+                }
+                out.push(SwitchEvent::Typing(input));
+            }
+            SwitchOutcome::Filtered => {}
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SwitchEvent>) {
+        if let Some(t) = self.detector.finish() {
+            out.push(SwitchEvent::Return(t));
+        }
     }
 }
 
@@ -169,5 +284,70 @@ mod tests {
         }
         assert!(!det.in_target());
         assert_eq!(det.switches_detected(), 1);
+    }
+
+    /// Drives an away burst followed by `return_frames` big return frames,
+    /// returning the detector mid-scenario.
+    fn after_return_burst(return_frames: u64) -> SwitchDetector {
+        let mut det = detector();
+        for i in 0..4u64 {
+            assert_eq!(det.feed(&delta(1_000 + i * 16, 2_000_000)), SwitchOutcome::Filtered);
+        }
+        assert!(!det.in_target());
+        for i in 0..return_frames {
+            assert_eq!(
+                det.feed(&delta(2_000 + i * 16, 2_000_000)),
+                SwitchOutcome::Filtered,
+                "burst frames never reach the inference stream"
+            );
+        }
+        assert!(det.in_target());
+        det
+    }
+
+    #[test]
+    fn return_anchor_tracks_a_still_running_burst() {
+        // The burst toggles back at its 3rd frame but keeps running for
+        // three more; the re-anchor time must be the *last* frame (2064 ms),
+        // not the toggle frame (2032 ms).
+        let mut det = after_return_burst(5);
+        assert_eq!(
+            det.feed(&delta(2_400, 200_000)),
+            SwitchOutcome::Typing { returned_at: Some(SimInstant::from_millis(2_064)) }
+        );
+        // The return is reported exactly once.
+        assert_eq!(det.feed(&delta(2_700, 200_000)), SwitchOutcome::Typing { returned_at: None });
+        assert_eq!(det.finish(), None);
+    }
+
+    #[test]
+    fn trailing_return_burst_is_flushed_at_finish() {
+        // The stream ends while the return burst is the last thing seen: no
+        // quiet change ever resolves it, so `finish` must yield the anchor.
+        let mut det = after_return_burst(4);
+        assert_eq!(det.finish(), Some(SimInstant::from_millis(2_048)));
+        assert_eq!(det.finish(), None, "finish drains the pending return");
+    }
+
+    #[test]
+    fn switch_stage_orders_return_before_typing() {
+        let mut stage = SwitchStage::new(SwitchConfig::with_threshold(1_000_000));
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            stage.push(delta(1_000 + i * 16, 2_000_000), &mut out);
+        }
+        for i in 0..4u64 {
+            stage.push(delta(2_000 + i * 16, 2_000_000), &mut out);
+        }
+        assert!(out.is_empty(), "bursts emit nothing");
+        stage.push(delta(2_400, 200_000), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                SwitchEvent::Return(SimInstant::from_millis(2_048)),
+                SwitchEvent::Typing(delta(2_400, 200_000)),
+            ]
+        );
+        assert_eq!(stage.detector().switches_detected(), 2);
     }
 }

@@ -8,9 +8,13 @@
 //! cursor blinks follow a fixed 0.5 s period, so they are recognised by
 //! their timestamps.
 
+use std::collections::VecDeque;
+
 use adreno_sim::counters::{CounterSet, TrackedCounter};
 use adreno_sim::time::{SimDuration, SimInstant};
 
+use crate::online::{InferEvent, InferredKey};
+use crate::stage::Stage;
 use crate::trace::Delta;
 
 /// What an app-window echo change meant.
@@ -313,6 +317,170 @@ impl CorrectionDetector {
                 _ => None,
             })
             .collect()
+    }
+}
+
+/// The assembled output of the correction stage: the per-session key lists
+/// after §5.3 correction handling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrectedKeys {
+    /// Surviving presses (deleted/uncorroborated ones removed).
+    pub keys: Vec<InferredKey>,
+    /// Ranked alternatives per surviving press, aligned with `keys`.
+    pub candidates: Vec<Vec<char>>,
+    /// Every accepted press, including the ones corrections removed.
+    pub keys_before_corrections: Vec<InferredKey>,
+    /// Every echo-stream event recorded.
+    pub corrections: Vec<CorrectionEvent>,
+}
+
+/// Terminal [`Stage`] of the pipeline (§5.3): tracks corrections over the
+/// inference stream's noise events, accumulates accepted presses, and — at
+/// end of stream — applies detected deletions (and, optionally, echo
+/// corroboration) to produce the final key lists.
+///
+/// Return-to-target markers enter through
+/// [`CorrectionStage::push_return`]: each queued return re-anchors the
+/// blink grid just before the first noise change at or after it, exactly
+/// reproducing the batch driver's returns/noise interleave. Returns still
+/// queued when the stream ends never re-anchor (there is no later echo they
+/// could disambiguate).
+#[derive(Debug)]
+pub struct CorrectionStage {
+    detector: CorrectionDetector,
+    echo_corroboration: bool,
+    returns: VecDeque<SimInstant>,
+    keys: Vec<InferredKey>,
+    candidates: Vec<Vec<char>>,
+    events_drained: usize,
+}
+
+impl CorrectionStage {
+    /// A fresh stage over a model's field-redraw signatures.
+    pub fn new(
+        signatures: Vec<CounterSet>,
+        config: CorrectionConfig,
+        echo_corroboration: bool,
+    ) -> Self {
+        CorrectionStage {
+            detector: CorrectionDetector::new(signatures, config),
+            echo_corroboration,
+            returns: VecDeque::new(),
+            keys: Vec::new(),
+            candidates: Vec::new(),
+            events_drained: 0,
+        }
+    }
+
+    /// Queues a detected return to the target app; the blink grid
+    /// re-anchors there before the next noise change at or after it.
+    pub fn push_return(&mut self, at: SimInstant) {
+        self.returns.push_back(at);
+    }
+
+    fn observe_noise(&mut self, delta: &Delta) {
+        while self.returns.front().is_some_and(|t| *t <= delta.at) {
+            let t = self.returns.pop_front().expect("peeked");
+            spansight::count("core.service.reanchors", 1);
+            self.detector.reanchor(t);
+        }
+        self.detector.observe(delta);
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<CorrectionEvent>) {
+        let events = self.detector.events();
+        out.extend_from_slice(&events[self.events_drained..]);
+        self.events_drained = events.len();
+    }
+
+    /// Consumes the stage after [`Stage::finish`], applying deletions and
+    /// optional echo corroboration to the accumulated presses.
+    pub fn into_corrected(mut self) -> CorrectedKeys {
+        // Idempotent with a prior `finish`; direct callers may skip it.
+        self.detector.flush();
+        let corrections = self.detector.events().to_vec();
+
+        // Apply deletions: each deletion removes the latest not-yet-deleted
+        // inferred key before it.
+        let keys_before_corrections = self.keys.clone();
+        let mut alive: Vec<(InferredKey, Vec<char>, bool)> =
+            self.keys.into_iter().zip(self.candidates).map(|(k, c)| (k, c, true)).collect();
+        for del_at in self.detector.deletions() {
+            if let Some(slot) = alive.iter_mut().rev().find(|(k, _, alive)| *alive && k.at < del_at)
+            {
+                slot.2 = false;
+            }
+        }
+        let mut keys = Vec::with_capacity(alive.len());
+        let mut candidates = Vec::with_capacity(alive.len());
+        for (k, c, a) in alive {
+            if a {
+                keys.push(k);
+                candidates.push(c);
+            }
+        }
+
+        // Optional insertion filter: every surviving press must have a
+        // corroborating echo (a CharAdded event shortly after it). Each
+        // echo vouches for at most one press.
+        if self.echo_corroboration {
+            let window = SimDuration::from_millis(500);
+            let mut corroborated = vec![false; keys.len()];
+            // Bind each echo to the *latest* press preceding it: a phantom
+            // press must not steal the echo of the real press that followed
+            // it.
+            for e in &corrections {
+                let CorrectionEvent::CharAdded(t) = e else { continue };
+                if let Some(i) = keys
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(i, k)| {
+                        !corroborated[*i] && k.at < *t && t.saturating_since(k.at) <= window
+                    })
+                    .map(|(i, _)| i)
+                {
+                    corroborated[i] = true;
+                }
+            }
+            let mut kept_keys = Vec::with_capacity(keys.len());
+            let mut kept_cands = Vec::with_capacity(candidates.len());
+            for ((k, c), ok) in keys.into_iter().zip(candidates).zip(corroborated) {
+                if ok {
+                    kept_keys.push(k);
+                    kept_cands.push(c);
+                }
+            }
+            keys = kept_keys;
+            candidates = kept_cands;
+        }
+
+        CorrectedKeys { keys, candidates, keys_before_corrections, corrections }
+    }
+}
+
+impl Stage for CorrectionStage {
+    type In = InferEvent;
+    type Out = CorrectionEvent;
+
+    fn push(&mut self, input: InferEvent, out: &mut Vec<CorrectionEvent>) {
+        match input {
+            InferEvent::Key { key, candidates } => {
+                self.keys.push(key);
+                self.candidates.push(candidates);
+            }
+            InferEvent::Noise(d) => {
+                self.observe_noise(&d);
+                self.drain_events(out);
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<CorrectionEvent>) {
+        // Returns with no later noise never re-anchor (batch parity).
+        self.returns.clear();
+        self.detector.flush();
+        self.drain_events(out);
     }
 }
 

@@ -11,6 +11,7 @@
 use adreno_sim::counters::CounterSet;
 use adreno_sim::time::SimInstant;
 
+use crate::stage::Stage;
 use crate::trace::Delta;
 
 /// Detects the target app's cold-launch burst in a change stream.
@@ -42,6 +43,61 @@ impl LaunchDetector {
     pub fn detect(&self, deltas: &[Delta]) -> Option<SimInstant> {
         deltas.iter().find(|d| self.matches(d)).map(|d| d.at)
     }
+}
+
+/// Streaming launch gating (§3.2) as a [`Stage`].
+///
+/// An **armed** gate swallows every change until one matches the trained
+/// cold-launch burst, drops the matching change itself, and passes
+/// everything after it — exactly the batch driver's
+/// `detect` + `filter(d.at > launch_at)`. An **open** gate (launch gating
+/// disabled) passes everything through untouched.
+#[derive(Debug, Clone)]
+pub struct LaunchGate {
+    detector: Option<LaunchDetector>,
+    launch_at: Option<SimInstant>,
+}
+
+impl LaunchGate {
+    /// A gate that waits for `signature`'s cold-launch burst before passing
+    /// anything downstream.
+    pub fn armed(signature: CounterSet) -> Self {
+        LaunchGate { detector: Some(LaunchDetector::new(signature)), launch_at: None }
+    }
+
+    /// A pass-through gate for sessions that do not gate on launch.
+    pub fn open() -> Self {
+        LaunchGate { detector: None, launch_at: None }
+    }
+
+    /// When the launch burst was observed (`None` while still waiting, and
+    /// always `None` for an open gate).
+    pub fn launch_at(&self) -> Option<SimInstant> {
+        self.launch_at
+    }
+}
+
+impl Stage for LaunchGate {
+    type In = Delta;
+    type Out = Delta;
+
+    fn push(&mut self, input: Delta, out: &mut Vec<Delta>) {
+        match (&self.detector, self.launch_at) {
+            (None, _) => out.push(input),
+            (Some(_), Some(at)) => {
+                if input.at > at {
+                    out.push(input);
+                }
+            }
+            (Some(det), None) => {
+                if det.matches(&input) {
+                    self.launch_at = Some(input.at);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Delta>) {}
 }
 
 #[cfg(test)]

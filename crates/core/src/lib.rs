@@ -17,6 +17,8 @@
 //!   Fig 14);
 //! * [`offline`] — the training pipeline and the preloaded [`offline::ModelStore`]
 //!   with device recognition (§3.2, §6);
+//! * [`stage`] — the push-based streaming [`Stage`] abstraction all of the
+//!   above compose through;
 //! * [`service`] — the end-to-end background service;
 //! * [`metrics`] — the accuracy metrics of §7.
 //!
@@ -58,6 +60,7 @@ pub mod offline;
 pub mod online;
 pub mod sampler;
 pub mod service;
+pub mod stage;
 pub mod trace;
 
 pub use classify::{Classification, ClassifierModel, KeyCentroid, ModelMeta};
@@ -67,4 +70,5 @@ pub use offline::{ModelStore, Trainer, TrainerConfig};
 pub use online::{InferenceStats, InferredKey, OnlineConfig};
 pub use sampler::{RetryPolicy, Sampler, SamplerConfig, SamplerReport};
 pub use service::{AttackService, DegradationReport, ServiceConfig, ServiceError, SessionResult};
+pub use stage::Stage;
 pub use trace::{extract_deltas, extract_deltas_with_resets, Delta, Sample, Trace};

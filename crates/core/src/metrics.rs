@@ -227,7 +227,12 @@ mod tests {
     use super::*;
 
     fn key(ms: u64, ch: char) -> InferredKey {
-        InferredKey { at: SimInstant::from_millis(ms), ch, via_split: false }
+        InferredKey {
+            at: SimInstant::from_millis(ms),
+            decided_at: SimInstant::from_millis(ms),
+            ch,
+            via_split: false,
+        }
     }
 
     #[test]

@@ -26,7 +26,21 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::classify::{ClassifierModel, KeyCentroid, ModelDecodeError, ModelMeta};
 use crate::sampler::{Sampler, SamplerConfig};
+use crate::stage::Stage;
 use crate::trace::{extract_deltas, Delta};
+
+/// Maximum relative-L1 distance between an observed change and a model's
+/// keyboard-redraw fingerprint for recognition (§3.2) to accept the match.
+///
+/// A true fingerprint is a deterministic re-render of the trained keyboard
+/// base frame, so it scores at zero — or within a few tenths of a percent
+/// when a dropped read merged it with a blink/echo frame. The closest
+/// impostor observed is the keyboard *show* burst, which lands near (but
+/// above) 0.005 against the wrong configuration's fingerprint. The
+/// threshold sits between the two so that the first matching change can
+/// decide on its own — which is what lets recognition commit mid-stream
+/// instead of scanning the whole session.
+const RECOGNITION_THRESHOLD: f64 = 0.005;
 
 /// Trainer configuration.
 #[derive(Debug, Clone)]
@@ -379,26 +393,37 @@ impl ModelStore {
 
     /// Recognises the victim configuration from observed changes (§3.2):
     /// every keyboard redraw matches exactly one model's base-redraw
-    /// fingerprint. Returns the best-matching model, or `None` when no
-    /// observed change is close to any fingerprint.
+    /// fingerprint, and the *first* change within the recognition
+    /// threshold of a fingerprint decides. `None` when no observed change
+    /// is close to any fingerprint.
+    ///
+    /// First-match is deliberately the same rule [`RecognizeStage`] applies
+    /// one change at a time, so batch and streaming recognition agree by
+    /// construction.
     pub fn recognize(&self, deltas: &[Delta]) -> Option<&ClassifierModel> {
+        deltas.iter().find_map(|d| {
+            self.score_change(d).filter(|(_, s)| *s < RECOGNITION_THRESHOLD).map(|(m, _)| m)
+        })
+    }
+
+    /// Scores one observed change against every model's keyboard-redraw
+    /// fingerprint: the best `(model, relative-L1 score)` pair, ties going
+    /// to the earlier model. `None` only when the store is empty.
+    fn score_change(&self, delta: &Delta) -> Option<(&ClassifierModel, f64)> {
         let mut best: Option<(&ClassifierModel, f64)> = None;
         for m in self.models.iter().map(Arc::as_ref) {
             let sig = m.kb_signature();
             let sig_norm = sig.total().max(1) as f64;
-            for d in deltas {
-                // Relative L1 distance to the fingerprint.
-                let mut l1 = 0.0;
-                for (a, b) in d.values.as_array().iter().zip(sig.as_array()) {
-                    l1 += (*a as f64 - *b as f64).abs();
-                }
-                let score = l1 / sig_norm;
-                if best.is_none_or(|(_, s)| score < s) {
-                    best = Some((m, score));
-                }
+            let mut l1 = 0.0;
+            for (a, b) in delta.values.as_array().iter().zip(sig.as_array()) {
+                l1 += (*a as f64 - *b as f64).abs();
+            }
+            let score = l1 / sig_norm;
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((m, score));
             }
         }
-        best.filter(|(_, score)| *score < 0.05).map(|(m, _)| m)
+        best
     }
 
     /// Finds the model trained for an exact configuration.
@@ -407,6 +432,62 @@ impl ModelStore {
             .iter()
             .map(Arc::as_ref)
             .find(|m| m.meta().device_config() == *device && m.meta().keyboard == keyboard)
+    }
+}
+
+/// Streaming device recognition (§3.2) as a [`Stage`]: buffers the warm-up
+/// prefix of the change stream until some change lands within the
+/// recognition threshold of a model's keyboard-redraw fingerprint, then
+/// flushes the whole buffered prefix downstream (recognition only *names*
+/// the configuration — the prefix still carries the launch burst and any
+/// early presses) and passes everything through from then on.
+///
+/// Until recognition succeeds nothing leaves the stage; a session that ends
+/// unrecognised leaves [`RecognizeStage::model`] as `None` and the driver
+/// reports [`crate::service::ServiceError::UnrecognisedDevice`].
+#[derive(Debug)]
+pub struct RecognizeStage<'s> {
+    store: &'s ModelStore,
+    warmup: Vec<Delta>,
+    chosen: Option<&'s ClassifierModel>,
+}
+
+impl<'s> RecognizeStage<'s> {
+    /// A fresh recognizer over a preloaded store.
+    pub fn new(store: &'s ModelStore) -> Self {
+        RecognizeStage { store, warmup: Vec::new(), chosen: None }
+    }
+
+    /// The recognised model, once some change matched a fingerprint.
+    pub fn model(&self) -> Option<&'s ClassifierModel> {
+        self.chosen
+    }
+}
+
+impl Stage for RecognizeStage<'_> {
+    type In = Delta;
+    type Out = Delta;
+
+    fn push(&mut self, input: Delta, out: &mut Vec<Delta>) {
+        if self.chosen.is_some() {
+            out.push(input);
+            return;
+        }
+        if let Some((m, score)) = self.store.score_change(&input) {
+            if score < RECOGNITION_THRESHOLD {
+                self.chosen = Some(m);
+                out.append(&mut self.warmup);
+                out.push(input);
+                return;
+            }
+        }
+        self.warmup.push(input);
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Delta>) {
+        // An unrecognised session's warm-up buffer is discarded: with no
+        // model there is nothing downstream to consume it.
+        self.warmup.clear();
     }
 }
 

@@ -20,6 +20,7 @@
 use adreno_sim::time::{SimDuration, SimInstant};
 
 use crate::classify::{Classification, ClassifierModel};
+use crate::stage::Stage;
 use crate::trace::Delta;
 
 /// Tuning of the online algorithm.
@@ -48,6 +49,13 @@ impl Default for OnlineConfig {
 pub struct InferredKey {
     /// When the press was inferred to have happened.
     pub at: SimInstant,
+    /// When the pipeline *committed* to this press — the read time of the
+    /// change whose processing accepted it. Equal to `at` for directly
+    /// classified presses; later than `at` for backdated splits, and later
+    /// still under one-change lookahead (the decision waits for the next
+    /// change). `decided_at - <true press time>` is the press-to-inference
+    /// latency the `latency` experiment reports (§5.1 timeliness trade-off).
+    pub decided_at: SimInstant,
     /// The inferred character.
     pub ch: char,
     /// Whether split recombination was needed.
@@ -107,8 +115,17 @@ impl<'m> OnlineInference<'m> {
         }
     }
 
-    /// Processes one counter change.
+    /// Processes one counter change, committing any accepted press at the
+    /// change's own read time.
     pub fn process(&mut self, delta: Delta) {
+        self.process_at(delta, delta.at);
+    }
+
+    /// Processes one counter change whose *decision* happens at
+    /// `decided_at` — later than `delta.at` when the caller buffered the
+    /// change for lookahead. Every press this call accepts is stamped with
+    /// that decision time.
+    pub fn process_at(&mut self, delta: Delta, decided_at: SimInstant) {
         // Step 1: duplication backtrace over T_l. Only changes that *look
         // like key presses* are animation duplicates; other changes inside
         // the window (such as the release echo) are ordinary noise and must
@@ -132,7 +149,10 @@ impl<'m> OnlineInference<'m> {
         }
         // Step 2: direct classification.
         if let Classification::Key { ch, .. } = self.model.classify(&delta.values) {
-            self.accept(InferredKey { at: delta.at, ch, via_split: false }, &delta.values);
+            self.accept(
+                InferredKey { at: delta.at, decided_at, ch, via_split: false },
+                &delta.values,
+            );
             self.stats.direct += 1;
             return;
         }
@@ -156,7 +176,7 @@ impl<'m> OnlineInference<'m> {
                     let echo = Delta { at: delta.at, values: *sig };
                     best = Some((
                         distance,
-                        InferredKey { at: delta.at, ch, via_split: false },
+                        InferredKey { at: delta.at, decided_at, ch, via_split: false },
                         echo,
                         residual,
                     ));
@@ -176,7 +196,10 @@ impl<'m> OnlineInference<'m> {
                 if let Classification::Key { ch, .. } = self.model.classify(&combined) {
                     // Both fragments are consumed by the recombination.
                     self.prev = None;
-                    self.accept(InferredKey { at: prev.at, ch, via_split: true }, &combined);
+                    self.accept(
+                        InferredKey { at: prev.at, decided_at, ch, via_split: true },
+                        &combined,
+                    );
                     self.stats.splits_recovered += 1;
                     return;
                 }
@@ -201,7 +224,10 @@ impl<'m> OnlineInference<'m> {
                 }
                 if let Some((_, ch, sig, residual)) = best {
                     self.prev = None;
-                    self.accept(InferredKey { at: prev.at, ch, via_split: true }, &residual);
+                    self.accept(
+                        InferredKey { at: prev.at, decided_at, ch, via_split: true },
+                        &residual,
+                    );
                     // Surface the consumed field redraw to the correction
                     // detector as a synthetic echo.
                     self.rejected.push(Delta { at: delta.at, values: sig });
@@ -260,14 +286,22 @@ impl<'m> OnlineInference<'m> {
     fn finish_with_candidates_impl(
         mut self,
     ) -> (Vec<InferredKey>, Vec<Vec<char>>, Vec<Delta>, InferenceStats) {
+        self.flush_prev();
+        // Every rejection path emits at a time no earlier than anything
+        // already rejected (the engine holds at most one pending fragment,
+        // resolved by the very next change), so this sort is a stable no-op
+        // — the streaming [`InferStage`] relies on that to emit noise
+        // incrementally in the same order. A proptest pins the invariant.
+        self.rejected.sort_by_key(|d| d.at);
+        (self.inferred, self.candidates, self.rejected, self.stats)
+    }
+
+    /// Flushes a pending unconsumed change as noise (end of stream).
+    fn flush_prev(&mut self) {
         if let Some(stale) = self.prev.take() {
             self.rejected.push(stale);
             self.stats.noise += 1;
         }
-        // Rejections accumulate out of order relative to acceptance times;
-        // sort for downstream detectors.
-        self.rejected.sort_by_key(|d| d.at);
-        (self.inferred, self.candidates, self.rejected, self.stats)
     }
 
     /// Presses inferred so far.
@@ -297,43 +331,160 @@ pub fn infer_stream(
 /// The full-trace variant: identical to the greedy algorithm except that a
 /// split recombination defers when combining the *next* change instead
 /// would classify strictly better — the fix §5.1 says needs the whole trace
-/// ("eavesdropping can only be done after the user input finishes").
+/// ("eavesdropping can only be done after the user input finishes"). Built
+/// on [`InferStage::lookahead`], which buffers exactly one change, so the
+/// "whole trace" requirement is really a one-read-interval delay.
 pub fn infer_full_trace(
     model: &ClassifierModel,
     deltas: &[Delta],
     config: OnlineConfig,
 ) -> (Vec<InferredKey>, Vec<Delta>, InferenceStats) {
-    let mut engine = OnlineInference::new(model, config);
-    for (i, d) in deltas.iter().enumerate() {
-        // Lookahead: would (d, next) make a better split pair than
-        // (prev, d)? If so, drop prev to noise now so the greedy step pairs
-        // d with next.
-        if let Some(prev) = engine.prev {
-            let prev_ok = d.at.saturating_since(prev.at) <= config.max_split_gap;
-            if prev_ok {
-                let with_prev = model.classify(&(prev.values + d.values));
-                if let Some(next) = deltas.get(i + 1) {
-                    let next_ok = next.at.saturating_since(d.at) <= config.max_split_gap;
-                    let with_next = model.classify(&(d.values + next.values));
-                    if next_ok {
-                        let dist = |c: &Classification| match c {
-                            Classification::Key { distance, .. } => Some(*distance),
-                            Classification::Rejected { .. } => None,
-                        };
-                        if let (Some(dp), Some(dn)) = (dist(&with_prev), dist(&with_next)) {
-                            if dn < dp {
-                                engine.rejected.push(prev);
-                                engine.stats.noise += 1;
-                                engine.prev = None;
-                            }
-                        }
-                    }
-                }
+    let mut stage = InferStage::lookahead(model, config);
+    let events = crate::stage::run_to_vec(&mut stage, deltas.iter().copied());
+    let mut keys = Vec::new();
+    let mut rejected = Vec::new();
+    for ev in events {
+        match ev {
+            InferEvent::Key { key, .. } => keys.push(key),
+            InferEvent::Noise(d) => rejected.push(d),
+        }
+    }
+    (keys, rejected, stage.stats())
+}
+
+/// Events out of the inference stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferEvent {
+    /// A committed key press with its ranked alternative characters
+    /// (derived from the *observed* feature vector, not the winning
+    /// centroid).
+    Key {
+        /// The accepted press.
+        key: InferredKey,
+        /// Ranked alternatives for the guessing post-processor.
+        candidates: Vec<char>,
+    },
+    /// A change dismissed as noise — fuel for the downstream correction
+    /// detector (echoes, blinks, stale fragments).
+    Noise(Delta),
+}
+
+/// [`Stage`] form of Algorithm 1: consumes in-target changes, emits
+/// accepted presses and rejected noise incrementally.
+///
+/// Two variants share the same engine:
+///
+/// * [`InferStage::greedy`] decides every change the moment it arrives
+///   (`decided_at == at` except for backdated splits);
+/// * [`InferStage::lookahead`] buffers exactly one change so the §5.1
+///   "full trace" split-pairing fix can compare against the *next* change —
+///   decisions land one read interval later, the timeliness cost the
+///   `latency` experiment quantifies.
+#[derive(Debug)]
+pub struct InferStage<'m> {
+    engine: OnlineInference<'m>,
+    /// One-change lookahead buffer; only used in lookahead mode.
+    held: Option<Delta>,
+    lookahead: bool,
+    keys_drained: usize,
+    rejected_drained: usize,
+}
+
+impl<'m> InferStage<'m> {
+    /// The streaming variant: every change is decided on arrival.
+    pub fn greedy(model: &'m ClassifierModel, config: OnlineConfig) -> Self {
+        InferStage {
+            engine: OnlineInference::new(model, config),
+            held: None,
+            lookahead: false,
+            keys_drained: 0,
+            rejected_drained: 0,
+        }
+    }
+
+    /// The bounded-lookahead variant behind `full_trace: true`.
+    pub fn lookahead(model: &'m ClassifierModel, config: OnlineConfig) -> Self {
+        InferStage { lookahead: true, ..InferStage::greedy(model, config) }
+    }
+
+    /// Inference statistics accumulated so far.
+    pub fn stats(&self) -> InferenceStats {
+        self.engine.stats
+    }
+
+    /// Emits everything the engine accepted or rejected since the last
+    /// drain. Key events surface before noise events of the same step; the
+    /// downstream correction stage keys off timestamps, not arrival order.
+    fn drain(&mut self, out: &mut Vec<InferEvent>) {
+        while self.keys_drained < self.engine.inferred.len() {
+            out.push(InferEvent::Key {
+                key: self.engine.inferred[self.keys_drained],
+                candidates: self.engine.candidates[self.keys_drained].clone(),
+            });
+            self.keys_drained += 1;
+        }
+        while self.rejected_drained < self.engine.rejected.len() {
+            out.push(InferEvent::Noise(self.engine.rejected[self.rejected_drained]));
+            self.rejected_drained += 1;
+        }
+    }
+
+    /// The lookahead fix, deciding `current` now that `next` is known:
+    /// would `(current, next)` make a better split pair than
+    /// `(prev, current)`? If so, drop `prev` to noise so the greedy step
+    /// pairs `current` with `next`.
+    fn lookahead_defer(&mut self, current: &Delta, next: &Delta) {
+        let Some(prev) = self.engine.prev else { return };
+        let config = self.engine.config;
+        if current.at.saturating_since(prev.at) > config.max_split_gap {
+            return;
+        }
+        if next.at.saturating_since(current.at) > config.max_split_gap {
+            return;
+        }
+        let model = self.engine.model;
+        let with_prev = model.classify(&(prev.values + current.values));
+        let with_next = model.classify(&(current.values + next.values));
+        let dist = |c: &Classification| match c {
+            Classification::Key { distance, .. } => Some(*distance),
+            Classification::Rejected { .. } => None,
+        };
+        if let (Some(dp), Some(dn)) = (dist(&with_prev), dist(&with_next)) {
+            if dn < dp {
+                self.engine.rejected.push(prev);
+                self.engine.stats.noise += 1;
+                self.engine.prev = None;
             }
         }
-        engine.process(*d);
     }
-    engine.finish()
+}
+
+impl Stage for InferStage<'_> {
+    type In = Delta;
+    type Out = InferEvent;
+
+    fn push(&mut self, input: Delta, out: &mut Vec<InferEvent>) {
+        if self.lookahead {
+            if let Some(held) = self.held.take() {
+                self.lookahead_defer(&held, &input);
+                self.engine.process_at(held, input.at);
+            }
+            self.held = Some(input);
+        } else {
+            self.engine.process(input);
+        }
+        self.drain(out);
+    }
+
+    fn finish(&mut self, out: &mut Vec<InferEvent>) {
+        if let Some(held) = self.held.take() {
+            // No next change exists, so the lookahead check is moot — the
+            // batch variant's final iteration behaves identically.
+            self.engine.process_at(held, held.at);
+        }
+        self.engine.flush_prev();
+        self.drain(out);
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use kgsl::{DeviceResult, Errno, KgslDevice, KgslFd, SelinuxDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::trace::Trace;
+use crate::trace::{Sample, Trace};
 
 /// Default reading interval (§4: "equal to or slightly smaller than half of
 /// the screen refresh interval" — 8 ms at 60 Hz).
@@ -204,6 +204,22 @@ pub struct Sampler {
     report: SamplerReport,
 }
 
+/// State of one incremental sampling pass (see [`Sampler::start_stream`]).
+///
+/// Owns the pass's bookkeeping — the grid cursor, the deadline, the last
+/// device error — so the [`Sampler`] can hand out samples one at a time
+/// without materialising a [`Trace`]. Dropping the stream without calling
+/// [`Sampler::finish_stream`] skips the pass's telemetry but leaves the
+/// sampler itself consistent.
+pub struct SampleStream {
+    until: SimInstant,
+    next: SimInstant,
+    last_err: Option<Errno>,
+    acquired: u64,
+    report_before: SamplerReport,
+    _span: spansight::Span,
+}
+
 /// The pid the attacking app pretends to run as (any unprivileged pid).
 const ATTACKER_PID: u32 = 31337;
 
@@ -360,30 +376,61 @@ impl Sampler {
         sim: &mut UiSimulation,
         until: SimInstant,
     ) -> DeviceResult<Trace> {
+        let mut stream = self.start_stream(sim, until);
+        let mut trace = Trace::new();
+        while let Some(s) = self.next_sample(&mut stream, sim) {
+            trace.push(s.at, s.values);
+        }
+        self.finish_stream(stream)?;
+        Ok(trace)
+    }
+
+    /// Begins an incremental sampling pass over `sim` ending at `until`.
+    /// Drive it with [`Sampler::next_sample`] and close it with
+    /// [`Sampler::finish_stream`]; [`Sampler::sample_until`] is exactly
+    /// that loop with the samples collected into a [`Trace`].
+    pub fn start_stream(&mut self, sim: &UiSimulation, until: SimInstant) -> SampleStream {
         let mut span = spansight::span("core", "sampler.sample_until");
         span.sim_range(sim.now().as_nanos(), until.as_nanos());
-        let report_before = self.report;
-        let mut trace = Trace::new();
+        SampleStream {
+            until,
+            next: sim.now(),
+            last_err: None,
+            acquired: 0,
+            report_before: self.report,
+            _span: span,
+        }
+    }
+
+    /// Advances the simulation slot by slot until one read produces a
+    /// sample, which it returns; `None` once the stream's deadline passes.
+    /// Retry, recovery and reporting behave exactly as in
+    /// [`Sampler::sample_until`] — abandoned or dropped slots are skipped,
+    /// not surfaced.
+    pub fn next_sample(
+        &mut self,
+        stream: &mut SampleStream,
+        sim: &mut UiSimulation,
+    ) -> Option<Sample> {
         let device = std::sync::Arc::clone(sim.device());
-        let mut next = sim.now();
-        let mut last_err = None;
-        while next <= until {
-            let at = next + self.jitter();
-            let at = if at > until { until } else { at };
+        while stream.next <= stream.until {
+            let at = stream.next + self.jitter();
+            let at = if at > stream.until { stream.until } else { at };
             sim.advance_to(at);
+            let mut produced = None;
             if !self.dropped() {
                 self.report.attempted += 1;
                 let retries_before = self.report.retries_spent;
                 // Backoff may advance the clock, so the sample is stamped
                 // with the time the read actually completed.
-                match self.read_resilient(sim, &device, until) {
+                match self.read_resilient(sim, &device, stream.until) {
                     Ok(values) => {
                         self.report.acquired += 1;
-                        trace.push(sim.now(), values);
+                        produced = Some(Sample { at: sim.now(), values });
                     }
                     Err(err) => {
                         self.report.abandoned += 1;
-                        last_err = Some(err);
+                        stream.last_err = Some(err);
                     }
                 }
                 spansight::record(
@@ -395,21 +442,36 @@ impl Sampler {
                 self.report.scheduler_drops += 1;
             }
             let resumed = sim.now();
-            next += self.config.interval;
-            if resumed > next {
+            stream.next += self.config.interval;
+            if resumed > stream.next {
                 // A long stall: resume on the next grid point after it.
-                let missed = resumed.saturating_since(next).as_nanos()
+                let missed = resumed.saturating_since(stream.next).as_nanos()
                     / self.config.interval.as_nanos().max(1);
-                next += self.config.interval * (missed + 1);
+                stream.next += self.config.interval * (missed + 1);
+            }
+            if let Some(sample) = produced {
+                stream.acquired += 1;
+                return Some(sample);
             }
         }
-        self.report.diff(&report_before).count_telemetry();
-        if trace.is_empty() {
-            if let Some(err) = last_err {
+        None
+    }
+
+    /// Closes an incremental sampling pass: publishes the pass's telemetry
+    /// and fails only when *no* read succeeded over the whole span (same
+    /// contract as [`Sampler::sample_until`]).
+    ///
+    /// # Errors
+    ///
+    /// The last device error observed, iff the pass acquired nothing.
+    pub fn finish_stream(&mut self, stream: SampleStream) -> DeviceResult<()> {
+        self.report.diff(&stream.report_before).count_telemetry();
+        if stream.acquired == 0 {
+            if let Some(err) = stream.last_err {
                 return Err(err);
             }
         }
-        Ok(trace)
+        Ok(())
     }
 
     /// One read slot under the retry budget: classify each failure, attempt

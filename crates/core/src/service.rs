@@ -1,28 +1,44 @@
 //! The attacking application's background service (§3.2 "Online Phase").
 //!
-//! Runs the full pipeline end to end:
+//! Runs the full pipeline end to end. The default [`AttackService::eavesdrop`]
+//! driver is *streaming*: it interleaves counter reads with incremental
+//! [`Stage`] pushes, so no full session trace is ever
+//! materialised and every key press is committed the moment the evidence
+//! suffices (see each [`InferredKey::decided_at`]). The pipeline is
 //!
-//! 1. sample the counters through the device file;
-//! 2. extract changes;
-//! 3. recognise the device configuration and pick the preloaded model;
-//! 4. filter out everything outside the target app (§5.2);
-//! 5. run Algorithm 1 to infer key presses (§5.1);
-//! 6. detect corrections from the echo stream and apply them (§5.3);
-//! 7. assemble the recovered credential.
+//! 1. [`Sampler::next_sample`] — one counter read at a time;
+//! 2. [`DeltaStage`] — raw reads → counter changes, re-anchoring resets;
+//! 3. [`RecognizeStage`] — pick the
+//!    preloaded model from the warm-up prefix (§3.2);
+//! 4. [`LaunchGate`] — optionally swallow everything before the target
+//!    app's cold-launch burst (§3.2);
+//! 5. [`SwitchStage`] — drop changes produced outside the target app,
+//!    flag returns to it (§5.2);
+//! 6. [`InferStage`] — Algorithm 1: key presses out of typing changes
+//!    (§5.1);
+//! 7. [`CorrectionStage`] — backspace/length tracking over the noise
+//!    stream, applied at end of session (§5.3).
+//!
+//! [`AttackService::eavesdrop_batch`] keeps the original batch shape —
+//! sample everything, then run the stages as whole-trace passes — and is
+//! guaranteed to produce an identical [`SessionResult`]; the equivalence
+//! tests and the `latency` experiment lean on that.
 
 use adreno_sim::time::SimInstant;
 use android_ui::UiSimulation;
 use kgsl::Errno;
 use std::fmt;
 
-use crate::appswitch::{SwitchConfig, SwitchDetector};
-use crate::classify::ModelMeta;
-use crate::correction::{CorrectionConfig, CorrectionDetector, CorrectionEvent};
+use crate::appswitch::{SwitchConfig, SwitchDetector, SwitchEvent, SwitchOutcome, SwitchStage};
+use crate::classify::{ClassifierModel, ModelMeta};
+use crate::correction::{CorrectedKeys, CorrectionConfig, CorrectionEvent, CorrectionStage};
+use crate::launch::LaunchGate;
 use crate::metrics::{score_session, SessionScore};
-use crate::offline::ModelStore;
-use crate::online::{infer_full_trace, InferenceStats, InferredKey, OnlineConfig};
+use crate::offline::{ModelStore, RecognizeStage};
+use crate::online::{InferEvent, InferStage, InferenceStats, InferredKey, OnlineConfig};
 use crate::sampler::{Sampler, SamplerConfig, SamplerReport};
-use crate::trace::extract_deltas_with_resets;
+use crate::stage::Stage;
+use crate::trace::{extract_deltas_with_resets, Delta, DeltaStage, Sample, Trace};
 
 /// Service configuration.
 #[derive(Debug, Clone, Default)]
@@ -31,8 +47,9 @@ pub struct ServiceConfig {
     pub sampler: SamplerConfig,
     /// Algorithm 1 (online inference) configuration.
     pub online: OnlineConfig,
-    /// Use the full-trace (lookahead) variant of Algorithm 1 — accuracy
-    /// over timeliness (§5.1 trade-off).
+    /// Use the one-change-lookahead variant of Algorithm 1 — accuracy over
+    /// timeliness (§5.1 trade-off). Despite the name this no longer buffers
+    /// the full trace: [`InferStage::lookahead`] holds exactly one change.
     pub full_trace: bool,
     /// Only start inferring after the target app's cold-launch burst is
     /// observed (§3.2: the monitoring service arms itself at launch). When
@@ -138,7 +155,7 @@ impl fmt::Display for DegradationReport {
 }
 
 /// The result of one eavesdropping session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionResult {
     /// Which preloaded model the recognition step selected.
     pub model: ModelMeta,
@@ -186,6 +203,224 @@ impl SessionResult {
     }
 }
 
+/// Everything downstream of device recognition, constructed lazily once
+/// [`RecognizeStage`] picks a model (the stages need its signatures and
+/// centroids).
+struct PostRecognition<'s> {
+    model: &'s ClassifierModel,
+    launch: LaunchGate,
+    switch: SwitchStage,
+    infer: InferStage<'s>,
+    correction: CorrectionStage,
+    // Scratch buffers reused across pushes so the steady-state path does
+    // not allocate.
+    gated: Vec<Delta>,
+    switch_events: Vec<SwitchEvent>,
+    infer_events: Vec<InferEvent>,
+    correction_sink: Vec<CorrectionEvent>,
+}
+
+impl<'s> PostRecognition<'s> {
+    fn new(model: &'s ClassifierModel, config: &ServiceConfig) -> Self {
+        let launch = if config.require_launch {
+            LaunchGate::armed(*model.launch_signature())
+        } else {
+            LaunchGate::open()
+        };
+        let infer = if config.full_trace {
+            InferStage::lookahead(model, config.online)
+        } else {
+            InferStage::greedy(model, config.online)
+        };
+        PostRecognition {
+            model,
+            launch,
+            switch: SwitchStage::new(SwitchConfig::with_threshold(model.switch_threshold())),
+            infer,
+            correction: CorrectionStage::new(
+                model.ambient_signatures().to_vec(),
+                config.correction,
+                config.echo_corroboration,
+            ),
+            gated: Vec::new(),
+            switch_events: Vec::new(),
+            infer_events: Vec::new(),
+            correction_sink: Vec::new(),
+        }
+    }
+
+    /// Routes one recognised change through launch gate → switch filter →
+    /// inference → correction tracking.
+    fn push_change(&mut self, delta: Delta) {
+        let mut gated = std::mem::take(&mut self.gated);
+        self.launch.push(delta, &mut gated);
+        self.route_gated(&mut gated);
+        self.gated = gated;
+    }
+
+    fn route_gated(&mut self, gated: &mut Vec<Delta>) {
+        let mut switch_events = std::mem::take(&mut self.switch_events);
+        for g in gated.drain(..) {
+            self.switch.push(g, &mut switch_events);
+        }
+        self.route_switch_events(&mut switch_events);
+        self.switch_events = switch_events;
+    }
+
+    fn route_switch_events(&mut self, switch_events: &mut Vec<SwitchEvent>) {
+        let mut infer_events = std::mem::take(&mut self.infer_events);
+        for ev in switch_events.drain(..) {
+            match ev {
+                SwitchEvent::Return(t) => self.correction.push_return(t),
+                SwitchEvent::Typing(d) => self.infer.push(d, &mut infer_events),
+            }
+        }
+        self.route_infer_events(&mut infer_events);
+        self.infer_events = infer_events;
+    }
+
+    fn route_infer_events(&mut self, infer_events: &mut Vec<InferEvent>) {
+        let mut sink = std::mem::take(&mut self.correction_sink);
+        for ev in infer_events.drain(..) {
+            self.correction.push(ev, &mut sink);
+        }
+        // Correction events are re-read from the stage at the end of the
+        // session; the incremental stream has no further consumer.
+        sink.clear();
+        self.correction_sink = sink;
+    }
+
+    /// Flushes every stage in pipeline order and assembles the corrected
+    /// key lists.
+    fn finish(mut self) -> PipelineOutput<'s> {
+        let mut gated = std::mem::take(&mut self.gated);
+        self.launch.finish(&mut gated);
+        self.route_gated(&mut gated);
+
+        let mut switch_events = std::mem::take(&mut self.switch_events);
+        self.switch.finish(&mut switch_events);
+        self.route_switch_events(&mut switch_events);
+
+        let mut infer_events = std::mem::take(&mut self.infer_events);
+        self.infer.finish(&mut infer_events);
+        self.route_infer_events(&mut infer_events);
+
+        let mut sink = std::mem::take(&mut self.correction_sink);
+        self.correction.finish(&mut sink);
+
+        PipelineOutput {
+            model: self.model,
+            launch_at: self.launch.launch_at(),
+            switches: self.switch.detector().switches_detected(),
+            stats: self.infer.stats(),
+            corrected: self.correction.into_corrected(),
+        }
+    }
+}
+
+/// What a finished pipeline produced, before degradation data joins it.
+struct PipelineOutput<'s> {
+    model: &'s ClassifierModel,
+    launch_at: Option<SimInstant>,
+    switches: usize,
+    stats: InferenceStats,
+    corrected: CorrectedKeys,
+}
+
+/// The full streaming pipeline: delta extraction and device recognition up
+/// front, everything model-dependent behind [`PostRecognition`].
+struct Pipeline<'s> {
+    config: &'s ServiceConfig,
+    delta: DeltaStage,
+    recognize: RecognizeStage<'s>,
+    post: Option<PostRecognition<'s>>,
+    deltas: Vec<Delta>,
+    recognized: Vec<Delta>,
+}
+
+impl<'s> Pipeline<'s> {
+    fn new(store: &'s ModelStore, config: &'s ServiceConfig) -> Self {
+        Pipeline {
+            config,
+            delta: DeltaStage::new(),
+            recognize: RecognizeStage::new(store),
+            post: None,
+            deltas: Vec::new(),
+            recognized: Vec::new(),
+        }
+    }
+
+    fn push_sample(&mut self, sample: Sample) {
+        let mut deltas = std::mem::take(&mut self.deltas);
+        self.delta.push(sample, &mut deltas);
+        self.route_deltas(&mut deltas);
+        self.deltas = deltas;
+    }
+
+    fn route_deltas(&mut self, deltas: &mut Vec<Delta>) {
+        let mut recognized = std::mem::take(&mut self.recognized);
+        for d in deltas.drain(..) {
+            self.recognize.push(d, &mut recognized);
+        }
+        if self.post.is_none() {
+            if let Some(model) = self.recognize.model() {
+                self.post = Some(PostRecognition::new(model, self.config));
+            }
+        }
+        if let Some(post) = &mut self.post {
+            for d in recognized.drain(..) {
+                post.push_change(d);
+            }
+        } else {
+            // Still unrecognised: the recognise stage buffers the warm-up
+            // prefix internally, so nothing can reach here.
+            debug_assert!(recognized.is_empty());
+            recognized.clear();
+        }
+        self.recognized = recognized;
+    }
+
+    /// Flushes the pipeline and assembles the session result.
+    fn finish(mut self, report: &SamplerReport) -> Result<SessionResult, ServiceError> {
+        let mut deltas = std::mem::take(&mut self.deltas);
+        self.delta.finish(&mut deltas);
+        self.route_deltas(&mut deltas);
+        let counter_resets = self.delta.resets();
+
+        let mut recognized = std::mem::take(&mut self.recognized);
+        self.recognize.finish(&mut recognized);
+        debug_assert!(recognized.is_empty());
+
+        let post = self.post.take().ok_or(ServiceError::UnrecognisedDevice)?;
+        let output = post.finish();
+        if self.config.require_launch && output.launch_at.is_none() {
+            return Err(ServiceError::LaunchNotDetected);
+        }
+        Ok(assemble_result(output, DegradationReport::from_sampler(report, counter_resets)))
+    }
+}
+
+/// Joins pipeline output and degradation data into a [`SessionResult`],
+/// counting the session telemetry exactly once.
+fn assemble_result(output: PipelineOutput<'_>, degradation: DegradationReport) -> SessionResult {
+    let CorrectedKeys { keys, candidates, keys_before_corrections, corrections } = output.corrected;
+    let recovered_text: String = keys.iter().map(|k| k.ch).collect();
+    spansight::count("core.service.sessions", 1);
+    spansight::count("core.service.keys_inferred", keys.len() as u64);
+    SessionResult {
+        model: *output.model.meta(),
+        keys,
+        candidates,
+        keys_before_corrections,
+        recovered_text,
+        stats: output.stats,
+        corrections,
+        switches: output.switches,
+        launch_at: output.launch_at,
+        degradation,
+    }
+}
+
 /// The attacking service.
 #[derive(Debug)]
 pub struct AttackService {
@@ -207,6 +442,14 @@ impl AttackService {
     /// Eavesdrops the victim simulation until `until` and recovers the
     /// credential typed in the target app.
     ///
+    /// This is the streaming driver: each counter read is pushed through
+    /// the stage pipeline as it lands, so the full session trace is never
+    /// materialised and every [`InferredKey::decided_at`] records when the
+    /// pipeline actually committed to the press.
+    /// [`AttackService::eavesdrop_batch`] runs the original
+    /// sample-everything-then-analyse shape and returns an identical
+    /// result.
+    ///
     /// Device faults degrade gracefully: transient errors are retried,
     /// revoked fds reopened, lost reservations re-acquired, and counter
     /// resets re-anchored. A partial trace yields a partial
@@ -226,14 +469,58 @@ impl AttackService {
     ) -> Result<SessionResult, ServiceError> {
         let mut session_span = spansight::span("core", "service.eavesdrop");
         session_span.sim_range(sim.now().as_nanos(), until.as_nanos());
+        let mut sampler = Sampler::open(sim.device(), self.config.sampler)?;
+        let mut stream = sampler.start_stream(sim, until);
+        let mut pipeline = Pipeline::new(&self.store, &self.config);
+        while let Some(sample) = sampler.next_sample(&mut stream, sim) {
+            pipeline.push_sample(sample);
+        }
+        sampler.finish_stream(stream)?;
+        pipeline.finish(&sampler.report())
+    }
+
+    /// The original batch driver: samples the whole session into a
+    /// [`Trace`], then analyses it with [`AttackService::process_trace`].
+    /// Kept as the reference the streaming driver is tested against, and
+    /// as the shape whose end-of-session decision times the `latency`
+    /// experiment compares.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AttackService::eavesdrop`].
+    pub fn eavesdrop_batch(
+        &self,
+        sim: &mut UiSimulation,
+        until: SimInstant,
+    ) -> Result<SessionResult, ServiceError> {
+        let mut session_span = spansight::span("core", "service.eavesdrop");
+        session_span.sim_range(sim.now().as_nanos(), until.as_nanos());
         let stage = spansight::span("core", "service.sample");
         let mut sampler = Sampler::open(sim.device(), self.config.sampler)?;
         let trace = sampler.sample_until(sim, until)?;
         drop(stage);
+        self.process_trace(&trace, &sampler.report())
+    }
+
+    /// Runs the analysis half of the pipeline over an already-recorded
+    /// trace as whole-trace batch passes (extract → recognise → gate →
+    /// filter → infer → correct).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnrecognisedDevice`] /
+    /// [`ServiceError::LaunchNotDetected`] as in
+    /// [`AttackService::eavesdrop`]; never [`ServiceError::Device`] (the
+    /// device is out of the picture by now).
+    pub fn process_trace(
+        &self,
+        trace: &Trace,
+        report: &SamplerReport,
+    ) -> Result<SessionResult, ServiceError> {
         let stage = spansight::span("core", "service.extract");
-        let (deltas, counter_resets) = extract_deltas_with_resets(&trace);
+        let (deltas, counter_resets) = extract_deltas_with_resets(trace);
         drop(stage);
-        let degradation = DegradationReport::from_sampler(&sampler.report(), counter_resets);
+        let degradation = DegradationReport::from_sampler(report, counter_resets);
 
         let stage = spansight::span("core", "service.recognize");
         let model = self.store.recognize(&deltas).ok_or(ServiceError::UnrecognisedDevice)?;
@@ -242,7 +529,7 @@ impl AttackService {
         // §3.2: optionally wait for the target app's cold-launch burst and
         // ignore everything before it.
         let mut launch_at = None;
-        let deltas: Vec<crate::trace::Delta> = if self.config.require_launch {
+        let deltas: Vec<Delta> = if self.config.require_launch {
             let detector = crate::launch::LaunchDetector::new(*model.launch_signature());
             let at = detector.detect(&deltas).ok_or(ServiceError::LaunchNotDetected)?;
             launch_at = Some(at);
@@ -256,162 +543,93 @@ impl AttackService {
         let stage = spansight::span("core", "service.switch_filter");
         let mut switch =
             SwitchDetector::new(SwitchConfig::with_threshold(model.switch_threshold()));
-        let mut in_target: Vec<crate::trace::Delta> = Vec::with_capacity(deltas.len());
-        let mut returns: Vec<adreno_sim::time::SimInstant> = Vec::new();
-        // The victim's cursor-blink timer restarts when the switch-back
-        // animation *finishes*, so the re-anchor time is the last frame of
-        // the return burst, not its first.
-        let mut pending_return: Option<adreno_sim::time::SimInstant> = None;
-        let mut was_inside = true;
+        let mut in_target: Vec<Delta> = Vec::with_capacity(deltas.len());
+        let mut returns: Vec<SimInstant> = Vec::new();
         for d in &deltas {
-            let burst = d.magnitude() >= model.switch_threshold();
-            let inside = switch.observe(d);
-            if inside && !was_inside {
-                pending_return = Some(d.at);
-            } else if inside && burst && pending_return.is_some() {
-                pending_return = Some(d.at); // burst still running
-            } else if inside && !burst {
-                if let Some(t) = pending_return.take() {
-                    returns.push(t);
+            match switch.feed(d) {
+                SwitchOutcome::Typing { returned_at } => {
+                    if let Some(t) = returned_at {
+                        returns.push(t);
+                    }
+                    in_target.push(*d);
                 }
-            }
-            was_inside = inside;
-            if inside && !burst {
-                in_target.push(*d);
+                SwitchOutcome::Filtered => {}
             }
         }
-        if let Some(t) = pending_return.take() {
+        if let Some(t) = switch.finish() {
             returns.push(t);
         }
         drop(stage);
 
-        // §5.1: Algorithm 1 (candidate lists retained for guessing).
+        // §5.1: Algorithm 1 (candidate lists retained for guessing). Both
+        // variants derive candidates from the observed feature vector.
         let stage = spansight::span("core", "service.infer");
-        let (raw_keys, raw_candidates, rejected, stats) = if self.config.full_trace {
-            let (k, r, s) = infer_full_trace(model, &in_target, self.config.online);
-            // The full-trace variant reuses the streaming engine internally;
-            // recompute candidate ranks from the accepted keys' centroids.
-            let cands = k
-                .iter()
-                .map(|key| {
-                    let centroid = model
-                        .centroids()
-                        .iter()
-                        .find(|c| c.ch == key.ch)
-                        .map(|c| c.values)
-                        .unwrap_or_default();
-                    model
-                        .nearest_k(&centroid, crate::online::CANDIDATES_PER_KEY)
-                        .into_iter()
-                        .map(|(ch, _)| ch)
-                        .collect()
-                })
-                .collect();
-            (k, cands, r, s)
+        let mut infer = if self.config.full_trace {
+            InferStage::lookahead(model, self.config.online)
         } else {
-            let mut engine = crate::online::OnlineInference::new(model, self.config.online);
-            for d in &in_target {
-                engine.process(*d);
-            }
-            engine.finish_with_candidates()
+            InferStage::greedy(model, self.config.online)
         };
+        let events = crate::stage::run_to_vec(&mut infer, in_target.iter().copied());
+        let stats = infer.stats();
         drop(stage);
 
         // §5.3: corrections from the echo stream, re-anchoring the blink
-        // grid at every detected return to the target app.
+        // grid at every detected return to the target app. The stage
+        // applies each queued return before the first noise change at or
+        // after it, so queueing them all up front reproduces the
+        // timestamp-ordered interleave.
         let stage = spansight::span("core", "service.corrections");
-        let mut corr =
-            CorrectionDetector::new(model.ambient_signatures().to_vec(), self.config.correction);
-        let mut next_return = returns.iter().copied().peekable();
-        for d in &rejected {
-            while next_return.peek().is_some_and(|t| *t <= d.at) {
-                let t = next_return.next().expect("peeked");
-                spansight::count("core.service.reanchors", 1);
-                corr.reanchor(t);
-            }
-            corr.observe(d);
+        let mut correction = CorrectionStage::new(
+            model.ambient_signatures().to_vec(),
+            self.config.correction,
+            self.config.echo_corroboration,
+        );
+        for t in returns {
+            correction.push_return(t);
         }
-        corr.flush();
-        let corrections = corr.events().to_vec();
-
-        // Apply deletions: each deletion removes the latest not-yet-deleted
-        // inferred key before it.
-        let keys_before_corrections = raw_keys.clone();
-        let mut alive: Vec<(InferredKey, Vec<char>, bool)> =
-            raw_keys.into_iter().zip(raw_candidates).map(|(k, c)| (k, c, true)).collect();
-        for del_at in corr.deletions() {
-            if let Some(slot) = alive.iter_mut().rev().find(|(k, _, alive)| *alive && k.at < del_at)
-            {
-                slot.2 = false;
-            }
+        let mut sink = Vec::new();
+        for ev in events {
+            correction.push(ev, &mut sink);
         }
-        let mut keys = Vec::with_capacity(alive.len());
-        let mut candidates = Vec::with_capacity(alive.len());
-        for (k, c, a) in alive {
-            if a {
-                keys.push(k);
-                candidates.push(c);
-            }
-        }
-
-        // Optional insertion filter: every surviving press must have a
-        // corroborating echo (a CharAdded event shortly after it). Each
-        // echo vouches for at most one press.
-        if self.config.echo_corroboration {
-            let window = adreno_sim::time::SimDuration::from_millis(500);
-            let mut corroborated = vec![false; keys.len()];
-            // Bind each echo to the *latest* press preceding it: a phantom
-            // press must not steal the echo of the real press that followed
-            // it.
-            for e in &corrections {
-                let CorrectionEvent::CharAdded(t) = e else { continue };
-                if let Some(i) = keys
-                    .iter()
-                    .enumerate()
-                    .rev()
-                    .find(|(i, k)| {
-                        !corroborated[*i] && k.at < *t && t.saturating_since(k.at) <= window
-                    })
-                    .map(|(i, _)| i)
-                {
-                    corroborated[i] = true;
-                }
-            }
-            let mut kept_keys = Vec::with_capacity(keys.len());
-            let mut kept_cands = Vec::with_capacity(candidates.len());
-            for ((k, c), ok) in keys.into_iter().zip(candidates).zip(corroborated) {
-                if ok {
-                    kept_keys.push(k);
-                    kept_cands.push(c);
-                }
-            }
-            keys = kept_keys;
-            candidates = kept_cands;
-        }
+        correction.finish(&mut sink);
+        let corrected = correction.into_corrected();
         drop(stage);
-        let recovered_text: String = keys.iter().map(|k| k.ch).collect();
-        spansight::count("core.service.sessions", 1);
-        spansight::count("core.service.keys_inferred", keys.len() as u64);
 
-        Ok(SessionResult {
-            model: *model.meta(),
-            keys,
-            candidates,
-            keys_before_corrections,
-            recovered_text,
-            stats,
-            corrections,
-            switches: switch.switches_detected(),
+        let output = PipelineOutput {
+            model,
             launch_at,
-            degradation,
-        })
+            switches: switch.switches_detected(),
+            stats,
+            corrected,
+        };
+        Ok(assemble_result(output, degradation))
+    }
+
+    /// Runs the streaming pipeline over an already-recorded trace —
+    /// [`AttackService::process_trace`] in stage form. Exists so the
+    /// streaming/batch equivalence can be tested without a live simulation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AttackService::process_trace`].
+    pub fn process_trace_streaming(
+        &self,
+        trace: &Trace,
+        report: &SamplerReport,
+    ) -> Result<SessionResult, ServiceError> {
+        let mut pipeline = Pipeline::new(&self.store, &self.config);
+        for s in trace.samples() {
+            pipeline.push_sample(*s);
+        }
+        pipeline.finish(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     // End-to-end service tests need a trained model and live in
-    // `tests/attack_e2e.rs`; unit tests here cover the error plumbing.
+    // `tests/attack_e2e.rs` and `tests/streaming_equivalence_e2e.rs`; unit
+    // tests here cover the error plumbing.
     use super::*;
 
     #[test]
@@ -429,6 +647,14 @@ mod tests {
         sim.device().set_policy(kgsl::AccessPolicy::DenyAll);
         let err = service.eavesdrop(&mut sim, SimInstant::from_millis(500)).unwrap_err();
         assert_eq!(err, ServiceError::Device(Errno::Eacces));
+    }
+
+    #[test]
+    fn batch_driver_matches_streaming_on_empty_store() {
+        let service = AttackService::new(ModelStore::new(), ServiceConfig::default());
+        let mut sim = UiSimulation::new(android_ui::SimConfig::paper_default(3));
+        let err = service.eavesdrop_batch(&mut sim, SimInstant::from_millis(500)).unwrap_err();
+        assert_eq!(err, ServiceError::UnrecognisedDevice);
     }
 
     #[test]

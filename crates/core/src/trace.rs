@@ -8,6 +8,8 @@
 use adreno_sim::counters::CounterSet;
 use adreno_sim::time::SimInstant;
 
+use crate::stage::Stage;
+
 /// One raw counter sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sample {
@@ -114,23 +116,68 @@ pub fn extract_deltas(trace: &Trace) -> Vec<Delta> {
 /// differencing from there. The activity that fell inside the reset window
 /// is lost (degraded coverage), but nothing invented is emitted.
 pub fn extract_deltas_with_resets(trace: &Trace) -> (Vec<Delta>, usize) {
+    let mut stage = DeltaStage::new();
     let mut out = Vec::new();
-    let mut resets = 0;
-    for w in trace.samples().windows(2) {
-        match w[1].values.checked_sub(&w[0].values) {
-            Some(d) => {
-                if !d.is_zero() {
-                    out.push(Delta { at: w[1].at, values: d });
+    for s in trace.samples() {
+        stage.push(*s, &mut out);
+    }
+    stage.finish(&mut out);
+    (out, stage.resets())
+}
+
+/// Incremental delta extraction: the [`Stage`] form of
+/// [`extract_deltas_with_resets`], consuming one [`Sample`] at a time and
+/// emitting the nonzero [`Delta`]s. Holds only the previous sample, so a
+/// live session never materializes the raw trace.
+///
+/// Counter-reset windows (any counter moving backwards — GPU slumber) emit
+/// nothing; extraction re-anchors at the later sample. The reset count is
+/// available via [`DeltaStage::resets`] and, together with the emitted-delta
+/// count, is published as telemetry at [`Stage::finish`].
+#[derive(Debug, Default)]
+pub struct DeltaStage {
+    prev: Option<Sample>,
+    emitted: usize,
+    resets: usize,
+}
+
+impl DeltaStage {
+    /// A fresh extractor with no anchor sample yet.
+    pub fn new() -> Self {
+        DeltaStage::default()
+    }
+
+    /// Counter resets (backward jumps) re-anchored across so far.
+    pub fn resets(&self) -> usize {
+        self.resets
+    }
+}
+
+impl Stage for DeltaStage {
+    type In = Sample;
+    type Out = Delta;
+
+    fn push(&mut self, input: Sample, out: &mut Vec<Delta>) {
+        if let Some(prev) = self.prev {
+            match input.values.checked_sub(&prev.values) {
+                Some(d) => {
+                    if !d.is_zero() {
+                        out.push(Delta { at: input.at, values: d });
+                        self.emitted += 1;
+                    }
                 }
+                None => self.resets += 1,
             }
-            None => resets += 1,
+        }
+        self.prev = Some(input);
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Delta>) {
+        spansight::count("core.trace.deltas", self.emitted as u64);
+        if self.resets > 0 {
+            spansight::count("core.trace.resets", self.resets as u64);
         }
     }
-    spansight::count("core.trace.deltas", out.len() as u64);
-    if resets > 0 {
-        spansight::count("core.trace.resets", resets as u64);
-    }
-    (out, resets)
 }
 
 #[cfg(test)]

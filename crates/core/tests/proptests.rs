@@ -6,6 +6,8 @@ use android_ui::{AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resoluti
 use gpu_sc_attack::classify::{ClassifierModel, KeyCentroid, ModelMeta};
 use gpu_sc_attack::metrics::edit_distance;
 use gpu_sc_attack::online::{infer_full_trace, infer_stream, OnlineConfig};
+use gpu_sc_attack::sampler::SamplerReport;
+use gpu_sc_attack::service::{AttackService, ServiceConfig};
 use gpu_sc_attack::trace::{extract_deltas, extract_deltas_with_resets, Delta, Trace};
 use gpu_sc_attack::ModelStore;
 use proptest::prelude::*;
@@ -65,6 +67,36 @@ fn arb_deltas() -> impl Strategy<Value = Vec<Delta>> {
             .map(|(ms, values)| Delta { at: SimInstant::from_millis(ms), values })
             .collect()
     })
+}
+
+/// One counter-activity window of a generated session.
+#[derive(Debug, Clone)]
+enum SessionStep {
+    /// Arbitrary system activity (may look like an app switch, an ambient
+    /// echo, or nothing of interest).
+    Noise(CounterSet),
+    /// An exact keyboard-redraw fingerprint — recognition commits here.
+    KeyboardRedraw,
+    /// An exact replay of training centroid `i` (a key press).
+    Press(usize),
+    /// An exact cold-launch burst of the target app.
+    Launch,
+}
+
+/// A generated session: steps with the gap (ms) since the previous sample.
+fn arb_session() -> impl Strategy<Value = Vec<(SessionStep, u64)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                arb_set(400_000).prop_map(SessionStep::Noise),
+                Just(SessionStep::KeyboardRedraw),
+                (0usize..16).prop_map(SessionStep::Press),
+                Just(SessionStep::Launch),
+            ],
+            1u64..300,
+        ),
+        0..50,
+    )
 }
 
 proptest! {
@@ -147,6 +179,49 @@ proptest! {
                 prop_assert!(w[0].at <= w[1].at);
             }
         }
+    }
+
+    #[test]
+    fn streaming_pipeline_matches_batch_passes(
+        model in arb_model(),
+        session in arb_session(),
+        full_trace in any::<bool>(),
+        require_launch in any::<bool>(),
+    ) {
+        // The tentpole invariant of the stage refactor: driving the stages
+        // one sample at a time (process_trace_streaming) must produce the
+        // same SessionResult — or the same error — as the whole-trace batch
+        // passes (process_trace), for any trace, in both inference modes,
+        // with launch gating on or off.
+        let kb = *model.kb_signature();
+        let launch = *model.launch_signature();
+        let presses: Vec<CounterSet> =
+            model.centroids().iter().map(|c| c.values).collect();
+        let mut store = ModelStore::new();
+        store.add(model);
+
+        let mut trace = Trace::new();
+        let mut acc = CounterSet::ZERO;
+        let mut at = 0u64;
+        trace.push(SimInstant::from_millis(at), acc);
+        for (step, gap) in session {
+            at += gap;
+            acc += match step {
+                SessionStep::Noise(v) => v,
+                SessionStep::KeyboardRedraw => kb,
+                SessionStep::Press(i) => presses[i % presses.len()],
+                SessionStep::Launch => launch,
+            };
+            trace.push(SimInstant::from_millis(at), acc);
+        }
+
+        let config = ServiceConfig { full_trace, require_launch, ..ServiceConfig::default() };
+        let service = AttackService::new(store, config);
+        let report = SamplerReport::default();
+        prop_assert_eq!(
+            service.process_trace_streaming(&trace, &report),
+            service.process_trace(&trace, &report)
+        );
     }
 
     #[test]
