@@ -169,8 +169,27 @@ impl TrackedCounter {
     }
 
     /// Looks a tracked counter up from its `(group, countable)` pair.
-    pub fn from_id(id: CounterId) -> Option<TrackedCounter> {
-        ALL_TRACKED.into_iter().find(|c| c.id() == id)
+    ///
+    /// This is the inverse of [`TrackedCounter::id`], written as a direct
+    /// match so the per-entry lookup in the block-read ioctl path costs a
+    /// jump table instead of a linear scan over [`ALL_TRACKED`].
+    pub const fn from_id(id: CounterId) -> Option<TrackedCounter> {
+        use CounterGroup::*;
+        use TrackedCounter::*;
+        match (id.group, id.countable) {
+            (Lrz, 13) => Some(LrzVisiblePrimAfterLrz),
+            (Lrz, 14) => Some(LrzFull8x8Tiles),
+            (Lrz, 15) => Some(LrzPartial8x8Tiles),
+            (Lrz, 18) => Some(LrzVisiblePixelAfterLrz),
+            (Ras, 1) => Some(RasSupertileActiveCycles),
+            (Ras, 4) => Some(RasSuperTiles),
+            (Ras, 5) => Some(Ras8x4Tiles),
+            (Ras, 8) => Some(RasFullyCovered8x4Tiles),
+            (Vpc, 9) => Some(VpcPcPrimitives),
+            (Vpc, 10) => Some(VpcSpComponents),
+            (Vpc, 12) => Some(VpcLrzAssignPrimitives),
+            _ => None,
+        }
     }
 }
 

@@ -81,7 +81,7 @@ fn bench_model_serde(c: &mut Criterion) {
 fn bench_ioctl_read(c: &mut Criterion) {
     use gpu_sc_attack::sampler::{Sampler, SamplerConfig};
     let sim = android_ui::UiSimulation::new(SimConfig::paper_default(0));
-    let sampler = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+    let mut sampler = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
     let device = std::sync::Arc::clone(sim.device());
     c.bench_function("ioctl_blockread_11_counters", |b| {
         b.iter(|| sampler.read_once(black_box(&device)).unwrap())

@@ -1,0 +1,139 @@
+//! Micro-benchmarks of the data-oriented hot-path rewrite, pairing each
+//! optimised stage with its reference implementation:
+//!
+//! * nearest-centroid classification — naive full-distance scan vs the
+//!   prepared-centroid search with partial-distance early exit;
+//! * delta extraction — an AoS walk over materialised samples vs the
+//!   columnar batch extractor on the SoA trace;
+//! * the sampling read loop — a per-read allocated request vector vs the
+//!   sampler's reusable scratch buffer.
+//!
+//! Every pair is semantically equivalent (pinned by proptests in
+//! `crates/core/tests/proptests.rs`); these benches quantify the win.
+
+use adreno_sim::counters::{CounterSet, ALL_TRACKED, NUM_TRACKED};
+use adreno_sim::time::SimInstant;
+use android_ui::sim::SimConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_sc_attack::offline::{Trainer, TrainerConfig};
+use gpu_sc_attack::sampler::{Sampler, SamplerConfig};
+use gpu_sc_attack::stage::Stage;
+use gpu_sc_attack::trace::{extract_deltas_with_resets, DeltaStage, Sample, Trace};
+use gpu_sc_attack::ClassifierModel;
+use kgsl::abi::{IoctlRequest, KgslPerfcounterReadGroup, IOCTL_KGSL_PERFCOUNTER_READ};
+
+fn trained_model() -> ClassifierModel {
+    let cfg = SimConfig::paper_default(0);
+    Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app)
+}
+
+/// Mixed probe workload shaped like a real session: mostly rejects (ambient
+/// redraws and noise, the ~79k-reject case the pruning targets) plus some
+/// exact centroid replays (accepts).
+fn probe_workload(model: &ClassifierModel) -> Vec<CounterSet> {
+    let mut probes = Vec::new();
+    for (i, c) in model.centroids().iter().enumerate() {
+        probes.push(c.values); // accept
+        let mut arr = *c.values.as_array();
+        for v in arr.iter_mut() {
+            *v = *v * 3 / 2 + 1_000 + i as u64;
+        }
+        probes.push(CounterSet::from_array(arr)); // reject: off in every dim
+    }
+    probes
+}
+
+fn bench_classify_naive_vs_pruned(c: &mut Criterion) {
+    let model = trained_model();
+    let probes = probe_workload(&model);
+    c.bench_function("classify/naive_full_scan", |b| {
+        b.iter(|| {
+            for v in &probes {
+                black_box(model.classify_naive(black_box(v)));
+            }
+        })
+    });
+    c.bench_function("classify/pruned_prepared_centroids", |b| {
+        b.iter(|| {
+            for v in &probes {
+                black_box(model.classify(black_box(v)));
+            }
+        })
+    });
+}
+
+/// A synthetic 5k-sample monotone trace with idle windows and a couple of
+/// counter resets — the shape `extract_deltas` sees in a long session.
+fn synthetic_trace() -> (Trace, Vec<Sample>) {
+    let mut trace = Trace::with_capacity(5_000);
+    let mut acc = [0u64; NUM_TRACKED];
+    for i in 0..5_000u64 {
+        if i % 1_024 == 1_000 {
+            acc = [i; NUM_TRACKED]; // slumber: registers restart
+        } else if i % 3 != 0 {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += (i % 97) * (j as u64 + 1);
+            }
+        } // else: idle window, values unchanged
+        trace.push(SimInstant::from_millis(i * 8), CounterSet::from_array(acc));
+    }
+    let aos: Vec<Sample> = trace.iter().collect();
+    (trace, aos)
+}
+
+fn bench_extraction_aos_vs_soa(c: &mut Criterion) {
+    let (trace, aos) = synthetic_trace();
+    c.bench_function("delta_extraction/aos_streaming_stage", |b| {
+        b.iter(|| {
+            let mut stage = DeltaStage::new();
+            let mut out = Vec::new();
+            for s in &aos {
+                stage.push(*s, &mut out);
+            }
+            stage.finish(&mut out);
+            black_box((out, stage.resets()))
+        })
+    });
+    c.bench_function("delta_extraction/soa_columnar_batch", |b| {
+        b.iter(|| black_box(extract_deltas_with_resets(black_box(&trace))))
+    });
+}
+
+fn bench_read_loop_alloc_vs_scratch(c: &mut Criterion) {
+    let sim = android_ui::UiSimulation::new(SimConfig::paper_default(0));
+    let mut sampler = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+    let device = std::sync::Arc::clone(sim.device());
+    let fd = sampler.fd();
+    // The pre-refactor read path: build the request vector on the heap for
+    // every read, exactly as `read_once` used to.
+    c.bench_function("read_loop/allocating_request_vec", |b| {
+        b.iter(|| {
+            let mut reads: Vec<KgslPerfcounterReadGroup> = ALL_TRACKED
+                .iter()
+                .map(|t| {
+                    let id = t.id();
+                    KgslPerfcounterReadGroup::new(id.group.kgsl_id(), id.countable)
+                })
+                .collect();
+            device
+                .ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, IoctlRequest::PerfcounterRead(&mut reads))
+                .unwrap();
+            let mut out = CounterSet::ZERO;
+            for (t, r) in ALL_TRACKED.iter().zip(reads.iter()) {
+                out[*t] = r.value;
+            }
+            black_box(out)
+        })
+    });
+    c.bench_function("read_loop/reused_scratch_buffer", |b| {
+        b.iter(|| black_box(sampler.read_once(black_box(&device)).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_classify_naive_vs_pruned,
+    bench_extraction_aos_vs_soa,
+    bench_read_loop_alloc_vs_scratch
+);
+criterion_main!(benches);

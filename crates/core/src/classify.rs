@@ -104,11 +104,43 @@ impl Classification {
     }
 }
 
+/// Hot-path lookup data derived from the centroids at construction time.
+/// Never serialised — [`ClassifierModel::from_bytes`] rebuilds it.
+#[derive(Debug, Clone, PartialEq)]
+struct PreparedCentroids {
+    /// Row-major `centroids.len() × NUM_TRACKED` `f64` copy of the centroid
+    /// values, so the distance loop streams one contiguous row per candidate
+    /// instead of re-converting `u64` values on every call.
+    rows: Vec<f64>,
+    /// Per centroid, the total magnitude the §5.1 gate compares against:
+    /// that of the *first* centroid sharing the key, exactly what the
+    /// previous by-key linear scan found.
+    gate_totals: Vec<f64>,
+}
+
+impl PreparedCentroids {
+    fn build(centroids: &[KeyCentroid]) -> Self {
+        let mut rows = Vec::with_capacity(centroids.len() * NUM_TRACKED);
+        for c in centroids {
+            rows.extend(c.values.as_array().iter().map(|&v| v as f64));
+        }
+        let gate_totals = centroids
+            .iter()
+            .map(|c| {
+                centroids.iter().find(|o| o.ch == c.ch).map(|o| o.values.total()).unwrap_or(0)
+                    as f64
+            })
+            .collect();
+        PreparedCentroids { rows, gate_totals }
+    }
+}
+
 /// A trained classification model for one configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassifierModel {
     meta: ModelMeta,
     centroids: Vec<KeyCentroid>,
+    prepared: PreparedCentroids,
     /// Per-counter whitening weights (1 / inter-centroid spread).
     weights: [f64; NUM_TRACKED],
     /// Acceptance threshold in whitened distance.
@@ -154,9 +186,11 @@ impl ClassifierModel {
     ) -> Self {
         assert!(!centroids.is_empty(), "a model needs at least one key centroid");
         assert!(threshold > 0.0, "C_th must be positive");
+        let prepared = PreparedCentroids::build(&centroids);
         ClassifierModel {
             meta,
             centroids,
+            prepared,
             weights,
             threshold,
             kb_signature,
@@ -254,6 +288,44 @@ impl ClassifierModel {
 
     /// The nearest centroid to `v` and its whitened distance.
     pub fn nearest(&self, v: &CounterSet) -> (char, f64) {
+        let (idx, d) = self.nearest_pruned(v);
+        (self.centroids[idx].ch, d)
+    }
+
+    /// Nearest-centroid search over the prepared rows with partial-distance
+    /// early exit: once a candidate's running squared sum reaches the best
+    /// completed squared sum it can no longer win (terms are non-negative
+    /// and `sqrt` is monotone), so the accumulation aborts. Candidates that
+    /// finish still go through the exact `sqrt`-space `d < best` comparison
+    /// of the naive scan, so ties resolve to the same (earliest) centroid
+    /// and the reported distance is bit-identical.
+    fn nearest_pruned(&self, v: &CounterSet) -> (usize, f64) {
+        let av = v.to_f64();
+        let mut best = (0usize, f64::INFINITY);
+        let mut best_acc = f64::INFINITY;
+        'candidates: for (idx, row) in self.prepared.rows.chunks_exact(NUM_TRACKED).enumerate() {
+            let mut acc = 0.0;
+            for i in 0..NUM_TRACKED {
+                let d = (av[i] - row[i]) * self.weights[i];
+                acc += d * d;
+                if acc >= best_acc {
+                    continue 'candidates;
+                }
+            }
+            let d = acc.sqrt();
+            if d < best.1 {
+                best = (idx, d);
+                best_acc = acc;
+            }
+        }
+        best
+    }
+
+    /// Reference nearest-centroid scan without pruning: computes the full
+    /// whitened distance to every centroid via [`ClassifierModel::distance`].
+    /// Semantically identical to [`ClassifierModel::nearest`]; kept as the
+    /// oracle for the equivalence proptest and the `hotpath` benchmark.
+    pub fn nearest_naive(&self, v: &CounterSet) -> (char, f64) {
         let mut best = (self.centroids[0].ch, f64::INFINITY);
         for c in &self.centroids {
             let d = self.distance(v, &c.values);
@@ -303,7 +375,26 @@ impl ClassifierModel {
     }
 
     fn classify_inner(&self, v: &CounterSet) -> Classification {
-        let (ch, distance) = self.nearest(v);
+        let (idx, distance) = self.nearest_pruned(v);
+        let ch = self.centroids[idx].ch;
+        if distance <= self.threshold {
+            let centroid_total = self.prepared.gate_totals[idx];
+            let total = v.total() as f64;
+            if centroid_total > 0.0
+                && (total - centroid_total).abs() <= centroid_total * Self::MAGNITUDE_TOLERANCE
+            {
+                return Classification::Key { ch, distance };
+            }
+            return Classification::Rejected { nearest: ch, distance };
+        }
+        Classification::Rejected { nearest: ch, distance }
+    }
+
+    /// Reference classification built on [`ClassifierModel::nearest_naive`]
+    /// and the original by-key magnitude-gate scan, with no telemetry.
+    /// The equivalence proptest pins [`ClassifierModel::classify`] to this.
+    pub fn classify_naive(&self, v: &CounterSet) -> Classification {
+        let (ch, distance) = self.nearest_naive(v);
         if distance <= self.threshold {
             let centroid_total =
                 self.centroids.iter().find(|c| c.ch == ch).map(|c| c.values.total()).unwrap_or(0)
@@ -431,10 +522,12 @@ impl ClassifierModel {
             let values = read_set(&mut data);
             centroids.push(KeyCentroid { ch, values });
         }
-        if centroids.is_empty() || threshold <= 0.0 {
+        if centroids.is_empty() || threshold <= 0.0 || threshold.is_nan() {
             return Err(BadField("body"));
         }
-        Ok(ClassifierModel {
+        // Route through `new` so the prepared hot-path data is rebuilt; the
+        // checks above guarantee its panics cannot fire on decoded input.
+        Ok(ClassifierModel::new(
             meta,
             centroids,
             weights,
@@ -444,7 +537,7 @@ impl ClassifierModel {
             field_signatures,
             launch_signature,
             switch_threshold,
-        })
+        ))
     }
 }
 

@@ -20,7 +20,7 @@
 //! fails only when it acquired *nothing at all*. Everything it survived is
 //! tallied in a [`SamplerReport`].
 
-use adreno_sim::counters::ALL_TRACKED;
+use adreno_sim::counters::{ALL_TRACKED, NUM_TRACKED};
 use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::UiSimulation;
 use kgsl::abi::{
@@ -30,6 +30,7 @@ use kgsl::abi::{
 use kgsl::{DeviceResult, Errno, KgslDevice, KgslFd, SelinuxDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 use crate::trace::{Sample, Trace};
 
@@ -202,6 +203,20 @@ pub struct Sampler {
     config: SamplerConfig,
     rng: StdRng,
     report: SamplerReport,
+    /// Reusable block-read request buffer: the `(groupid, countable)` pairs
+    /// never change between reads, so [`Sampler::read_once`] only overwrites
+    /// the `value` slots instead of heap-allocating a request vector on
+    /// every one of the ~113k read slots of a session.
+    scratch: [KgslPerfcounterReadGroup; NUM_TRACKED],
+}
+
+/// The block-read request entries for the eleven Table-1 counters, in
+/// [`ALL_TRACKED`] order, with zeroed value slots.
+fn read_request_template() -> [KgslPerfcounterReadGroup; NUM_TRACKED] {
+    std::array::from_fn(|i| {
+        let id = ALL_TRACKED[i].id();
+        KgslPerfcounterReadGroup::new(id.group.kgsl_id(), id.countable)
+    })
 }
 
 /// State of one incremental sampling pass (see [`Sampler::start_stream`]).
@@ -217,6 +232,15 @@ pub struct SampleStream {
     last_err: Option<Errno>,
     acquired: u64,
     report_before: SamplerReport,
+    /// The device handle, cloned once at stream start so the per-slot loop
+    /// never touches the simulation's `Arc` again.
+    device: Arc<KgslDevice>,
+    /// Per-slot retry counts, pre-bucketed against [`RETRY_HIST_EDGES`].
+    /// Accumulated locally and published as one
+    /// `core.sampler.slot_retries` histogram merge at
+    /// [`Sampler::finish_stream`], replacing a telemetry-record call per
+    /// slot with one per pass.
+    retry_buckets: [u64; RETRY_HIST_EDGES.len() + 1],
     _span: spansight::Span,
 }
 
@@ -262,6 +286,7 @@ impl Sampler {
             config,
             rng: StdRng::seed_from_u64(config.seed ^ 0x5a5a),
             report: SamplerReport::default(),
+            scratch: read_request_template(),
         })
     }
 
@@ -314,24 +339,19 @@ impl Sampler {
     /// # Errors
     ///
     /// Propagates device errors (`EACCES` under the DenyAll policy, …).
-    pub fn read_once(&self, device: &KgslDevice) -> DeviceResult<adreno_sim::CounterSet> {
-        let mut reads: Vec<KgslPerfcounterReadGroup> = ALL_TRACKED
-            .iter()
-            .map(|c| {
-                let id = c.id();
-                KgslPerfcounterReadGroup::new(id.group.kgsl_id(), id.countable)
-            })
-            .collect();
+    pub fn read_once(&mut self, device: &KgslDevice) -> DeviceResult<adreno_sim::CounterSet> {
+        // The request ids are fixed at construction; the ioctl only fills
+        // the `value` slots, so the scratch buffer is reused as-is.
         device.ioctl(
             self.fd,
             IOCTL_KGSL_PERFCOUNTER_READ,
-            IoctlRequest::PerfcounterRead(&mut reads),
+            IoctlRequest::PerfcounterRead(&mut self.scratch),
         )?;
-        let mut out = adreno_sim::CounterSet::ZERO;
-        for (c, r) in ALL_TRACKED.iter().zip(reads.iter()) {
-            out[*c] = r.value;
+        let mut out = [0u64; NUM_TRACKED];
+        for (o, r) in out.iter_mut().zip(self.scratch.iter()) {
+            *o = r.value;
         }
-        Ok(out)
+        Ok(adreno_sim::CounterSet::from_array(out))
     }
 
     /// Scheduling delay of the next read: a small baseline wobble (timer
@@ -377,7 +397,12 @@ impl Sampler {
         until: SimInstant,
     ) -> DeviceResult<Trace> {
         let mut stream = self.start_stream(sim, until);
-        let mut trace = Trace::new();
+        // One read per interval plus the slot at the start of the grid: size
+        // every trace column up front so a long session never re-grows them.
+        let slots = until.saturating_since(sim.now()).as_nanos()
+            / self.config.interval.as_nanos().max(1)
+            + 2;
+        let mut trace = Trace::with_capacity(slots as usize);
         while let Some(s) = self.next_sample(&mut stream, sim) {
             trace.push(s.at, s.values);
         }
@@ -398,6 +423,8 @@ impl Sampler {
             last_err: None,
             acquired: 0,
             report_before: self.report,
+            device: Arc::clone(sim.device()),
+            retry_buckets: [0; RETRY_HIST_EDGES.len() + 1],
             _span: span,
         }
     }
@@ -412,7 +439,7 @@ impl Sampler {
         stream: &mut SampleStream,
         sim: &mut UiSimulation,
     ) -> Option<Sample> {
-        let device = std::sync::Arc::clone(sim.device());
+        let device = Arc::clone(&stream.device);
         while stream.next <= stream.until {
             let at = stream.next + self.jitter();
             let at = if at > stream.until { stream.until } else { at };
@@ -433,11 +460,8 @@ impl Sampler {
                         stream.last_err = Some(err);
                     }
                 }
-                spansight::record(
-                    "core.sampler.slot_retries",
-                    RETRY_HIST_EDGES,
-                    self.report.retries_spent - retries_before,
-                );
+                let retries = self.report.retries_spent - retries_before;
+                stream.retry_buckets[spansight::Hist::bucket_of(RETRY_HIST_EDGES, retries)] += 1;
             } else {
                 self.report.scheduler_drops += 1;
             }
@@ -465,6 +489,11 @@ impl Sampler {
     ///
     /// The last device error observed, iff the pass acquired nothing.
     pub fn finish_stream(&mut self, stream: SampleStream) -> DeviceResult<()> {
+        spansight::record_bucketed(
+            "core.sampler.slot_retries",
+            RETRY_HIST_EDGES,
+            &stream.retry_buckets,
+        );
         self.report.diff(&stream.report_before).count_telemetry();
         if stream.acquired == 0 {
             if let Some(err) = stream.last_err {
@@ -566,9 +595,9 @@ mod tests {
         let mut s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
         let trace = s.sample_until(&mut sim, SimInstant::from_millis(400)).unwrap();
         assert_eq!(trace.len(), 51, "reads at 0, 8, …, 400 ms");
-        for w in trace.samples().windows(2) {
+        for w in trace.timestamps().windows(2) {
             // Grid spacing ± the baseline timer-slack wobble.
-            let gap = (w[1].at - w[0].at).as_micros();
+            let gap = (w[1] - w[0]).as_micros();
             assert!((6_500..=9_500).contains(&gap), "gap {gap}us off the jittered grid");
         }
     }
@@ -600,7 +629,7 @@ mod tests {
         // irregular spacing.
         assert!(trace.len() < 245, "expected drops, got {}", trace.len());
         let irregular =
-            trace.samples().windows(2).filter(|w| (w[1].at - w[0].at).as_millis() != 8).count();
+            trace.timestamps().windows(2).filter(|w| (w[1] - w[0]).as_millis() != 8).count();
         assert!(irregular > 10, "expected irregular spacing, got {irregular}");
     }
 
@@ -760,8 +789,8 @@ mod tests {
         let (ta, ra) = run();
         let (tb, rb) = run();
         assert_eq!(ra, rb, "reports must be identical");
-        assert_eq!(ta.samples().len(), tb.samples().len());
-        for (a, b) in ta.samples().iter().zip(tb.samples()) {
+        assert_eq!(ta.len(), tb.len());
+        for (a, b) in ta.iter().zip(tb.iter()) {
             assert_eq!((a.at, a.values), (b.at, b.values));
         }
     }

@@ -618,8 +618,8 @@ impl AttackService {
         report: &SamplerReport,
     ) -> Result<SessionResult, ServiceError> {
         let mut pipeline = Pipeline::new(&self.store, &self.config);
-        for s in trace.samples() {
-            pipeline.push_sample(*s);
+        for s in trace.iter() {
+            pipeline.push_sample(s);
         }
         pipeline.finish(report)
     }

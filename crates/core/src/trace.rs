@@ -4,8 +4,18 @@
 //! the *changes* between consecutive reads (Fig 3, Fig 11). A [`Trace`] is
 //! the raw sample series; [`extract_deltas`] turns it into the nonzero
 //! change events all downstream inference consumes.
+//!
+//! # Data layout
+//!
+//! `Trace` stores samples in columnar (structure-of-arrays) form: one
+//! contiguous `Vec<u64>` per tracked counter plus a timestamp array, rather
+//! than a `Vec` of `(SimInstant, CounterSet)` pairs. Delta extraction and
+//! windowing then walk contiguous cache lines instead of striding over
+//! 96-byte records. The AoS-style view is still available per index via
+//! [`Trace::sample`] and [`Trace::iter`], which assemble a [`Sample`] on
+//! the fly.
 
-use adreno_sim::counters::CounterSet;
+use adreno_sim::counters::{CounterSet, TrackedCounter, NUM_TRACKED};
 use adreno_sim::time::SimInstant;
 
 use crate::stage::Stage;
@@ -19,16 +29,34 @@ pub struct Sample {
     pub values: CounterSet,
 }
 
-/// A time-ordered series of raw counter samples.
+/// A time-ordered series of raw counter samples in columnar storage.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
-    samples: Vec<Sample>,
+    ats: Vec<SimInstant>,
+    cols: [Vec<u64>; NUM_TRACKED],
 }
 
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// Creates an empty trace with room for `samples` reads in every column,
+    /// so a streaming session of known length never re-grows mid-loop.
+    pub fn with_capacity(samples: usize) -> Self {
+        Trace {
+            ats: Vec::with_capacity(samples),
+            cols: std::array::from_fn(|_| Vec::with_capacity(samples)),
+        }
+    }
+
+    /// Reserves room for at least `additional` more samples in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        self.ats.reserve(additional);
+        for col in &mut self.cols {
+            col.reserve(additional);
+        }
     }
 
     /// Appends a sample.
@@ -38,25 +66,57 @@ impl Trace {
     /// Panics if `at` is earlier than the previous sample (reads are issued
     /// in time order).
     pub fn push(&mut self, at: SimInstant, values: CounterSet) {
-        if let Some(last) = self.samples.last() {
-            assert!(at >= last.at, "samples must be time-ordered");
+        if let Some(&last) = self.ats.last() {
+            assert!(at >= last, "samples must be time-ordered");
         }
-        self.samples.push(Sample { at, values });
+        self.ats.push(at);
+        for (col, &v) in self.cols.iter_mut().zip(values.as_array()) {
+            col.push(v);
+        }
     }
 
-    /// The samples in order.
-    pub fn samples(&self) -> &[Sample] {
-        &self.samples
+    /// The timestamp of sample `i`.
+    pub fn at(&self, i: usize) -> SimInstant {
+        self.ats[i]
+    }
+
+    /// Assembles the AoS view of sample `i` from the columns.
+    pub fn sample(&self, i: usize) -> Sample {
+        let mut values = [0u64; NUM_TRACKED];
+        for (v, col) in values.iter_mut().zip(&self.cols) {
+            *v = col[i];
+        }
+        Sample { at: self.ats[i], values: CounterSet::from_array(values) }
+    }
+
+    /// Iterates the samples in order, assembling each [`Sample`] on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = Sample> + '_ {
+        (0..self.len()).map(move |i| self.sample(i))
+    }
+
+    /// The read timestamps in order.
+    pub fn timestamps(&self) -> &[SimInstant] {
+        &self.ats
+    }
+
+    /// The contiguous value column of one tracked counter.
+    pub fn column(&self, c: TrackedCounter) -> &[u64] {
+        &self.cols[c.index()]
+    }
+
+    /// All value columns in [`adreno_sim::counters::ALL_TRACKED`] order.
+    pub fn columns(&self) -> &[Vec<u64>; NUM_TRACKED] {
+        &self.cols
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.ats.len()
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.ats.is_empty()
     }
 }
 
@@ -115,14 +175,34 @@ pub fn extract_deltas(trace: &Trace) -> Vec<Delta> {
 /// entirely and extraction re-anchors at the later sample, resuming normal
 /// differencing from there. The activity that fell inside the reset window
 /// is lost (degraded coverage), but nothing invented is emitted.
+///
+/// The batch form works directly on the columnar storage: each window reads
+/// two adjacent elements per column, never materializing a [`Sample`].
+/// [`DeltaStage`] remains the streaming form; both emit identical deltas and
+/// identical telemetry.
 pub fn extract_deltas_with_resets(trace: &Trace) -> (Vec<Delta>, usize) {
-    let mut stage = DeltaStage::new();
+    let n = trace.len();
     let mut out = Vec::new();
-    for s in trace.samples() {
-        stage.push(*s, &mut out);
+    let mut resets = 0usize;
+    'windows: for i in 1..n {
+        let mut values = [0u64; NUM_TRACKED];
+        for (v, col) in values.iter_mut().zip(trace.columns()) {
+            let (prev, cur) = (col[i - 1], col[i]);
+            if cur < prev {
+                resets += 1;
+                continue 'windows;
+            }
+            *v = cur - prev;
+        }
+        if values.iter().any(|&v| v != 0) {
+            out.push(Delta { at: trace.at(i), values: CounterSet::from_array(values) });
+        }
     }
-    stage.finish(&mut out);
-    (out, stage.resets())
+    spansight::count("core.trace.deltas", out.len() as u64);
+    if resets > 0 {
+        spansight::count("core.trace.resets", resets as u64);
+    }
+    (out, resets)
 }
 
 /// Incremental delta extraction: the [`Stage`] form of
@@ -280,5 +360,50 @@ mod tests {
             .collect();
         assert_eq!(t.len(), 5);
         assert_eq!(extract_deltas(&t).len(), 4);
+    }
+
+    #[test]
+    fn soa_views_round_trip_pushed_samples() {
+        let samples: Vec<Sample> = (0..4)
+            .map(|i| Sample { at: SimInstant::from_millis(i * 8), values: set(i * 7 + 1) })
+            .collect();
+        let t: Trace = samples.iter().copied().collect();
+        assert_eq!(t.timestamps().len(), 4);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(t.at(i), s.at);
+            assert_eq!(t.sample(i), *s);
+            assert_eq!(t.column(TrackedCounter::Ras8x4Tiles)[i], (i as u64) * 7 + 1);
+        }
+        let collected: Vec<Sample> = t.iter().collect();
+        assert_eq!(collected, samples);
+    }
+
+    #[test]
+    fn with_capacity_reserves_every_column() {
+        let t = Trace::with_capacity(64);
+        assert!(t.ats.capacity() >= 64);
+        for col in t.columns() {
+            assert!(col.capacity() >= 64);
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn batch_extraction_matches_streaming_stage() {
+        // Mixed workload: idle windows, activity, and a reset.
+        let vals = [100u64, 100, 130, 5, 25, 25, 60];
+        let mut t = Trace::new();
+        for (i, v) in vals.into_iter().enumerate() {
+            t.push(SimInstant::from_millis(i as u64 * 8), set(v));
+        }
+        let (batch, batch_resets) = extract_deltas_with_resets(&t);
+        let mut stage = DeltaStage::new();
+        let mut streamed = Vec::new();
+        for s in t.iter() {
+            stage.push(s, &mut streamed);
+        }
+        stage.finish(&mut streamed);
+        assert_eq!(batch, streamed);
+        assert_eq!(batch_resets, stage.resets());
     }
 }

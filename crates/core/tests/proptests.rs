@@ -255,8 +255,8 @@ proptest! {
         }
         let deltas = extract_deltas(&trace);
         let sum = deltas.iter().fold(CounterSet::ZERO, |s, d| s + d.values);
-        let first = trace.samples().first().unwrap().values;
-        let last = trace.samples().last().unwrap().values;
+        let first = trace.sample(0).values;
+        let last = trace.sample(trace.len() - 1).values;
         prop_assert_eq!(sum + first, last, "deltas must sum to the end-to-end change");
     }
 
@@ -301,5 +301,80 @@ proptest! {
         }
         // The plain extractor is the same function minus the reset count.
         prop_assert_eq!(extract_deltas(&trace), deltas);
+    }
+
+    #[test]
+    fn pruned_classification_matches_naive(
+        model in arb_model(),
+        probes in prop::collection::vec(arb_set(2_500_000), 1..40),
+    ) {
+        // The hot-path invariant of the prepared-centroid rewrite: the
+        // pruned nearest-centroid search (early exit on the running squared
+        // sum) must return the exact same Classification as the naive
+        // full-distance scan — same accept/reject, same `nearest` char and
+        // bit-identical `distance`, including on rejects.
+        for v in &probes {
+            let naive = model.classify_naive(v);
+            let pruned = model.classify(v);
+            prop_assert_eq!(pruned, naive);
+            let (nn_ch, nn_d) = model.nearest_naive(v);
+            let (pr_ch, pr_d) = model.nearest(v);
+            prop_assert_eq!(pr_ch, nn_ch);
+            prop_assert_eq!(pr_d.to_bits(), nn_d.to_bits(), "distance must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn soa_trace_matches_aos_reference(
+        values in prop::collection::vec(arb_set(50_000), 0..40),
+        start in 0u64..1_000,
+    ) {
+        // The columnar Trace must behave exactly like the old
+        // array-of-samples form: same per-index views, same iteration
+        // order, and batch delta extraction identical to pushing every
+        // sample through the streaming DeltaStage (the AoS reference
+        // implementation).
+        use gpu_sc_attack::stage::Stage;
+        use gpu_sc_attack::trace::{DeltaStage, Sample};
+
+        // Non-monotone accumulation: flip between adding and resetting so
+        // reset windows are exercised too.
+        let mut aos: Vec<Sample> = Vec::with_capacity(values.len());
+        let mut acc = CounterSet::ZERO;
+        for (i, v) in values.iter().enumerate() {
+            if i % 7 == 3 {
+                acc = *v; // register reset: restart from an arbitrary point
+            } else {
+                acc += *v;
+            }
+            aos.push(Sample { at: SimInstant::from_millis(start + i as u64 * 8), values: acc });
+        }
+        let trace: Trace = aos.iter().copied().collect();
+
+        prop_assert_eq!(trace.len(), aos.len());
+        prop_assert_eq!(trace.is_empty(), aos.is_empty());
+        for (i, s) in aos.iter().enumerate() {
+            prop_assert_eq!(trace.at(i), s.at);
+            prop_assert_eq!(trace.sample(i), *s);
+        }
+        let iterated: Vec<Sample> = trace.iter().collect();
+        prop_assert_eq!(&iterated, &aos);
+        let ts: Vec<_> = aos.iter().map(|s| s.at).collect();
+        prop_assert_eq!(trace.timestamps(), &ts[..]);
+        for c in adreno_sim::counters::ALL_TRACKED {
+            let col: Vec<u64> = aos.iter().map(|s| s.values[c]).collect();
+            prop_assert_eq!(trace.column(c), &col[..]);
+        }
+
+        // Columnar batch extraction ≡ streaming AoS extraction.
+        let mut stage = DeltaStage::new();
+        let mut streamed = Vec::new();
+        for s in &aos {
+            stage.push(*s, &mut streamed);
+        }
+        stage.finish(&mut streamed);
+        let (batch, resets) = extract_deltas_with_resets(&trace);
+        prop_assert_eq!(batch, streamed);
+        prop_assert_eq!(resets, stage.resets());
     }
 }

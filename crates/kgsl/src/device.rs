@@ -29,6 +29,72 @@ pub const MAX_COUNTABLE: u32 = 32;
 /// this returns `EBUSY`.
 pub const COUNTERS_PER_GROUP: usize = 16;
 
+/// Modelled counter groups (VPC, RAS, LRZ).
+const NUM_GROUPS: usize = 3;
+
+/// Countable selectors per group (`0..=MAX_COUNTABLE`).
+const COUNTABLES: usize = (MAX_COUNTABLE + 1) as usize;
+
+/// Dense index of a KGSL group id within the reservation tables, `None` for
+/// unknown groups.
+const fn group_index(groupid: u32) -> Option<usize> {
+    match CounterGroup::from_kgsl_id(groupid) {
+        Some(CounterGroup::Vpc) => Some(0),
+        Some(CounterGroup::Ras) => Some(1),
+        Some(CounterGroup::Lrz) => Some(2),
+        None => None,
+    }
+}
+
+/// Reservation refcounts as a dense `[group][countable]` table.
+///
+/// The whole `(group, countable)` key space is 3 × 33 slots, so flat arrays
+/// replace the former hash maps: the block-read ioctl validates its eleven
+/// entries with direct indexing instead of eleven SipHash lookups, on every
+/// one of the millions of reads a full suite issues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ResvTable {
+    counts: [[u32; COUNTABLES]; NUM_GROUPS],
+    /// Distinct reserved countables per group — the `COUNTERS_PER_GROUP`
+    /// capacity check, maintained incrementally.
+    live: [usize; NUM_GROUPS],
+}
+
+impl ResvTable {
+    const EMPTY: ResvTable =
+        ResvTable { counts: [[0; COUNTABLES]; NUM_GROUPS], live: [0; NUM_GROUPS] };
+
+    fn count(&self, group: usize, countable: usize) -> u32 {
+        self.counts[group][countable]
+    }
+
+    fn live(&self, group: usize) -> usize {
+        self.live[group]
+    }
+
+    fn acquire(&mut self, group: usize, countable: usize) {
+        if self.counts[group][countable] == 0 {
+            self.live[group] += 1;
+        }
+        self.counts[group][countable] += 1;
+    }
+
+    /// Drops one refcount; does nothing when none are held.
+    fn release(&mut self, group: usize, countable: usize) {
+        if self.counts[group][countable] == 0 {
+            return;
+        }
+        self.counts[group][countable] -= 1;
+        if self.counts[group][countable] == 0 {
+            self.live[group] -= 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = ResvTable::EMPTY;
+    }
+}
+
 /// The telemetry span name for one ioctl request kind.
 fn ioctl_span_name(req: &IoctlRequest<'_>) -> &'static str {
     match req {
@@ -63,29 +129,24 @@ struct HandleState {
     /// This handle's own reservation refcounts, so `close()` can release
     /// exactly what the handle still holds (like the real driver's per-context
     /// cleanup).
-    reservations: HashMap<(u32, u32), usize>,
+    reservations: ResvTable,
 }
 
 #[derive(Debug, Default)]
 struct DeviceState {
     handles: HashMap<u32, HandleState>,
-    /// Device-wide reservation refcounts per `(group, countable)` — the sum
-    /// of every handle's counts, used for capacity (`EBUSY`) and read
-    /// validation.
-    reservations: HashMap<(u32, u32), usize>,
+    /// Device-wide reservation refcounts — the sum of every handle's counts,
+    /// used for capacity (`EBUSY`) and read validation.
+    reservations: ResvTable,
+}
+
+impl Default for ResvTable {
+    fn default() -> Self {
+        ResvTable::EMPTY
+    }
 }
 
 impl DeviceState {
-    /// Drops one reservation refcount device-wide.
-    fn release_one(&mut self, key: (u32, u32)) {
-        if let Some(rc) = self.reservations.get_mut(&key) {
-            *rc -= 1;
-            if *rc == 0 {
-                self.reservations.remove(&key);
-            }
-        }
-    }
-
     /// Forgets every reservation, device-wide and per-handle (GPU slumber).
     fn clear_reservations(&mut self) {
         self.reservations.clear();
@@ -242,7 +303,7 @@ impl KgslDevice {
         self.state
             .lock()
             .handles
-            .insert(fd, HandleState { pid, domain, reservations: HashMap::new() });
+            .insert(fd, HandleState { pid, domain, reservations: ResvTable::EMPTY });
         Ok(KgslFd(fd))
     }
 
@@ -254,9 +315,11 @@ impl KgslDevice {
         let mut st = self.state.lock();
         match st.handles.remove(&fd.0) {
             Some(handle) => {
-                for (key, count) in handle.reservations {
-                    for _ in 0..count {
-                        st.release_one(key);
+                for group in 0..NUM_GROUPS {
+                    for countable in 0..COUNTABLES {
+                        for _ in 0..handle.reservations.count(group, countable) {
+                            st.reservations.release(group, countable);
+                        }
                     }
                 }
                 Ok(())
@@ -306,61 +369,54 @@ impl KgslDevice {
         }
         match &mut req {
             IoctlRequest::PerfcounterGet(get) => {
-                self.validate_target(get.groupid, get.countable)?;
+                let group = self.validate_target(get.groupid, get.countable)?;
                 if self.policy.lock().visibility(domain) == CounterVisibility::Denied {
                     return Err(Errno::Eacces);
                 }
+                let countable = get.countable as usize;
                 let mut st = self.state.lock();
-                let group_load: usize =
-                    st.reservations.iter().filter(|((g, _), _)| *g == get.groupid).count();
-                let key = (get.groupid, get.countable);
-                let entry = st.reservations.entry(key).or_insert(0);
-                if *entry == 0 && group_load >= COUNTERS_PER_GROUP {
+                if st.reservations.count(group, countable) == 0
+                    && st.reservations.live(group) >= COUNTERS_PER_GROUP
+                {
                     return Err(Errno::Ebusy);
                 }
-                *entry += 1;
-                *st.handles
+                st.reservations.acquire(group, countable);
+                st.handles
                     .get_mut(&fd.0)
                     .expect("checked by domain_of")
                     .reservations
-                    .entry(key)
-                    .or_insert(0) += 1;
+                    .acquire(group, countable);
                 // Fabricate plausible register offsets.
                 get.offset = 0xA000 + get.groupid * 0x40 + get.countable * 2;
                 get.offset_hi = get.offset + 1;
                 Ok(())
             }
             IoctlRequest::PerfcounterPut(put) => {
-                self.validate_target(put.groupid, put.countable)?;
-                let key = (put.groupid, put.countable);
+                let group = self.validate_target(put.groupid, put.countable)?;
+                let countable = put.countable as usize;
                 let mut st = self.state.lock();
                 let handle = st.handles.get_mut(&fd.0).expect("checked by domain_of");
-                match handle.reservations.get_mut(&key) {
-                    Some(rc) if *rc > 0 => {
-                        *rc -= 1;
-                        if *rc == 0 {
-                            handle.reservations.remove(&key);
-                        }
-                        st.release_one(key);
-                        Ok(())
-                    }
+                if handle.reservations.count(group, countable) == 0 {
                     // This handle holds no such reservation (it may never
                     // have taken one, or lost it across a slumber).
-                    _ => Err(Errno::Einval),
+                    return Err(Errno::Einval);
                 }
+                handle.reservations.release(group, countable);
+                st.reservations.release(group, countable);
+                Ok(())
             }
             IoctlRequest::PerfcounterRead(reads) => self.perfcounter_read(domain, reads),
         }
     }
 
-    fn validate_target(&self, groupid: u32, countable: u32) -> DeviceResult<()> {
-        if CounterGroup::from_kgsl_id(groupid).is_none() {
-            return Err(Errno::Einval);
-        }
+    /// Checks a `(group, countable)` target and returns the group's dense
+    /// reservation-table index.
+    fn validate_target(&self, groupid: u32, countable: u32) -> DeviceResult<usize> {
+        let group = group_index(groupid).ok_or(Errno::Einval)?;
         if countable > MAX_COUNTABLE {
             return Err(Errno::Einval);
         }
-        Ok(())
+        Ok(group)
     }
 
     fn perfcounter_read(
@@ -378,8 +434,8 @@ impl KgslDevice {
                 {
                     let st = self.state.lock();
                     for r in reads.iter() {
-                        self.validate_target(r.groupid, r.countable)?;
-                        if !st.reservations.contains_key(&(r.groupid, r.countable)) {
+                        let group = self.validate_target(r.groupid, r.countable)?;
+                        if st.reservations.count(group, r.countable as usize) == 0 {
                             return Err(Errno::Einval);
                         }
                     }
@@ -396,8 +452,8 @@ impl KgslDevice {
         {
             let st = self.state.lock();
             for r in reads.iter() {
-                self.validate_target(r.groupid, r.countable)?;
-                if !st.reservations.contains_key(&(r.groupid, r.countable)) {
+                let group = self.validate_target(r.groupid, r.countable)?;
+                if st.reservations.count(group, r.countable as usize) == 0 {
                     return Err(Errno::Einval);
                 }
             }

@@ -289,6 +289,32 @@ pub fn record(name: &'static str, edges: &'static [u64], value: u64) {
     });
 }
 
+/// Merges pre-bucketed counts into the fixed-edge histogram `name` in one
+/// call: `counts[i]` observations are added to bucket `i` (the last entry is
+/// the overflow bucket). The final histogram is identical to calling
+/// [`record`] once per observation — hot loops can therefore tally buckets
+/// in a local array and publish them in O(1) instead of paying one
+/// hash-map update per observation.
+///
+/// # Panics
+///
+/// Panics in debug builds when `counts` is not exactly one longer than
+/// `edges`.
+pub fn record_bucketed(name: &'static str, edges: &'static [u64], counts: &[u64]) {
+    debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must ascend");
+    debug_assert_eq!(counts.len(), edges.len() + 1, "one count per bucket incl. overflow");
+    if counts.iter().all(|&c| c == 0) {
+        return;
+    }
+    with_local(|l| {
+        let hist = l.agg.hists.entry((name, l.track)).or_insert_with(|| Hist::new(edges));
+        for (bucket, n) in hist.counts.iter_mut().zip(counts) {
+            *bucket += n;
+        }
+        l.bump();
+    });
+}
+
 /// Records an instant event (a point in time, e.g. an injected fault) into
 /// the trace buffer when tracing is enabled, and always counts it under
 /// `name`.
@@ -628,6 +654,26 @@ mod tests {
         assert_eq!(h.hist.counts.len(), EDGES.len() + 1);
         assert!(h.hist.total() >= 6);
         assert!(h.hist.counts[3] >= 1, "5000 lands in the overflow bucket");
+    }
+
+    #[test]
+    fn record_bucketed_matches_per_observation_recording() {
+        const EDGES: &[u64] = &[0, 1, 2, 4, 8];
+        let observations = [0u64, 0, 1, 3, 9, 2, 0, 8];
+        for v in observations {
+            record("test.lib.bucketed_ref", EDGES, v);
+        }
+        let mut counts = vec![0u64; EDGES.len() + 1];
+        for v in observations {
+            counts[Hist::bucket_of(EDGES, v)] += 1;
+        }
+        record_bucketed("test.lib.bucketed", EDGES, &counts);
+        // All-zero counts are a no-op, like making no record calls.
+        record_bucketed("test.lib.bucketed_empty", EDGES, &vec![0; EDGES.len() + 1]);
+        let snap = snapshot();
+        let get = |name: &str| snap.hists.iter().find(|h| h.name == name).map(|h| h.hist.clone());
+        assert_eq!(get("test.lib.bucketed"), get("test.lib.bucketed_ref"));
+        assert_eq!(get("test.lib.bucketed_empty"), None);
     }
 
     #[test]
