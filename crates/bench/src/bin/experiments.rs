@@ -74,6 +74,7 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("ablate-threshold", "C_th sweep", experiments::ablate::ablate_threshold),
     ("faults", "fault intensity × retry budget sweep", experiments::faults::faults),
     ("latency", "press-to-inference latency, greedy vs lookahead", experiments::latency::latency),
+    ("exfil", "split sampler/classifier over a lossy wire", experiments::exfil::exfil),
 ];
 
 /// Where per-experiment wall-clock timings are recorded.

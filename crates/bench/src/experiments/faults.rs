@@ -159,6 +159,25 @@ pub fn faults(ctx: &Ctx) {
         ),
     );
 
+    // Sanity 3: truncated reads (a prefix of the read block filled, then
+    // EINTR) surface as transient faults the retry layer absorbs — the
+    // session still completes and still recovers text.
+    let mut trunc = base.clone();
+    trunc.fault_plan = Some(FaultPlan::new(33).with_truncated_reads(0.2));
+    let (_, t) = run_credential_trial(&store, &trunc, &text, 0xBA5E).expect("truncated-read run");
+    assert!(t.degradation.faults_seen > 0, "a 20% truncation rate must register as faults");
+    assert!(!t.recovered_text.is_empty(), "truncated reads must degrade, not kill, the session");
+    report::kv(
+        "truncated reads absorbed",
+        format!(
+            "ok ({} faults, {} retries, coverage {:.1}%, recovered {:?})",
+            t.degradation.faults_seen,
+            t.degradation.retries_spent,
+            t.degradation.coverage * 100.0,
+            t.recovered_text
+        ),
+    );
+
     // The sweep. Budget 0 is the fail-stop sampler this PR replaced; 8 is
     // the default; 2 sits in between.
     let per_cell = ctx.trials(8);

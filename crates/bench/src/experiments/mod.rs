@@ -4,6 +4,7 @@
 pub mod ablate;
 pub mod accuracy;
 pub mod adapt;
+pub mod exfil;
 pub mod extensions;
 pub mod faults;
 pub mod latency;

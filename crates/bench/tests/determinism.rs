@@ -16,10 +16,21 @@ use minipool::Pool;
 
 /// A small evaluation run at a given worker count.
 fn eval_at(jobs: usize, fault_plan: Option<FaultPlan>) -> gpu_sc_attack::metrics::Aggregate {
+    eval_at_budget(jobs, fault_plan, None)
+}
+
+fn eval_at_budget(
+    jobs: usize,
+    fault_plan: Option<FaultPlan>,
+    retry_budget: Option<u32>,
+) -> gpu_sc_attack::metrics::Aggregate {
     let pool = if jobs == 1 { Pool::sequential() } else { Pool::new(jobs) };
     let cache = ModelCache::new();
     let mut opts = TrialOptions::paper_default(0);
     opts.fault_plan = fault_plan;
+    if let Some(budget) = retry_budget {
+        opts.service.sampler.retry = gpu_sc_attack::sampler::RetryPolicy::with_budget(budget);
+    }
     let store = cache.store(opts.sim.device, opts.sim.keyboard, opts.sim.app);
     eval_credentials(&pool, &store, &opts, CredentialKind::Username, 10, 8, 0xD37)
 }
@@ -37,9 +48,16 @@ fn eval_credentials_is_identical_under_faults() {
     // the sampler's retry budget.
     let plan = FaultPlan::with_intensity(0xFA, 0.9, SimDuration::from_secs(8));
     let seq = eval_at(1, Some(plan.clone()));
-    let par = eval_at(4, Some(plan));
+    let par = eval_at(4, Some(plan.clone()));
     assert_eq!(seq, par, "fault schedules must replay identically in parallel");
-    assert_ne!(seq, eval_at(1, None), "fault plan should perturb the run");
+    // Non-vacuousness: the default retry budget can absorb this plan
+    // completely, so pin the perturbation against the fail-stop sampler
+    // (budget 0), which cannot.
+    assert_ne!(
+        eval_at_budget(1, Some(plan), Some(0)),
+        eval_at(1, None),
+        "fault plan should perturb the fail-stop run"
+    );
 }
 
 /// Captured experiment reports — what the runner prints — are identical

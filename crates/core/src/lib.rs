@@ -69,6 +69,9 @@ pub use metrics::{Aggregate, SessionScore};
 pub use offline::{ModelStore, Trainer, TrainerConfig};
 pub use online::{InferenceStats, InferredKey, OnlineConfig};
 pub use sampler::{RetryPolicy, Sampler, SamplerConfig, SamplerReport};
-pub use service::{AttackService, DegradationReport, ServiceConfig, ServiceError, SessionResult};
+pub use service::{
+    AttackService, DegradationReport, LinkDegradationReport, ServiceConfig, ServiceError,
+    SessionResult, StreamingSession,
+};
 pub use stage::Stage;
 pub use trace::{extract_deltas, extract_deltas_with_resets, Delta, Sample, Trace};

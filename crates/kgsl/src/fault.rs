@@ -58,6 +58,10 @@ impl FaultEvent {
 ///   `EBUSY` (probability [`transient_busy`](Self::transient_busy)) or
 ///   `EINTR` ([`transient_intr`](Self::transient_intr)). Draws come from the
 ///   plan's seed, so a fixed call sequence sees a fixed error sequence.
+///   Block-reads can additionally be *truncated*
+///   ([`truncated_read`](Self::truncated_read)): only a prefix of the
+///   request entries is filled before the copy is "interrupted" and the call
+///   fails `EINTR` — the ioctl analogue of a short `read(2)`.
 /// * **Scheduled events** — [`FaultEvent`]s at concrete sim-times, either
 ///   listed explicitly via [`at`](Self::at) or generated from mean
 ///   interarrival times over [`horizon`](Self::horizon).
@@ -69,6 +73,12 @@ pub struct FaultPlan {
     pub transient_busy: f64,
     /// Per-call probability of a spurious `EINTR`.
     pub transient_intr: f64,
+    /// Per-block-read probability that the read is truncated: a strict
+    /// prefix of the request entries is filled, the rest is left untouched,
+    /// and the call fails `EINTR`. Downstream consumers must treat the
+    /// buffer as garbage — exactly the partial-frame discipline the wire
+    /// layer's decoder applies to short datagrams.
+    pub truncated_read: f64,
     /// Mean interarrival of [`FaultEvent::Slumber`] events (`None` = never).
     pub slumber_mean: Option<SimDuration>,
     /// Mean interarrival of [`FaultEvent::RevokeFds`] events (`None` = never).
@@ -87,6 +97,7 @@ impl FaultPlan {
             seed,
             transient_busy: 0.0,
             transient_intr: 0.0,
+            truncated_read: 0.0,
             slumber_mean: None,
             revoke_mean: None,
             horizon: SimDuration::from_millis(60_000),
@@ -99,6 +110,13 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&busy) && (0.0..=1.0).contains(&intr));
         self.transient_busy = busy;
         self.transient_intr = intr;
+        self
+    }
+
+    /// Sets the per-block-read truncation probability.
+    pub fn with_truncated_reads(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.truncated_read = rate;
         self
     }
 
@@ -136,12 +154,38 @@ impl FaultPlan {
         if intensity > 0.0 {
             plan.transient_busy = 0.18 * intensity;
             plan.transient_intr = 0.12 * intensity;
+            plan.truncated_read = 0.06 * intensity;
             // Expected counts over the horizon: up to ~3 slumbers and ~1.5
             // revocations at full intensity.
             plan.slumber_mean = Some(horizon.mul_f64(1.0 / (3.0 * intensity)));
             plan.revoke_mean = Some(horizon.mul_f64(1.0 / (1.5 * intensity)));
         }
         plan
+    }
+}
+
+/// Poisson-process schedule expansion: appends `event` at exponential
+/// interarrivals with the given `mean`, truncated at `horizon`.
+///
+/// This is the scaffolding every seeded fault plan in the workspace shares:
+/// [`FaultInjector`] expands slumber/revocation schedules with it, and the
+/// wire layer's link plans reuse it for scheduled outages so device faults
+/// and link faults follow the same deterministic idiom.
+pub fn expand_poisson<E: Clone>(
+    rng: &mut StdRng,
+    schedule: &mut Vec<(SimInstant, E)>,
+    mean: SimDuration,
+    horizon: SimDuration,
+    event: E,
+) {
+    let mut t = SimInstant::ZERO;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += mean.mul_f64(-u.ln());
+        if t.saturating_since(SimInstant::ZERO) >= horizon {
+            return;
+        }
+        schedule.push((t, event.clone()));
     }
 }
 
@@ -152,6 +196,8 @@ pub struct FaultLog {
     pub transient_busy: u64,
     /// Spurious `EINTR` failures injected.
     pub transient_intr: u64,
+    /// Truncated block-reads injected (partial fill + `EINTR`).
+    pub truncated_reads: u64,
     /// Slumber events delivered.
     pub slumbers: u64,
     /// Fd-revocation events delivered.
@@ -165,6 +211,7 @@ impl FaultLog {
     pub fn total(&self) -> u64 {
         self.transient_busy
             + self.transient_intr
+            + self.truncated_reads
             + self.slumbers
             + self.revocations
             + self.policy_changes
@@ -184,6 +231,7 @@ pub struct FaultInjector {
     next: usize,
     transient_busy: f64,
     transient_intr: f64,
+    truncated_read: f64,
     log: FaultLog,
 }
 
@@ -194,10 +242,10 @@ impl FaultInjector {
         let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xFA17_1A7E_D0D0_CAFE);
         let mut schedule = plan.scheduled.clone();
         if let Some(mean) = plan.slumber_mean {
-            Self::expand(&mut rng, &mut schedule, mean, plan.horizon, FaultEvent::Slumber);
+            expand_poisson(&mut rng, &mut schedule, mean, plan.horizon, FaultEvent::Slumber);
         }
         if let Some(mean) = plan.revoke_mean {
-            Self::expand(&mut rng, &mut schedule, mean, plan.horizon, FaultEvent::RevokeFds);
+            expand_poisson(&mut rng, &mut schedule, mean, plan.horizon, FaultEvent::RevokeFds);
         }
         schedule.sort_by_key(|(when, _)| when.as_nanos());
         FaultInjector {
@@ -206,27 +254,8 @@ impl FaultInjector {
             next: 0,
             transient_busy: plan.transient_busy,
             transient_intr: plan.transient_intr,
+            truncated_read: plan.truncated_read,
             log: FaultLog::default(),
-        }
-    }
-
-    /// Poisson-process expansion: exponential interarrivals with the given
-    /// mean, truncated at the horizon.
-    fn expand(
-        rng: &mut StdRng,
-        schedule: &mut Vec<(SimInstant, FaultEvent)>,
-        mean: SimDuration,
-        horizon: SimDuration,
-        event: FaultEvent,
-    ) {
-        let mut t = SimInstant::ZERO;
-        loop {
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            t += mean.mul_f64(-u.ln());
-            if t.saturating_since(SimInstant::ZERO) >= horizon {
-                return;
-            }
-            schedule.push((t, event.clone()));
         }
     }
 
@@ -261,6 +290,26 @@ impl FaultInjector {
         } else {
             None
         }
+    }
+
+    /// One per-block-read truncation draw. `Some(k)` means only the first
+    /// `k < entries` entries of the read get filled before the call fails
+    /// `EINTR`; `None` means the read proceeds normally. A zero-rate plan
+    /// never touches the RNG, so installing it is invisible to every other
+    /// draw stream.
+    pub fn draw_truncation(&mut self, entries: usize) -> Option<usize> {
+        if self.truncated_read <= 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen();
+        if u >= self.truncated_read {
+            return None;
+        }
+        self.log.truncated_reads += 1;
+        if entries == 0 {
+            return Some(0);
+        }
+        Some(self.rng.gen_range(0..entries))
     }
 
     /// Scheduled events not yet delivered.
@@ -375,6 +424,37 @@ mod tests {
         assert!(none > 6000);
         assert_eq!(inj.log().transient_busy, busy as u64);
         assert_eq!(inj.log().transient_intr, intr as u64);
+    }
+
+    #[test]
+    fn truncation_draws_are_strict_prefixes_and_logged() {
+        let plan = FaultPlan::new(5).with_truncated_reads(0.3);
+        let mut inj = FaultInjector::new(&plan);
+        let mut truncated = 0u32;
+        for _ in 0..10_000 {
+            if let Some(k) = inj.draw_truncation(11) {
+                assert!(k < 11, "truncation must fill a strict prefix, got {k}");
+                truncated += 1;
+            }
+        }
+        assert!((2500..=3500).contains(&truncated), "truncation rate off: {truncated}");
+        assert_eq!(inj.log().truncated_reads, truncated as u64);
+        // Degenerate empty reads still count but fill nothing.
+        assert!(matches!(inj.draw_truncation(0), None | Some(0)));
+    }
+
+    #[test]
+    fn zero_truncation_rate_never_consumes_rng() {
+        // Two injectors differing only in the (zero) truncation knob must
+        // produce identical transient streams even when one of them is asked
+        // for truncation draws in between.
+        let plan = FaultPlan::new(21).with_transient_rates(0.2, 0.1);
+        let mut a = FaultInjector::new(&plan);
+        let mut b = FaultInjector::new(&plan);
+        for _ in 0..256 {
+            assert_eq!(a.draw_truncation(8), None);
+            assert_eq!(a.draw_transient(), b.draw_transient());
+        }
     }
 
     #[test]

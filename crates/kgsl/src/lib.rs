@@ -52,6 +52,6 @@ pub mod policy;
 
 pub use device::{KgslDevice, KgslFd};
 pub use error::{DeviceResult, Errno};
-pub use fault::{FaultEvent, FaultLog, FaultPlan};
+pub use fault::{expand_poisson, FaultEvent, FaultLog, FaultPlan};
 pub use obfuscate::{ObfuscationConfig, Obfuscator};
 pub use policy::{AccessPolicy, CounterVisibility, SelinuxDomain};

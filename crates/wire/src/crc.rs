@@ -1,0 +1,52 @@
+//! CRC-32 (ISO-HDLC polynomial, the zlib/`crc32` flavour) for frame
+//! integrity. Table-driven, with the table built at compile time.
+
+/// The reflected ISO-HDLC polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (init `!0`, final xor `!0` — the standard check value
+/// of `b"123456789"` is `0xCBF43926`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let base = crc32(b"hello wire");
+        let mut altered = b"hello wire".to_vec();
+        altered[3] ^= 0x01;
+        assert_ne!(base, crc32(&altered));
+        assert_ne!(crc32(b""), crc32(&[0]));
+    }
+}

@@ -1,0 +1,147 @@
+//! The length-prefixed frame envelope.
+//!
+//! Every datagram on the link is exactly one frame:
+//!
+//! ```text
+//! ┌────────┬─────────┬─────────────┬─────────────┬─────────┬───────────┐
+//! │ magic  │ version │ seq         │ payload len │ payload │ CRC-32    │
+//! │ 2 B    │ 1 B     │ varint      │ varint      │ len B   │ 4 B LE    │
+//! └────────┴─────────┴─────────────┴─────────────┴─────────┴───────────┘
+//! ```
+//!
+//! The CRC covers everything before it, so a frame truncated anywhere —
+//! including mid-CRC — fails closed. The version byte sits *outside* the
+//! checksummed payload semantics on purpose: a peer speaking a different
+//! protocol revision is rejected before any payload is interpreted.
+
+use crate::crc::crc32;
+use crate::error::{WireError, WireResult};
+use crate::varint;
+
+/// Protocol revision; bump on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Two fixed bytes opening every frame ("GW": GPU wire).
+pub const MAGIC: [u8; 2] = [0x47, 0x57];
+
+/// One decoded frame: a sequence number and an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Position of this frame in its sender's reliable stream. Acks are
+    /// cumulative over these; the receiver applies frames in `seq` order.
+    pub seq: u64,
+    /// The encoded [`Message`](crate::message::Message) bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Wraps a payload under a sequence number.
+    pub fn new(seq: u64, payload: Vec<u8>) -> Self {
+        Frame { seq, payload }
+    }
+
+    /// Encodes the frame into one datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.payload.len() + 16);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(WIRE_VERSION);
+        varint::write_u64(&mut buf, self.seq);
+        varint::write_u64(&mut buf, self.payload.len() as u64);
+        buf.extend_from_slice(&self.payload);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes one datagram into a frame.
+    ///
+    /// # Errors
+    ///
+    /// Every malformation maps to a typed [`WireError`]: wrong magic,
+    /// foreign version, truncation anywhere, checksum mismatch, or bytes
+    /// past the end.
+    pub fn decode(bytes: &[u8]) -> WireResult<Frame> {
+        let mut pos = 0;
+        if bytes.len() < MAGIC.len() + 1 {
+            return Err(WireError::Truncated);
+        }
+        if bytes[..2] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        pos += 2;
+        let version = bytes[pos];
+        pos += 1;
+        if version != WIRE_VERSION {
+            return Err(WireError::VersionMismatch { got: version });
+        }
+        let seq = varint::read_u64(bytes, &mut pos)?;
+        let len = varint::read_u64(bytes, &mut pos)?;
+        let len = usize::try_from(len).map_err(|_| WireError::LengthMismatch)?;
+        // The declared payload plus the trailing CRC must fit exactly.
+        let crc_at = pos.checked_add(len).ok_or(WireError::LengthMismatch)?;
+        match (crc_at + 4).cmp(&bytes.len()) {
+            std::cmp::Ordering::Greater => return Err(WireError::Truncated),
+            std::cmp::Ordering::Less => return Err(WireError::TrailingBytes),
+            std::cmp::Ordering::Equal => {}
+        }
+        let expected = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().expect("4 bytes"));
+        if crc32(&bytes[..crc_at]) != expected {
+            return Err(WireError::CrcMismatch);
+        }
+        Ok(Frame { seq, payload: bytes[pos..crc_at].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for (seq, payload) in [(0u64, vec![]), (7, vec![1, 2, 3]), (u64::MAX, vec![0xff; 300])] {
+            let frame = Frame::new(seq, payload);
+            assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn any_truncation_fails_closed() {
+        let encoded = Frame::new(42, (0..64).collect()).encode();
+        for cut in 0..encoded.len() {
+            let err = Frame::decode(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::LengthMismatch),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let encoded = Frame::new(9, vec![5; 32]).encode();
+        // Flip one bit in every byte position past the version tag and
+        // demand a typed error every time.
+        for i in 3..encoded.len() {
+            let mut bad = encoded.clone();
+            bad[i] ^= 0x40;
+            assert!(Frame::decode(&bad).is_err(), "flip at {i} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_rejected_before_payload() {
+        let mut encoded = Frame::new(1, vec![1, 2]).encode();
+        encoded[2] = WIRE_VERSION + 1;
+        assert_eq!(
+            Frame::decode(&encoded),
+            Err(WireError::VersionMismatch { got: WIRE_VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut encoded = Frame::new(3, vec![8, 8]).encode();
+        encoded.push(0);
+        assert_eq!(Frame::decode(&encoded), Err(WireError::TrailingBytes));
+    }
+}

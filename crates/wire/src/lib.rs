@@ -1,0 +1,49 @@
+//! Resilient exfiltration wire protocol for the split sampler/classifier.
+//!
+//! The paper's attack runs sampler and classifier in one process; a real
+//! deployment exfiltrates the counter stream from the victim device to an
+//! offsite classifier over a network that drops, duplicates, reorders,
+//! truncates, and delays. This crate is that link, end to end, in
+//! deterministic sim-time:
+//!
+//! * [`varint`] / [`crc`] / [`frame`] — the encoding floor: LEB128 varints
+//!   with zigzag, CRC-32 integrity, and the versioned length-prefixed
+//!   [`Frame`] envelope every datagram travels in.
+//! * [`message`] — the protocol: a versioned [`Message`] enum whose
+//!   [`SampleBatch`] payload encodes counter batches columnar as
+//!   delta-of-delta varints (about one byte per column entry on the steady
+//!   8 ms grid).
+//! * [`transport`] — [`SimTransport`], a seeded hostile link driven by a
+//!   [`LinkPlan`] in the same deterministic-plan idiom as
+//!   [`kgsl::FaultPlan`].
+//! * [`session`] — the resilience: [`ExfilClient`] (send window,
+//!   ack/retransmit with capped backoff, reconnect-and-resume) and
+//!   [`ClassifierServer`] (resequencing, dedup, incremental inference,
+//!   streamed-back presses), plus [`run_split_session`] which runs a whole
+//!   eavesdropping session split across the wire and folds a
+//!   [`LinkDegradationReport`](gpu_sc_attack::service::LinkDegradationReport)
+//!   into the [`SessionResult`](gpu_sc_attack::service::SessionResult).
+//!
+//! The invariant the whole crate is built around: over a fault-free plan
+//! the split session reproduces the in-process streaming pipeline exactly,
+//! and over any seeded lossy plan it still *completes*, reporting the
+//! damage instead of failing.
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod frame;
+pub mod message;
+pub mod session;
+pub mod transport;
+pub mod varint;
+
+pub use error::{WireError, WireResult};
+pub use frame::{Frame, MAGIC, WIRE_VERSION};
+pub use message::{Message, SampleBatch};
+pub use session::{
+    run_split_session, BatchStage, ClassifierServer, ExfilClient, ExfilConfig, ResequenceStage,
+    SplitOutcome, CONTROL_SEQ,
+};
+pub use transport::{Direction, LinkPlan, SimTransport, TransportStats};

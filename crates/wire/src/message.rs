@@ -1,0 +1,417 @@
+//! The versioned message set and its compact binary codec.
+//!
+//! Client → server: [`Message::Hello`] (session open / reconnect-resume),
+//! [`Message::SampleBatch`] (the counter data itself), [`Message::Fin`]
+//! (end of sampling, carrying the sampler's degradation report).
+//! Server → client: [`Message::Ack`] (cumulative), [`Message::InferredKeys`]
+//! (presses streamed back as they commit), [`Message::FinAck`] (the
+//! recovered credential).
+//!
+//! # Batch encoding
+//!
+//! A sample batch is stored and encoded *columnar*, mirroring the SoA
+//! [`Trace`](gpu_sc_attack::trace::Trace): the timestamp column followed by
+//! one column per tracked counter, each as `first value` + zigzagged
+//! delta-of-delta varints. Counters are cumulative and near-linear in time,
+//! and read timestamps sit on a jittered 8 ms grid — second differences of
+//! both are tiny, so almost every residual fits in one byte. The `exfil`
+//! experiment reports the resulting bytes-per-keystroke.
+
+use adreno_sim::counters::{CounterSet, NUM_TRACKED};
+use adreno_sim::time::SimInstant;
+use gpu_sc_attack::online::InferredKey;
+use gpu_sc_attack::sampler::SamplerReport;
+use gpu_sc_attack::trace::Sample;
+
+use crate::error::{WireError, WireResult};
+use crate::varint;
+
+/// A batch of counter samples in columnar form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SampleBatch {
+    ats: Vec<u64>,
+    cols: [Vec<u64>; NUM_TRACKED],
+}
+
+impl SampleBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        SampleBatch::default()
+    }
+
+    /// Builds a batch from row-form samples.
+    pub fn from_samples(samples: &[Sample]) -> Self {
+        let mut batch = SampleBatch::new();
+        for s in samples {
+            batch.push(*s);
+        }
+        batch
+    }
+
+    /// Appends one sample (scattered into the columns).
+    pub fn push(&mut self, s: Sample) {
+        self.ats.push(s.at.as_nanos());
+        for (col, &v) in self.cols.iter_mut().zip(s.values.as_array()) {
+            col.push(v);
+        }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.ats.len()
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.ats.is_empty()
+    }
+
+    /// Reassembles the row-form samples in order.
+    pub fn samples(&self) -> Vec<Sample> {
+        (0..self.len())
+            .map(|i| {
+                let mut values = [0u64; NUM_TRACKED];
+                for (v, col) in values.iter_mut().zip(&self.cols) {
+                    *v = col[i];
+                }
+                Sample {
+                    at: SimInstant::from_nanos(self.ats[i]),
+                    values: CounterSet::from_array(values),
+                }
+            })
+            .collect()
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        varint::write_u64(buf, self.len() as u64);
+        encode_column(buf, &self.ats);
+        for col in &self.cols {
+            encode_column(buf, col);
+        }
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> WireResult<Self> {
+        let count = varint::read_u64(buf, pos)?;
+        // Each sample costs at least one byte per column; reject counts the
+        // buffer cannot possibly back before allocating anything.
+        if count as u128 > (buf.len() - *pos) as u128 {
+            return Err(WireError::LengthMismatch);
+        }
+        let count = count as usize;
+        let ats = decode_column(buf, pos, count)?;
+        let mut cols: [Vec<u64>; NUM_TRACKED] = Default::default();
+        for col in &mut cols {
+            *col = decode_column(buf, pos, count)?;
+        }
+        Ok(SampleBatch { ats, cols })
+    }
+}
+
+/// One column as `first` + zigzagged delta-of-delta residuals. Wrapping
+/// arithmetic throughout: the codec is an exact bijection on any `u64`
+/// sequence, monotone or not.
+fn encode_column(buf: &mut Vec<u8>, col: &[u64]) {
+    let Some(&first) = col.first() else { return };
+    varint::write_u64(buf, first);
+    let mut prev = first;
+    let mut prev_delta = 0i64;
+    for &v in &col[1..] {
+        let delta = v.wrapping_sub(prev) as i64;
+        varint::write_i64(buf, delta.wrapping_sub(prev_delta));
+        prev = v;
+        prev_delta = delta;
+    }
+}
+
+fn decode_column(buf: &[u8], pos: &mut usize, count: usize) -> WireResult<Vec<u64>> {
+    let mut col = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(col);
+    }
+    let first = varint::read_u64(buf, pos)?;
+    col.push(first);
+    let mut prev = first;
+    let mut prev_delta = 0i64;
+    for _ in 1..count {
+        let delta = prev_delta.wrapping_add(varint::read_i64(buf, pos)?);
+        prev = prev.wrapping_add(delta as u64);
+        col.push(prev);
+        prev_delta = delta;
+    }
+    Ok(col)
+}
+
+/// Everything that can cross the link, under one version tag (see
+/// [`crate::frame::WIRE_VERSION`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Opens a session, or re-opens it after a reconnect.
+    Hello {
+        /// Random id binding both directions of the conversation.
+        session_id: u64,
+        /// The lowest client frame not yet acknowledged — where the
+        /// retransmit window restarts after a reconnect.
+        resume_from: u64,
+    },
+    /// A batch of counter samples.
+    SampleBatch(SampleBatch),
+    /// End of sampling; carries the sampler's own degradation report so
+    /// the classifier side can assemble the full session result.
+    Fin {
+        /// Cumulative sampler report at session end.
+        report: SamplerReport,
+    },
+    /// Cumulative acknowledgement: every client frame below
+    /// `next_expected` has been applied.
+    Ack {
+        /// The next client sequence number the server will apply.
+        next_expected: u64,
+    },
+    /// Presses the classifier committed since its last emission.
+    InferredKeys {
+        /// Newly committed presses, in commit order.
+        keys: Vec<InferredKey>,
+    },
+    /// Final response: the session is finished server-side.
+    FinAck {
+        /// The recovered credential (empty when inference failed).
+        recovered: String,
+    },
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_SAMPLE_BATCH: u8 = 0x02;
+const TAG_FIN: u8 = 0x03;
+const TAG_ACK: u8 = 0x04;
+const TAG_INFERRED_KEYS: u8 = 0x05;
+const TAG_FIN_ACK: u8 = 0x06;
+
+/// The [`SamplerReport`] fields in wire order. One place to keep the codec
+/// and the struct in sync.
+fn report_fields(r: &SamplerReport) -> [u64; 11] {
+    [
+        r.attempted,
+        r.acquired,
+        r.scheduler_drops,
+        r.abandoned,
+        r.transient_errors,
+        r.denied_reads,
+        r.revocations_seen,
+        r.reservation_losses,
+        r.fd_reopens,
+        r.reservations_reacquired,
+        r.retries_spent,
+    ]
+}
+
+fn report_from_fields(f: [u64; 11]) -> SamplerReport {
+    SamplerReport {
+        attempted: f[0],
+        acquired: f[1],
+        scheduler_drops: f[2],
+        abandoned: f[3],
+        transient_errors: f[4],
+        denied_reads: f[5],
+        revocations_seen: f[6],
+        reservation_losses: f[7],
+        fd_reopens: f[8],
+        reservations_reacquired: f[9],
+        retries_spent: f[10],
+    }
+}
+
+fn encode_key(buf: &mut Vec<u8>, key: &InferredKey) {
+    varint::write_u64(buf, key.at.as_nanos());
+    // decided_at trails at by microseconds-to-milliseconds: a small delta.
+    varint::write_i64(buf, key.decided_at.as_nanos().wrapping_sub(key.at.as_nanos()) as i64);
+    varint::write_u64(buf, u64::from(u32::from(key.ch)));
+    buf.push(u8::from(key.via_split));
+}
+
+fn decode_key(buf: &[u8], pos: &mut usize) -> WireResult<InferredKey> {
+    let at = varint::read_u64(buf, pos)?;
+    let decided_delta = varint::read_i64(buf, pos)?;
+    let ch = varint::read_u64(buf, pos)?;
+    let ch = u32::try_from(ch)
+        .ok()
+        .and_then(char::from_u32)
+        .ok_or(WireError::Malformed("char code point"))?;
+    let via_split = match buf.get(*pos) {
+        Some(0) => false,
+        Some(1) => true,
+        Some(_) => return Err(WireError::Malformed("via_split flag")),
+        None => return Err(WireError::Truncated),
+    };
+    *pos += 1;
+    Ok(InferredKey {
+        at: SimInstant::from_nanos(at),
+        decided_at: SimInstant::from_nanos(at.wrapping_add(decided_delta as u64)),
+        ch,
+        via_split,
+    })
+}
+
+impl Message {
+    /// Encodes the message into a payload (to be wrapped in a
+    /// [`Frame`](crate::frame::Frame)).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Message::Hello { session_id, resume_from } => {
+                buf.push(TAG_HELLO);
+                varint::write_u64(&mut buf, *session_id);
+                varint::write_u64(&mut buf, *resume_from);
+            }
+            Message::SampleBatch(batch) => {
+                buf.push(TAG_SAMPLE_BATCH);
+                batch.encode_into(&mut buf);
+            }
+            Message::Fin { report } => {
+                buf.push(TAG_FIN);
+                for field in report_fields(report) {
+                    varint::write_u64(&mut buf, field);
+                }
+            }
+            Message::Ack { next_expected } => {
+                buf.push(TAG_ACK);
+                varint::write_u64(&mut buf, *next_expected);
+            }
+            Message::InferredKeys { keys } => {
+                buf.push(TAG_INFERRED_KEYS);
+                varint::write_u64(&mut buf, keys.len() as u64);
+                for key in keys {
+                    encode_key(&mut buf, key);
+                }
+            }
+            Message::FinAck { recovered } => {
+                buf.push(TAG_FIN_ACK);
+                varint::write_u64(&mut buf, recovered.len() as u64);
+                buf.extend_from_slice(recovered.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes a payload produced by [`Message::encode`]. The whole buffer
+    /// must be consumed.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] for every malformation; this function never
+    /// panics, whatever the input bytes.
+    pub fn decode(buf: &[u8]) -> WireResult<Message> {
+        let mut pos = 0;
+        let tag = *buf.first().ok_or(WireError::Truncated)?;
+        pos += 1;
+        let message = match tag {
+            TAG_HELLO => {
+                let session_id = varint::read_u64(buf, &mut pos)?;
+                let resume_from = varint::read_u64(buf, &mut pos)?;
+                Message::Hello { session_id, resume_from }
+            }
+            TAG_SAMPLE_BATCH => Message::SampleBatch(SampleBatch::decode_from(buf, &mut pos)?),
+            TAG_FIN => {
+                let mut fields = [0u64; 11];
+                for field in &mut fields {
+                    *field = varint::read_u64(buf, &mut pos)?;
+                }
+                Message::Fin { report: report_from_fields(fields) }
+            }
+            TAG_ACK => Message::Ack { next_expected: varint::read_u64(buf, &mut pos)? },
+            TAG_INFERRED_KEYS => {
+                let count = varint::read_u64(buf, &mut pos)?;
+                // ≥ 4 bytes per key (three varints + flag).
+                if count as u128 * 4 > (buf.len() - pos) as u128 {
+                    return Err(WireError::LengthMismatch);
+                }
+                let mut keys = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    keys.push(decode_key(buf, &mut pos)?);
+                }
+                Message::InferredKeys { keys }
+            }
+            TAG_FIN_ACK => {
+                let len = varint::read_u64(buf, &mut pos)?;
+                if len as u128 > (buf.len() - pos) as u128 {
+                    return Err(WireError::LengthMismatch);
+                }
+                let end = pos + len as usize;
+                let recovered = std::str::from_utf8(&buf[pos..end])
+                    .map_err(|_| WireError::Malformed("utf-8 text"))?
+                    .to_owned();
+                pos = end;
+                Message::FinAck { recovered }
+            }
+            other => return Err(WireError::BadTag(other)),
+        };
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_ms: u64, base: u64) -> Sample {
+        let mut values = [0u64; NUM_TRACKED];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = base + i as u64 * 17;
+        }
+        Sample { at: SimInstant::from_millis(at_ms), values: CounterSet::from_array(values) }
+    }
+
+    #[test]
+    fn batch_round_trips_columnar() {
+        let samples = vec![sample(0, 5), sample(8, 5), sample(16, 900), sample(24, 901)];
+        let batch = SampleBatch::from_samples(&samples);
+        let payload = Message::SampleBatch(batch.clone()).encode();
+        match Message::decode(&payload) {
+            Ok(Message::SampleBatch(decoded)) => {
+                assert_eq!(decoded, batch);
+                assert_eq!(decoded.samples(), samples);
+            }
+            other => panic!("unexpected decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steady_grid_costs_about_a_byte_per_column_entry() {
+        // 32 samples on a clean 8 ms grid with idle counters: after the
+        // batch header every timestamp and value residual is zero → 1 byte.
+        let samples: Vec<Sample> = (0..32).map(|i| sample(i * 8, 1000)).collect();
+        let payload = Message::SampleBatch(SampleBatch::from_samples(&samples)).encode();
+        // Header + 12 columns × (first value + 31 one-byte residuals).
+        assert!(
+            payload.len() < 12 * 40 + 16,
+            "steady-state batch blew up to {} bytes",
+            payload.len()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_valid() {
+        let payload = Message::SampleBatch(SampleBatch::new()).encode();
+        assert_eq!(Message::decode(&payload), Ok(Message::SampleBatch(SampleBatch::new())));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = Message::Ack { next_expected: 3 }.encode();
+        payload.push(0);
+        assert_eq!(Message::decode(&payload), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn absurd_counts_rejected_before_allocation() {
+        // An InferredKeys message claiming u64::MAX keys in 3 bytes.
+        let mut payload = vec![TAG_INFERRED_KEYS];
+        varint::write_u64(&mut payload, u64::MAX);
+        assert_eq!(Message::decode(&payload), Err(WireError::LengthMismatch));
+        let mut payload = vec![TAG_SAMPLE_BATCH];
+        varint::write_u64(&mut payload, u64::MAX);
+        assert_eq!(Message::decode(&payload), Err(WireError::LengthMismatch));
+    }
+}

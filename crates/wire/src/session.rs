@@ -1,0 +1,767 @@
+//! The resilient split session: [`ExfilClient`] on the victim device,
+//! [`ClassifierServer`] offsite, and [`run_split_session`] driving both over
+//! a [`SimTransport`].
+//!
+//! # Reliability model
+//!
+//! The client owns a reliable byte-free *frame* stream: every data frame
+//! ([`Message::SampleBatch`], [`Message::Fin`]) carries a dense sequence
+//! number starting at 0. The server acknowledges cumulatively
+//! ([`Message::Ack`] carries the next sequence number it is missing) and
+//! resequences out-of-order arrivals in a bounded buffer. The client
+//! retransmits unacked frames on a capped exponential backoff and, when the
+//! oldest unacked frame has been retransmitted [`ExfilConfig::reconnect_after`]
+//! times without progress (the signature of a link outage rather than
+//! sporadic loss), performs a reconnect: a fresh [`Message::Hello`] carrying
+//! `resume_from` — the oldest unacked sequence number — which the server
+//! answers with its actual `next_expected`, snapping both ends back into
+//! agreement.
+//!
+//! Control frames (Hello, Ack) travel *outside* the data sequence space
+//! under [`CONTROL_SEQ`]: they are idempotent and applied on arrival, so a
+//! duplicated or reordered Hello can never wedge the resequencer.
+//!
+//! Server → client traffic ([`Message::InferredKeys`] as presses commit,
+//! [`Message::FinAck`] with the recovered credential) uses the server's own
+//! data sequence space; the client discards duplicates by sequence number.
+//! `InferredKeys` frames are fire-and-forget (a lost one costs a latency
+//! datapoint, nothing else), while the `FinAck` is re-sent every time a
+//! retransmitted `Fin` arrives, so the handshake always terminates.
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use android_ui::UiSimulation;
+use gpu_sc_attack::online::InferredKey;
+use gpu_sc_attack::sampler::{Sampler, SamplerReport};
+use gpu_sc_attack::service::{
+    AttackService, LinkDegradationReport, ServiceError, SessionResult, StreamingSession,
+};
+use gpu_sc_attack::stage::Stage;
+use gpu_sc_attack::trace::Sample;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::frame::Frame;
+use crate::message::{Message, SampleBatch};
+use crate::transport::{Direction, LinkPlan, SimTransport, TransportStats};
+
+/// The sequence number reserved for control frames (Hello, Ack), which live
+/// outside the resequenced data stream.
+pub const CONTROL_SEQ: u64 = u64::MAX;
+
+/// Tuning for the client side of the split session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExfilConfig {
+    /// Samples per [`Message::SampleBatch`] frame.
+    pub batch_samples: usize,
+    /// Maximum unacknowledged data frames in flight; further frames queue
+    /// locally (backpressure) until acks open the window.
+    pub window: usize,
+    /// First retransmit timeout; doubles per retransmit of the same frame.
+    pub retransmit_after: SimDuration,
+    /// Ceiling on the per-frame retransmit backoff.
+    pub max_retransmit_backoff: SimDuration,
+    /// Retransmits of the *oldest* unacked frame before the client declares
+    /// the link down and reconnects.
+    pub reconnect_after: u32,
+    /// How long past the end of sampling the driver keeps pumping the link
+    /// waiting for the final handshake.
+    pub drain_timeout: SimDuration,
+}
+
+impl Default for ExfilConfig {
+    fn default() -> Self {
+        ExfilConfig {
+            batch_samples: 32,
+            window: 8,
+            retransmit_after: SimDuration::from_millis(30),
+            max_retransmit_backoff: SimDuration::from_millis(500),
+            reconnect_after: 4,
+            drain_timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// A [`Stage`] that packs samples into fixed-size [`Message::SampleBatch`]
+/// frames; `finish` flushes the partial tail batch.
+#[derive(Debug)]
+pub struct BatchStage {
+    capacity: usize,
+    staging: SampleBatch,
+}
+
+impl BatchStage {
+    /// A stage emitting one message per `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        BatchStage { capacity: capacity.max(1), staging: SampleBatch::new() }
+    }
+}
+
+impl Stage for BatchStage {
+    type In = Sample;
+    type Out = Message;
+
+    fn push(&mut self, input: Sample, out: &mut Vec<Message>) {
+        self.staging.push(input);
+        if self.staging.len() >= self.capacity {
+            out.push(Message::SampleBatch(std::mem::take(&mut self.staging)));
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Message>) {
+        if !self.staging.is_empty() {
+            out.push(Message::SampleBatch(std::mem::take(&mut self.staging)));
+        }
+    }
+}
+
+/// A [`Stage`] that restores sequence order over a lossy arrival stream:
+/// frames are released strictly in sequence, duplicates are discarded, and
+/// early arrivals wait in a bounded buffer. Feeds the receive side of
+/// [`ClassifierServer`].
+#[derive(Debug, Default)]
+pub struct ResequenceStage {
+    next_expected: u64,
+    buffer: BTreeMap<u64, Message>,
+    /// Duplicate frames discarded by sequence number.
+    pub duplicates_discarded: u64,
+    /// Frames that arrived ahead of sequence and were buffered.
+    pub reorders_observed: u64,
+}
+
+impl ResequenceStage {
+    /// The next sequence number the stage is waiting for (the cumulative
+    /// ack value).
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+}
+
+impl Stage for ResequenceStage {
+    type In = Frame;
+    type Out = Message;
+
+    fn push(&mut self, input: Frame, out: &mut Vec<Message>) {
+        if input.seq < self.next_expected || self.buffer.contains_key(&input.seq) {
+            self.duplicates_discarded += 1;
+            return;
+        }
+        // The payload was already decoded once by the server to classify
+        // control vs data; decoding again here keeps the stage self-contained.
+        let Ok(msg) = Message::decode(&input.payload) else {
+            return;
+        };
+        if input.seq > self.next_expected {
+            self.reorders_observed += 1;
+            self.buffer.insert(input.seq, msg);
+            return;
+        }
+        self.next_expected += 1;
+        out.push(msg);
+        while let Some(msg) = self.buffer.remove(&self.next_expected) {
+            self.next_expected += 1;
+            out.push(msg);
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Vec<Message>) {
+        // Frames still gapped at end of session are lost for good; the
+        // buffer is intentionally not flushed out of order.
+        self.buffer.clear();
+    }
+}
+
+#[derive(Debug)]
+struct PendingFrame {
+    seq: u64,
+    datagram: Vec<u8>,
+    payload_len: u64,
+    /// `None` until first transmission (backpressure keeps it queued).
+    last_sent: Option<SimInstant>,
+    backoff: SimDuration,
+    retransmits: u32,
+}
+
+/// The on-device half: packs samples into frames, keeps the reliable
+/// stream's send window, retransmits, and reconnects through outages.
+#[derive(Debug)]
+pub struct ExfilClient {
+    config: ExfilConfig,
+    session_id: u64,
+    batcher: BatchStage,
+    staged: Vec<Message>,
+    pending: VecDeque<PendingFrame>,
+    next_seq: u64,
+    /// Lowest data seq not yet acknowledged by the server.
+    acked_to: u64,
+    finished: bool,
+    done: bool,
+    recovered: Option<String>,
+    server_seen: BTreeSet<u64>,
+    key_arrivals: Vec<(InferredKey, SimInstant)>,
+    link: LinkDegradationReport,
+}
+
+impl ExfilClient {
+    /// A client for one session. `session_id` only needs to be unique per
+    /// transport.
+    pub fn new(config: ExfilConfig, session_id: u64) -> Self {
+        ExfilClient {
+            config,
+            session_id,
+            batcher: BatchStage::new(config.batch_samples),
+            staged: Vec::new(),
+            pending: VecDeque::new(),
+            next_seq: 0,
+            acked_to: 0,
+            finished: false,
+            done: false,
+            recovered: None,
+            server_seen: BTreeSet::new(),
+            key_arrivals: Vec::new(),
+            link: LinkDegradationReport::default(),
+        }
+    }
+
+    /// Opens the session: sends the initial Hello control frame.
+    pub fn connect(&mut self, transport: &mut SimTransport, now: SimInstant) {
+        self.send_control(
+            transport,
+            now,
+            Message::Hello { session_id: self.session_id, resume_from: 0 },
+        );
+    }
+
+    /// Stages one counter sample for exfiltration.
+    pub fn push_sample(&mut self, sample: Sample) {
+        let mut staged = std::mem::take(&mut self.staged);
+        self.batcher.push(sample, &mut staged);
+        self.staged = staged;
+        self.enqueue_staged();
+    }
+
+    /// Ends sampling: flushes the tail batch and queues the Fin frame
+    /// carrying the sampler's report.
+    pub fn finish_sampling(&mut self, report: &SamplerReport) {
+        assert!(!self.finished, "finish_sampling called twice");
+        self.finished = true;
+        let mut staged = std::mem::take(&mut self.staged);
+        self.batcher.finish(&mut staged);
+        staged.push(Message::Fin { report: *report });
+        self.staged = staged;
+        self.enqueue_staged();
+    }
+
+    /// Whether the final handshake completed (FinAck received).
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// The credential text the server reported back, once done.
+    pub fn recovered(&self) -> Option<&str> {
+        self.recovered.as_deref()
+    }
+
+    /// Presses streamed back by the server, stamped with their sim-time of
+    /// arrival at the client — the end-to-end press-to-inference latency
+    /// source.
+    pub fn key_arrivals(&self) -> &[(InferredKey, SimInstant)] {
+        &self.key_arrivals
+    }
+
+    /// The client's half of the link degradation tally.
+    pub fn link_report(&self) -> LinkDegradationReport {
+        self.link
+    }
+
+    fn enqueue_staged(&mut self) {
+        for msg in self.staged.drain(..) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let payload = msg.encode();
+            let payload_len = payload.len() as u64;
+            let datagram = Frame::new(seq, payload).encode();
+            self.pending.push_back(PendingFrame {
+                seq,
+                datagram,
+                payload_len,
+                last_sent: None,
+                backoff: self.config.retransmit_after,
+                retransmits: 0,
+            });
+        }
+    }
+
+    fn send_control(&mut self, transport: &mut SimTransport, now: SimInstant, msg: Message) {
+        let datagram = Frame::new(CONTROL_SEQ, msg.encode()).encode();
+        self.link.frames_sent += 1;
+        self.link.bytes_sent += datagram.len() as u64;
+        transport.send(Direction::ToServer, now, datagram);
+    }
+
+    /// One scheduling round: absorb server traffic, transmit what the
+    /// window allows, retransmit what timed out, reconnect if the link
+    /// looks dead. Call at every sample slot and on a coarse tick while
+    /// draining.
+    pub fn pump(&mut self, transport: &mut SimTransport, now: SimInstant) {
+        for datagram in transport.recv(Direction::ToClient, now) {
+            self.absorb(&datagram, now);
+        }
+        if self.done {
+            return;
+        }
+        // First transmissions, bounded by the send window.
+        let in_flight = self.pending.iter().filter(|p| p.last_sent.is_some()).count();
+        let mut budget = self.config.window.saturating_sub(in_flight);
+        for p in self.pending.iter_mut() {
+            if budget == 0 {
+                break;
+            }
+            if p.last_sent.is_none() {
+                p.last_sent = Some(now);
+                self.link.frames_sent += 1;
+                self.link.bytes_sent += p.datagram.len() as u64;
+                transport.send(Direction::ToServer, now, p.datagram.clone());
+                budget -= 1;
+            }
+        }
+        // Retransmissions on capped exponential backoff.
+        let mut reconnect = false;
+        let max_backoff = self.config.max_retransmit_backoff;
+        let mut resend: Vec<Vec<u8>> = Vec::new();
+        for (i, p) in self.pending.iter_mut().enumerate() {
+            let Some(sent_at) = p.last_sent else { continue };
+            if now.saturating_since(sent_at) < p.backoff {
+                continue;
+            }
+            p.last_sent = Some(now);
+            p.backoff = (p.backoff * 2).min(max_backoff);
+            p.retransmits += 1;
+            self.link.frames_sent += 1;
+            self.link.retransmits += 1;
+            self.link.bytes_sent += p.datagram.len() as u64;
+            resend.push(p.datagram.clone());
+            if i == 0 && p.retransmits >= self.config.reconnect_after {
+                reconnect = true;
+                p.retransmits = 0;
+            }
+        }
+        for datagram in resend {
+            transport.send(Direction::ToServer, now, datagram);
+        }
+        if reconnect {
+            // The oldest unacked frame has been retransmitted into the void
+            // repeatedly: assume an outage ended state agreement and re-open
+            // the session from our low-water mark. The server's Ack reply
+            // restores a shared view of `next_expected`.
+            self.link.reconnects += 1;
+            self.send_control(
+                transport,
+                now,
+                Message::Hello { session_id: self.session_id, resume_from: self.acked_to },
+            );
+        }
+    }
+
+    fn absorb(&mut self, datagram: &[u8], now: SimInstant) {
+        let Ok(frame) = Frame::decode(datagram) else {
+            self.link.frames_corrupt += 1;
+            return;
+        };
+        let Ok(msg) = Message::decode(&frame.payload) else {
+            self.link.frames_corrupt += 1;
+            return;
+        };
+        if frame.seq != CONTROL_SEQ {
+            // Server data frame: dedup by seq.
+            if !self.server_seen.insert(frame.seq) {
+                self.link.duplicates_discarded += 1;
+                return;
+            }
+        }
+        match msg {
+            Message::Ack { next_expected } => {
+                if next_expected > self.acked_to {
+                    self.acked_to = next_expected;
+                }
+                while self.pending.front().is_some_and(|p| p.seq < self.acked_to) {
+                    let p = self.pending.pop_front().expect("checked front");
+                    self.link.bytes_acked += p.payload_len;
+                }
+            }
+            Message::InferredKeys { keys } => {
+                for key in keys {
+                    self.key_arrivals.push((key, now));
+                }
+            }
+            Message::FinAck { recovered } => {
+                self.recovered = Some(recovered);
+                self.done = true;
+                self.pending.clear();
+            }
+            // Client-bound messages only; anything else is a peer bug, not
+            // link damage — drop it.
+            Message::Hello { .. } | Message::SampleBatch(_) | Message::Fin { .. } => {}
+        }
+    }
+}
+
+/// The offsite half: reassembles the sample stream off the wire, feeds the
+/// incremental pipeline, streams presses back as they commit, and finishes
+/// the session when Fin arrives.
+pub struct ClassifierServer<'s> {
+    service: &'s AttackService,
+    session: Option<StreamingSession<'s>>,
+    resequencer: ResequenceStage,
+    inbox: Vec<Message>,
+    fresh_keys: Vec<InferredKey>,
+    streamed_keys: u64,
+    next_out_seq: u64,
+    finack: Option<Vec<u8>>,
+    result: Option<Result<SessionResult, ServiceError>>,
+    link: LinkDegradationReport,
+}
+
+impl<'s> ClassifierServer<'s> {
+    /// A server analysing one session with `service`'s models and config.
+    pub fn new(service: &'s AttackService) -> Self {
+        ClassifierServer {
+            service,
+            session: None,
+            resequencer: ResequenceStage::default(),
+            inbox: Vec::new(),
+            fresh_keys: Vec::new(),
+            streamed_keys: 0,
+            next_out_seq: 0,
+            finack: None,
+            result: None,
+            link: LinkDegradationReport::default(),
+        }
+    }
+
+    /// The finished session result, once Fin has been processed.
+    pub fn result(&self) -> Option<&Result<SessionResult, ServiceError>> {
+        self.result.as_ref()
+    }
+
+    /// Count of presses streamed back over the wire so far.
+    pub fn keys_streamed(&self) -> u64 {
+        self.streamed_keys
+    }
+
+    /// The server's half of the link degradation tally.
+    pub fn link_report(&self) -> LinkDegradationReport {
+        let mut link = self.link;
+        link.duplicates_discarded += self.resequencer.duplicates_discarded;
+        link.reorders_observed += self.resequencer.reorders_observed;
+        link
+    }
+
+    /// Receives everything due on the transport and answers it.
+    pub fn pump(&mut self, transport: &mut SimTransport, now: SimInstant) {
+        let datagrams = transport.recv(Direction::ToServer, now);
+        for datagram in datagrams {
+            self.handle(&datagram, transport, now);
+        }
+    }
+
+    fn send(&mut self, transport: &mut SimTransport, now: SimInstant, datagram: Vec<u8>) {
+        self.link.frames_sent += 1;
+        self.link.bytes_sent += datagram.len() as u64;
+        transport.send(Direction::ToClient, now, datagram);
+    }
+
+    fn send_data(
+        &mut self,
+        transport: &mut SimTransport,
+        now: SimInstant,
+        msg: &Message,
+    ) -> Vec<u8> {
+        let seq = self.next_out_seq;
+        self.next_out_seq += 1;
+        let datagram = Frame::new(seq, msg.encode()).encode();
+        self.send(transport, now, datagram.clone());
+        datagram
+    }
+
+    fn send_ack(&mut self, transport: &mut SimTransport, now: SimInstant) {
+        let msg = Message::Ack { next_expected: self.resequencer.next_expected() };
+        let datagram = Frame::new(CONTROL_SEQ, msg.encode()).encode();
+        self.send(transport, now, datagram);
+    }
+
+    fn handle(&mut self, datagram: &[u8], transport: &mut SimTransport, now: SimInstant) {
+        let Ok(frame) = Frame::decode(datagram) else {
+            self.link.frames_corrupt += 1;
+            return;
+        };
+        if frame.seq == CONTROL_SEQ {
+            match Message::decode(&frame.payload) {
+                Ok(Message::Hello { .. }) => {
+                    // Initial open or reconnect-resume: both are answered
+                    // with where the data stream actually stands. The
+                    // session itself is created lazily on first data.
+                    self.ensure_session();
+                    self.send_ack(transport, now);
+                }
+                Ok(_) => {}
+                Err(_) => self.link.frames_corrupt += 1,
+            }
+            return;
+        }
+        if Message::decode(&frame.payload).is_err() {
+            self.link.frames_corrupt += 1;
+            return;
+        }
+        let before = self.resequencer.next_expected();
+        let was_duplicate_fin = frame.seq < before && self.finack.is_some();
+        let mut inbox = std::mem::take(&mut self.inbox);
+        self.resequencer.push(frame, &mut inbox);
+        for msg in inbox.drain(..) {
+            self.apply(msg, transport, now);
+        }
+        self.inbox = inbox;
+        self.send_ack(transport, now);
+        if was_duplicate_fin {
+            // A retransmitted Fin means our FinAck was lost: re-send the
+            // exact same frame (the client dedups it by seq).
+            if let Some(datagram) = self.finack.clone() {
+                self.send(transport, now, datagram);
+            }
+        }
+    }
+
+    fn ensure_session(&mut self) {
+        if self.session.is_none() && self.result.is_none() {
+            self.session = Some(self.service.streaming_session());
+        }
+    }
+
+    fn apply(&mut self, msg: Message, transport: &mut SimTransport, now: SimInstant) {
+        match msg {
+            Message::SampleBatch(batch) => {
+                self.ensure_session();
+                let Some(session) = self.session.as_mut() else { return };
+                for sample in batch.samples() {
+                    session.push_sample(sample);
+                }
+                let mut fresh = std::mem::take(&mut self.fresh_keys);
+                session.drain_new_keys(&mut fresh);
+                if !fresh.is_empty() {
+                    self.streamed_keys += fresh.len() as u64;
+                    let msg = Message::InferredKeys { keys: std::mem::take(&mut fresh) };
+                    self.send_data(transport, now, &msg);
+                }
+                self.fresh_keys = fresh;
+            }
+            Message::Fin { report } => {
+                self.ensure_session();
+                let Some(session) = self.session.take() else { return };
+                let result = session.finish(&report);
+                let recovered = match &result {
+                    Ok(r) => r.recovered_text.clone(),
+                    Err(_) => String::new(),
+                };
+                self.result = Some(result);
+                let msg = Message::FinAck { recovered };
+                let datagram = self.send_data(transport, now, &msg);
+                self.finack = Some(datagram);
+            }
+            // Server-bound messages only; Hello is handled before
+            // resequencing and the rest are peer bugs — drop them.
+            Message::Hello { .. }
+            | Message::Ack { .. }
+            | Message::InferredKeys { .. }
+            | Message::FinAck { .. } => {}
+        }
+    }
+}
+
+/// Everything a split session produced, beyond the [`SessionResult`] itself.
+#[derive(Debug)]
+pub struct SplitOutcome {
+    /// The server-side session result with the folded
+    /// [`LinkDegradationReport`] (client + server + transport tallies).
+    pub result: SessionResult,
+    /// The credential text that actually crossed the wire in the FinAck
+    /// (None when the final handshake never completed).
+    pub recovered_over_wire: Option<String>,
+    /// Presses streamed back to the client, with client-side arrival times.
+    pub key_arrivals: Vec<(InferredKey, SimInstant)>,
+    /// Raw transport tallies.
+    pub transport: TransportStats,
+    /// Whether the client saw the FinAck before the drain deadline.
+    pub completed: bool,
+}
+
+/// Folds the client, server, and transport tallies into one report.
+fn fold_link(
+    client: LinkDegradationReport,
+    server: LinkDegradationReport,
+    transport: TransportStats,
+) -> LinkDegradationReport {
+    LinkDegradationReport {
+        frames_sent: client.frames_sent + server.frames_sent,
+        retransmits: client.retransmits + server.retransmits,
+        frames_dropped: transport.dropped,
+        frames_corrupt: client.frames_corrupt + server.frames_corrupt,
+        duplicates_discarded: client.duplicates_discarded + server.duplicates_discarded,
+        reorders_observed: client.reorders_observed + server.reorders_observed,
+        reconnects: client.reconnects,
+        bytes_sent: client.bytes_sent + server.bytes_sent,
+        bytes_acked: client.bytes_acked,
+    }
+}
+
+/// Runs one eavesdropping session split across the wire: the sampler and
+/// [`ExfilClient`] on the device side, the [`ClassifierServer`] behind the
+/// transport, both pumped in lock-step with the simulation clock.
+///
+/// Under a fault-free [`LinkPlan`] the returned [`SessionResult`] is
+/// identical to [`AttackService::eavesdrop`] on the same seed, except for
+/// the populated `link` field. Under a lossy plan the session still
+/// completes — retransmits, resequencing, and reconnects absorb the damage
+/// and the `link` report says how much there was.
+///
+/// # Errors
+///
+/// Exactly the in-process contract: [`ServiceError::Device`] when sampling
+/// never acquired anything, [`ServiceError::UnrecognisedDevice`] /
+/// [`ServiceError::LaunchNotDetected`] from the analysis half. Link damage
+/// is *never* an error.
+pub fn run_split_session(
+    service: &AttackService,
+    sim: &mut UiSimulation,
+    until: SimInstant,
+    plan: &LinkPlan,
+    config: ExfilConfig,
+) -> Result<SplitOutcome, ServiceError> {
+    let mut span = spansight::span("wire", "session.split");
+    span.sim_range(sim.now().as_nanos(), until.as_nanos());
+    let mut transport = SimTransport::new(plan);
+    let mut client = ExfilClient::new(config, plan.seed);
+    let mut server = ClassifierServer::new(service);
+
+    let mut sampler = Sampler::open(sim.device(), service.config().sampler)?;
+    let mut stream = sampler.start_stream(sim, until);
+    client.connect(&mut transport, sim.now());
+    while let Some(sample) = sampler.next_sample(&mut stream, sim) {
+        client.push_sample(sample);
+        client.pump(&mut transport, sim.now());
+        server.pump(&mut transport, sim.now());
+    }
+    sampler.finish_stream(stream)?;
+    client.finish_sampling(&sampler.report());
+
+    // Drain: sampling is over, but frames are still in flight. Keep pumping
+    // on a coarse tick until the final handshake lands or the budget runs
+    // out (the retransmit/reconnect machinery needs the clock to advance).
+    let deadline = sim.now() + config.drain_timeout;
+    let tick = SimDuration::from_millis(5);
+    while !client.done() && sim.now() < deadline {
+        let next = (sim.now() + tick).min(deadline);
+        sim.advance_to(next);
+        client.pump(&mut transport, sim.now());
+        server.pump(&mut transport, sim.now());
+    }
+
+    let completed = client.done();
+    if !completed {
+        spansight::count("wire.session.drain_timeouts", 1);
+    }
+    let result = match server.result.take() {
+        Some(result) => result,
+        // The Fin never got through even after the drain budget — the link
+        // was effectively one-way-dead. Salvage the session from whatever
+        // samples did arrive rather than erroring out.
+        None => match server.session.take() {
+            Some(session) => session.finish(&sampler.report()),
+            None => service.streaming_session().finish(&sampler.report()),
+        },
+    };
+    let mut result = result?;
+    result.link = fold_link(client.link_report(), server.link_report(), transport.stats());
+    spansight::count("wire.session.frames_sent", result.link.frames_sent);
+    spansight::count("wire.session.retransmits", result.link.retransmits);
+    spansight::count("wire.session.reconnects", result.link.reconnects);
+    Ok(SplitOutcome {
+        result,
+        recovered_over_wire: client.recovered.clone(),
+        key_arrivals: std::mem::take(&mut client.key_arrivals),
+        transport: transport.stats(),
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adreno_sim::counters::CounterSet;
+
+    fn sample(ms: u64, base: u64) -> Sample {
+        let mut values = [0u64; adreno_sim::counters::NUM_TRACKED];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = base + i as u64;
+        }
+        Sample { at: SimInstant::from_millis(ms), values: CounterSet::from_array(values) }
+    }
+
+    #[test]
+    fn batch_stage_packs_and_flushes() {
+        let mut stage = BatchStage::new(3);
+        let mut out = Vec::new();
+        for i in 0..7u64 {
+            stage.push(sample(i, i * 100), &mut out);
+        }
+        stage.finish(&mut out);
+        let lens: Vec<usize> = out
+            .iter()
+            .map(|m| match m {
+                Message::SampleBatch(b) => b.len(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(lens, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn resequencer_restores_order_and_counts() {
+        let frame = |seq: u64| Frame::new(seq, Message::Ack { next_expected: seq }.encode());
+        let mut stage = ResequenceStage::default();
+        let mut out = Vec::new();
+        stage.push(frame(1), &mut out); // early: buffered
+        assert!(out.is_empty());
+        stage.push(frame(0), &mut out); // releases 0 then 1
+        assert_eq!(out.len(), 2);
+        stage.push(frame(0), &mut out); // duplicate
+        assert_eq!(stage.duplicates_discarded, 1);
+        assert_eq!(stage.reorders_observed, 1);
+        assert_eq!(stage.next_expected(), 2);
+    }
+
+    #[test]
+    fn client_retransmits_then_reconnects() {
+        // A plan whose outage swallows the first transmissions.
+        let plan = LinkPlan::new(5);
+        let mut transport = SimTransport::new(&plan);
+        let config = ExfilConfig {
+            retransmit_after: SimDuration::from_millis(10),
+            reconnect_after: 2,
+            ..ExfilConfig::default()
+        };
+        let mut client = ExfilClient::new(config, 1);
+        for i in 0..config.batch_samples {
+            client.push_sample(sample(i as u64, 10));
+        }
+        let t0 = SimInstant::from_millis(0);
+        client.pump(&mut transport, t0);
+        // Discard everything the transport carries so no acks ever return,
+        // then let the retransmit clock run.
+        for step in 1..20u64 {
+            let now = t0 + SimDuration::from_millis(step * 15);
+            transport.recv(Direction::ToServer, now).clear();
+            client.pump(&mut transport, now);
+        }
+        let link = client.link_report();
+        assert!(link.retransmits >= 2, "{link}");
+        assert!(link.reconnects >= 1, "silence must trigger a reconnect: {link}");
+    }
+}

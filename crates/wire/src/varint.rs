@@ -1,0 +1,123 @@
+//! LEB128 varints and zigzag mapping.
+//!
+//! Counter deltas are tiny most of the time (an idle screen changes
+//! nothing), so the batch encoding leans entirely on unsigned LEB128 with
+//! zigzag for the signed delta-of-delta residuals: one byte for anything in
+//! `[-64, 63]`, two up to `[-8192, 8191]`, and so on.
+
+use crate::error::{WireError, WireResult};
+
+/// Appends `v` to `buf` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `buf` at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the buffer ends mid-varint;
+/// [`WireError::VarintOverflow`] when the encoding runs past 10 bytes or
+/// carries bits beyond a `u64`.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> WireResult<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+/// Zigzag-maps a signed value to unsigned so small magnitudes of either
+/// sign encode in few varint bytes.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a zigzagged signed varint.
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, zigzag(v));
+}
+
+/// Reads a zigzagged signed varint.
+///
+/// # Errors
+///
+/// Same as [`read_u64`].
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> WireResult<i64> {
+    read_u64(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            buf.clear();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_round_trips() {
+        let mut buf = Vec::new();
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            buf.clear();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos), Ok(v));
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_are_one_byte() {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, -64);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_i64(&mut buf, 63);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_and_overlong_are_errors() {
+        assert_eq!(read_u64(&[0x80], &mut 0), Err(WireError::Truncated));
+        assert_eq!(read_u64(&[], &mut 0), Err(WireError::Truncated));
+        let overlong = [0xff; 11];
+        assert_eq!(read_u64(&overlong, &mut 0), Err(WireError::VarintOverflow));
+        // 10 bytes whose top byte carries bits beyond 2^64.
+        let too_big = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert_eq!(read_u64(&too_big, &mut 0), Err(WireError::VarintOverflow));
+    }
+}

@@ -9,6 +9,7 @@
 //! * [`input_bot`] — human typing models and scripted user sessions.
 //! * [`attack`] (crate `gpu-sc-attack`) — the paper's attack end to end.
 //! * [`baseline`] — the coarse GPU-workload comparison attack (Table 2).
+//! * [`wire`] — the exfiltration wire protocol and split-session driver.
 
 pub use adreno_sim;
 pub use android_ui;
@@ -16,3 +17,4 @@ pub use baseline;
 pub use gpu_sc_attack as attack;
 pub use input_bot;
 pub use kgsl;
+pub use wire;

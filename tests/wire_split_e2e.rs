@@ -1,0 +1,135 @@
+//! Split-session equivalence over a live lossy transport (the `wire`
+//! crate's contract).
+//!
+//! The reliability layer promises *exactly-once, in-order* delivery of the
+//! sample stream to the classifier regardless of what the link does to
+//! individual datagrams. The consequence under test: the final inferred
+//! credential from a split session must match the in-process pipeline for
+//! every seeded loss/reorder/duplication/truncation/outage plan — link
+//! damage shows up in the [`LinkDegradationReport`], never in the result.
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::android_ui::{SimConfig, UiSimulation};
+use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::service::{AttackService, ServiceConfig, SessionResult};
+use gpu_eaves::input_bot::script::Typist;
+use gpu_eaves::input_bot::timing::VOLUNTEERS;
+use gpu_eaves::wire::{run_split_session, ExfilConfig, LinkPlan, SplitOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn single_store() -> ModelStore {
+    let cfg = SimConfig::paper_default(0);
+    let mut store = ModelStore::new();
+    store.add(Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app));
+    store
+}
+
+/// Builds the identically-seeded victim used by both drivers.
+fn victim(seed: u64) -> (UiSimulation, SimInstant) {
+    let mut sim = UiSimulation::new(SimConfig::paper_default(seed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut typist = Typist::new(VOLUNTEERS[seed as usize % VOLUNTEERS.len()]);
+    let plan = typist.type_text("hunter2pass", SimInstant::from_millis(900), &mut rng);
+    let end = plan.end + SimDuration::from_millis(800);
+    sim.queue_all(plan.events);
+    (sim, end)
+}
+
+fn run_in_process(store: &ModelStore, seed: u64) -> SessionResult {
+    let (mut sim, end) = victim(seed);
+    let service = AttackService::new(store.clone(), ServiceConfig::default());
+    service.eavesdrop(&mut sim, end).expect("in-process session")
+}
+
+fn run_split(store: &ModelStore, seed: u64, plan: &LinkPlan) -> SplitOutcome {
+    let (mut sim, end) = victim(seed);
+    let service = AttackService::new(store.clone(), ServiceConfig::default());
+    run_split_session(&service, &mut sim, end, plan, ExfilConfig::default())
+        .expect("split session must complete, not error, under link damage")
+}
+
+#[test]
+fn fault_free_transport_is_byte_identical_to_in_process() {
+    let store = single_store();
+    for seed in [80u64, 81] {
+        let inproc = run_in_process(&store, seed);
+        let outcome = run_split(&store, seed, &LinkPlan::new(seed));
+        assert!(
+            outcome.result.link.is_clean(),
+            "fault-free link must report clean (seed {seed}): {}",
+            outcome.result.link
+        );
+        assert!(outcome.completed, "fault-free handshake must finish (seed {seed})");
+        let mut delinked = outcome.result.clone();
+        delinked.link = Default::default();
+        assert_eq!(delinked, inproc, "fault-free split diverged from in-process (seed {seed})");
+        assert_eq!(
+            outcome.recovered_over_wire.as_deref(),
+            Some(inproc.recovered_text.as_str()),
+            "FinAck text must be the recovered credential (seed {seed})"
+        );
+        assert!(
+            !inproc.recovered_text.is_empty(),
+            "vacuous equivalence: nothing was recovered (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn every_seeded_lossy_plan_completes_and_matches() {
+    let store = single_store();
+    let seed = 90u64;
+    let inproc = run_in_process(&store, seed);
+    assert!(!inproc.recovered_text.is_empty(), "baseline must recover text");
+
+    let horizon = SimDuration::from_secs(8);
+    let matrix: Vec<(&str, LinkPlan)> = vec![
+        ("loss", LinkPlan::new(7).with_loss(0.25)),
+        ("reorder", LinkPlan::new(8).with_reorder(0.4)),
+        ("duplication", LinkPlan::new(9).with_duplication(0.3)),
+        ("truncation", LinkPlan::new(10).with_truncation(0.25)),
+        (
+            "outages",
+            LinkPlan::new(11)
+                .with_outages(SimDuration::from_secs(2), SimDuration::from_millis(400)),
+        ),
+        ("everything-0.5", LinkPlan::with_intensity(12, 0.5, horizon)),
+        ("everything-0.9", LinkPlan::with_intensity(13, 0.9, horizon)),
+    ];
+
+    for (name, plan) in &matrix {
+        let outcome = run_split(&store, seed, plan);
+        // Exactly-once in-order delivery: the analysis half must be
+        // oblivious to the link, so the whole result matches modulo the
+        // degradation tally.
+        let mut delinked = outcome.result.clone();
+        delinked.link = Default::default();
+        assert_eq!(
+            delinked, inproc,
+            "plan '{name}' changed the inferred result — the reliability layer leaked"
+        );
+        assert!(
+            !outcome.result.link.is_clean(),
+            "plan '{name}' was supposed to damage the link but the report is clean: {}",
+            outcome.result.link
+        );
+        assert!(
+            outcome.result.link.frames_sent > 0 && outcome.result.link.bytes_acked > 0,
+            "plan '{name}' report looks unpopulated: {}",
+            outcome.result.link
+        );
+    }
+}
+
+#[test]
+fn same_link_plan_replays_identically() {
+    let store = single_store();
+    let plan = LinkPlan::with_intensity(21, 0.7, SimDuration::from_secs(8));
+    let a = run_split(&store, 91, &plan);
+    let b = run_split(&store, 91, &plan);
+    assert_eq!(a.result, b.result, "seeded link plans must replay bit for bit");
+    assert_eq!(a.transport, b.transport);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.key_arrivals, b.key_arrivals);
+}
