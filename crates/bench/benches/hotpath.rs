@@ -1,15 +1,24 @@
-//! Micro-benchmarks of the data-oriented hot-path rewrite, pairing each
-//! optimised stage with its reference implementation:
+//! Micro-benchmarks of the hot-path kernels, pairing each optimised stage
+//! with a reference implementation *in the same binary and run*:
 //!
-//! * nearest-centroid classification — naive full-distance scan vs the
-//!   prepared-centroid search with partial-distance early exit;
-//! * delta extraction — an AoS walk over materialised samples vs the
-//!   columnar batch extractor on the SoA trace;
-//! * the sampling read loop — a per-read allocated request vector vs the
+//! * nearest-centroid classification — naive full-distance scan, the
+//!   PR 5-era scalar pruned scan (retained verbatim below), and the current
+//!   pre-whitened `simdlite` kernel scan with the norm-gap prescreen;
+//! * batched classification — per-delta `classify` calls vs one row-outer
+//!   `classify_batch` pass over the same burst;
+//! * delta extraction — the AoS streaming stage, the PR 5-era row-major
+//!   batch pass (retained verbatim), and the current regime-adaptive
+//!   extractor, on a dense synthetic trace *and* on a paper-regime
+//!   idle-dominated trace (5–8 ms sampling vs ~250 ms keystroke spacing);
+//! * the sampling read loop — per-read allocated request vector vs the
 //!   sampler's reusable scratch buffer.
 //!
-//! Every pair is semantically equivalent (pinned by proptests in
-//! `crates/core/tests/proptests.rs`); these benches quantify the win.
+//! The references are compiled into this bench rather than compared against
+//! recorded numbers because the host measurably drifts between runs; only
+//! same-run ratios are trustworthy. Optimised/reference pairs are
+//! semantically equivalent (pinned by proptests in
+//! `crates/core/tests/proptests.rs`; the integer extraction pairs are also
+//! asserted bit-equal right here).
 
 use adreno_sim::counters::{CounterSet, ALL_TRACKED, NUM_TRACKED};
 use adreno_sim::time::SimInstant;
@@ -18,8 +27,11 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gpu_sc_attack::offline::{Trainer, TrainerConfig};
 use gpu_sc_attack::sampler::{Sampler, SamplerConfig};
 use gpu_sc_attack::stage::Stage;
-use gpu_sc_attack::trace::{extract_deltas_with_resets, DeltaStage, Sample, Trace};
-use gpu_sc_attack::ClassifierModel;
+use gpu_sc_attack::trace::{
+    extract_deltas_with_resets, extract_deltas_with_resets_scratch, Delta, DeltaStage,
+    ExtractScratch, Sample, Trace,
+};
+use gpu_sc_attack::{BatchScratch, ClassifierModel};
 use kgsl::abi::{IoctlRequest, KgslPerfcounterReadGroup, IOCTL_KGSL_PERFCOUNTER_READ};
 
 fn trained_model() -> ClassifierModel {
@@ -27,20 +39,119 @@ fn trained_model() -> ClassifierModel {
     Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app)
 }
 
-/// Mixed probe workload shaped like a real session: mostly rejects (ambient
-/// redraws and noise, the ~79k-reject case the pruning targets) plus some
-/// exact centroid replays (accepts).
+/// Mixed probe workload shaped like the deltas a live session actually
+/// feeds the classifier (§5.1): per key, one clean popup frame (accept),
+/// one ambient redraw (a field-echo frame from the model's own signature
+/// table — the cursor-blink/redraw rejects that dominate idle typing), one
+/// merged frame (popup + ambient sharing a vsync window, rejected by the
+/// magnitude gate), and one split frame (roughly half a popup caught by a
+/// read boundary, rejected on distance).
 fn probe_workload(model: &ClassifierModel) -> Vec<CounterSet> {
+    let ambients = model.ambient_signatures();
     let mut probes = Vec::new();
     for (i, c) in model.centroids().iter().enumerate() {
-        probes.push(c.values); // accept
-        let mut arr = *c.values.as_array();
-        for v in arr.iter_mut() {
-            *v = *v * 3 / 2 + 1_000 + i as u64;
+        probes.push(c.values); // accept: clean key frame
+        let ambient =
+            if ambients.is_empty() { *model.app_signature() } else { ambients[i % ambients.len()] };
+        probes.push(ambient); // reject: ambient redraw
+        let mut merged = *c.values.as_array();
+        for (m, a) in merged.iter_mut().zip(ambient.as_array()) {
+            *m += a;
         }
-        probes.push(CounterSet::from_array(arr)); // reject: off in every dim
+        probes.push(CounterSet::from_array(merged)); // reject: merged frame
+        let split = c.values.as_array().map(|v| v / 2);
+        probes.push(CounterSet::from_array(split)); // reject: split frame
     }
     probes
+}
+
+/// The PR 5-era classifier hot path, retained verbatim as the same-run
+/// baseline: row-major `f64` centroid copies (not pre-whitened), a scalar
+/// `((a - b) * w)²` accumulation with per-element early exit, and the same
+/// telemetry wrapper `classify` carried then. Only the kernel generation
+/// differs from `ClassifierModel::classify`; the algorithm (nearest
+/// centroid within `C_th`, magnitude gate) is the same.
+struct Pr5Classifier {
+    rows: Vec<f64>,
+    weights: [f64; NUM_TRACKED],
+    threshold: f64,
+    gate_totals: Vec<f64>,
+    chars: Vec<char>,
+}
+
+impl Pr5Classifier {
+    fn from_model(model: &ClassifierModel) -> Self {
+        let mut rows = Vec::with_capacity(model.centroids().len() * NUM_TRACKED);
+        for c in model.centroids() {
+            rows.extend(c.values.as_array().iter().map(|&v| v as f64));
+        }
+        let gate_totals = model
+            .centroids()
+            .iter()
+            .map(|c| {
+                model
+                    .centroids()
+                    .iter()
+                    .find(|o| o.ch == c.ch)
+                    .map(|o| o.values.total())
+                    .unwrap_or(0) as f64
+            })
+            .collect();
+        Pr5Classifier {
+            rows,
+            weights: *model.weights(),
+            threshold: model.threshold(),
+            gate_totals,
+            chars: model.centroids().iter().map(|c| c.ch).collect(),
+        }
+    }
+
+    fn nearest_pruned(&self, v: &CounterSet) -> (usize, f64) {
+        let av = v.to_f64();
+        let mut best = (0usize, f64::INFINITY);
+        let mut best_acc = f64::INFINITY;
+        'candidates: for (idx, row) in self.rows.chunks_exact(NUM_TRACKED).enumerate() {
+            let mut acc = 0.0;
+            for i in 0..NUM_TRACKED {
+                let d = (av[i] - row[i]) * self.weights[i];
+                acc += d * d;
+                if acc >= best_acc {
+                    continue 'candidates;
+                }
+            }
+            let d = acc.sqrt();
+            if d < best.1 {
+                best = (idx, d);
+                best_acc = acc;
+            }
+        }
+        best
+    }
+
+    fn classify(&self, v: &CounterSet) -> (char, bool) {
+        let started = std::time::Instant::now();
+        let (idx, distance) = self.nearest_pruned(v);
+        let ch = self.chars[idx];
+        let accepted = if distance <= self.threshold {
+            let centroid_total = self.gate_totals[idx];
+            let total = v.total() as f64;
+            centroid_total > 0.0
+                && (total - centroid_total).abs()
+                    <= centroid_total * ClassifierModel::MAGNITUDE_TOLERANCE
+        } else {
+            false
+        };
+        spansight::record(
+            "core.classify.latency_ns",
+            gpu_sc_attack::classify::CLASSIFY_LATENCY_EDGES,
+            started.elapsed().as_nanos() as u64,
+        );
+        spansight::count(
+            if accepted { "core.classify.accepted" } else { "core.classify.rejected" },
+            1,
+        );
+        (ch, accepted)
+    }
 }
 
 fn bench_classify_naive_vs_pruned(c: &mut Criterion) {
@@ -53,6 +164,14 @@ fn bench_classify_naive_vs_pruned(c: &mut Criterion) {
             }
         })
     });
+    let pr5 = Pr5Classifier::from_model(&model);
+    c.bench_function("classify/pr5_scalar_pruned_reference", |b| {
+        b.iter(|| {
+            for v in &probes {
+                black_box(pr5.classify(black_box(v)));
+            }
+        })
+    });
     c.bench_function("classify/pruned_prepared_centroids", |b| {
         b.iter(|| {
             for v in &probes {
@@ -62,8 +181,29 @@ fn bench_classify_naive_vs_pruned(c: &mut Criterion) {
     });
 }
 
+fn bench_classify_batch_vs_per_delta(c: &mut Criterion) {
+    let model = trained_model();
+    let probes = probe_workload(&model);
+    c.bench_function("classify/per_delta_calls", |b| {
+        b.iter(|| {
+            for v in &probes {
+                black_box(model.classify(black_box(v)));
+            }
+        })
+    });
+    c.bench_function("classify/batched_burst", |b| {
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            model.classify_batch(black_box(&probes), &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
 /// A synthetic 5k-sample monotone trace with idle windows and a couple of
-/// counter resets — the shape `extract_deltas` sees in a long session.
+/// counter resets — ~⅔ of windows busy, the worst case for extraction.
 fn synthetic_trace() -> (Trace, Vec<Sample>) {
     let mut trace = Trace::with_capacity(5_000);
     let mut acc = [0u64; NUM_TRACKED];
@@ -81,6 +221,48 @@ fn synthetic_trace() -> (Trace, Vec<Sample>) {
     (trace, aos)
 }
 
+/// The paper-regime trace: 8 ms sampling against ~250 ms keystroke spacing
+/// means ~3 % of windows change ("the PC values remain unchanged if the
+/// screen display does not change", §3.4), with occasional slumber resets.
+fn paper_regime_trace() -> Trace {
+    let mut trace = Trace::with_capacity(5_000);
+    let mut acc = [0u64; NUM_TRACKED];
+    for i in 0..5_000u64 {
+        if i % 1_024 == 1_000 {
+            acc = [i; NUM_TRACKED]; // slumber reset
+        } else if i % 31 == 7 {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += (i % 97) * (j as u64 + 1);
+            }
+        }
+        trace.push(SimInstant::from_millis(i * 8), CounterSet::from_array(acc));
+    }
+    trace
+}
+
+/// The PR 5-era batch extractor, retained verbatim as the same-run
+/// baseline: one row-major pass, per-column backward check, emit-if-nonzero.
+fn pr5_extract(trace: &Trace) -> (Vec<Delta>, usize) {
+    let n = trace.len();
+    let mut out = Vec::new();
+    let mut resets = 0usize;
+    'windows: for i in 1..n {
+        let mut values = [0u64; NUM_TRACKED];
+        for (v, col) in values.iter_mut().zip(trace.columns()) {
+            let (prev, cur) = (col[i - 1], col[i]);
+            if cur < prev {
+                resets += 1;
+                continue 'windows;
+            }
+            *v = cur - prev;
+        }
+        if values.iter().any(|&v| v != 0) {
+            out.push(Delta { at: trace.at(i), values: CounterSet::from_array(values) });
+        }
+    }
+    (out, resets)
+}
+
 fn bench_extraction_aos_vs_soa(c: &mut Criterion) {
     let (trace, aos) = synthetic_trace();
     c.bench_function("delta_extraction/aos_streaming_stage", |b| {
@@ -94,9 +276,26 @@ fn bench_extraction_aos_vs_soa(c: &mut Criterion) {
             black_box((out, stage.resets()))
         })
     });
-    c.bench_function("delta_extraction/soa_columnar_batch", |b| {
-        b.iter(|| black_box(extract_deltas_with_resets(black_box(&trace))))
+    c.bench_function("delta_extraction/pr5_rowwise_reference", |b| {
+        b.iter(|| black_box(pr5_extract(black_box(&trace))))
     });
+    c.bench_function("delta_extraction/soa_columnar_batch", |b| {
+        let mut scratch = ExtractScratch::default();
+        b.iter(|| black_box(extract_deltas_with_resets_scratch(black_box(&trace), &mut scratch)))
+    });
+    assert_eq!(pr5_extract(&trace), extract_deltas_with_resets(&trace));
+}
+
+fn bench_extraction_paper_regime(c: &mut Criterion) {
+    let trace = paper_regime_trace();
+    c.bench_function("delta_extraction/paper_regime_pr5_reference", |b| {
+        b.iter(|| black_box(pr5_extract(black_box(&trace))))
+    });
+    c.bench_function("delta_extraction/paper_regime_adaptive", |b| {
+        let mut scratch = ExtractScratch::default();
+        b.iter(|| black_box(extract_deltas_with_resets_scratch(black_box(&trace), &mut scratch)))
+    });
+    assert_eq!(pr5_extract(&trace), extract_deltas_with_resets(&trace));
 }
 
 fn bench_read_loop_alloc_vs_scratch(c: &mut Criterion) {
@@ -133,7 +332,9 @@ fn bench_read_loop_alloc_vs_scratch(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_classify_naive_vs_pruned,
+    bench_classify_batch_vs_per_delta,
     bench_extraction_aos_vs_soa,
+    bench_extraction_paper_regime,
     bench_read_loop_alloc_vs_scratch
 );
 criterion_main!(benches);

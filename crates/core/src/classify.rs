@@ -108,22 +108,35 @@ impl Classification {
 /// Never serialised — [`ClassifierModel::from_bytes`] rebuilds it.
 #[derive(Debug, Clone, PartialEq)]
 struct PreparedCentroids {
-    /// Row-major `centroids.len() × NUM_TRACKED` `f64` copy of the centroid
-    /// values, so the distance loop streams one contiguous row per candidate
-    /// instead of re-converting `u64` values on every call.
-    rows: Vec<f64>,
+    /// One fixed-length *pre-whitened* `f64` row per centroid
+    /// (`value * weight`, the whitening applied once at build time), so the
+    /// scan loop streams one contiguous row per candidate and its inner
+    /// body is pure subtract-square-accumulate — no per-element weight
+    /// multiply, no `u64` re-conversion. The fixed row length keeps every
+    /// kernel call on the compile-time-sized `simdlite::*_fixed` path
+    /// (fully unrolled, no bounds checks).
+    rows: Vec<[f64; NUM_TRACKED]>,
     /// Per centroid, the total magnitude the §5.1 gate compares against:
     /// that of the *first* centroid sharing the key, exactly what the
     /// previous by-key linear scan found.
     gate_totals: Vec<f64>,
+    /// Centroid indices sorted by whitened norm (ties by index): the
+    /// best-first visit order of the outward scan. A probe's nearest
+    /// centroid tends to sit nearby in norm, so scanning outward from the
+    /// probe's own norm finds a tight `best_acc` almost immediately — and
+    /// because the norm-gap lower bound only grows with the gap, the first
+    /// candidate a direction *excludes* ends that entire direction.
+    order: Vec<u32>,
+    /// `norms[order[k]]` — the norms in visit order, one contiguous array
+    /// for the outward scan's binary search and gap tests.
+    sorted_norms: Vec<f64>,
 }
 
 impl PreparedCentroids {
-    fn build(centroids: &[KeyCentroid]) -> Self {
-        let mut rows = Vec::with_capacity(centroids.len() * NUM_TRACKED);
-        for c in centroids {
-            rows.extend(c.values.as_array().iter().map(|&v| v as f64));
-        }
+    fn build(centroids: &[KeyCentroid], weights: &[f64; NUM_TRACKED]) -> Self {
+        let rows: Vec<[f64; NUM_TRACKED]> =
+            centroids.iter().map(|c| whiten(&c.values, weights)).collect();
+        let norms: Vec<f64> = rows.iter().map(|r| simdlite::sq_norm_fixed(r).sqrt()).collect();
         let gate_totals = centroids
             .iter()
             .map(|c| {
@@ -131,8 +144,97 @@ impl PreparedCentroids {
                     as f64
             })
             .collect();
-        PreparedCentroids { rows, gate_totals }
+        let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+        order.sort_by(|&a, &b| norms[a as usize].total_cmp(&norms[b as usize]).then(a.cmp(&b)));
+        let sorted_norms = order.iter().map(|&i| norms[i as usize]).collect();
+        PreparedCentroids { rows, gate_totals, order, sorted_norms }
     }
+}
+
+/// Upper bound on the *relative* floating-point error of a computed norm
+/// `fl(sqrt(Σ v_i²))`: the chain is ~13 roundings at `2⁻⁵³` each, bounded
+/// here by a generous `2⁻⁴⁵`.
+const NORM_REL_ERR: f64 = 1.0 / (1u64 << 45) as f64;
+
+/// Whether the norm gap between probe and candidate *provably* excludes the
+/// candidate: returns `true` only when the candidate's computed squared
+/// distance is guaranteed to come out `>= best_acc`. The ordered scan
+/// passes its tie-guarded cutoff (`best · TIE_GUARD`) as `best_acc`, so an
+/// excluded candidate cannot even tie the incumbent in rounded `sqrt`
+/// space, and skipping it cannot change which centroid is selected.
+///
+/// Soundness: with `g` the computed norm gap and `t = (an + bn)·2⁻⁴⁵` an
+/// upper bound on its absolute error (the true gap lies in `g ± t`), the
+/// reverse triangle inequality gives
+/// `dist² ≥ gap_true² ≥ (|g| - t)² ≥ g² - 2|g|t - t²` — and the computed
+/// squared distance itself only adds relative error far below the slack in
+/// `t`'s margin (`2⁻⁴⁵` vs the true `~13·2⁻⁵³`) and one extra `t²`. So when
+/// `g² - 2|g|t - 2t² ≥ best_acc`, the kernel's completed sum could not beat
+/// `best_acc` either. A probe bitwise-equal to a centroid computes the
+/// *same* norm (identical input, deterministic chain), gap exactly `0.0`,
+/// and is never skipped.
+#[inline]
+fn norm_gap_excludes(an: f64, bn: f64, best_acc: f64) -> bool {
+    let g = (an - bn).abs();
+    let t = (an + bn) * NORM_REL_ERR;
+    g * g - 2.0 * g * t - 2.0 * t * t >= best_acc
+}
+
+/// Tie guard for the out-of-order scan's pruning cutoff.
+///
+/// The ordered scan resolves equal *distances* to the lowest centroid
+/// index, which is what the in-index-order scans get for free from their
+/// strict `<` update. But two different squared sums within ~4 ulp of each
+/// other can round to the *same* `sqrt`, so pruning at exactly the best
+/// squared sum could drop a candidate that ties in distance while holding a
+/// smaller index. Pruning at `best_acc * TIE_GUARD` instead is safe in both
+/// directions:
+///
+/// * any `acc` whose rounded `sqrt` equals the best distance satisfies
+///   `acc <= best_acc * (1 + 2⁻⁵⁰)` (the sqrt-preimage of one `f64` spans a
+///   relative range ≲ 4·2⁻⁵³), so no potential tie is ever pruned;
+/// * any `acc` above the guard has `sqrt(acc)/sqrt(best_acc) ≥ 1 + 2⁻⁵¹`,
+///   more than an ulp apart, so its rounded distance is strictly larger and
+///   it could not have won anyway.
+const TIE_GUARD: f64 = 1.0 + 1.0 / (1u64 << 50) as f64;
+
+/// Maps a counter vector into the whitened `f64` space the classifier
+/// measures distances in: `out[i] = (v[i] as f64) * w[i]`.
+///
+/// Every distance in this module subtracts two vectors whitened by this
+/// exact expression and squares the difference — `aw[i] - bw[i]`, not
+/// `(a[i] - b[i]) * w[i]`. The two forms differ in their rounding, so the
+/// choice is part of the bit-exactness contract: prepared rows, per-call
+/// probes and the naive oracle's operands all go through this one function,
+/// which is what keeps the pruned scan, the batched scan and
+/// [`ClassifierModel::distance`] bit-identical to each other.
+#[inline]
+fn whiten(v: &CounterSet, w: &[f64; NUM_TRACKED]) -> [f64; NUM_TRACKED] {
+    let mut out = v.to_f64();
+    for (o, wi) in out.iter_mut().zip(w) {
+        *o *= wi;
+    }
+    out
+}
+
+/// Per-probe state of one batched nearest-centroid search.
+#[derive(Debug, Clone, Copy)]
+struct ProbeState {
+    /// The probe whitened into the kernel's `f64` domain, once per burst.
+    av: [f64; NUM_TRACKED],
+    /// `‖av‖`, the outward scan's starting point and prescreen operand.
+    an: f64,
+    best_idx: usize,
+    best_d: f64,
+}
+
+/// Reusable per-burst search state for [`ClassifierModel::classify_batch`].
+/// Callers on the streaming hot path keep one of these alive across bursts
+/// so batched classification never allocates in steady state (the backing
+/// `Vec` grows to the largest burst seen, then stays).
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    states: Vec<ProbeState>,
 }
 
 /// A trained classification model for one configuration.
@@ -186,7 +288,7 @@ impl ClassifierModel {
     ) -> Self {
         assert!(!centroids.is_empty(), "a model needs at least one key centroid");
         assert!(threshold > 0.0, "C_th must be positive");
-        let prepared = PreparedCentroids::build(&centroids);
+        let prepared = PreparedCentroids::build(&centroids, &weights);
         ClassifierModel {
             meta,
             centroids,
@@ -262,15 +364,15 @@ impl ClassifierModel {
     }
 
     /// Weighted (whitened) Euclidean distance between two counter vectors.
+    ///
+    /// Both vectors are mapped through `whiten` and the squared distance
+    /// is computed with the `simdlite` chunked kernel. Every distance in
+    /// this module — here, the pruned scan, the batched scan, `nearest_k` —
+    /// whitens with the same expression and sums with the same kernel lane
+    /// order, which is what makes the pruned/batched paths *bit-identical*
+    /// to the naive references rather than merely close.
     pub fn distance(&self, a: &CounterSet, b: &CounterSet) -> f64 {
-        let av = a.as_array();
-        let bv = b.as_array();
-        let mut acc = 0.0;
-        for i in 0..NUM_TRACKED {
-            let d = (av[i] as f64 - bv[i] as f64) * self.weights[i];
-            acc += d * d;
-        }
-        acc.sqrt()
+        simdlite::sq_dist_fixed(&whiten(a, &self.weights), &whiten(b, &self.weights)).sqrt()
     }
 
     /// The `k` nearest centroids to `v`, closest first, with whitened
@@ -278,12 +380,29 @@ impl ClassifierModel {
     /// the rest are the alternatives a guessing attacker tries (§7.1:
     /// "single errors in inference could be addressed with a small number
     /// of guesses").
+    ///
+    /// `k` is tiny ([`crate::online::CANDIDATES_PER_KEY`] = 8) against tens
+    /// of centroids, so this keeps a bounded sorted buffer of the best `k`
+    /// seen — one insertion into a ≤ `k`-element `Vec` per surviving
+    /// candidate — instead of materialising and fully sorting all centroids
+    /// per call. Ties break deterministically to the earliest centroid
+    /// (distances are never NaN: they are square roots of non-negative
+    /// sums), matching what the previous stable full sort produced.
     pub fn nearest_k(&self, v: &CounterSet, k: usize) -> Vec<(char, f64)> {
-        let mut all: Vec<(char, f64)> =
-            self.centroids.iter().map(|c| (c.ch, self.distance(v, &c.values))).collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        all.truncate(k);
-        all
+        let k = k.min(self.centroids.len());
+        let av = whiten(v, &self.weights);
+        let mut top: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        for (idx, row) in self.prepared.rows.iter().enumerate() {
+            let d = simdlite::sq_dist_fixed(&av, row).sqrt();
+            // Insertion point after every entry at or below `d`: equal
+            // distances keep centroid order (earlier centroid first).
+            let pos = top.partition_point(|&(td, _)| td <= d);
+            if pos < k {
+                top.insert(pos, (d, idx));
+                top.truncate(k);
+            }
+        }
+        top.into_iter().map(|(d, idx)| (self.centroids[idx].ch, d)).collect()
     }
 
     /// The nearest centroid to `v` and its whitened distance.
@@ -292,33 +411,87 @@ impl ClassifierModel {
         (self.centroids[idx].ch, d)
     }
 
-    /// Nearest-centroid search over the prepared rows with partial-distance
-    /// early exit: once a candidate's running squared sum reaches the best
-    /// completed squared sum it can no longer win (terms are non-negative
-    /// and `sqrt` is monotone), so the accumulation aborts. Candidates that
-    /// finish still go through the exact `sqrt`-space `d < best` comparison
-    /// of the naive scan, so ties resolve to the same (earliest) centroid
-    /// and the reported distance is bit-identical.
+    /// Nearest-centroid search, best-first by norm.
     fn nearest_pruned(&self, v: &CounterSet) -> (usize, f64) {
-        let av = v.to_f64();
-        let mut best = (0usize, f64::INFINITY);
-        let mut best_acc = f64::INFINITY;
-        'candidates: for (idx, row) in self.prepared.rows.chunks_exact(NUM_TRACKED).enumerate() {
-            let mut acc = 0.0;
-            for i in 0..NUM_TRACKED {
-                let d = (av[i] - row[i]) * self.weights[i];
-                acc += d * d;
-                if acc >= best_acc {
-                    continue 'candidates;
+        let av = whiten(v, &self.weights);
+        let an = simdlite::sq_norm_fixed(&av).sqrt();
+        self.nearest_ordered(&av, an)
+    }
+
+    /// The shared nearest-centroid kernel scan (per-delta and batched paths
+    /// both land here). Three pruning layers compound:
+    ///
+    /// * **Best-first order.** Candidates are visited outward from the
+    ///   probe's own whitened norm (binary search into `sorted_norms`, then
+    ///   a two-cursor walk that always takes the side with the smaller norm
+    ///   gap). The true nearest centroid is usually among the first few
+    ///   visited, so `best_acc` collapses almost immediately.
+    /// * **Directional cutoff.** `(‖a‖-‖b‖)² ≤ ‖a-b‖²`, so a candidate
+    ///   whose norm gap already rules it out ([`norm_gap_excludes`], with
+    ///   the documented rounding margins) is skipped — and since the gap
+    ///   only grows moving away from the probe's norm while the bound is
+    ///   monotone in the gap (it fires only once `g` clears `(1+√3)t`, past
+    ///   which it increases with `g`), the *first* excluded candidate on a
+    ///   side retires that whole direction. An accept probe typically costs
+    ///   one kernel call plus two gap tests.
+    /// * **Chunked partial-distance exit.** [`simdlite::sq_dist_pruned_fixed`]
+    ///   aborts a surviving candidate at the first 4-lane chunk boundary
+    ///   where its running sum reaches the cutoff.
+    ///
+    /// Equivalence with the in-index-order naive scan: that scan's strict
+    /// `d < best` update keeps the lowest-indexed centroid among those
+    /// tying at the minimal rounded distance. Visiting out of order, the
+    /// update here breaks equal distances by index explicitly, and both the
+    /// kernel cutoff and the prescreen use `best_acc * TIE_GUARD` so a
+    /// candidate that could still *tie* in `sqrt`-space is never pruned.
+    /// Completed sums come from the same kernel in the same lane order, so
+    /// the selected centroid and reported distance stay bit-identical to
+    /// [`ClassifierModel::nearest_naive`].
+    fn nearest_ordered(&self, av: &[f64; NUM_TRACKED], an: f64) -> (usize, f64) {
+        let p = &self.prepared;
+        let n = p.order.len();
+        let mut best_idx = 0usize;
+        let mut best_d = f64::INFINITY;
+        let mut cutoff = f64::INFINITY;
+        // Rows below `an` live at [0, lo), rows at/above it at [hi, n);
+        // retiring a direction empties its interval.
+        let mut hi = p.sorted_norms.partition_point(|&x| x < an);
+        let mut lo = hi;
+        loop {
+            let take_lo = if lo > 0 && hi < n {
+                an - p.sorted_norms[lo - 1] <= p.sorted_norms[hi] - an
+            } else if lo > 0 {
+                true
+            } else if hi < n {
+                false
+            } else {
+                break;
+            };
+            let k = if take_lo { lo - 1 } else { hi };
+            if norm_gap_excludes(an, p.sorted_norms[k], cutoff) {
+                if take_lo {
+                    lo = 0;
+                } else {
+                    hi = n;
+                }
+                continue;
+            }
+            if take_lo {
+                lo -= 1;
+            } else {
+                hi += 1;
+            }
+            let idx = p.order[k] as usize;
+            if let Some(acc) = simdlite::sq_dist_pruned_fixed(av, &p.rows[idx], cutoff) {
+                let d = acc.sqrt();
+                if d < best_d || (d == best_d && idx < best_idx) {
+                    best_idx = idx;
+                    best_d = d;
+                    cutoff = acc * TIE_GUARD;
                 }
             }
-            let d = acc.sqrt();
-            if d < best.1 {
-                best = (idx, d);
-                best_acc = acc;
-            }
         }
-        best
+        (best_idx, best_d)
     }
 
     /// Reference nearest-centroid scan without pruning: computes the full
@@ -376,6 +549,13 @@ impl ClassifierModel {
 
     fn classify_inner(&self, v: &CounterSet) -> Classification {
         let (idx, distance) = self.nearest_pruned(v);
+        self.gate(idx, distance, v)
+    }
+
+    /// The acceptance decision after the nearest-centroid search: within
+    /// `C_th` *and* of key-frame-sized total magnitude. Shared by the
+    /// per-delta and batched paths so both gate identically.
+    fn gate(&self, idx: usize, distance: f64, v: &CounterSet) -> Classification {
         let ch = self.centroids[idx].ch;
         if distance <= self.threshold {
             let centroid_total = self.prepared.gate_totals[idx];
@@ -388,6 +568,61 @@ impl ClassifierModel {
             return Classification::Rejected { nearest: ch, distance };
         }
         Classification::Rejected { nearest: ch, distance }
+    }
+
+    /// Classifies a burst of deltas in one pass, appending one
+    /// [`Classification`] per probe (in order) to `out`.
+    ///
+    /// Equivalent to calling [`ClassifierModel::classify`] on each probe —
+    /// every probe runs the same `nearest_ordered` scan,
+    /// so every result (including reported distances) is bit-identical; a
+    /// proptest pins that. The win is structural: probe conversion
+    /// (whiten + norm) happens in one data-parallel pass over the burst,
+    /// the scans then run back-to-back against cache-warm prepared rows,
+    /// and the per-call overhead (telemetry, timestamping, dispatch) is
+    /// paid once per burst instead of once per delta.
+    ///
+    /// `scratch` carries the per-probe search state between calls so the
+    /// steady-state streaming path does not allocate.
+    pub fn classify_batch(
+        &self,
+        probes: &[CounterSet],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Classification>,
+    ) {
+        if probes.is_empty() {
+            return;
+        }
+        let started = std::time::Instant::now();
+        scratch.states.clear();
+        scratch.states.extend(probes.iter().map(|p| {
+            let av = whiten(p, &self.weights);
+            ProbeState {
+                av,
+                an: simdlite::sq_norm_fixed(&av).sqrt(),
+                best_idx: 0,
+                best_d: f64::INFINITY,
+            }
+        }));
+        for st in scratch.states.iter_mut() {
+            let (idx, d) = self.nearest_ordered(&st.av, st.an);
+            st.best_idx = idx;
+            st.best_d = d;
+        }
+        // One histogram entry per probe at the amortised per-inference cost,
+        // so the latency histogram's population matches the per-delta path
+        // (Fig 25's claim is per inference, and the batch is one inference
+        // pass over `probes.len()` deltas).
+        let per_probe_ns = started.elapsed().as_nanos() as u64 / probes.len() as u64;
+        for (st, probe) in scratch.states.iter().zip(probes) {
+            let c = self.gate(st.best_idx, st.best_d, probe);
+            spansight::record("core.classify.latency_ns", CLASSIFY_LATENCY_EDGES, per_probe_ns);
+            match c {
+                Classification::Key { .. } => spansight::count("core.classify.accepted", 1),
+                Classification::Rejected { .. } => spansight::count("core.classify.rejected", 1),
+            }
+            out.push(c);
+        }
     }
 
     /// Reference classification built on [`ClassifierModel::nearest_naive`]

@@ -19,6 +19,8 @@
 //!   with device recognition (§3.2, §6);
 //! * [`stage`] — the push-based streaming [`Stage`] abstraction all of the
 //!   above compose through;
+//! * [`ring`] — the lock-free SPSC ring that carries sampled slots from the
+//!   reader loop to the stage pipeline in bursts;
 //! * [`service`] — the end-to-end background service;
 //! * [`metrics`] — the accuracy metrics of §7.
 //!
@@ -58,12 +60,13 @@ pub mod launch;
 pub mod metrics;
 pub mod offline;
 pub mod online;
+pub mod ring;
 pub mod sampler;
 pub mod service;
 pub mod stage;
 pub mod trace;
 
-pub use classify::{Classification, ClassifierModel, KeyCentroid, ModelMeta};
+pub use classify::{BatchScratch, Classification, ClassifierModel, KeyCentroid, ModelMeta};
 pub use launch::LaunchDetector;
 pub use metrics::{Aggregate, SessionScore};
 pub use offline::{ModelStore, Trainer, TrainerConfig};
@@ -74,4 +77,7 @@ pub use service::{
     SessionResult, StreamingSession,
 };
 pub use stage::Stage;
-pub use trace::{extract_deltas, extract_deltas_with_resets, Delta, Sample, Trace};
+pub use trace::{
+    extract_deltas, extract_deltas_with_resets, extract_deltas_with_resets_scratch, Delta,
+    ExtractScratch, Sample, Trace,
+};

@@ -126,13 +126,31 @@ impl<'m> OnlineInference<'m> {
     /// change for lookahead. Every press this call accepts is stamped with
     /// that decision time.
     pub fn process_at(&mut self, delta: Delta, decided_at: SimInstant) {
+        // Steps 1 and 2 below are the only consumers of Δ's own
+        // classification, and exactly one of them runs — so it can be
+        // computed up front, which is what lets [`InferStage::push_burst`]
+        // substitute a batched result without changing behaviour.
+        let primary = self.model.classify(&delta.values);
+        self.process_classified(delta, decided_at, primary);
+    }
+
+    /// [`OnlineInference::process_at`] with Δ's own classification already
+    /// in hand (`primary` must be `classify(&delta.values)`; the batched
+    /// path precomputes it, bit-identically, via
+    /// [`ClassifierModel::classify_batch`]).
+    fn process_classified(
+        &mut self,
+        delta: Delta,
+        decided_at: SimInstant,
+        primary: Classification,
+    ) {
         // Step 1: duplication backtrace over T_l. Only changes that *look
         // like key presses* are animation duplicates; other changes inside
         // the window (such as the release echo) are ordinary noise and must
         // still reach the downstream correction detector.
         if let Some(last) = self.last_key_at {
             if delta.at.saturating_since(last) < self.config.t_l {
-                if self.model.classify(&delta.values).key().is_some() {
+                if primary.key().is_some() {
                     self.stats.duplications_suppressed += 1;
                     // A duplicate must not seed a later recombination, but a
                     // leftover change it displaces is still noise downstream.
@@ -148,7 +166,7 @@ impl<'m> OnlineInference<'m> {
             }
         }
         // Step 2: direct classification.
-        if let Classification::Key { ch, .. } = self.model.classify(&delta.values) {
+        if let Classification::Key { ch, .. } = primary {
             self.accept(
                 InferredKey { at: delta.at, decided_at, ch, via_split: false },
                 &delta.values,
@@ -383,11 +401,18 @@ pub enum InferEvent {
 #[derive(Debug)]
 pub struct InferStage<'m> {
     engine: OnlineInference<'m>,
-    /// One-change lookahead buffer; only used in lookahead mode.
-    held: Option<Delta>,
+    /// One-change lookahead buffer (with the change's precomputed
+    /// classification); only used in lookahead mode.
+    held: Option<(Delta, Classification)>,
     lookahead: bool,
     keys_drained: usize,
     rejected_drained: usize,
+    /// Reusable state for [`ClassifierModel::classify_batch`].
+    batch: crate::classify::BatchScratch,
+    /// Probe values of the burst being classified, reused across bursts.
+    burst_vals: Vec<adreno_sim::counters::CounterSet>,
+    /// Classifications of the burst, aligned with `burst_vals`.
+    burst_cls: Vec<Classification>,
 }
 
 impl<'m> InferStage<'m> {
@@ -399,6 +424,9 @@ impl<'m> InferStage<'m> {
             lookahead: false,
             keys_drained: 0,
             rejected_drained: 0,
+            batch: crate::classify::BatchScratch::default(),
+            burst_vals: Vec::new(),
+            burst_cls: Vec::new(),
         }
     }
 
@@ -427,6 +455,46 @@ impl<'m> InferStage<'m> {
             out.push(InferEvent::Noise(self.engine.rejected[self.rejected_drained]));
             self.rejected_drained += 1;
         }
+    }
+
+    /// Processes a whole burst of changes through one batched
+    /// classification pass: every change's own (step 1 / step 2)
+    /// classification comes from a single row-outer
+    /// [`ClassifierModel::classify_batch`] traversal, then each change runs
+    /// through exactly the per-change algorithm [`Stage::push`] would apply
+    /// — same order, same events, bit-identical results (a proptest pins
+    /// the equivalence).
+    pub fn push_burst(&mut self, inputs: &[Delta], out: &mut Vec<InferEvent>) {
+        let model = self.engine.model;
+        self.burst_vals.clear();
+        self.burst_vals.extend(inputs.iter().map(|d| d.values));
+        self.burst_cls.clear();
+        model.classify_batch(&self.burst_vals, &mut self.batch, &mut self.burst_cls);
+        let classes = std::mem::take(&mut self.burst_cls);
+        for (d, cls) in inputs.iter().zip(classes.iter()) {
+            self.push_classified(*d, *cls, out);
+        }
+        self.burst_cls = classes;
+    }
+
+    /// One change with its classification already computed — the shared
+    /// tail of [`Stage::push`] and [`InferStage::push_burst`].
+    fn push_classified(
+        &mut self,
+        input: Delta,
+        primary: Classification,
+        out: &mut Vec<InferEvent>,
+    ) {
+        if self.lookahead {
+            if let Some((held, held_cls)) = self.held.take() {
+                self.lookahead_defer(&held, &input);
+                self.engine.process_classified(held, input.at, held_cls);
+            }
+            self.held = Some((input, primary));
+        } else {
+            self.engine.process_classified(input, input.at, primary);
+        }
+        self.drain(out);
     }
 
     /// The lookahead fix, deciding `current` now that `next` is known:
@@ -464,23 +532,15 @@ impl Stage for InferStage<'_> {
     type Out = InferEvent;
 
     fn push(&mut self, input: Delta, out: &mut Vec<InferEvent>) {
-        if self.lookahead {
-            if let Some(held) = self.held.take() {
-                self.lookahead_defer(&held, &input);
-                self.engine.process_at(held, input.at);
-            }
-            self.held = Some(input);
-        } else {
-            self.engine.process(input);
-        }
-        self.drain(out);
+        let primary = self.engine.model.classify(&input.values);
+        self.push_classified(input, primary, out);
     }
 
     fn finish(&mut self, out: &mut Vec<InferEvent>) {
-        if let Some(held) = self.held.take() {
+        if let Some((held, held_cls)) = self.held.take() {
             // No next change exists, so the lookahead check is moot — the
             // batch variant's final iteration behaves identically.
-            self.engine.process_at(held, held.at);
+            self.engine.process_classified(held, held.at, held_cls);
         }
         self.engine.flush_prev();
         self.drain(out);

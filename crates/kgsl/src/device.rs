@@ -35,6 +35,10 @@ const NUM_GROUPS: usize = 3;
 /// Countable selectors per group (`0..=MAX_COUNTABLE`).
 const COUNTABLES: usize = (MAX_COUNTABLE + 1) as usize;
 
+/// Block-read entries resolved on the stack before spilling to the heap —
+/// comfortably above the attack's 11-counter request.
+const INLINE_READ_ENTRIES: usize = 16;
+
 /// Dense index of a KGSL group id within the reservation tables, `None` for
 /// unknown groups.
 const fn group_index(groupid: u32) -> Option<usize> {
@@ -425,38 +429,46 @@ impl KgslDevice {
         reads: &mut [KgslPerfcounterReadGroup],
     ) -> DeviceResult<()> {
         let visibility = self.policy.lock().visibility(domain);
-        match visibility {
-            CounterVisibility::Denied => return Err(Errno::Eacces),
-            CounterVisibility::LocalOnly => {
-                // The caller sees only its own GPU activity. The attacking
-                // process renders nothing, so its local view never moves —
-                // this is exactly how the mitigation starves the channel.
-                {
-                    let st = self.state.lock();
-                    for r in reads.iter() {
-                        let group = self.validate_target(r.groupid, r.countable)?;
-                        if st.reservations.count(group, r.countable as usize) == 0 {
-                            return Err(Errno::Einval);
-                        }
-                    }
-                }
-                for r in reads.iter_mut() {
-                    r.value = 0;
-                }
-                return Ok(());
-            }
-            CounterVisibility::Global => {}
+        if visibility == CounterVisibility::Denied {
+            return Err(Errno::Eacces);
         }
-        // Validate all targets first: the real driver fails the whole
-        // block-read on the first bad entry without partial writes.
+        // Validate all targets first — the real driver fails the whole
+        // block-read on the first bad entry without partial writes — and
+        // resolve each entry to its tracked counter in the same pass, so
+        // the fill loops below run over precomputed lookups instead of
+        // re-deriving group and countable per entry per loop. The
+        // resolution buffer lives on the stack for anything up to
+        // `INLINE_READ_ENTRIES` (the attack's request is 11 entries);
+        // oversized requests spill to the heap.
+        let mut inline = [None; INLINE_READ_ENTRIES];
+        let mut heap: Vec<Option<TrackedCounter>> = Vec::new();
+        let resolved: &mut [Option<TrackedCounter>] = if reads.len() <= INLINE_READ_ENTRIES {
+            &mut inline[..reads.len()]
+        } else {
+            heap.resize(reads.len(), None);
+            &mut heap
+        };
         {
             let st = self.state.lock();
-            for r in reads.iter() {
+            for (r, slot) in reads.iter().zip(resolved.iter_mut()) {
                 let group = self.validate_target(r.groupid, r.countable)?;
                 if st.reservations.count(group, r.countable as usize) == 0 {
                     return Err(Errno::Einval);
                 }
+                let group = CounterGroup::from_kgsl_id(r.groupid).expect("validated above");
+                // `None` is a valid hardware counter our simulation does
+                // not model: it reads as a quiescent counter.
+                *slot = TrackedCounter::from_id(CounterId::new(group, r.countable));
             }
+        }
+        if visibility == CounterVisibility::LocalOnly {
+            // The caller sees only its own GPU activity. The attacking
+            // process renders nothing, so its local view never moves —
+            // this is exactly how the mitigation starves the channel.
+            for r in reads.iter_mut() {
+                r.value = 0;
+            }
+            return Ok(());
         }
         // A truncated read fills a strict prefix of the request and fails
         // `EINTR` — the ioctl analogue of a short `read(2)`. Callers must
@@ -467,27 +479,21 @@ impl KgslDevice {
         // Registers physically reset across a GPU slumber, so a read reports
         // the cumulative count since the most recent slumber baseline.
         let baseline = *self.counter_baseline.lock();
+        let fill = |r: &mut KgslPerfcounterReadGroup, tracked: Option<TrackedCounter>| {
+            r.value = match tracked {
+                Some(tracked) => snapshot[tracked].saturating_sub(baseline[tracked]),
+                None => 0,
+            };
+        };
         if let Some(k) = truncate_at {
             spansight::count("kgsl.fault.truncated_read", 1);
-            for r in reads[..k].iter_mut() {
-                let group = CounterGroup::from_kgsl_id(r.groupid).expect("validated above");
-                let id = CounterId::new(group, r.countable);
-                r.value = match TrackedCounter::from_id(id) {
-                    Some(tracked) => snapshot[tracked].saturating_sub(baseline[tracked]),
-                    None => 0,
-                };
+            for (r, &tracked) in reads[..k].iter_mut().zip(resolved.iter()) {
+                fill(r, tracked);
             }
             return Err(Errno::Eintr);
         }
-        for r in reads.iter_mut() {
-            let group = CounterGroup::from_kgsl_id(r.groupid).expect("validated above");
-            let id = CounterId::new(group, r.countable);
-            r.value = match TrackedCounter::from_id(id) {
-                Some(tracked) => snapshot[tracked].saturating_sub(baseline[tracked]),
-                // Valid hardware counter our simulation does not model:
-                // reads as a quiescent counter.
-                None => 0,
-            };
+        for (r, &tracked) in reads.iter_mut().zip(resolved.iter()) {
+            fill(r, tracked);
         }
         Ok(())
     }

@@ -232,8 +232,19 @@ impl ExfilClient {
 
     /// Stages one counter sample for exfiltration.
     pub fn push_sample(&mut self, sample: Sample) {
+        self.push_samples(std::slice::from_ref(&sample));
+    }
+
+    /// Stages a burst of counter samples for exfiltration in one pass.
+    /// Frame boundaries depend only on the cumulative sample count, so this
+    /// produces exactly the frames the equivalent [`ExfilClient::push_sample`]
+    /// calls would. [`run_split_session`] drains its sampling ring straight
+    /// into this.
+    pub fn push_samples(&mut self, samples: &[Sample]) {
         let mut staged = std::mem::take(&mut self.staged);
-        self.batcher.push(sample, &mut staged);
+        for &s in samples {
+            self.batcher.push(s, &mut staged);
+        }
         self.staged = staged;
         self.enqueue_staged();
     }
@@ -540,9 +551,7 @@ impl<'s> ClassifierServer<'s> {
             Message::SampleBatch(batch) => {
                 self.ensure_session();
                 let Some(session) = self.session.as_mut() else { return };
-                for sample in batch.samples() {
-                    session.push_sample(sample);
-                }
+                session.push_samples(&batch.samples());
                 let mut fresh = std::mem::take(&mut self.fresh_keys);
                 session.drain_new_keys(&mut fresh);
                 if !fresh.is_empty() {
@@ -643,10 +652,38 @@ pub fn run_split_session(
     let mut sampler = Sampler::open(sim.device(), service.config().sampler)?;
     let mut stream = sampler.start_stream(sim, until);
     client.connect(&mut transport, sim.now());
-    while let Some(sample) = sampler.next_sample(&mut stream, sim) {
-        client.push_sample(sample);
+    // Same SPSC handoff as the in-process driver: the reader loop fills the
+    // ring, the exfiltration side drains it in bursts. Sizing the ring at
+    // one wire batch means each drain stages exactly one SampleBatch frame.
+    // Both ends still pump at every read slot — the retransmit/ack clock
+    // needs the fine-grained ticks (its timeouts are shorter than a ring's
+    // worth of slots) — but those per-slot pumps carry no staging work; the
+    // batcher is fed once per drain.
+    let (mut ring_tx, mut ring_rx) = gpu_sc_attack::ring::spsc::<Sample>(config.batch_samples);
+    let mut burst: Vec<Sample> = Vec::with_capacity(ring_tx.capacity());
+    loop {
+        let mut stream_done = false;
+        while !ring_tx.is_full() {
+            match sampler.next_sample(&mut stream, sim) {
+                Some(sample) => {
+                    ring_tx.push(sample).expect("a non-full SPSC ring accepts a push");
+                    client.pump(&mut transport, sim.now());
+                    server.pump(&mut transport, sim.now());
+                }
+                None => {
+                    stream_done = true;
+                    break;
+                }
+            }
+        }
+        burst.clear();
+        ring_rx.drain_into(&mut burst);
+        client.push_samples(&burst);
         client.pump(&mut transport, sim.now());
         server.pump(&mut transport, sim.now());
+        if stream_done {
+            break;
+        }
     }
     sampler.finish_stream(stream)?;
     client.finish_sampling(&sampler.report());

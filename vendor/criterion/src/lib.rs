@@ -1,8 +1,10 @@
 //! Offline stand-in for the `criterion` crate (the subset this workspace
 //! uses). Each `bench_function` warms up briefly, runs a fixed wall-clock
 //! budget of iterations, and prints a mean time per iteration. No
-//! statistics, plots, or CLI — enough to keep `cargo bench` (and
-//! `cargo test --benches`) compiling and producing useful numbers.
+//! statistics or plots — but the two upstream CLI behaviours the workspace
+//! relies on are honoured: `-- --test` runs every benchmark body exactly
+//! once (CI's smoke mode), and a bare positional argument is a substring
+//! filter on benchmark ids (`cargo bench -- classify/`).
 
 // Vendored API stand-in: keep the real crate's surface even where clippy
 // would restyle it.
@@ -23,11 +25,20 @@ const MEASURE: Duration = Duration::from_millis(400);
 pub struct Bencher {
     iters: u64,
     total: Duration,
+    /// Smoke mode: run the routine exactly once, don't sample.
+    single_shot: bool,
 }
 
 impl Bencher {
     /// Times `routine` repeatedly, accumulating iterations and elapsed time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.single_shot {
+            let start = Instant::now();
+            black_box(routine());
+            self.iters = 1;
+            self.total = start.elapsed();
+            return;
+        }
         // Warm-up: let caches and branch predictors settle, and estimate
         // per-iteration cost to pick a batch size.
         let warm_start = Instant::now();
@@ -53,21 +64,45 @@ impl Bencher {
 
 /// Benchmark registry and runner.
 pub struct Criterion {
-    _private: (),
+    /// `--test` was passed: run each benchmark body once and report no
+    /// timings (upstream's "test mode", used by CI as a cheap smoke).
+    test_mode: bool,
+    /// First bare positional argument, if any: substring filter on ids.
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { _private: () }
+        // Flags cargo itself appends (e.g. `--bench`) are ignored; only the
+        // two upstream behaviours the workspace uses are interpreted.
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { test_mode, filter }
     }
 }
 
 impl Criterion {
-    /// Runs `f` under a [`Bencher`] and prints the mean time per iteration.
+    /// Runs `f` under a [`Bencher`] and prints the mean time per iteration
+    /// (or a pass marker in `--test` mode). Benchmarks whose id does not
+    /// contain the positional filter substring are skipped entirely.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { iters: 0, total: Duration::ZERO };
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { iters: 0, total: Duration::ZERO, single_shot: self.test_mode };
         f(&mut b);
-        if b.iters > 0 {
+        if self.test_mode {
+            println!("{id:<40} ok (test mode, 1 iter)");
+        } else if b.iters > 0 {
             let mean_ns = b.total.as_nanos() as f64 / b.iters as f64;
             println!("{id:<40} {:>12} iters   mean {}", b.iters, fmt_ns(mean_ns));
         } else {
@@ -76,7 +111,8 @@ impl Criterion {
         self
     }
 
-    /// Upstream parity; configuration is ignored here.
+    /// Upstream parity; configuration happens in `Default` from the
+    /// process arguments.
     pub fn configure_from_args(self) -> Self {
         self
     }
@@ -119,10 +155,19 @@ mod tests {
 
     #[test]
     fn bencher_records_iterations() {
-        let mut b = Bencher { iters: 0, total: Duration::ZERO };
+        let mut b = Bencher { iters: 0, total: Duration::ZERO, single_shot: false };
         b.iter(|| black_box(3u64).wrapping_mul(7));
         assert!(b.iters > 0);
         assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn single_shot_runs_exactly_once() {
+        let mut b = Bencher { iters: 0, total: Duration::ZERO, single_shot: true };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
     }
 
     #[test]

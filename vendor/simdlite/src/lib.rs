@@ -1,0 +1,427 @@
+//! Explicit-lane kernels for the attack's hot loops, on stable Rust.
+//!
+//! Nightly `std::simd` is off the table (the workspace builds on stable),
+//! so these kernels spell the data-parallel shape out as fixed-width
+//! four-lane chunks over plain arrays — the form LLVM's autovectorizer
+//! reliably turns into packed SSE2/NEON arithmetic. No intrinsics, no
+//! `unsafe`, no feature detection: just loops whose trip counts and lane
+//! structure are compile-time constants.
+//!
+//! # The lane summation order is part of the contract
+//!
+//! Floating-point addition is not associative, so *which order* a reduction
+//! adds its terms decides the final bits. Every kernel here accumulates
+//! into four lanes — lane `j` takes elements `j`, `j+4`, `j+8`, … with a
+//! zero-padded tail (adding `+0.0` to a non-negative lane sum is exact) —
+//! and reduces with the fixed tree `(l0 + l1) + (l2 + l3)`. Callers that
+//! need bit-identical results across code paths (the classifier's pruned
+//! scan vs. its naive oracle, batched vs. per-delta classification) get
+//! them by routing *every* path through these kernels: same order, same
+//! bits. A proptest in the consumer crate pins the kernels against a
+//! plain-scalar reference implementing the same order.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Lane count of the chunked kernels. Four `f64` lanes map to two SSE2
+/// registers or one AVX register; the autovectorizer picks whatever the
+/// target offers.
+pub const LANES: usize = 4;
+
+/// A four-lane `f64` accumulator with a fixed reduction tree.
+///
+/// This is deliberately *not* a general SIMD vector type: it exists so the
+/// kernels below can accumulate lane-wise and reduce deterministically,
+/// and so tests can reference the exact reduction order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct F64x4(pub [f64; LANES]);
+
+impl F64x4 {
+    /// All lanes zero.
+    pub const ZERO: F64x4 = F64x4([0.0; LANES]);
+
+    /// Every lane set to `v`.
+    #[inline]
+    pub fn splat(v: f64) -> Self {
+        F64x4([v; LANES])
+    }
+
+    /// Horizontal sum with the fixed tree `(l0 + l1) + (l2 + l3)`.
+    ///
+    /// The tree — not a left-to-right fold — is the documented reduction
+    /// order every consumer relies on for bit-exact cross-path equality.
+    #[inline]
+    pub fn hsum(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+}
+
+/// Accumulates one four-element chunk of the weighted squared distance:
+/// `lanes[j] += ((a[j] - b[j]) * w[j])^2`.
+#[inline(always)]
+fn wsq_accumulate(lanes: &mut F64x4, a: &[f64; LANES], b: &[f64; LANES], w: &[f64; LANES]) {
+    for j in 0..LANES {
+        let d = (a[j] - b[j]) * w[j];
+        lanes.0[j] += d * d;
+    }
+}
+
+/// Loads a four-element chunk from `s` starting at `base`, zero-padding
+/// past the end. Zero-padded lanes contribute `((0-0)*0)^2 = +0.0` to a
+/// non-negative accumulator — an exact no-op.
+#[inline(always)]
+fn load_padded(s: &[f64], base: usize) -> [f64; LANES] {
+    let mut out = [0.0; LANES];
+    let take = LANES.min(s.len() - base);
+    out[..take].copy_from_slice(&s[base..base + take]);
+    out
+}
+
+/// [`weighted_sq_dist`] over fixed-length arrays. The chunk count and tail
+/// length are compile-time constants, so the loop fully unrolls with no
+/// bounds checks — this is the form the classifier's hot loops call with
+/// `N = NUM_TRACKED`. Bit-identical to the slice kernel on equal inputs:
+/// the summation order is the same (the slice kernel's zero-padded tail
+/// lanes contribute exact `+0.0`s).
+#[inline]
+pub fn weighted_sq_dist_fixed<const N: usize>(a: &[f64; N], b: &[f64; N], w: &[f64; N]) -> f64 {
+    let mut lanes = F64x4::ZERO;
+    let mut base = 0;
+    while base + LANES <= N {
+        for j in 0..LANES {
+            let d = (a[base + j] - b[base + j]) * w[base + j];
+            lanes.0[j] += d * d;
+        }
+        base += LANES;
+    }
+    for j in 0..(N % LANES) {
+        let d = (a[base + j] - b[base + j]) * w[base + j];
+        lanes.0[j] += d * d;
+    }
+    lanes.hsum()
+}
+
+/// [`weighted_sq_dist_pruned`] over fixed-length arrays; see
+/// [`weighted_sq_dist_fixed`] for why the fixed form exists. Same early-exit
+/// contract and bit-identical completions.
+#[inline]
+pub fn weighted_sq_dist_pruned_fixed<const N: usize>(
+    a: &[f64; N],
+    b: &[f64; N],
+    w: &[f64; N],
+    cutoff: f64,
+) -> Option<f64> {
+    let mut lanes = F64x4::ZERO;
+    let mut base = 0;
+    while base + LANES <= N {
+        for j in 0..LANES {
+            let d = (a[base + j] - b[base + j]) * w[base + j];
+            lanes.0[j] += d * d;
+        }
+        base += LANES;
+        if lanes.hsum() >= cutoff {
+            return None;
+        }
+    }
+    for j in 0..(N % LANES) {
+        let d = (a[base + j] - b[base + j]) * w[base + j];
+        lanes.0[j] += d * d;
+    }
+    let acc = lanes.hsum();
+    if acc >= cutoff {
+        return None;
+    }
+    Some(acc)
+}
+
+/// Squared Euclidean distance `Σ (a_i - b_i)^2` over fixed-length arrays,
+/// for callers that pre-scale ("whiten") their vectors once outside the
+/// scan loop instead of re-multiplying weights on every candidate. Same
+/// lane structure and summation order as [`weighted_sq_dist_fixed`]; with
+/// unit weights the two are bit-identical (multiplying by `1.0` is exact).
+#[inline]
+pub fn sq_dist_fixed<const N: usize>(a: &[f64; N], b: &[f64; N]) -> f64 {
+    let mut lanes = F64x4::ZERO;
+    let mut base = 0;
+    while base + LANES <= N {
+        for j in 0..LANES {
+            let d = a[base + j] - b[base + j];
+            lanes.0[j] += d * d;
+        }
+        base += LANES;
+    }
+    for j in 0..(N % LANES) {
+        let d = a[base + j] - b[base + j];
+        lanes.0[j] += d * d;
+    }
+    lanes.hsum()
+}
+
+/// [`sq_dist_fixed`] with the same partial-distance early exit as
+/// [`weighted_sq_dist_pruned_fixed`]: after each four-lane chunk the running
+/// horizontal sum is checked against `cutoff`. Completions are bit-identical
+/// to [`sq_dist_fixed`]; pruned candidates would have finished at or above
+/// `cutoff` anyway (non-negative terms, monotone accumulation).
+#[inline]
+pub fn sq_dist_pruned_fixed<const N: usize>(
+    a: &[f64; N],
+    b: &[f64; N],
+    cutoff: f64,
+) -> Option<f64> {
+    let mut lanes = F64x4::ZERO;
+    let mut base = 0;
+    while base + LANES <= N {
+        for j in 0..LANES {
+            let d = a[base + j] - b[base + j];
+            lanes.0[j] += d * d;
+        }
+        base += LANES;
+        if lanes.hsum() >= cutoff {
+            return None;
+        }
+    }
+    for j in 0..(N % LANES) {
+        let d = a[base + j] - b[base + j];
+        lanes.0[j] += d * d;
+    }
+    let acc = lanes.hsum();
+    if acc >= cutoff {
+        return None;
+    }
+    Some(acc)
+}
+
+/// Weighted squared Euclidean distance `Σ ((a_i - b_i) * w_i)^2`, chunked
+/// four lanes at a time with the crate's documented summation order.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn weighted_sq_dist(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+    assert!(a.len() == b.len() && a.len() == w.len(), "kernel inputs must be equal-length");
+    let mut lanes = F64x4::ZERO;
+    let mut base = 0;
+    while base + LANES <= a.len() {
+        wsq_accumulate(
+            &mut lanes,
+            a[base..base + LANES].try_into().expect("chunk is LANES long"),
+            b[base..base + LANES].try_into().expect("chunk is LANES long"),
+            w[base..base + LANES].try_into().expect("chunk is LANES long"),
+        );
+        base += LANES;
+    }
+    if base < a.len() {
+        wsq_accumulate(
+            &mut lanes,
+            &load_padded(a, base),
+            &load_padded(b, base),
+            &load_padded(w, base),
+        );
+    }
+    lanes.hsum()
+}
+
+/// [`weighted_sq_dist`] with partial-distance early exit: after each
+/// four-lane chunk the running horizontal sum is compared against `cutoff`,
+/// and the scan aborts with `None` once it can no longer come in below.
+///
+/// Correctness of the per-chunk exit: every term is non-negative and both
+/// lane accumulation and the `hsum` tree are monotone in their operands, so
+/// the running sum never decreases across chunks. A candidate whose running
+/// sum has reached `cutoff` therefore finishes at or above it.
+///
+/// When the scan completes, the returned value is **bit-identical** to
+/// [`weighted_sq_dist`] on the same inputs — the per-chunk checks only read
+/// the accumulator. Pruned candidates would have failed a `< cutoff` test
+/// on the full sum anyway (monotonicity again), so replacing a full scan
+/// with this one never changes which candidate a caller selects.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn weighted_sq_dist_pruned(a: &[f64], b: &[f64], w: &[f64], cutoff: f64) -> Option<f64> {
+    assert!(a.len() == b.len() && a.len() == w.len(), "kernel inputs must be equal-length");
+    let mut lanes = F64x4::ZERO;
+    let mut base = 0;
+    while base + LANES <= a.len() {
+        wsq_accumulate(
+            &mut lanes,
+            a[base..base + LANES].try_into().expect("chunk is LANES long"),
+            b[base..base + LANES].try_into().expect("chunk is LANES long"),
+            w[base..base + LANES].try_into().expect("chunk is LANES long"),
+        );
+        base += LANES;
+        if lanes.hsum() >= cutoff {
+            return None;
+        }
+    }
+    if base < a.len() {
+        wsq_accumulate(
+            &mut lanes,
+            &load_padded(a, base),
+            &load_padded(b, base),
+            &load_padded(w, base),
+        );
+    }
+    let acc = lanes.hsum();
+    if acc >= cutoff {
+        return None;
+    }
+    Some(acc)
+}
+
+/// Squared Euclidean norm `Σ v_i^2` over a fixed-length array — the same
+/// lane structure and reduction tree as [`sq_dist_fixed`] against an
+/// all-zero vector (subtracting `0.0` from a finite value is exact, so the
+/// two are bit-identical). Callers use it to precompute `‖v‖` for
+/// triangle-inequality prescreens outside their scan loops.
+#[inline]
+pub fn sq_norm_fixed<const N: usize>(v: &[f64; N]) -> f64 {
+    let mut lanes = F64x4::ZERO;
+    let mut base = 0;
+    while base + LANES <= N {
+        for j in 0..LANES {
+            let x = v[base + j];
+            lanes.0[j] += x * x;
+        }
+        base += LANES;
+    }
+    for j in 0..(N % LANES) {
+        let x = v[base + j];
+        lanes.0[j] += x * x;
+    }
+    lanes.hsum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain-scalar reference spelling out the documented order: lane `j`
+    /// takes elements `j, j+4, …` (zero-padded), reduced `(l0+l1)+(l2+l3)`.
+    fn reference(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+        let mut lanes = [0.0f64; LANES];
+        for i in 0..a.len() {
+            let d = (a[i] - b[i]) * w[i];
+            lanes[i % LANES] += d * d;
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    #[test]
+    fn matches_scalar_reference_bitwise() {
+        for len in 0..13 {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64) * 1.7 + 0.3).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64) * -0.9 + 11.0).collect();
+            let w: Vec<f64> = (0..len).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            assert_eq!(
+                weighted_sq_dist(&a, &b, &w).to_bits(),
+                reference(&a, &b, &w).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_kernels_match_slice_kernels_bitwise() {
+        let a = [3.0, -1.0, 7.5, 0.25, 9.0, 2.0, 1.0, 0.5, 4.0, 6.0, 8.0];
+        let b = [1.0, 2.0, -3.5, 0.75, 3.0, 2.5, 0.0, 1.5, 2.0, 5.0, 7.0];
+        let w = [1.0, 0.5, 2.0, 1.5, 0.25, 1.0, 3.0, 0.75, 1.0, 0.5, 2.0];
+        let slice = weighted_sq_dist(&a, &b, &w);
+        assert_eq!(weighted_sq_dist_fixed(&a, &b, &w).to_bits(), slice.to_bits());
+        assert_eq!(
+            weighted_sq_dist_pruned_fixed(&a, &b, &w, f64::INFINITY).map(f64::to_bits),
+            weighted_sq_dist_pruned(&a, &b, &w, f64::INFINITY).map(f64::to_bits),
+        );
+        assert_eq!(weighted_sq_dist_pruned_fixed(&a, &b, &w, slice), None, "acc == cutoff prunes");
+        assert_eq!(weighted_sq_dist_pruned_fixed(&a, &b, &w, 0.5), None, "chunk already over");
+        // Exact-multiple-of-LANES length (empty tail) and short lengths.
+        let a4 = [2.0, 3.0, 4.0, 5.0];
+        let b4 = [1.0; 4];
+        let w4 = [0.5; 4];
+        assert_eq!(
+            weighted_sq_dist_fixed(&a4, &b4, &w4).to_bits(),
+            weighted_sq_dist(&a4, &b4, &w4).to_bits()
+        );
+        let a2 = [7.0, -2.0];
+        assert_eq!(
+            weighted_sq_dist_fixed(&a2, &a2, &[1.0; 2]).to_bits(),
+            weighted_sq_dist(&a2, &a2, &[1.0; 2]).to_bits()
+        );
+    }
+
+    #[test]
+    fn unweighted_kernels_match_unit_weight_kernels_bitwise() {
+        let a = [3.0, -1.0, 7.5, 0.25, 9.0, 2.0, 1.0, 0.5, 4.0, 6.0, 8.0];
+        let b = [1.0, 2.0, -3.5, 0.75, 3.0, 2.5, 0.0, 1.5, 2.0, 5.0, 7.0];
+        let ones = [1.0; 11];
+        let weighted = weighted_sq_dist(&a, &b, &ones);
+        assert_eq!(sq_dist_fixed(&a, &b).to_bits(), weighted.to_bits());
+        assert_eq!(
+            sq_dist_pruned_fixed(&a, &b, f64::INFINITY).map(f64::to_bits),
+            Some(weighted.to_bits())
+        );
+        assert_eq!(sq_dist_pruned_fixed(&a, &b, weighted), None, "acc == cutoff prunes");
+        assert_eq!(sq_dist_pruned_fixed(&a, &b, 1.0), None, "first chunk already over");
+    }
+
+    #[test]
+    fn pruned_completion_is_bit_identical() {
+        let a = [3.0, -1.0, 7.5, 0.25, 9.0, 2.0, 1.0, 0.5, 4.0, 6.0, 8.0];
+        let b = [1.0, 2.0, -3.5, 0.75, 3.0, 2.5, 0.0, 1.5, 2.0, 5.0, 7.0];
+        let w = [1.0, 0.5, 2.0, 1.5, 0.25, 1.0, 3.0, 0.75, 1.0, 0.5, 2.0];
+        let full = weighted_sq_dist(&a, &b, &w);
+        let pruned = weighted_sq_dist_pruned(&a, &b, &w, f64::INFINITY).expect("no cutoff");
+        assert_eq!(full.to_bits(), pruned.to_bits());
+    }
+
+    #[test]
+    fn pruned_aborts_at_or_above_cutoff() {
+        let a = [10.0; 11];
+        let b = [0.0; 11];
+        let w = [1.0; 11];
+        let full = weighted_sq_dist(&a, &b, &w); // 1100
+        assert_eq!(weighted_sq_dist_pruned(&a, &b, &w, full), None, "acc == cutoff prunes");
+        assert_eq!(weighted_sq_dist_pruned(&a, &b, &w, 1.0), None, "first chunk already over");
+        assert_eq!(
+            weighted_sq_dist_pruned(&a, &b, &w, full + 1.0),
+            Some(full),
+            "cutoff above the full sum completes"
+        );
+    }
+
+    #[test]
+    fn zero_length_inputs_sum_to_zero() {
+        assert_eq!(weighted_sq_dist(&[], &[], &[]), 0.0);
+        assert_eq!(weighted_sq_dist_pruned(&[], &[], &[], 1.0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_sq_dist(&[1.0], &[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn hsum_uses_the_documented_tree() {
+        // Values chosen so (l0+l1)+(l2+l3) differs in bits from a
+        // left-to-right fold — pins the reduction tree itself.
+        let v = F64x4([1e16, 1.0, -1e16, 1.0]);
+        let tree = (1e16f64 + 1.0) + (-1e16 + 1.0);
+        let fold = ((1e16f64 + 1.0) + -1e16) + 1.0;
+        assert_eq!(v.hsum().to_bits(), tree.to_bits());
+        assert_ne!(tree.to_bits(), fold.to_bits(), "test inputs must discriminate the orders");
+    }
+
+    #[test]
+    fn sq_norm_matches_distance_from_origin_bitwise() {
+        let v = [3.0, -1.0, 7.5, 0.25, 9.0, 2.0, 1.0, 0.5, 4.0, 6.0, 8.0];
+        let zeros = [0.0; 11];
+        assert_eq!(sq_norm_fixed(&v).to_bits(), sq_dist_fixed(&v, &zeros).to_bits());
+        let v4 = [2.0, 3.0, 4.0, 5.0];
+        assert_eq!(sq_norm_fixed(&v4).to_bits(), sq_dist_fixed(&v4, &[0.0; 4]).to_bits());
+        assert_eq!(sq_norm_fixed::<0>(&[]), 0.0);
+    }
+}

@@ -150,11 +150,69 @@ pub struct TraceEvent {
 type Key = (&'static str, u32);
 type SpanKey = ((&'static str, &'static str), u32);
 
+/// FxHash-style multiply-xor hasher for the aggregation maps.
+///
+/// Every observation pays one map lookup keyed by a static telemetry name,
+/// so on hot paths (per-inference latency histograms, per-ioctl counters)
+/// the default SipHash costs more than the arithmetic being measured. The
+/// keys are compile-time string literals plus small track ids — HashDoS
+/// resistance buys nothing — so a two-instruction word hasher is the right
+/// trade.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
 #[derive(Default)]
 struct Aggregates {
-    counters: HashMap<Key, u64>,
-    hists: HashMap<Key, Hist>,
-    spans: HashMap<SpanKey, SpanAgg>,
+    counters: HashMap<Key, u64, FxBuildHasher>,
+    hists: HashMap<Key, Hist, FxBuildHasher>,
+    spans: HashMap<SpanKey, SpanAgg, FxBuildHasher>,
 }
 
 impl Aggregates {
