@@ -75,6 +75,7 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("faults", "fault intensity × retry budget sweep", experiments::faults::faults),
     ("latency", "press-to-inference latency, greedy vs lookahead", experiments::latency::latency),
     ("exfil", "split sampler/classifier over a lossy wire", experiments::exfil::exfil),
+    ("fleet", "fleet-scale session orchestration matrix", experiments::fleet::fleet),
 ];
 
 /// Where per-experiment wall-clock timings are recorded.

@@ -7,6 +7,7 @@ pub mod adapt;
 pub mod exfil;
 pub mod extensions;
 pub mod faults;
+pub mod fleet;
 pub mod latency;
 pub mod mitigation;
 pub mod overhead;

@@ -54,6 +54,23 @@ impl ModelCache {
         }))
     }
 
+    /// Seeds the cache with an already-trained model, so lookups of this
+    /// configuration share it instead of training — the hub/clients split:
+    /// a hub cache trains each configuration once, and every shard's own
+    /// cache adopts the hub's `Arc`. A no-op if the configuration is
+    /// already trained here.
+    pub fn adopt(
+        &self,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+        model: Arc<ClassifierModel>,
+    ) {
+        spansight::count("bench.model_cache.adoptions", 1);
+        let cell = Arc::clone(self.trained.lock().entry((device, keyboard, app)).or_default());
+        cell.get_or_init(move || model);
+    }
+
     /// A one-model store for a configuration.
     pub fn store(
         &self,

@@ -7,7 +7,7 @@
 //! the per-trial seeds.
 
 use adreno_sim::time::SimDuration;
-use bench::experiments::{accuracy, robustness, Ctx};
+use bench::experiments::{accuracy, fleet, robustness, Ctx};
 use bench::report::capture;
 use bench::{eval_credentials, ModelCache, TrialOptions};
 use input_bot::corpus::CredentialKind;
@@ -77,6 +77,24 @@ fn experiment_reports_are_identical_at_any_worker_count() {
     let par = run(4);
     assert!(!seq.is_empty(), "reports should capture, not hit stdout");
     assert_eq!(seq, par, "captured reports must not depend on worker count");
+}
+
+/// The fleet orchestration matrix — many concurrent sessions interleaved
+/// on the ring run queue, with live fault and link plans — captures the
+/// same report at any worker count. Throughput (wall-clock) goes to
+/// stderr and telemetry only, so it cannot perturb this.
+#[test]
+fn fleet_report_is_identical_at_any_worker_count() {
+    let run = |jobs: usize| -> String {
+        let pool = if jobs == 1 { Pool::sequential() } else { Pool::new(jobs) };
+        let ctx = Ctx::with_pool(0.05, pool);
+        let ((), text) = capture(|| fleet::fleet(&ctx));
+        text
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert!(seq.contains("salvaged"), "fleet report should tabulate session outcomes");
+    assert_eq!(seq, par, "fleet report must not depend on worker count");
 }
 
 /// Telemetry collection (aggregates + trace events) must not leak into the

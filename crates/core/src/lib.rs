@@ -22,6 +22,9 @@
 //! * [`ring`] — the lock-free SPSC ring that carries sampled slots from the
 //!   reader loop to the stage pipeline in bursts;
 //! * [`service`] — the end-to-end background service;
+//! * [`fleet`] — fleet-scale orchestration: thousands of concurrent
+//!   sessions as cooperative tasks over a bounded worker set, with
+//!   SPSC-ring backpressure per session;
 //! * [`metrics`] — the accuracy metrics of §7.
 //!
 //! This library exists for research and defensive evaluation: it runs only
@@ -56,6 +59,7 @@
 pub mod appswitch;
 pub mod classify;
 pub mod correction;
+pub mod fleet;
 pub mod launch;
 pub mod metrics;
 pub mod offline;
@@ -67,6 +71,7 @@ pub mod stage;
 pub mod trace;
 
 pub use classify::{BatchScratch, Classification, ClassifierModel, KeyCentroid, ModelMeta};
+pub use fleet::{Fleet, FleetConfig, FleetSession, Session, SessionOutcome, SessionStats};
 pub use launch::LaunchDetector;
 pub use metrics::{Aggregate, SessionScore};
 pub use offline::{ModelStore, Trainer, TrainerConfig};

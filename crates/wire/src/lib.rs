@@ -44,6 +44,6 @@ pub use frame::{Frame, MAGIC, WIRE_VERSION};
 pub use message::{Message, SampleBatch};
 pub use session::{
     run_split_session, BatchStage, ClassifierServer, ExfilClient, ExfilConfig, ResequenceStage,
-    SplitOutcome, CONTROL_SEQ,
+    SplitDriver, SplitOutcome, SplitSessionOutcome, SplitSessionTask, CONTROL_SEQ,
 };
 pub use transport::{Direction, LinkPlan, SimTransport, TransportStats};

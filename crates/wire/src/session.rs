@@ -585,7 +585,7 @@ impl<'s> ClassifierServer<'s> {
 }
 
 /// Everything a split session produced, beyond the [`SessionResult`] itself.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct SplitOutcome {
     /// The server-side session result with the folded
     /// [`LinkDegradationReport`] (client + server + transport tallies).
@@ -620,6 +620,185 @@ fn fold_link(
     }
 }
 
+/// Where a [`SplitDriver`] stands in the session lifecycle.
+enum SplitPhase {
+    /// Counter sampling still running; each step is one ring generation.
+    Streaming,
+    /// Sampling is over; each step is one coarse drain tick until the final
+    /// handshake lands or the deadline passes.
+    Draining {
+        /// The drain budget's hard stop.
+        deadline: SimInstant,
+    },
+    /// Outcome already produced; the driver must not be stepped again.
+    Done,
+}
+
+/// A split session as an incremental state machine: one [`SplitDriver::step`]
+/// call runs one *quantum* (a ring generation while sampling, a 5 ms drain
+/// tick afterwards) and yields. [`run_split_session`] drives it in a tight
+/// loop for the one-session case; the fleet orchestrator steps many drivers
+/// interleaved on the same workers via [`SplitSessionTask`].
+///
+/// The step decomposition is exact: driving a `SplitDriver` to completion
+/// produces the same [`SplitOutcome`] the original monolithic loop did,
+/// quantum boundaries included — each quantum is one iteration of that
+/// loop.
+pub struct SplitDriver<'s> {
+    service: &'s AttackService,
+    config: ExfilConfig,
+    transport: SimTransport,
+    client: ExfilClient,
+    server: ClassifierServer<'s>,
+    sampler: Sampler,
+    /// `Some` while streaming; consumed by `finish_stream` at the
+    /// streaming → draining transition.
+    stream: Option<gpu_sc_attack::sampler::SampleStream>,
+    ring_tx: gpu_sc_attack::ring::Producer<Sample>,
+    ring_rx: gpu_sc_attack::ring::Consumer<Sample>,
+    burst: Vec<Sample>,
+    phase: SplitPhase,
+    _span: spansight::Span,
+}
+
+impl<'s> SplitDriver<'s> {
+    /// Opens a split session against `sim`'s device over a fresh transport
+    /// running `plan`, sampling until `until`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Device`] when the device file refuses to open.
+    pub fn new(
+        service: &'s AttackService,
+        sim: &mut UiSimulation,
+        until: SimInstant,
+        plan: &LinkPlan,
+        config: ExfilConfig,
+    ) -> Result<Self, ServiceError> {
+        let mut span = spansight::span("wire", "session.split");
+        span.sim_range(sim.now().as_nanos(), until.as_nanos());
+        let mut transport = SimTransport::new(plan);
+        let mut client = ExfilClient::new(config, plan.seed);
+        let server = ClassifierServer::new(service);
+        let mut sampler = Sampler::open(sim.device(), service.config().sampler)?;
+        let stream = sampler.start_stream(sim, until);
+        client.connect(&mut transport, sim.now());
+        // Same SPSC handoff as the in-process driver: the reader loop fills
+        // the ring, the exfiltration side drains it in bursts. Sizing the
+        // ring at one wire batch means each drain stages exactly one
+        // SampleBatch frame. Both ends still pump at every read slot — the
+        // retransmit/ack clock needs the fine-grained ticks (its timeouts
+        // are shorter than a ring's worth of slots) — but those per-slot
+        // pumps carry no staging work; the batcher is fed once per drain.
+        let (ring_tx, ring_rx) = gpu_sc_attack::ring::spsc::<Sample>(config.batch_samples);
+        let burst = Vec::with_capacity(ring_tx.capacity());
+        Ok(SplitDriver {
+            service,
+            config,
+            transport,
+            client,
+            server,
+            sampler,
+            stream: Some(stream),
+            ring_tx,
+            ring_rx,
+            burst,
+            phase: SplitPhase::Streaming,
+            _span: span,
+        })
+    }
+
+    /// Runs one quantum. `Some` = session finished (success or error),
+    /// `None` = more to do; call again. Must not be called after it
+    /// returned `Some`.
+    pub fn step(&mut self, sim: &mut UiSimulation) -> Option<Result<SplitOutcome, ServiceError>> {
+        match self.phase {
+            SplitPhase::Streaming => {
+                let stream = self.stream.as_mut().expect("streaming phase owns a stream");
+                let mut stream_done = false;
+                while !self.ring_tx.is_full() {
+                    match self.sampler.next_sample(stream, sim) {
+                        Some(sample) => {
+                            self.ring_tx.push(sample).expect("a non-full SPSC ring accepts a push");
+                            self.client.pump(&mut self.transport, sim.now());
+                            self.server.pump(&mut self.transport, sim.now());
+                        }
+                        None => {
+                            stream_done = true;
+                            break;
+                        }
+                    }
+                }
+                self.burst.clear();
+                self.ring_rx.drain_into(&mut self.burst);
+                self.client.push_samples(&self.burst);
+                self.client.pump(&mut self.transport, sim.now());
+                self.server.pump(&mut self.transport, sim.now());
+                if stream_done {
+                    let stream = self.stream.take().expect("streaming phase owns a stream");
+                    if let Err(err) = self.sampler.finish_stream(stream) {
+                        self.phase = SplitPhase::Done;
+                        return Some(Err(ServiceError::Device(err)));
+                    }
+                    self.client.finish_sampling(&self.sampler.report());
+                    // Drain: sampling is over, but frames are still in
+                    // flight. Keep pumping on a coarse tick until the final
+                    // handshake lands or the budget runs out (the
+                    // retransmit/reconnect machinery needs the clock to
+                    // advance).
+                    self.phase =
+                        SplitPhase::Draining { deadline: sim.now() + self.config.drain_timeout };
+                }
+                None
+            }
+            SplitPhase::Draining { deadline } => {
+                if !self.client.done() && sim.now() < deadline {
+                    let next = (sim.now() + SimDuration::from_millis(5)).min(deadline);
+                    sim.advance_to(next);
+                    self.client.pump(&mut self.transport, sim.now());
+                    self.server.pump(&mut self.transport, sim.now());
+                    return None;
+                }
+                self.phase = SplitPhase::Done;
+                Some(self.finalise())
+            }
+            SplitPhase::Done => unreachable!("a finished split driver must not be stepped"),
+        }
+    }
+
+    /// Assembles the outcome once draining ends (handshake done or budget
+    /// exhausted), salvaging the server session if the Fin never arrived.
+    fn finalise(&mut self) -> Result<SplitOutcome, ServiceError> {
+        let completed = self.client.done();
+        if !completed {
+            spansight::count("wire.session.drain_timeouts", 1);
+        }
+        let result = match self.server.result.take() {
+            Some(result) => result,
+            // The Fin never got through even after the drain budget — the
+            // link was effectively one-way-dead. Salvage the session from
+            // whatever samples did arrive rather than erroring out.
+            None => match self.server.session.take() {
+                Some(session) => session.finish(&self.sampler.report()),
+                None => self.service.streaming_session().finish(&self.sampler.report()),
+            },
+        };
+        let mut result = result?;
+        result.link =
+            fold_link(self.client.link_report(), self.server.link_report(), self.transport.stats());
+        spansight::count("wire.session.frames_sent", result.link.frames_sent);
+        spansight::count("wire.session.retransmits", result.link.retransmits);
+        spansight::count("wire.session.reconnects", result.link.reconnects);
+        Ok(SplitOutcome {
+            result,
+            recovered_over_wire: self.client.recovered.clone(),
+            key_arrivals: std::mem::take(&mut self.client.key_arrivals),
+            transport: self.transport.stats(),
+            completed,
+        })
+    }
+}
+
 /// Runs one eavesdropping session split across the wire: the sampler and
 /// [`ExfilClient`] on the device side, the [`ClassifierServer`] behind the
 /// transport, both pumped in lock-step with the simulation clock.
@@ -629,6 +808,9 @@ fn fold_link(
 /// the populated `link` field. Under a lossy plan the session still
 /// completes — retransmits, resequencing, and reconnects absorb the damage
 /// and the `link` report says how much there was.
+///
+/// This is [`SplitDriver`] driven to completion in a tight loop; fleets
+/// step many drivers interleaved instead (see [`SplitSessionTask`]).
 ///
 /// # Errors
 ///
@@ -643,89 +825,92 @@ pub fn run_split_session(
     plan: &LinkPlan,
     config: ExfilConfig,
 ) -> Result<SplitOutcome, ServiceError> {
-    let mut span = spansight::span("wire", "session.split");
-    span.sim_range(sim.now().as_nanos(), until.as_nanos());
-    let mut transport = SimTransport::new(plan);
-    let mut client = ExfilClient::new(config, plan.seed);
-    let mut server = ClassifierServer::new(service);
-
-    let mut sampler = Sampler::open(sim.device(), service.config().sampler)?;
-    let mut stream = sampler.start_stream(sim, until);
-    client.connect(&mut transport, sim.now());
-    // Same SPSC handoff as the in-process driver: the reader loop fills the
-    // ring, the exfiltration side drains it in bursts. Sizing the ring at
-    // one wire batch means each drain stages exactly one SampleBatch frame.
-    // Both ends still pump at every read slot — the retransmit/ack clock
-    // needs the fine-grained ticks (its timeouts are shorter than a ring's
-    // worth of slots) — but those per-slot pumps carry no staging work; the
-    // batcher is fed once per drain.
-    let (mut ring_tx, mut ring_rx) = gpu_sc_attack::ring::spsc::<Sample>(config.batch_samples);
-    let mut burst: Vec<Sample> = Vec::with_capacity(ring_tx.capacity());
+    let mut driver = SplitDriver::new(service, sim, until, plan, config)?;
     loop {
-        let mut stream_done = false;
-        while !ring_tx.is_full() {
-            match sampler.next_sample(&mut stream, sim) {
-                Some(sample) => {
-                    ring_tx.push(sample).expect("a non-full SPSC ring accepts a push");
-                    client.pump(&mut transport, sim.now());
-                    server.pump(&mut transport, sim.now());
-                }
-                None => {
-                    stream_done = true;
-                    break;
-                }
-            }
-        }
-        burst.clear();
-        ring_rx.drain_into(&mut burst);
-        client.push_samples(&burst);
-        client.pump(&mut transport, sim.now());
-        server.pump(&mut transport, sim.now());
-        if stream_done {
-            break;
+        if let Some(outcome) = driver.step(sim) {
+            return outcome;
         }
     }
-    sampler.finish_stream(stream)?;
-    client.finish_sampling(&sampler.report());
+}
 
-    // Drain: sampling is over, but frames are still in flight. Keep pumping
-    // on a coarse tick until the final handshake lands or the budget runs
-    // out (the retransmit/reconnect machinery needs the clock to advance).
-    let deadline = sim.now() + config.drain_timeout;
-    let tick = SimDuration::from_millis(5);
-    while !client.done() && sim.now() < deadline {
-        let next = (sim.now() + tick).min(deadline);
-        sim.advance_to(next);
-        client.pump(&mut transport, sim.now());
-        server.pump(&mut transport, sim.now());
+/// What one fleet-scheduled split session produced.
+#[derive(Debug, PartialEq)]
+pub struct SplitSessionOutcome {
+    /// Which shard ran the session.
+    pub shard: usize,
+    /// The split outcome, or why the session failed. Failures are carried
+    /// here — a failed session never stalls its shard.
+    pub outcome: Result<SplitOutcome, ServiceError>,
+    /// Accuracy against the victim simulation's ground truth (`None` when
+    /// the session failed).
+    pub score: Option<gpu_sc_attack::metrics::SessionScore>,
+    /// The true keystrokes, kept so callers can measure per-key latency
+    /// after the simulation itself is dropped.
+    pub truth: Vec<(SimInstant, char)>,
+    /// Quanta the scheduler spent on this session.
+    pub quanta: u64,
+}
+
+/// A split session as a cooperative fleet task: owns its victim
+/// [`UiSimulation`] and steps its [`SplitDriver`] one quantum at a time
+/// under [`gpu_sc_attack::fleet::run_sessions`], so hundreds of split
+/// sessions (each with its own [`SimTransport`] drawn from its own
+/// [`LinkPlan`]) interleave on a bounded worker set. A session degraded by
+/// its link is salvaged and reported exactly as in [`run_split_session`];
+/// it slows only itself down, never its shard.
+pub struct SplitSessionTask<'s> {
+    sim: UiSimulation,
+    shard: usize,
+    driver: Option<SplitDriver<'s>>,
+    /// Construction failure, surfaced by the first step.
+    failed: Option<ServiceError>,
+    quanta: u64,
+}
+
+impl<'s> SplitSessionTask<'s> {
+    /// Prepares a split session on `shard`'s service over its own fresh
+    /// transport running `plan`. Device faults at open time don't panic or
+    /// stall — they surface as an error outcome on the first step.
+    pub fn new(
+        shard: usize,
+        service: &'s AttackService,
+        mut sim: UiSimulation,
+        until: SimInstant,
+        plan: &LinkPlan,
+        config: ExfilConfig,
+    ) -> Self {
+        let (driver, failed) = match SplitDriver::new(service, &mut sim, until, plan, config) {
+            Ok(driver) => (Some(driver), None),
+            Err(err) => (None, Some(err)),
+        };
+        SplitSessionTask { sim, shard, driver, failed, quanta: 0 }
     }
 
-    let completed = client.done();
-    if !completed {
-        spansight::count("wire.session.drain_timeouts", 1);
+    fn outcome(&mut self, outcome: Result<SplitOutcome, ServiceError>) -> SplitSessionOutcome {
+        self.driver = None;
+        let score = outcome.as_ref().ok().map(|o| o.result.score(&self.sim));
+        SplitSessionOutcome {
+            shard: self.shard,
+            outcome,
+            score,
+            truth: self.sim.truth().keystrokes(),
+            quanta: self.quanta,
+        }
     }
-    let result = match server.result.take() {
-        Some(result) => result,
-        // The Fin never got through even after the drain budget — the link
-        // was effectively one-way-dead. Salvage the session from whatever
-        // samples did arrive rather than erroring out.
-        None => match server.session.take() {
-            Some(session) => session.finish(&sampler.report()),
-            None => service.streaming_session().finish(&sampler.report()),
-        },
-    };
-    let mut result = result?;
-    result.link = fold_link(client.link_report(), server.link_report(), transport.stats());
-    spansight::count("wire.session.frames_sent", result.link.frames_sent);
-    spansight::count("wire.session.retransmits", result.link.retransmits);
-    spansight::count("wire.session.reconnects", result.link.reconnects);
-    Ok(SplitOutcome {
-        result,
-        recovered_over_wire: client.recovered.clone(),
-        key_arrivals: std::mem::take(&mut client.key_arrivals),
-        transport: transport.stats(),
-        completed,
-    })
+}
+
+impl gpu_sc_attack::fleet::Session for SplitSessionTask<'_> {
+    type Outcome = SplitSessionOutcome;
+
+    fn step(&mut self) -> Option<SplitSessionOutcome> {
+        self.quanta += 1;
+        if let Some(err) = self.failed.take() {
+            return Some(self.outcome(Err(err)));
+        }
+        let step =
+            self.driver.as_mut().expect("an unfinished task owns a driver").step(&mut self.sim);
+        step.map(|res| self.outcome(res))
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! * [`attack`] (crate `gpu-sc-attack`) — the paper's attack end to end.
 //! * [`baseline`] — the coarse GPU-workload comparison attack (Table 2).
 //! * [`wire`] — the exfiltration wire protocol and split-session driver.
+//! * [`minipool`] — the scoped worker pool and cooperative ring run queue
+//!   the fleet orchestrator schedules sessions on.
 
 pub use adreno_sim;
 pub use android_ui;
@@ -17,4 +19,5 @@ pub use baseline;
 pub use gpu_sc_attack as attack;
 pub use input_bot;
 pub use kgsl;
+pub use minipool;
 pub use wire;

@@ -1,0 +1,213 @@
+//! The fleet orchestrator's contracts, end to end with trained models:
+//!
+//! * **Determinism** — a mixed fleet (local sessions under live fault
+//!   plans, split sessions over live lossy link plans) produces
+//!   byte-identical outcome vectors at any worker count.
+//! * **Equivalence** — a fleet-scheduled session recovers exactly what
+//!   [`AttackService::eavesdrop`] recovers on the same seeded victim; the
+//!   cooperative quantum decomposition changes scheduling, never results.
+//! * **Starvation-freedom** — one pathological session (a sampling horizon
+//!   an order of magnitude past everyone else's) finishes last: every
+//!   other session completes while it is still being cycled through the
+//!   ring run queue, so it can never stall a shard.
+
+use std::sync::{Arc, Mutex};
+
+use adreno_sim::time::{SimDuration, SimInstant};
+use gpu_eaves::android_ui::{SimConfig, UiSimulation};
+use gpu_eaves::attack::fleet::{run_sessions, FleetConfig, FleetSession, Session, SessionOutcome};
+use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::service::{AttackService, ServiceConfig};
+use gpu_eaves::input_bot::script::Typist;
+use gpu_eaves::input_bot::timing::VOLUNTEERS;
+use gpu_eaves::kgsl::FaultPlan;
+use gpu_eaves::minipool::Pool;
+use gpu_eaves::wire::{ExfilConfig, LinkPlan, SplitSessionOutcome, SplitSessionTask};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn single_store() -> ModelStore {
+    let cfg = SimConfig::paper_default(0);
+    let mut store = ModelStore::new();
+    store.add(Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app));
+    store
+}
+
+/// A seeded victim typing one credential.
+fn victim(seed: u64, text: &str) -> (UiSimulation, SimInstant) {
+    let mut sim = UiSimulation::new(SimConfig::paper_default(seed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut typist = Typist::new(VOLUNTEERS[seed as usize % VOLUNTEERS.len()]);
+    let plan = typist.type_text(text, SimInstant::from_millis(900), &mut rng);
+    let end = plan.end + SimDuration::from_millis(800);
+    sim.queue_all(plan.events);
+    (sim, end)
+}
+
+/// A local or split fleet task, as the bench experiment mixes them.
+/// Boxed: each owns a whole `UiSimulation`.
+enum Mixed<'s> {
+    Local(Box<FleetSession<'s>>),
+    Split(Box<SplitSessionTask<'s>>),
+}
+
+#[derive(Debug, PartialEq)]
+enum MixedOutcome {
+    Local(SessionOutcome),
+    Split(SplitSessionOutcome),
+}
+
+impl Session for Mixed<'_> {
+    type Outcome = MixedOutcome;
+
+    fn step(&mut self) -> Option<MixedOutcome> {
+        match self {
+            Mixed::Local(s) => s.step().map(MixedOutcome::Local),
+            Mixed::Split(s) => s.step().map(MixedOutcome::Split),
+        }
+    }
+}
+
+/// Builds the 9-session mixed fleet: every third session split over a
+/// lossy wire, local sessions alternating clean / heavily faulted.
+fn mixed_fleet<'s>(service: &'s AttackService, config: &FleetConfig) -> Vec<Mixed<'s>> {
+    let horizon = SimDuration::from_secs(8);
+    (0..9u64)
+        .map(|i| {
+            let (sim, end) = victim(60 + i, "hunter2pass");
+            let shard = (i % 2) as usize;
+            if i % 3 == 2 {
+                let link = LinkPlan::with_intensity(i, 0.6, horizon);
+                Mixed::Split(Box::new(SplitSessionTask::new(
+                    shard,
+                    service,
+                    sim,
+                    end,
+                    &link,
+                    ExfilConfig::default(),
+                )))
+            } else {
+                if i % 2 == 1 {
+                    sim.device().install_fault_plan(&FaultPlan::with_intensity(i, 0.9, horizon));
+                }
+                Mixed::Local(Box::new(FleetSession::new(shard, service, sim, end, config)))
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_fleet_outcomes_identical_at_any_worker_count() {
+    let store = single_store();
+    let service = AttackService::new(store, ServiceConfig::default());
+    let config = FleetConfig { ring_capacity: 16, classify_quantum: 16, ..FleetConfig::default() };
+    let run = |jobs: usize| run_sessions(&Pool::new(jobs), mixed_fleet(&service, &config));
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.len(), 9);
+    assert_eq!(seq, par, "fleet outcomes must not depend on worker count");
+    // Non-vacuous: sessions completed and the plans were live.
+    for (i, out) in seq.iter().enumerate() {
+        match out {
+            MixedOutcome::Local(o) => {
+                let result = o.result.as_ref().expect("local session completes");
+                assert!(!result.recovered_text.is_empty(), "session {i} recovered nothing");
+                if i % 2 == 1 {
+                    assert!(!result.degradation.is_clean(), "session {i}'s fault plan never fired");
+                }
+            }
+            MixedOutcome::Split(o) => {
+                let split = o.outcome.as_ref().expect("split session completes");
+                assert!(
+                    !split.result.link.is_clean(),
+                    "session {i}'s 0.6-intensity link plan left no trace"
+                );
+                assert!(!split.result.recovered_text.is_empty(), "session {i} recovered nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn fleet_session_matches_eavesdrop() {
+    let store = single_store();
+    let service = AttackService::new(store, ServiceConfig::default());
+    for seed in [70u64, 71] {
+        // Both runs see the same seeded victim and the same fault plan.
+        let plan = FaultPlan::with_intensity(seed, 0.7, SimDuration::from_secs(8));
+        let (mut sim, end) = victim(seed, "hunter2pass");
+        sim.device().install_fault_plan(&plan);
+        let direct = service.eavesdrop(&mut sim, end).expect("in-process session");
+
+        let (sim, end) = victim(seed, "hunter2pass");
+        sim.device().install_fault_plan(&plan);
+        let mut session = FleetSession::new(0, &service, sim, end, &FleetConfig::default());
+        let outcome = loop {
+            if let Some(out) = session.step() {
+                break out;
+            }
+        };
+        let fleet_result = outcome.result.expect("fleet session completes");
+        assert_eq!(fleet_result, direct, "quantum decomposition changed the result (seed {seed})");
+        assert!(!direct.recovered_text.is_empty(), "vacuous equivalence (seed {seed})");
+    }
+}
+
+/// Completion-order probe: records when each session finished.
+struct Tracked<'s> {
+    inner: FleetSession<'s>,
+    index: usize,
+    order: Arc<Mutex<Vec<usize>>>,
+}
+
+impl Session for Tracked<'_> {
+    type Outcome = SessionOutcome;
+
+    fn step(&mut self) -> Option<SessionOutcome> {
+        let done = self.inner.step();
+        if done.is_some() {
+            self.order.lock().unwrap().push(self.index);
+        }
+        done
+    }
+}
+
+#[test]
+fn pathological_session_cannot_starve_the_fleet() {
+    let store = single_store();
+    let service = AttackService::new(store, ServiceConfig::default());
+    let config = FleetConfig::default();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    // FIFO ring scheduling: every short session completes while the
+    // 30-second session is still being cycled, at any worker count.
+    for jobs in [1usize, 2] {
+        order.lock().unwrap().clear();
+        // Session 0 samples for 30 simulated seconds; the rest are ordinary
+        // ~3-second credential sessions. Rebuilt each round: runs consume them.
+        let tasks: Vec<Tracked<'_>> = (0..5u64)
+            .map(|i| {
+                let (sim, end) = victim(80 + i, "hunter2pass");
+                let until = if i == 0 { SimInstant::from_millis(30_000) } else { end };
+                Tracked {
+                    inner: FleetSession::new(0, &service, sim, until, &config),
+                    index: i as usize,
+                    order: Arc::clone(&order),
+                }
+            })
+            .collect();
+        let outcomes = run_sessions(&Pool::new(jobs), tasks);
+        assert_eq!(outcomes.len(), 5);
+        let finished = order.lock().unwrap().clone();
+        assert_eq!(
+            finished.last(),
+            Some(&0),
+            "the pathological session must finish last (jobs={jobs}): {finished:?}"
+        );
+        assert!(
+            outcomes[0].stats.quanta > outcomes[1].stats.quanta * 2,
+            "session 0 should need far more quanta: {} vs {}",
+            outcomes[0].stats.quanta,
+            outcomes[1].stats.quanta
+        );
+    }
+}

@@ -19,9 +19,20 @@
 //! (model stores, trial options) flow into the closure without `'static`
 //! gymnastics, and a panicking item propagates to the caller at the end of
 //! the call.
+//!
+//! Beyond the map, [`Pool::par_drive`] runs *cooperative* tasks over a
+//! ring-shaped run queue: each task is stepped one quantum at a time and
+//! requeued FIFO after every quantum, so quanta of different tasks
+//! interleave on the same bounded worker set and one long task can occupy
+//! at most one worker while the rest drain everything else. The fleet
+//! orchestrator (`gpu_sc_attack::fleet`) schedules thousands of
+//! eavesdropping sessions through it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// A handle describing how much parallelism to use. Cheap to clone; holds no
 /// threads — workers are spawned per [`Pool::par_map`] call and joined
@@ -118,6 +129,151 @@ impl Pool {
         tagged.into_iter().map(|(_, r)| r).collect()
     }
 
+    /// Drives a set of cooperative tasks to completion over a ring-shaped
+    /// FIFO run queue, returning results in task order.
+    ///
+    /// `step` receives `(index, &mut task)` and runs **one quantum** of that
+    /// task: it returns `Some(result)` when the task is finished and `None`
+    /// to yield. Yielded tasks are requeued at the back of the ring, so
+    /// quanta of different tasks interleave on the same workers — with
+    /// `k` live tasks, every task is stepped again within `k` dequeues, and
+    /// a single pathological task can pin at most one worker while the
+    /// remaining workers drain the rest of the ring (the
+    /// starvation-freedom property the fleet orchestrator leans on).
+    ///
+    /// With `jobs = 1` the ring is driven inline, round-robin, on the
+    /// caller's thread — the same schedule shape without threads. Results
+    /// are keyed by task index, and each task's state is only ever touched
+    /// by one worker at a time, so as long as tasks are independent the
+    /// output is byte-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` panicked on any quantum (the first worker panic is
+    /// propagated after all workers stop; tasks still queued are dropped).
+    pub fn par_drive<T, R, F>(&self, tasks: Vec<T>, step: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> Option<R> + Sync,
+    {
+        let n = tasks.len();
+        if self.jobs == 1 || n <= 1 {
+            // Inline round-robin over a local ring: the sequential
+            // execution path, exercising the same FIFO-requeue schedule.
+            let mut states: Vec<Option<T>> = tasks.into_iter().map(Some).collect();
+            let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            let mut ring: VecDeque<usize> = (0..n).collect();
+            while let Some(i) = ring.pop_front() {
+                let task = states[i].as_mut().expect("queued tasks have live state");
+                match step(i, task) {
+                    Some(r) => {
+                        results[i] = Some(r);
+                        states[i] = None;
+                    }
+                    None => ring.push_back(i),
+                }
+            }
+            return results.into_iter().map(|r| r.expect("every task ran to completion")).collect();
+        }
+
+        // Task states and result slots, each owned by at most one worker at
+        // a time (ownership is handed around via the index ring).
+        let states: Vec<Mutex<Option<T>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let ring: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+        // Tasks dequeued but not yet finished or requeued. `ring empty &&
+        // in_flight == 0` is the only termination condition, so workers
+        // never exit while a peer still holds a task it might requeue.
+        let in_flight = AtomicUsize::new(0);
+        // Set when a worker unwinds mid-task (its task is lost, so the ring
+        // would otherwise never drain); peers bail out instead of spinning.
+        let bailed = AtomicBool::new(false);
+        let workers = self.jobs.min(n);
+        let track = spansight::current_track();
+
+        /// Flags the shared bail-out on unwind so sibling workers stop
+        /// waiting for a task that will never be requeued.
+        struct BailOnPanic<'a>(&'a AtomicBool);
+        impl Drop for BailOnPanic<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| {
+                    let _track = spansight::enter_track(track);
+                    let _bail = BailOnPanic(&bailed);
+                    loop {
+                        if bailed.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let next = {
+                            let mut q = ring.lock().unwrap_or_else(PoisonError::into_inner);
+                            match q.pop_front() {
+                                Some(i) => {
+                                    // Claimed before the ring lock drops, so
+                                    // the empty+idle exit check below can
+                                    // never miss this task.
+                                    in_flight.fetch_add(1, Ordering::SeqCst);
+                                    Some(i)
+                                }
+                                None => None,
+                            }
+                        };
+                        let Some(i) = next else {
+                            if in_flight.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            // A peer may requeue its task; don't busy-burn.
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        // Take the state out of its slot so the quantum runs
+                        // without holding any lock.
+                        let mut task = states[i]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .take()
+                            .expect("a queued task owns its state");
+                        match step(i, &mut task) {
+                            Some(r) => {
+                                *results[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                                    Some(r);
+                            }
+                            None => {
+                                *states[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                                    Some(task);
+                                ring.lock().unwrap_or_else(PoisonError::into_inner).push_back(i);
+                            }
+                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every task ran to completion")
+            })
+            .collect()
+    }
+
     /// [`Pool::par_map`] with a per-item RNG seed derived from `root_seed`
     /// and the item index. `f` receives `(derived_seed, item)`; the same
     /// `(root_seed, index)` always yields the same derived seed, so results
@@ -211,6 +367,81 @@ mod tests {
                 panic!("boom");
             }
             x
+        });
+    }
+
+    #[test]
+    fn par_drive_returns_results_in_task_order() {
+        // Tasks finish after (index % 3 + 1) quanta; results must still
+        // land at their task index, identically at any worker count.
+        for jobs in [1, 2, 4] {
+            let pool = Pool::new(jobs);
+            let tasks: Vec<(usize, usize)> = (0..20).map(|i| (i % 3 + 1, 0usize)).collect();
+            let out = pool.par_drive(tasks, |i, (quanta, done)| {
+                *done += 1;
+                if *done == *quanta {
+                    Some(i * 10)
+                } else {
+                    None
+                }
+            });
+            assert_eq!(out, (0..20).map(|i| i * 10).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_drive_empty_and_singleton() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.par_drive(Vec::<u8>::new(), |_, _| Some(1u8)), Vec::<u8>::new());
+        assert_eq!(pool.par_drive(vec![5u8], |_, t| Some(*t + 1)), vec![6]);
+    }
+
+    #[test]
+    fn one_pathological_task_cannot_starve_the_ring() {
+        // One task needs 1000 quanta; the other 15 need one each. FIFO
+        // requeue guarantees every short task completes before the long
+        // one at ANY worker count — including jobs=2 where the long task
+        // pins one worker: the other worker drains the remaining ring.
+        for jobs in [1, 2, 4] {
+            let pool = Pool::new(jobs);
+            let done_short = std::sync::atomic::AtomicUsize::new(0);
+            let mut tasks = vec![(1usize, 0usize)];
+            tasks[0].0 = 1000;
+            tasks.extend((0..15).map(|_| (1usize, 0usize)));
+            let out = pool.par_drive(tasks, |i, (quanta, stepped)| {
+                *stepped += 1;
+                if *stepped < *quanta {
+                    return None;
+                }
+                if i == 0 {
+                    // The pathological task must finish last: every short
+                    // task already completed while it was cycling.
+                    assert_eq!(
+                        done_short.load(Ordering::SeqCst),
+                        15,
+                        "long task finished before the ring drained (jobs={jobs})"
+                    );
+                } else {
+                    done_short.fetch_add(1, Ordering::SeqCst);
+                }
+                Some(*stepped)
+            });
+            assert_eq!(out[0], 1000);
+            assert!(out[1..].iter().all(|&s| s == 1), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drive boom")]
+    fn par_drive_panics_propagate_without_deadlock() {
+        let pool = Pool::new(3);
+        pool.par_drive((0..10).collect::<Vec<usize>>(), |_, x| {
+            if *x == 7 {
+                panic!("drive boom");
+            }
+            // Everyone else yields forever; only the bail flag set by the
+            // panicking worker lets the pool shut down.
+            None::<usize>
         });
     }
 }
