@@ -13,8 +13,8 @@ use android_ui::sim::SimConfig;
 use android_ui::KeyboardKind;
 use bench::{eval_credentials, ModelCache, TrialOptions};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gpu_sc_attack::offline::{Trainer, TrainerConfig};
 use gpu_sc_attack::online::{infer_stream, OnlineConfig};
+use gpu_sc_attack::registry::Registry;
 use gpu_sc_attack::trace::Delta;
 use gpu_sc_attack::ClassifierModel;
 use input_bot::corpus::CredentialKind;
@@ -22,7 +22,7 @@ use minipool::Pool;
 
 fn trained_model() -> ClassifierModel {
     let cfg = SimConfig::paper_default(0);
-    Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app)
+    Registry::default().get_or_train(cfg.device, cfg.keyboard, cfg.app).model().clone()
 }
 
 fn bench_classify(c: &mut Criterion) {

@@ -24,7 +24,7 @@ use adreno_sim::counters::{CounterSet, ALL_TRACKED, NUM_TRACKED};
 use adreno_sim::time::SimInstant;
 use android_ui::sim::SimConfig;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gpu_sc_attack::offline::{Trainer, TrainerConfig};
+use gpu_sc_attack::registry::Registry;
 use gpu_sc_attack::sampler::{Sampler, SamplerConfig};
 use gpu_sc_attack::stage::Stage;
 use gpu_sc_attack::trace::{
@@ -36,7 +36,7 @@ use kgsl::abi::{IoctlRequest, KgslPerfcounterReadGroup, IOCTL_KGSL_PERFCOUNTER_R
 
 fn trained_model() -> ClassifierModel {
     let cfg = SimConfig::paper_default(0);
-    Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app)
+    Registry::default().get_or_train(cfg.device, cfg.keyboard, cfg.app).model().clone()
 }
 
 /// Mixed probe workload shaped like the deltas a live session actually

@@ -76,6 +76,11 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
     ("latency", "press-to-inference latency, greedy vs lookahead", experiments::latency::latency),
     ("exfil", "split sampler/classifier over a lossy wire", experiments::exfil::exfil),
     ("fleet", "fleet-scale session orchestration matrix", experiments::fleet::fleet),
+    (
+        "registry",
+        "content-addressed model registry: quantization, byte budget, lineage",
+        experiments::registry::registry,
+    ),
 ];
 
 /// Where per-experiment wall-clock timings are recorded.

@@ -1,7 +1,7 @@
 //! Ablations of the design choices DESIGN.md §4 calls out.
 
 use adreno_sim::counters::{CounterGroup, ALL_TRACKED, NUM_TRACKED};
-use gpu_sc_attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_sc_attack::offline::{ModelStore, TrainerConfig};
 use input_bot::corpus::CredentialKind;
 
 use crate::experiments::Ctx;
@@ -34,6 +34,11 @@ pub fn ablate_counters(ctx: &Ctx) {
     report::section("Ablation", "counter subsets (LRZ / RAS / VPC / all)");
     let trials = ctx.trials(15);
     let opts = TrialOptions::paper_default(0);
+    // A private registry: `train_with` registers its model under the fleet
+    // key, and shadowing the process-shared registry's paper-default key
+    // with a masked-counter model would leak into whichever experiments
+    // resolve that key later.
+    let ablations = gpu_sc_attack::registry::Registry::default();
     let subsets: [(&str, Option<CounterGroup>); 4] = [
         ("all 11 counters", None),
         ("LRZ only", Some(CounterGroup::Lrz)),
@@ -48,11 +53,14 @@ pub fn ablate_counters(ctx: &Ctx) {
             }
             m
         });
-        let trainer =
-            Trainer::new(TrainerConfig { counter_mask: mask, ..TrainerConfig::default() });
-        let model = trainer.train(opts.sim.device, opts.sim.keyboard, opts.sim.app);
+        let handle = ablations.train_with(
+            TrainerConfig { counter_mask: mask, ..TrainerConfig::default() },
+            opts.sim.device,
+            opts.sim.keyboard,
+            opts.sim.app,
+        );
         let mut store = ModelStore::new();
-        store.add(model);
+        store.add_handle(handle);
         let agg =
             eval_credentials(&ctx.pool, &store, &opts, CredentialKind::Username, 12, trials, 0xAB2);
         report::pct_row(

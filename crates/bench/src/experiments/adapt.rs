@@ -4,6 +4,7 @@
 use android_ui::screen::{AndroidVersion, Resolution, ALL_PHONES};
 use android_ui::{DeviceConfig, PhoneModel};
 use gpu_sc_attack::offline::ModelStore;
+use gpu_sc_attack::registry::{encode_model, Quantization};
 use input_bot::corpus::CredentialKind;
 
 use crate::experiments::Ctx;
@@ -79,13 +80,25 @@ pub fn modelsize(ctx: &Ctx) {
     let opts = TrialOptions::paper_default(0);
     let model = ctx.cache.model(opts.sim.device, opts.sim.keyboard, opts.sim.app);
     let one = model.to_bytes().len();
-    report::kv("one model", format!("{:.2} kB (paper: 3.59 kB)", one as f64 / 1024.0));
+    report::kv("one model (GPCM wire)", format!("{:.2} kB (paper: 3.59 kB)", one as f64 / 1024.0));
+    let mut i16_size = one;
+    for q in Quantization::ALL {
+        let blob = encode_model(&model, q);
+        if q == Quantization::I16 {
+            i16_size = blob.len();
+        }
+        report::kv(
+            &format!("one model (GPMR registry, {})", q.name()),
+            format!("{:.2} kB", blob.len() as f64 / 1024.0),
+        );
+    }
 
-    // A store covering a few real configurations.
+    // A store covering a few real configurations, served straight from the
+    // registry's encoded blobs.
     let mut store = ModelStore::new();
     for phone in [PhoneModel::OnePlus8Pro, PhoneModel::OnePlus9] {
         for kb in [android_ui::KeyboardKind::Gboard, android_ui::KeyboardKind::Swift] {
-            store.add_shared(ctx.cache.model(DeviceConfig::for_phone(phone), kb, opts.sim.app));
+            store.add_handle(ctx.cache.handle(DeviceConfig::for_phone(phone), kb, opts.sim.app));
         }
     }
     report::kv(
@@ -96,5 +109,9 @@ pub fn modelsize(ctx: &Ctx) {
     report::kv(
         "projected 3,000-model app payload",
         format!("{:.2} MB (paper: ≤13.40 MB)", projected as f64 / (1024.0 * 1024.0)),
+    );
+    report::kv(
+        "projected 3,000-model payload (i16 registry tier)",
+        format!("{:.2} MB", (i16_size * 3_000) as f64 / (1024.0 * 1024.0)),
     );
 }

@@ -6,9 +6,9 @@
 //! somewhere else. This experiment runs that shape end to end on the
 //! `core::fleet` orchestrator: sessions are cooperative tasks stepped one
 //! quantum at a time over `minipool`'s ring run queue, shards are
-//! independent `AttackService`s whose `ModelCache`s adopt one hub-trained
-//! model by `Arc`, every third session is split over its own lossy wire
-//! link, and a rotating mix of device-fault intensities keeps degraded
+//! independent `AttackService`s sharing one hub-trained registry handle
+//! (one blob, one decoded model), every third session is split over its
+//! own lossy wire link, and a rotating mix of device-fault intensities keeps degraded
 //! sessions in the schedule without letting them stall anyone else.
 //!
 //! Reported per (shards × sessions) row, all in deterministic sim time
@@ -22,6 +22,7 @@ use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::sim::{SimConfig, UiSimulation};
 use gpu_sc_attack::fleet::{run_sessions, FleetConfig, FleetSession, Session};
 use gpu_sc_attack::metrics::MATCH_WINDOW;
+use gpu_sc_attack::offline::ModelStore;
 use gpu_sc_attack::service::AttackService;
 use gpu_sc_attack::InferredKey;
 use input_bot::corpus::{generate, CredentialKind};
@@ -213,15 +214,14 @@ fn reduce_split(out: wire::SplitSessionOutcome) -> Done {
 fn run_row(ctx: &Ctx, hub: &ModelCache, shards: usize, sessions: usize, seed: u64) -> Vec<Done> {
     let base = TrialOptions::paper_default(0);
 
-    // Hub/clients split: the hub cache trains the configuration once;
-    // every shard's own cache adopts the shared Arc and builds its own
-    // service (its own ModelStore) from it.
-    let model = hub.model(base.sim.device, base.sim.keyboard, base.sim.app);
+    // Hub/clients split: the hub's registry trains the configuration once;
+    // every shard builds its own service (its own ModelStore) from the same
+    // registry handle — one encoded blob, one decoded model, shared by all.
+    let handle = hub.handle(base.sim.device, base.sim.keyboard, base.sim.app);
     let services: Vec<AttackService> = (0..shards)
         .map(|_| {
-            let shard_cache = ModelCache::new();
-            shard_cache.adopt(base.sim.device, base.sim.keyboard, base.sim.app, model.clone());
-            let store = shard_cache.store(base.sim.device, base.sim.keyboard, base.sim.app);
+            let mut store = ModelStore::new();
+            store.add_handle(handle.clone());
             AttackService::new(store, base.service.clone())
         })
         .collect();

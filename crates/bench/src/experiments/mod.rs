@@ -12,23 +12,29 @@ pub mod latency;
 pub mod mitigation;
 pub mod overhead;
 pub mod practical;
+pub mod registry;
 pub mod robustness;
 pub mod signals;
 pub mod table2;
 
+use std::sync::Arc;
+
+use gpu_sc_attack::registry::Registry;
 use minipool::Pool;
 
 use crate::trials::ModelCache;
 
-/// Shared experiment context: the model cache, a trial-count scale
-/// (1.0 = quick defaults, larger = closer to paper-scale runs) and the
-/// worker pool trials fan out on.
+/// Shared experiment context: the process-wide model registry (and the
+/// [`ModelCache`] shim over it), a trial-count scale (1.0 = quick
+/// defaults, larger = closer to paper-scale runs) and the worker pool
+/// trials fan out on.
 ///
 /// `Ctx` is shared by reference across concurrently-running experiments,
 /// so everything in it is thread-safe; the seeded trial plan keeps results
 /// byte-identical at any worker count.
 #[derive(Debug)]
 pub struct Ctx {
+    pub registry: Arc<Registry>,
     pub cache: ModelCache,
     pub scale: f64,
     pub pool: Pool,
@@ -42,7 +48,9 @@ impl Ctx {
 
     /// Creates a context fanning trials out on `pool`.
     pub fn with_pool(scale: f64, pool: Pool) -> Self {
-        Ctx { cache: ModelCache::new(), scale, pool }
+        let registry = Arc::new(Registry::default());
+        let cache = ModelCache::with_registry(Arc::clone(&registry));
+        Ctx { registry, cache, scale, pool }
     }
 
     /// Scales a default trial count, keeping at least 4 trials.

@@ -1,40 +1,59 @@
 //! Trial runners: one victim session, end to end, scored.
 
-use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::sim::{SimConfig, UiSimulation};
 use android_ui::{DeviceConfig, KeyboardKind, TargetApp};
 use gpu_sc_attack::metrics::Aggregate;
-use gpu_sc_attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_sc_attack::offline::ModelStore;
+use gpu_sc_attack::registry::{ModelHandle, Registry};
 use gpu_sc_attack::service::{AttackService, ServiceConfig, ServiceError, SessionResult};
 use gpu_sc_attack::{ClassifierModel, SessionScore};
 use input_bot::corpus::{generate, CredentialKind};
 use input_bot::script::Typist;
 use input_bot::timing::{SpeedClass, VolunteerModel, VOLUNTEERS};
 use minipool::Pool;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-type ModelKey = (DeviceConfig, KeyboardKind, TargetApp);
-
-/// Caches trained models across experiments in one process (training takes
-/// seconds per configuration).
+/// Bench-side view of the trained-model pool: a thin shim over the
+/// content-addressed [`Registry`] (training takes seconds per
+/// configuration, so every experiment in a process shares one).
 ///
 /// Thread-safe: concurrent lookups of the same configuration train it
-/// exactly once — the first caller trains while the others block on the
-/// per-key cell — and every hit returns a shared `Arc`, never a model copy.
+/// exactly once — the registry's per-key cell blocks the other callers —
+/// and every hit returns a shared `Arc`, never a model copy.
 #[derive(Debug, Default)]
 pub struct ModelCache {
-    trained: Mutex<HashMap<ModelKey, Arc<OnceLock<Arc<ClassifierModel>>>>>,
+    registry: Arc<Registry>,
 }
 
 impl ModelCache {
-    /// An empty cache.
+    /// A cache over a fresh private registry.
     pub fn new() -> Self {
         ModelCache::default()
+    }
+
+    /// A cache over an existing (shared) registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        ModelCache { registry }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Returns (training on miss) the registry handle for a configuration.
+    pub fn handle(
+        &self,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+    ) -> ModelHandle {
+        spansight::count("bench.model_cache.lookups", 1);
+        self.registry.get_or_train(device, keyboard, app)
     }
 
     /// Returns (training on miss) the model for a configuration.
@@ -44,21 +63,13 @@ impl ModelCache {
         keyboard: KeyboardKind,
         app: TargetApp,
     ) -> Arc<ClassifierModel> {
-        // The map lock is held only for the entry lookup; training happens
-        // on the key's own cell so other configurations stay available.
-        spansight::count("bench.model_cache.lookups", 1);
-        let cell = Arc::clone(self.trained.lock().entry((device, keyboard, app)).or_default());
-        Arc::clone(cell.get_or_init(|| {
-            spansight::count("bench.model_cache.trainings", 1);
-            Arc::new(Trainer::new(TrainerConfig::default()).train(device, keyboard, app))
-        }))
+        self.handle(device, keyboard, app).model_arc()
     }
 
     /// Seeds the cache with an already-trained model, so lookups of this
-    /// configuration share it instead of training — the hub/clients split:
-    /// a hub cache trains each configuration once, and every shard's own
-    /// cache adopts the hub's `Arc`. A no-op if the configuration is
-    /// already trained here.
+    /// configuration share it instead of training. A no-op if the
+    /// configuration is already trained here; identical models
+    /// content-dedup onto one registry entry.
     pub fn adopt(
         &self,
         device: DeviceConfig,
@@ -67,11 +78,11 @@ impl ModelCache {
         model: Arc<ClassifierModel>,
     ) {
         spansight::count("bench.model_cache.adoptions", 1);
-        let cell = Arc::clone(self.trained.lock().entry((device, keyboard, app)).or_default());
-        cell.get_or_init(move || model);
+        self.registry.insert_model_at((device, keyboard, app), model, 0);
     }
 
-    /// A one-model store for a configuration.
+    /// A one-model store for a configuration, sharing the registry's
+    /// handle (and therefore its encoded blob and decoded model).
     pub fn store(
         &self,
         device: DeviceConfig,
@@ -79,13 +90,13 @@ impl ModelCache {
         app: TargetApp,
     ) -> ModelStore {
         let mut store = ModelStore::new();
-        store.add_shared(self.model(device, keyboard, app));
+        store.add_handle(self.handle(device, keyboard, app));
         store
     }
 
     /// Number of configurations trained so far.
     pub fn len(&self) -> usize {
-        self.trained.lock().len()
+        self.registry.stats().keys
     }
 
     /// Whether nothing has been trained yet.

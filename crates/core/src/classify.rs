@@ -363,6 +363,19 @@ impl ClassifierModel {
         ClassifierModel { threshold, ..self.clone() }
     }
 
+    /// Returns a copy of the model with replacement key centroids, rebuilding
+    /// the prepared hot-path data. Used by the registry's online-adaptation
+    /// fold, which nudges centroids toward a corrected session's observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroids` is empty.
+    pub fn with_centroids(&self, centroids: Vec<KeyCentroid>) -> ClassifierModel {
+        assert!(!centroids.is_empty(), "a model needs at least one key centroid");
+        let prepared = PreparedCentroids::build(&centroids, &self.weights);
+        ClassifierModel { centroids, prepared, ..self.clone() }
+    }
+
     /// Weighted (whitened) Euclidean distance between two counter vectors.
     ///
     /// Both vectors are mapped through `whiten` and the squared distance
@@ -804,12 +817,14 @@ impl std::error::Error for ModelDecodeError {}
 
 macro_rules! enum_codes {
     ($to:ident, $from:ident, $ty:ty, [$(($variant:path, $code:expr)),+ $(,)?]) => {
-        fn $to(v: $ty) -> u8 {
+        // `pub(crate)`: the registry's GPMR codec shares these byte codes so
+        // GPCM and GPMR agree on every enum's encoding.
+        pub(crate) fn $to(v: $ty) -> u8 {
             match v {
                 $($variant => $code),+
             }
         }
-        fn $from(code: u8) -> Option<$ty> {
+        pub(crate) fn $from(code: u8) -> Option<$ty> {
             match code {
                 $($code => Some($variant)),+,
                 _ => None,

@@ -317,10 +317,11 @@ pub struct Fleet<'s> {
 }
 
 impl<'s> Fleet<'s> {
-    /// Creates a fleet over one service per shard. Each service is a
-    /// shard's own model cache; sharing the underlying trained
-    /// `ClassifierModel`s between them by `Arc` is the caller's choice
-    /// (see `ModelStore::add_shared`).
+    /// Creates a fleet over one service per shard. Each service carries a
+    /// shard's own [`crate::offline::ModelStore`]; sharing one registry
+    /// handle between the shards — one encoded blob, one decoded model —
+    /// is the caller's choice (see `ModelStore::add_handle` and
+    /// [`crate::registry::Registry`]).
     ///
     /// # Panics
     ///

@@ -17,6 +17,9 @@
 //!   Fig 14);
 //! * [`offline`] — the training pipeline and the preloaded [`offline::ModelStore`]
 //!   with device recognition (§3.2, §6);
+//! * [`registry`] — the content-addressed model registry: quantized
+//!   serialization, train-once-per-key, byte-budgeted deterministic
+//!   eviction, online adaptation with lineage;
 //! * [`stage`] — the push-based streaming [`Stage`] abstraction all of the
 //!   above compose through;
 //! * [`ring`] — the lock-free SPSC ring that carries sampled slots from the
@@ -36,15 +39,17 @@
 //! ```no_run
 //! use adreno_sim::time::SimInstant;
 //! use android_ui::{SimConfig, UiSimulation};
-//! use gpu_sc_attack::offline::{ModelStore, Trainer, TrainerConfig};
+//! use gpu_sc_attack::offline::ModelStore;
+//! use gpu_sc_attack::registry::Registry;
 //! use gpu_sc_attack::service::{AttackService, ServiceConfig};
 //!
-//! // Offline phase: train a model for the victim configuration.
-//! let trainer = Trainer::new(TrainerConfig::default());
+//! // Offline phase: train a model for the victim configuration, once,
+//! // through the content-addressed registry.
+//! let registry = Registry::default();
 //! let cfg = SimConfig::paper_default(7);
-//! let model = trainer.train(cfg.device, cfg.keyboard, cfg.app);
+//! let handle = registry.get_or_train(cfg.device, cfg.keyboard, cfg.app);
 //! let mut store = ModelStore::new();
-//! store.add(model);
+//! store.add_handle(handle);
 //!
 //! // Online phase: eavesdrop a victim session.
 //! let service = AttackService::new(store, ServiceConfig::default());
@@ -64,6 +69,7 @@ pub mod launch;
 pub mod metrics;
 pub mod offline;
 pub mod online;
+pub mod registry;
 pub mod ring;
 pub mod sampler;
 pub mod service;
@@ -76,6 +82,9 @@ pub use launch::LaunchDetector;
 pub use metrics::{Aggregate, SessionScore};
 pub use offline::{ModelStore, Trainer, TrainerConfig};
 pub use online::{InferenceStats, InferredKey, OnlineConfig};
+pub use registry::{
+    ModelDigest, ModelHandle, ModelKey, Quantization, Registry, RegistryConfig, RegistryStats,
+};
 pub use sampler::{RetryPolicy, Sampler, SamplerConfig, SamplerReport};
 pub use service::{
     AttackService, DegradationReport, LinkDegradationReport, ServiceConfig, ServiceError,

@@ -25,6 +25,7 @@ use android_ui::{DeviceConfig, KeyboardKind, TargetApp};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::classify::{ClassifierModel, KeyCentroid, ModelDecodeError, ModelMeta};
+use crate::registry::{ModelDigest, ModelHandle, Quantization};
 use crate::sampler::{Sampler, SamplerConfig};
 use crate::stage::Stage;
 use crate::trace::{extract_deltas, Delta};
@@ -309,12 +310,15 @@ fn whitening_weights(centroids: &[KeyCentroid]) -> [f64; NUM_TRACKED] {
 /// The preloaded collection of per-configuration models (§7.6 discusses
 /// shipping thousands of them in a 13 MB app).
 ///
-/// Models are held behind `Arc`, so cloning a store (e.g. to hand one to
-/// each of many concurrent attack services) shares the trained models
-/// instead of copying them.
+/// Since the registry refactor the store is a thin view over
+/// [`ModelHandle`]s: each entry carries its canonical GPMR encoding, its
+/// content digest and the lazily decoded model. Cloning a store (e.g. to
+/// hand one to each of many concurrent attack services) shares both blobs
+/// and decoded models instead of copying them. Equality is digest equality
+/// (handles compare by content address).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelStore {
-    models: Vec<Arc<ClassifierModel>>,
+    models: Vec<ModelHandle>,
 }
 
 impl ModelStore {
@@ -323,18 +327,25 @@ impl ModelStore {
         ModelStore::default()
     }
 
-    /// Adds a trained model.
+    /// Adds a trained model, wrapping it in a bit-exact (`f64`) handle.
     pub fn add(&mut self, model: ClassifierModel) {
-        self.models.push(Arc::new(model));
+        self.add_shared(Arc::new(model));
     }
 
     /// Adds an already-shared model without copying it.
     pub fn add_shared(&mut self, model: Arc<ClassifierModel>) {
-        self.models.push(model);
+        self.models.push(ModelHandle::from_arc(model, Quantization::F64));
     }
 
-    /// The models.
-    pub fn models(&self) -> &[Arc<ClassifierModel>] {
+    /// Adds a registry handle directly — the fleet path: hub and shards
+    /// share one handle (one blob, one decoded `Arc`) instead of cloning
+    /// models.
+    pub fn add_handle(&mut self, handle: ModelHandle) {
+        self.models.push(handle);
+    }
+
+    /// The model handles.
+    pub fn handles(&self) -> &[ModelHandle] {
         &self.models
     }
 
@@ -348,24 +359,27 @@ impl ModelStore {
         self.models.is_empty()
     }
 
-    /// Total serialized size of all models, in bytes.
+    /// Total serialized size of all models, in bytes. Encoded sizes are
+    /// cached on the handles at insert time, so this is a sum over integers
+    /// — the old implementation re-serialised every model per call.
     pub fn total_wire_bytes(&self) -> usize {
-        self.models.iter().map(|m| m.to_bytes().len()).sum()
+        self.models.iter().map(ModelHandle::encoded_len).sum()
     }
 
-    /// Serialises the whole store (length-prefixed models).
+    /// Serialises the whole store (length-prefixed GPMR blobs). The blobs
+    /// are re-served straight from the handles — nothing is re-encoded.
     pub fn to_bytes(&self) -> Bytes {
         let mut b = BytesMut::new();
         b.put_u32(self.models.len() as u32);
-        for m in &self.models {
-            let bytes = m.to_bytes();
-            b.put_u32(bytes.len() as u32);
-            b.put_slice(&bytes);
+        for h in &self.models {
+            b.put_u32(h.encoded_len() as u32);
+            b.put_slice(h.blob());
         }
         b.freeze()
     }
 
-    /// Deserialises a store.
+    /// Deserialises a store, validating every blob (eager decode — this is
+    /// the untrusted path).
     ///
     /// # Errors
     ///
@@ -386,7 +400,7 @@ impl ModelStore {
                 return Err(ModelDecodeError::Truncated);
             }
             let body = data.split_to(len);
-            models.push(Arc::new(ClassifierModel::from_bytes(body)?));
+            models.push(ModelHandle::from_blob(body)?);
         }
         Ok(ModelStore { models })
     }
@@ -411,7 +425,7 @@ impl ModelStore {
     /// to the earlier model. `None` only when the store is empty.
     fn score_change(&self, delta: &Delta) -> Option<(&ClassifierModel, f64)> {
         let mut best: Option<(&ClassifierModel, f64)> = None;
-        for m in self.models.iter().map(Arc::as_ref) {
+        for m in self.models.iter().map(ModelHandle::model) {
             let sig = m.kb_signature();
             let sig_norm = sig.total().max(1) as f64;
             let mut l1 = 0.0;
@@ -430,8 +444,15 @@ impl ModelStore {
     pub fn find(&self, device: &DeviceConfig, keyboard: KeyboardKind) -> Option<&ClassifierModel> {
         self.models
             .iter()
-            .map(Arc::as_ref)
+            .map(ModelHandle::model)
             .find(|m| m.meta().device_config() == *device && m.meta().keyboard == keyboard)
+    }
+
+    /// Finds the handle whose content digest matches — how the wire server
+    /// resolves a `Hello`-pinned model. `None` is a digest mismatch, which
+    /// surfaces as a typed error rather than a misclassification.
+    pub fn find_digest(&self, digest: &ModelDigest) -> Option<&ModelHandle> {
+        self.models.iter().find(|h| h.digest() == *digest)
     }
 }
 
@@ -456,6 +477,16 @@ impl<'s> RecognizeStage<'s> {
     /// A fresh recognizer over a preloaded store.
     pub fn new(store: &'s ModelStore) -> Self {
         RecognizeStage { store, warmup: Vec::new(), chosen: None }
+    }
+
+    /// A recognizer pre-committed to `model` — the digest-pinned wire path,
+    /// where the client's `Hello` already named the model by content
+    /// address. Every change passes straight through. Output is identical
+    /// to the recognition path: recognition buffers the warm-up prefix only
+    /// to flush all of it downstream on the first match, so the delta
+    /// sequence the downstream stages see is the same either way.
+    pub fn pinned(store: &'s ModelStore, model: &'s ClassifierModel) -> Self {
+        RecognizeStage { store, warmup: Vec::new(), chosen: Some(model) }
     }
 
     /// The recognised model, once some change matched a fingerprint.

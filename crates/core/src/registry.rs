@@ -1,0 +1,1484 @@
+//! Content-addressed model registry: the single source of trained
+//! [`ClassifierModel`]s at fleet scale.
+//!
+//! The paper ships thousands of per-configuration models inside a 13 MB app
+//! (§7.6) and adapts models across users (§7.5). At ROADMAP scale — millions
+//! of victims with per-device×keyboard×app variants — model storage,
+//! eviction and update semantics are a production subsystem of their own.
+//! This module provides it:
+//!
+//! * **GPMR format** — a compact versioned binary encoding of a
+//!   [`ClassifierModel`] with a quantization knob ([`Quantization`]): `f64`
+//!   (bit-exact), `f32` or `i16` centroid rows. Whitening weights and the
+//!   acceptance threshold are always kept exact (full `f64` bits) — they
+//!   define the distance space, and perturbing them would shift every
+//!   decision boundary at once.
+//! * **Content addressing** — a [`ModelDigest`] (SHA-256 over the canonical
+//!   encoding) names each model. Identical models deduplicate to one blob
+//!   and one decoded `Arc` regardless of how many fleet keys map to them.
+//! * **[`ModelHandle`]** — a cheaply clonable handle owning the encoded
+//!   blob. Decoding is lazy and happens at most once per handle: the first
+//!   [`ModelHandle::model`] call materialises an `Arc<ClassifierModel>`,
+//!   the blob stays resident for re-serving (the wire sends bytes, not
+//!   structs).
+//! * **[`Registry`]** — train-once-per-key semantics (absorbed from the old
+//!   `bench::ModelCache`), byte-budgeted deterministic LRU eviction with
+//!   pinning, and incremental online adaptation: an
+//!   exponential-moving-average fold of a corrected session's observations
+//!   into the centroids, producing a *new* digest with parent→child lineage
+//!   tracked.
+//!
+//! # Determinism
+//!
+//! Eviction order is a pure function of registry contents, never of thread
+//! scheduling. Recency ticks are **caller-assigned logical times** folded
+//! with `max` (commutative — concurrent touches land in any order with the
+//! same result), and ties break on insertion tick and then on the digest
+//! itself, which is scheduling-independent by construction. The `registry`
+//! experiment's eviction log is byte-identical at any `--jobs`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use adreno_sim::counters::{CounterSet, NUM_TRACKED};
+use android_ui::{DeviceConfig, KeyboardKind, TargetApp};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::classify::{
+    android_code, android_from, app_code, app_from, keyboard_code, keyboard_from, phone_code,
+    phone_from, refresh_code, refresh_from, resolution_code, resolution_from, ClassifierModel,
+    KeyCentroid, ModelDecodeError, ModelMeta,
+};
+use crate::offline::{Trainer, TrainerConfig};
+
+/// The fleet key a model is registered under: the victim configuration that
+/// selects which model can classify its popup frames.
+pub type ModelKey = (DeviceConfig, KeyboardKind, TargetApp);
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), self-contained. The registry is content-addressed
+// and the digest crosses the wire, so it must be a real collision-resistant
+// hash with a stable reference definition — not a homegrown mixer.
+
+mod sha256 {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h: [u32; 8] = [
+            0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+            0x5be0cd19,
+        ];
+        // Padded message: data ‖ 0x80 ‖ zeros ‖ bit length (64-bit BE).
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        let mut padded = Vec::with_capacity(data.len() + 72);
+        padded.extend_from_slice(data);
+        padded.push(0x80);
+        while padded.len() % 64 != 56 {
+            padded.push(0);
+        }
+        padded.extend_from_slice(&bit_len.to_be_bytes());
+
+        let mut w = [0u32; 64];
+        for block in padded.chunks_exact(64) {
+            for (i, word) in w.iter_mut().take(16).enumerate() {
+                *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+            }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                hh = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+                *slot = slot.wrapping_add(v);
+            }
+        }
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digest
+
+/// Content address of an encoded model: SHA-256 over the canonical GPMR
+/// blob. Two models with the same digest are byte-identical on the wire and
+/// share one blob and one decoded `Arc` in the registry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelDigest([u8; 32]);
+
+impl ModelDigest {
+    /// The all-zero digest: "no model pinned". The wire protocol uses it in
+    /// `Hello` to mean *recognise the device from the traffic* (the legacy
+    /// §3.2 path) rather than resolving a specific model.
+    pub const ZERO: ModelDigest = ModelDigest([0; 32]);
+
+    /// Computes the digest of an encoded blob.
+    pub fn of(blob: &[u8]) -> ModelDigest {
+        ModelDigest(sha256::digest(blob))
+    }
+
+    /// Wraps raw digest bytes (e.g. received over the wire).
+    pub const fn from_bytes(bytes: [u8; 32]) -> ModelDigest {
+        ModelDigest(bytes)
+    }
+
+    /// The raw digest bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Whether this is [`ModelDigest::ZERO`] (no model pinned).
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 32]
+    }
+
+    /// The first eight hex digits — enough to tell models apart in reports.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Display for ModelDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ModelDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ModelDigest({}…)", self.short())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization + GPMR codec
+
+/// Centroid-row quantization tier of the GPMR encoding.
+///
+/// Only centroid rows are quantized. Whitening weights, the threshold and
+/// the recognition/launch/ambient signatures stay exact: the signatures are
+/// matched with *relative* tolerances against raw traffic and the weights
+/// define the whitened distance space itself.
+///
+/// Decoded-value error bounds (per counter value `v`, row maximum `m`):
+///
+/// * [`Quantization::F64`] — exact for `v < 2⁵³` (every realistic counter;
+///   the paper's counters are tile/primitive/pixel counts ≤ 2²⁵ per frame).
+/// * [`Quantization::F32`] — `|dec − v| ≤ v / 2²³ + 1` (one f32 rounding,
+///   then rounding back to an integer).
+/// * [`Quantization::I16`] — lossless when `m ≤ 32767`; otherwise the row
+///   is scaled by `m / 32767` and `|dec − v| ≤ m / (2 · 32767) + 1`.
+///
+/// Every tier's decode→re-encode is **idempotent**: re-encoding a decoded
+/// model reproduces the blob byte-for-byte, so the digest is stable across
+/// a decode/encode round trip (pinned by proptest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Quantization {
+    /// Centroid rows as full `f64` bits — bit-exact round trip.
+    #[default]
+    F64,
+    /// Centroid rows as `f32` bits — 4 bytes per value, ~2⁻²³ relative error.
+    F32,
+    /// Centroid rows as `i16` against a per-row scale — 2 bytes per value.
+    I16,
+}
+
+impl Quantization {
+    /// All tiers, in increasing compression order.
+    pub const ALL: [Quantization; 3] = [Quantization::F64, Quantization::F32, Quantization::I16];
+
+    /// Human-readable tier name (`"f64"`, `"f32"`, `"i16"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Quantization::F64 => "f64",
+            Quantization::F32 => "f32",
+            Quantization::I16 => "i16",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Quantization::F64 => 0,
+            Quantization::F32 => 1,
+            Quantization::I16 => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Quantization> {
+        match code {
+            0 => Some(Quantization::F64),
+            1 => Some(Quantization::F32),
+            2 => Some(Quantization::I16),
+            _ => None,
+        }
+    }
+}
+
+/// Largest representable i16 quantization level.
+const I16_LEVELS: u64 = 32767;
+
+fn put_varint(b: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            b.put_u8(byte);
+            return;
+        }
+        b.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &mut Bytes) -> Result<u64, ModelDecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if data.remaining() == 0 {
+            return Err(ModelDecodeError::Truncated);
+        }
+        let byte = data.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(ModelDecodeError::BadField("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ModelDecodeError::BadField("varint overflow"));
+        }
+    }
+}
+
+fn put_set_varint(b: &mut BytesMut, set: &CounterSet) {
+    for &v in set.as_array() {
+        put_varint(b, v);
+    }
+}
+
+fn get_set_varint(data: &mut Bytes) -> Result<CounterSet, ModelDecodeError> {
+    let mut a = [0u64; NUM_TRACKED];
+    for v in &mut a {
+        *v = get_varint(data)?;
+    }
+    Ok(CounterSet::from_array(a))
+}
+
+/// Rounds a non-negative float back to a counter value, saturating at
+/// `u64::MAX` (Rust float→int casts saturate, so huge inputs cannot wrap).
+fn to_counter(f: f64) -> u64 {
+    f.round() as u64
+}
+
+fn encode_row(b: &mut BytesMut, row: &CounterSet, q: Quantization) {
+    match q {
+        Quantization::F64 => {
+            for &v in row.as_array() {
+                b.put_u64((v as f64).to_bits());
+            }
+        }
+        Quantization::F32 => {
+            for &v in row.as_array() {
+                b.put_u32((v as f32).to_bits());
+            }
+        }
+        Quantization::I16 => {
+            let max = row.as_array().iter().copied().max().unwrap_or(0);
+            // Scale 1.0 below the level count keeps small rows lossless;
+            // above it, scale > 1 guarantees requantizing a decoded row
+            // reproduces the same levels (the decode error is < scale/2).
+            let scale = if max <= I16_LEVELS { 1.0 } else { max as f64 / I16_LEVELS as f64 };
+            b.put_u64(scale.to_bits());
+            for &v in row.as_array() {
+                let q = ((v as f64 / scale).round() as u64).min(I16_LEVELS) as u16;
+                b.put_u16(q);
+            }
+        }
+    }
+}
+
+fn decode_row(data: &mut Bytes, q: Quantization) -> Result<CounterSet, ModelDecodeError> {
+    let mut a = [0u64; NUM_TRACKED];
+    match q {
+        Quantization::F64 => {
+            if data.remaining() < NUM_TRACKED * 8 {
+                return Err(ModelDecodeError::Truncated);
+            }
+            for v in &mut a {
+                let f = f64::from_bits(data.get_u64());
+                if !f.is_finite() || f < 0.0 {
+                    return Err(ModelDecodeError::BadField("centroid value"));
+                }
+                *v = to_counter(f);
+            }
+        }
+        Quantization::F32 => {
+            if data.remaining() < NUM_TRACKED * 4 {
+                return Err(ModelDecodeError::Truncated);
+            }
+            for v in &mut a {
+                let f = f32::from_bits(data.get_u32());
+                if !f.is_finite() || f < 0.0 {
+                    return Err(ModelDecodeError::BadField("centroid value"));
+                }
+                *v = to_counter(f as f64);
+            }
+        }
+        Quantization::I16 => {
+            if data.remaining() < 8 + NUM_TRACKED * 2 {
+                return Err(ModelDecodeError::Truncated);
+            }
+            let scale = f64::from_bits(data.get_u64());
+            if !scale.is_finite() || scale < 1.0 {
+                return Err(ModelDecodeError::BadField("row scale"));
+            }
+            for v in &mut a {
+                let q = data.get_u16() as u64;
+                if q > I16_LEVELS {
+                    return Err(ModelDecodeError::BadField("quantized value"));
+                }
+                *v = to_counter(q as f64 * scale);
+            }
+        }
+    }
+    Ok(CounterSet::from_array(a))
+}
+
+/// Serialises a model into the registry's canonical GPMR format at the
+/// given quantization tier. The digest of the returned bytes is the model's
+/// content address.
+///
+/// Layout (all multi-byte scalars big-endian, counters LEB128 varints):
+///
+/// ```text
+/// "GPMR" | ver=1 | tier | phone android res refresh kb app (1 byte each)
+/// threshold f64 | weights 11×f64               (exact — never quantized)
+/// kb_signature, app_signature                  (11 varints each)
+/// n_sigs varint | field_signatures             (n × 11 varints)
+/// launch_signature | switch_threshold varint
+/// centroid count u16
+/// per centroid: char varint + row              (row format per tier)
+/// ```
+pub fn encode_model(model: &ClassifierModel, q: Quantization) -> Bytes {
+    let meta = model.meta();
+    let mut b = BytesMut::with_capacity(160 + model.centroids().len() * (2 + NUM_TRACKED * 8));
+    b.put_slice(b"GPMR");
+    b.put_u8(1); // version
+    b.put_u8(q.code());
+    b.put_u8(phone_code(meta.phone));
+    b.put_u8(android_code(meta.android));
+    b.put_u8(resolution_code(meta.resolution));
+    b.put_u8(refresh_code(meta.refresh));
+    b.put_u8(keyboard_code(meta.keyboard));
+    b.put_u8(app_code(meta.app));
+    b.put_u64(model.threshold().to_bits());
+    for w in model.weights() {
+        b.put_u64(w.to_bits());
+    }
+    put_set_varint(&mut b, model.kb_signature());
+    put_set_varint(&mut b, model.app_signature());
+    put_varint(&mut b, model.ambient_signatures().len() as u64);
+    for sig in model.ambient_signatures() {
+        put_set_varint(&mut b, sig);
+    }
+    put_set_varint(&mut b, model.launch_signature());
+    put_varint(&mut b, model.switch_threshold());
+    b.put_u16(model.centroids().len() as u16);
+    for c in model.centroids() {
+        put_varint(&mut b, u64::from(u32::from(c.ch)));
+        encode_row(&mut b, &c.values, q);
+    }
+    b.freeze()
+}
+
+/// Everything [`decode_model`] reads out of a blob, before the (relatively
+/// expensive) hot-path preparation that `ClassifierModel::new` performs.
+struct Parsed {
+    meta: ModelMeta,
+    threshold: f64,
+    weights: [f64; NUM_TRACKED],
+    kb_signature: CounterSet,
+    app_signature: CounterSet,
+    field_signatures: Vec<CounterSet>,
+    launch_signature: CounterSet,
+    switch_threshold: u64,
+    centroids: Vec<KeyCentroid>,
+}
+
+fn parse_blob(mut data: Bytes) -> Result<Parsed, ModelDecodeError> {
+    use ModelDecodeError::*;
+    let (quantization, meta) = parse_header(&mut data)?;
+    if data.remaining() < 8 + NUM_TRACKED * 8 {
+        return Err(Truncated);
+    }
+    let threshold = f64::from_bits(data.get_u64());
+    let mut weights = [0.0; NUM_TRACKED];
+    for w in &mut weights {
+        *w = f64::from_bits(data.get_u64());
+        if !w.is_finite() {
+            return Err(BadField("weight"));
+        }
+    }
+    let kb_signature = get_set_varint(&mut data)?;
+    let app_signature = get_set_varint(&mut data)?;
+    let n_sigs = get_varint(&mut data)?;
+    // Each signature costs ≥ NUM_TRACKED bytes; reject absurd counts before
+    // allocating.
+    if n_sigs as u128 * NUM_TRACKED as u128 > data.remaining() as u128 {
+        return Err(Truncated);
+    }
+    let mut field_signatures = Vec::with_capacity(n_sigs as usize);
+    for _ in 0..n_sigs {
+        field_signatures.push(get_set_varint(&mut data)?);
+    }
+    let launch_signature = get_set_varint(&mut data)?;
+    let switch_threshold = get_varint(&mut data)?;
+    if data.remaining() < 2 {
+        return Err(Truncated);
+    }
+    let n = data.get_u16() as usize;
+    let mut centroids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ch = get_varint(&mut data)?;
+        let ch = u32::try_from(ch).ok().and_then(char::from_u32).ok_or(BadField("char"))?;
+        let values = decode_row(&mut data, quantization)?;
+        centroids.push(KeyCentroid { ch, values });
+    }
+    if data.remaining() != 0 {
+        return Err(BadField("trailing bytes"));
+    }
+    if centroids.is_empty() || threshold <= 0.0 || !threshold.is_finite() {
+        return Err(BadField("body"));
+    }
+    Ok(Parsed {
+        meta,
+        threshold,
+        weights,
+        kb_signature,
+        app_signature,
+        field_signatures,
+        launch_signature,
+        switch_threshold,
+        centroids,
+    })
+}
+
+/// Reads just the fixed 11-byte GPMR header: magic, version, tier, meta.
+fn parse_header(data: &mut Bytes) -> Result<(Quantization, ModelMeta), ModelDecodeError> {
+    use ModelDecodeError::*;
+    if data.remaining() < 12 {
+        return Err(Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != b"GPMR" {
+        return Err(BadMagic);
+    }
+    let version = data.get_u8();
+    if version != 1 {
+        return Err(BadVersion(version));
+    }
+    let quantization = Quantization::from_code(data.get_u8()).ok_or(BadField("quantization"))?;
+    let meta = ModelMeta {
+        phone: phone_from(data.get_u8()).ok_or(BadField("phone"))?,
+        android: android_from(data.get_u8()).ok_or(BadField("android"))?,
+        resolution: resolution_from(data.get_u8()).ok_or(BadField("resolution"))?,
+        refresh: refresh_from(data.get_u8()).ok_or(BadField("refresh"))?,
+        keyboard: keyboard_from(data.get_u8()).ok_or(BadField("keyboard"))?,
+        app: app_from(data.get_u8()).ok_or(BadField("app"))?,
+    };
+    Ok((quantization, meta))
+}
+
+/// Decodes a GPMR blob produced by [`encode_model`], rebuilding the
+/// classifier's prepared hot-path data.
+///
+/// # Errors
+///
+/// A typed [`ModelDecodeError`] for truncated or corrupt input; never
+/// panics, whatever the bytes.
+pub fn decode_model(data: Bytes) -> Result<ClassifierModel, ModelDecodeError> {
+    let p = parse_blob(data)?;
+    Ok(ClassifierModel::new(
+        p.meta,
+        p.centroids,
+        p.weights,
+        p.threshold,
+        p.kb_signature,
+        p.app_signature,
+        p.field_signatures,
+        p.launch_signature,
+        p.switch_threshold,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// ModelHandle
+
+struct HandleInner {
+    digest: ModelDigest,
+    quantization: Quantization,
+    blob: Bytes,
+    /// Lazily decoded model. Handles built from a live trained model are
+    /// pre-seeded with that exact `Arc`, so serving stays bit-exact even at
+    /// lossy tiers — the blob is the *wire* form, quantization error only
+    /// enters when a peer decodes the bytes.
+    decoded: OnceLock<Arc<ClassifierModel>>,
+}
+
+/// A cheaply clonable handle to one registered model: the content digest,
+/// the encoded GPMR blob (retained for re-serving) and a lazily decoded
+/// `Arc<ClassifierModel>` materialised at most once on first use.
+#[derive(Clone)]
+pub struct ModelHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl ModelHandle {
+    /// Wraps an already-trained model: encodes it at `q`, digests the
+    /// encoding, and pre-seeds the decoded slot with the given `Arc` (no
+    /// decode will ever run; clones share the trained model bit-exactly).
+    pub fn from_arc(model: Arc<ClassifierModel>, q: Quantization) -> ModelHandle {
+        let blob = encode_model(&model, q);
+        let digest = ModelDigest::of(&blob);
+        let decoded = OnceLock::new();
+        let _ = decoded.set(model);
+        ModelHandle { inner: Arc::new(HandleInner { digest, quantization: q, blob, decoded }) }
+    }
+
+    /// Wraps an untrusted encoded blob, **eagerly validating** it by a full
+    /// decode (the decoded model seeds the lazy slot, so validation is not
+    /// wasted work).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModelDecodeError`] the blob fails validation with.
+    pub fn from_blob(blob: Bytes) -> Result<ModelHandle, ModelDecodeError> {
+        let model = decode_model(blob.clone())?;
+        let mut header = blob.clone();
+        let (quantization, _) = parse_header(&mut header)?;
+        let digest = ModelDigest::of(&blob);
+        let decoded = OnceLock::new();
+        let _ = decoded.set(Arc::new(model));
+        Ok(ModelHandle { inner: Arc::new(HandleInner { digest, quantization, blob, decoded }) })
+    }
+
+    /// Wraps a **trusted** encoded blob (one produced by [`encode_model`])
+    /// without decoding it: only the fixed header is checked. The first
+    /// [`ModelHandle::model`] call decodes lazily.
+    ///
+    /// # Errors
+    ///
+    /// Header-level [`ModelDecodeError`]s only (magic/version/tier/meta).
+    pub fn from_trusted_blob(blob: Bytes) -> Result<ModelHandle, ModelDecodeError> {
+        let mut header = blob.clone();
+        let (quantization, _) = parse_header(&mut header)?;
+        let digest = ModelDigest::of(&blob);
+        Ok(ModelHandle {
+            inner: Arc::new(HandleInner { digest, quantization, blob, decoded: OnceLock::new() }),
+        })
+    }
+
+    /// The model's content address.
+    pub fn digest(&self) -> ModelDigest {
+        self.inner.digest
+    }
+
+    /// The quantization tier the blob is encoded at.
+    pub fn quantization(&self) -> Quantization {
+        self.inner.quantization
+    }
+
+    /// The encoded GPMR blob (zero-copy slice of the handle's storage).
+    pub fn blob(&self) -> &Bytes {
+        &self.inner.blob
+    }
+
+    /// Encoded size in bytes — cached at insert time, never recomputed
+    /// (this is what fixes the old `ModelStore::total_wire_bytes`
+    /// re-serialising every model per call).
+    pub fn encoded_len(&self) -> usize {
+        self.inner.blob.len()
+    }
+
+    /// The decoded model, materialised on first call and shared thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was built over a corrupt blob via
+    /// [`ModelHandle::from_trusted_blob`] — the trusted path is for blobs
+    /// this process encoded itself.
+    pub fn model(&self) -> &ClassifierModel {
+        self.model_arc_ref()
+    }
+
+    /// The decoded model as a shared `Arc` (cloned).
+    pub fn model_arc(&self) -> Arc<ClassifierModel> {
+        Arc::clone(self.model_arc_ref())
+    }
+
+    fn model_arc_ref(&self) -> &Arc<ClassifierModel> {
+        self.inner.decoded.get_or_init(|| {
+            Arc::new(
+                decode_model(self.inner.blob.clone())
+                    .expect("trusted registry blob failed to decode"),
+            )
+        })
+    }
+
+    /// Whether the decoded model has been materialised yet.
+    pub fn is_decoded(&self) -> bool {
+        self.inner.decoded.get().is_some()
+    }
+
+    /// Decodes a *fresh* model from the blob, bypassing the pre-seeded
+    /// trained `Arc`. This is what a remote peer would reconstruct from the
+    /// wire bytes — the quantized view — and what the `registry` experiment
+    /// measures accuracy deltas against.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModelDecodeError`] if the blob is corrupt.
+    pub fn decode_blob(&self) -> Result<ClassifierModel, ModelDecodeError> {
+        decode_model(self.inner.blob.clone())
+    }
+}
+
+impl fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelHandle")
+            .field("digest", &self.inner.digest)
+            .field("quantization", &self.inner.quantization)
+            .field("encoded_len", &self.inner.blob.len())
+            .field("decoded", &self.is_decoded())
+            .finish()
+    }
+}
+
+impl PartialEq for ModelHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.digest == other.inner.digest
+    }
+}
+
+impl Eq for ModelHandle {}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+/// Registry policy knobs.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Quantization tier models are encoded at on insert. Default
+    /// [`Quantization::F64`]: bit-exact, so registry adoption does not
+    /// perturb any accuracy number.
+    pub quantization: Quantization,
+    /// Total encoded-bytes budget. Exceeding it evicts unpinned entries in
+    /// deterministic least-recently-used order. `None` = unbounded.
+    pub byte_budget: Option<usize>,
+    /// EMA weight of a corrected session's observation when folding it into
+    /// centroids ([`Registry::adapt_at`]): `new = (1-α)·old + α·observed`.
+    pub ema_alpha: f64,
+    /// Trainer configuration for [`Registry::get_or_train`] misses.
+    pub trainer: TrainerConfig,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            quantization: Quantization::F64,
+            byte_budget: None,
+            ema_alpha: 0.25,
+            trainer: TrainerConfig::default(),
+        }
+    }
+}
+
+/// Counters snapshot from [`Registry::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Key lookups (including the lookup inside `get_or_train`).
+    pub lookups: u64,
+    /// Lookups that found a live entry for the key.
+    pub hits: u64,
+    /// Models actually trained by `get_or_train` misses.
+    pub trainings: u64,
+    /// Inserts (any path) that resolved to an already-present digest.
+    pub dedup_hits: u64,
+    /// Entries evicted to meet the byte budget.
+    pub evictions: u64,
+    /// Successful adaptation folds that produced a new digest.
+    pub adaptations: u64,
+    /// Insert operations (model, encoded, or adapted child).
+    pub inserts: u64,
+    /// Fleet keys currently mapped to a live entry (≥ `models` when
+    /// deduplication folded several keys onto one digest — then it is the
+    /// *keys* that outnumber the models).
+    pub keys: usize,
+    /// Live entries right now.
+    pub models: usize,
+    /// Total encoded bytes held right now.
+    pub total_bytes: usize,
+}
+
+struct Entry {
+    handle: ModelHandle,
+    pinned: bool,
+    /// Caller-assigned logical recency, folded with `max` (commutative, so
+    /// concurrent touches are order-independent).
+    last_used: u64,
+    /// Insertion tick — the LRU tie-break before the digest itself.
+    inserted_at: u64,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<ModelDigest, Entry>,
+    by_key: HashMap<ModelKey, ModelDigest>,
+    /// Reverse of `by_key`, so eviction can unmap without a scan.
+    keys_of: HashMap<ModelDigest, Vec<ModelKey>>,
+    /// parent → child adaptation edges, in adaptation order.
+    lineage: Vec<(ModelDigest, ModelDigest)>,
+    /// Digests evicted so far, in eviction order (deterministic).
+    eviction_log: Vec<ModelDigest>,
+    total_bytes: usize,
+    lookups: u64,
+    hits: u64,
+    trainings: u64,
+    dedup_hits: u64,
+    adaptations: u64,
+    inserts: u64,
+}
+
+impl State {
+    fn map_key(&mut self, key: ModelKey, digest: ModelDigest) {
+        if let Some(old) = self.by_key.insert(key, digest) {
+            if old != digest {
+                if let Some(keys) = self.keys_of.get_mut(&old) {
+                    keys.retain(|k| *k != key);
+                }
+            } else {
+                return;
+            }
+        }
+        self.keys_of.entry(digest).or_default().push(key);
+    }
+
+    /// Evicts unpinned entries (never `protect`, the entry just inserted)
+    /// until the budget holds or nothing is evictable. Victim order is
+    /// (last_used, inserted_at, digest) minimum — a pure function of
+    /// contents. Returns the fleet keys whose mapping died with a victim;
+    /// the caller purges their train-once cells so the key retrains.
+    fn evict_to_budget(&mut self, budget: usize, protect: ModelDigest) -> Vec<ModelKey> {
+        let mut purged = Vec::new();
+        while self.total_bytes > budget {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(d, e)| !e.pinned && **d != protect)
+                .min_by_key(|(d, e)| (e.last_used, e.inserted_at, **d))
+                .map(|(d, _)| *d);
+            let Some(digest) = victim else { break };
+            let entry = self.entries.remove(&digest).expect("victim came from entries");
+            self.total_bytes -= entry.handle.encoded_len();
+            self.eviction_log.push(digest);
+            spansight::count("core.registry.evictions", 1);
+            for key in self.keys_of.remove(&digest).unwrap_or_default() {
+                self.by_key.remove(&key);
+                purged.push(key);
+            }
+        }
+        purged
+    }
+}
+
+/// The content-addressed model registry. See the module docs for the full
+/// picture; in one sentence: *every trained model in the process lives
+/// here, under its digest, in encoded form, decoded lazily, evicted
+/// deterministically, and adapted with tracked lineage.*
+pub struct Registry {
+    config: RegistryConfig,
+    /// Train-once-per-key cells (absorbed from the old `bench::ModelCache`):
+    /// concurrent `get_or_train` calls for one key block on one `OnceLock`
+    /// and share the single trained model. Held separately from `state` —
+    /// the two locks are never held at once (training runs with neither).
+    cells: Mutex<HashMap<ModelKey, Arc<OnceLock<ModelHandle>>>>,
+    state: Mutex<State>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Registry").field("config", &self.config).field("stats", &stats).finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(RegistryConfig::default())
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with the given policy.
+    pub fn new(config: RegistryConfig) -> Self {
+        Registry { config, cells: Mutex::new(HashMap::new()), state: Mutex::new(State::default()) }
+    }
+
+    /// The policy the registry was built with.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().entries.len()
+    }
+
+    /// Whether the registry holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the key's model, training it exactly once on first miss
+    /// (recency tick 0 — use [`Registry::get_or_train_at`] when eviction
+    /// order matters).
+    pub fn get_or_train(
+        &self,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+    ) -> ModelHandle {
+        self.get_or_train_at(device, keyboard, app, 0)
+    }
+
+    /// [`Registry::get_or_train`] with a caller-assigned logical recency
+    /// tick. Concurrent callers for one key share a single training run.
+    pub fn get_or_train_at(
+        &self,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+        tick: u64,
+    ) -> ModelHandle {
+        let key = (device, keyboard, app);
+        if let Some(handle) = self.lookup_at(&key, tick) {
+            return handle;
+        }
+        let cell = {
+            let mut cells = self.cells.lock().unwrap();
+            Arc::clone(cells.entry(key).or_default())
+        };
+        cell.get_or_init(|| {
+            spansight::count("core.registry.trainings", 1);
+            let model = Trainer::new(self.config.trainer.clone()).train(device, keyboard, app);
+            {
+                let mut st = self.state.lock().unwrap();
+                st.trainings += 1;
+            }
+            self.insert_arc_at(key, Arc::new(model), tick)
+        })
+        .clone()
+    }
+
+    /// Trains a model with an explicit [`TrainerConfig`] (the counter-mask
+    /// ablations need non-default trainers) and registers it under `key`.
+    /// Bypasses the train-once cell — distinct trainer configurations for
+    /// one key are distinct models, deduplicated by digest instead.
+    ///
+    /// The key now maps to *this* model: later [`Registry::get_or_train`]
+    /// calls for the key return it, not a default-trained one. On a shared
+    /// registry that shadows the key for every other user — experiment
+    /// code wanting a one-off variant should use a private registry.
+    pub fn train_with(
+        &self,
+        trainer: TrainerConfig,
+        device: DeviceConfig,
+        keyboard: KeyboardKind,
+        app: TargetApp,
+    ) -> ModelHandle {
+        spansight::count("core.registry.trainings", 1);
+        let model = Trainer::new(trainer).train(device, keyboard, app);
+        {
+            let mut st = self.state.lock().unwrap();
+            st.trainings += 1;
+        }
+        self.insert_arc_at((device, keyboard, app), Arc::new(model), 0)
+    }
+
+    /// Looks the key up without training, folding `tick` into the entry's
+    /// recency (`max`, so concurrent touches commute).
+    pub fn lookup_at(&self, key: &ModelKey, tick: u64) -> Option<ModelHandle> {
+        let mut st = self.state.lock().unwrap();
+        st.lookups += 1;
+        spansight::count("core.registry.lookups", 1);
+        let digest = st.by_key.get(key).copied()?;
+        st.hits += 1;
+        spansight::count("core.registry.hits", 1);
+        let entry = st.entries.get_mut(&digest).expect("by_key maps to live entries");
+        entry.last_used = entry.last_used.max(tick);
+        Some(entry.handle.clone())
+    }
+
+    /// Resolves a digest to its handle without touching recency — the wire
+    /// server's path: a `Hello` names the model by content, not by key.
+    pub fn resolve(&self, digest: &ModelDigest) -> Option<ModelHandle> {
+        let st = self.state.lock().unwrap();
+        st.entries.get(digest).map(|e| e.handle.clone())
+    }
+
+    /// Registers an already-trained model under `key` at the configured
+    /// quantization tier. Same digest → the existing handle is shared
+    /// (counted as a dedup hit), no new bytes are held.
+    pub fn insert_model_at(
+        &self,
+        key: ModelKey,
+        model: Arc<ClassifierModel>,
+        tick: u64,
+    ) -> ModelHandle {
+        self.insert_arc_at(key, model, tick)
+    }
+
+    /// Registers a pre-encoded GPMR blob under `key` without decoding it
+    /// (header validation only — the blob must come from [`encode_model`]).
+    /// This is the bulk-load path: inserting 10k fleet models costs 10k
+    /// digests, not 10k decodes.
+    ///
+    /// # Errors
+    ///
+    /// Header-level [`ModelDecodeError`]s (magic/version/tier/meta).
+    pub fn insert_encoded_at(
+        &self,
+        key: ModelKey,
+        blob: Bytes,
+        tick: u64,
+    ) -> Result<ModelHandle, ModelDecodeError> {
+        let handle = ModelHandle::from_trusted_blob(blob)?;
+        Ok(self.insert_handle_at(key, handle, tick))
+    }
+
+    fn insert_arc_at(&self, key: ModelKey, model: Arc<ClassifierModel>, tick: u64) -> ModelHandle {
+        let handle = ModelHandle::from_arc(model, self.config.quantization);
+        self.insert_handle_at(key, handle, tick)
+    }
+
+    fn insert_handle_at(&self, key: ModelKey, handle: ModelHandle, tick: u64) -> ModelHandle {
+        let digest = handle.digest();
+        let (shared, purged) = {
+            let mut st = self.state.lock().unwrap();
+            st.inserts += 1;
+            spansight::count("core.registry.inserts", 1);
+            let existing = st.entries.get_mut(&digest).map(|entry| {
+                entry.last_used = entry.last_used.max(tick);
+                entry.handle.clone()
+            });
+            if let Some(shared) = existing {
+                st.dedup_hits += 1;
+                spansight::count("core.registry.dedup_hits", 1);
+                st.map_key(key, digest);
+                (shared, Vec::new())
+            } else {
+                st.total_bytes += handle.encoded_len();
+                st.entries.insert(
+                    digest,
+                    Entry {
+                        handle: handle.clone(),
+                        pinned: false,
+                        last_used: tick,
+                        inserted_at: tick,
+                    },
+                );
+                st.map_key(key, digest);
+                let purged = match self.config.byte_budget {
+                    Some(budget) => st.evict_to_budget(budget, digest),
+                    None => Vec::new(),
+                };
+                (handle, purged)
+            }
+        };
+        self.purge_cells(&purged);
+        shared
+    }
+
+    /// Drops the train-once cells of keys whose entry was evicted, so a
+    /// later `get_or_train` for them retrains rather than resurrecting the
+    /// evicted handle.
+    fn purge_cells(&self, keys: &[ModelKey]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut cells = self.cells.lock().unwrap();
+        for key in keys {
+            cells.remove(key);
+        }
+    }
+
+    /// Pins a digest: pinned entries are never evicted. Returns `false` if
+    /// the digest is not registered.
+    pub fn pin(&self, digest: &ModelDigest) -> bool {
+        let mut st = self.state.lock().unwrap();
+        match st.entries.get_mut(digest) {
+            Some(e) => {
+                e.pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unpins a digest, making it evictable again. Returns `false` if the
+    /// digest is not registered.
+    pub fn unpin(&self, digest: &ModelDigest) -> bool {
+        let mut st = self.state.lock().unwrap();
+        match st.entries.get_mut(digest) {
+            Some(e) => {
+                e.pinned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Folds a corrected session's observations into the parent model's
+    /// centroids with an exponential moving average
+    /// (`new = (1-α)·old + α·observed`, rounded back to counter space),
+    /// registering the result as a **new** model: a new digest, with
+    /// `parent → child` lineage recorded, and every fleet key that mapped
+    /// to the parent remapped to the child. Corrections for characters the
+    /// model has no centroid for are ignored.
+    ///
+    /// Returns `None` when `parent` is not registered; returns the parent's
+    /// own handle when the fold is a no-op (no matching characters, or the
+    /// EMA rounds back to the identical encoding).
+    pub fn adapt_at(
+        &self,
+        parent: &ModelDigest,
+        corrections: &[(char, CounterSet)],
+        tick: u64,
+    ) -> Option<ModelHandle> {
+        let parent_handle = {
+            let st = self.state.lock().unwrap();
+            st.entries.get(parent)?.handle.clone()
+        };
+        let alpha = self.config.ema_alpha;
+        let model = parent_handle.model();
+        let mut centroids = model.centroids().to_vec();
+        let mut changed = false;
+        for (ch, observed) in corrections {
+            if let Some(centroid) = centroids.iter_mut().find(|c| c.ch == *ch) {
+                let mut folded = [0u64; NUM_TRACKED];
+                for (slot, (&old, &obs)) in folded
+                    .iter_mut()
+                    .zip(centroid.values.as_array().iter().zip(observed.as_array()))
+                {
+                    *slot = to_counter((1.0 - alpha) * old as f64 + alpha * obs as f64);
+                }
+                centroid.values = CounterSet::from_array(folded);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(parent_handle);
+        }
+        let child_model = Arc::new(model.with_centroids(centroids));
+        let child = ModelHandle::from_arc(child_model, self.config.quantization);
+        if child.digest() == *parent {
+            return Some(parent_handle);
+        }
+        let child_digest = child.digest();
+        let (shared, purged) = {
+            let mut st = self.state.lock().unwrap();
+            // Re-check the parent under the lock; it may have been evicted
+            // while we folded.
+            if !st.entries.contains_key(parent) {
+                return None;
+            }
+            st.inserts += 1;
+            spansight::count("core.registry.inserts", 1);
+            let existing = st.entries.get_mut(&child_digest).map(|entry| {
+                entry.last_used = entry.last_used.max(tick);
+                entry.handle.clone()
+            });
+            let (shared, purged) = if let Some(shared) = existing {
+                st.dedup_hits += 1;
+                spansight::count("core.registry.dedup_hits", 1);
+                (shared, Vec::new())
+            } else {
+                st.total_bytes += child.encoded_len();
+                st.entries.insert(
+                    child_digest,
+                    Entry {
+                        handle: child.clone(),
+                        pinned: false,
+                        last_used: tick,
+                        inserted_at: tick,
+                    },
+                );
+                let purged = match self.config.byte_budget {
+                    Some(budget) => st.evict_to_budget(budget, child_digest),
+                    None => Vec::new(),
+                };
+                (child, purged)
+            };
+            st.adaptations += 1;
+            spansight::count("core.registry.adaptations", 1);
+            st.lineage.push((*parent, child_digest));
+            // Remap every key that still points at the parent.
+            let keys = st.keys_of.get(parent).cloned().unwrap_or_default();
+            for key in keys {
+                st.map_key(key, child_digest);
+            }
+            (shared, purged)
+        };
+        self.purge_cells(&purged);
+        Some(shared)
+    }
+
+    /// The digest this model was adapted from, if it is an adaptation
+    /// child. Walking `parent_of` repeatedly reconstructs the full lineage
+    /// chain back to the originally trained root.
+    pub fn parent_of(&self, digest: &ModelDigest) -> Option<ModelDigest> {
+        let st = self.state.lock().unwrap();
+        st.lineage.iter().rev().find(|(_, c)| c == digest).map(|(p, _)| *p)
+    }
+
+    /// Digests evicted so far, in eviction order. Deterministic for a
+    /// deterministic tick assignment — the `registry` experiment prints a
+    /// prefix of it and CI diffs the output across `--jobs` counts.
+    pub fn eviction_log(&self) -> Vec<ModelDigest> {
+        self.state.lock().unwrap().eviction_log.clone()
+    }
+
+    /// Snapshot of the registry's counters and occupancy.
+    pub fn stats(&self) -> RegistryStats {
+        let st = self.state.lock().unwrap();
+        RegistryStats {
+            lookups: st.lookups,
+            hits: st.hits,
+            trainings: st.trainings,
+            dedup_hits: st.dedup_hits,
+            evictions: st.eviction_log.len() as u64,
+            adaptations: st.adaptations,
+            inserts: st.inserts,
+            keys: st.by_key.len(),
+            models: st.entries.len(),
+            total_bytes: st.total_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use android_ui::SimConfig;
+
+    fn trained_model() -> ClassifierModel {
+        let cfg = SimConfig::paper_default(11);
+        Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app)
+    }
+
+    fn key_of(cfg: &SimConfig) -> ModelKey {
+        (cfg.device, cfg.keyboard, cfg.app)
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        let model = trained_model();
+        let blob = encode_model(&model, Quantization::F64);
+        let back = decode_model(blob).expect("decodes");
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn digest_stable_across_reencode_at_every_tier() {
+        let model = trained_model();
+        for q in Quantization::ALL {
+            let blob = encode_model(&model, q);
+            let decoded = decode_model(blob.clone()).expect("decodes");
+            let reencoded = encode_model(&decoded, q);
+            assert_eq!(blob, reencoded, "tier {} re-encode changed bytes", q.name());
+            assert_eq!(ModelDigest::of(&blob), ModelDigest::of(&reencoded));
+        }
+    }
+
+    #[test]
+    fn lossy_tiers_stay_within_documented_bounds() {
+        let model = trained_model();
+        for q in [Quantization::F32, Quantization::I16] {
+            let decoded = decode_model(encode_model(&model, q)).expect("decodes");
+            for (orig, dec) in model.centroids().iter().zip(decoded.centroids()) {
+                let max = orig.values.as_array().iter().copied().max().unwrap_or(0);
+                for (&v, &d) in orig.values.as_array().iter().zip(dec.values.as_array()) {
+                    let err = v.abs_diff(d) as f64;
+                    let bound = match q {
+                        Quantization::F32 => v as f64 / (1u64 << 23) as f64 + 1.0,
+                        Quantization::I16 => max as f64 / (2.0 * I16_LEVELS as f64) + 1.0,
+                        Quantization::F64 => unreachable!(),
+                    };
+                    assert!(err <= bound, "{} err {err} > bound {bound}", q.name());
+                }
+            }
+            // Weights and threshold are never quantized.
+            assert_eq!(decoded.weights(), model.weights());
+            assert_eq!(decoded.threshold(), model.threshold());
+        }
+    }
+
+    #[test]
+    fn i16_is_lossless_below_the_level_count() {
+        let model = trained_model();
+        let decoded = decode_model(encode_model(&model, Quantization::I16)).expect("decodes");
+        for (orig, dec) in model.centroids().iter().zip(decoded.centroids()) {
+            let max = orig.values.as_array().iter().copied().max().unwrap_or(0);
+            if max <= I16_LEVELS {
+                assert_eq!(orig.values, dec.values);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_blobs_never_panic() {
+        let blob = encode_model(&trained_model(), Quantization::I16);
+        for len in 0..blob.len() {
+            assert!(decode_model(blob.slice(..len)).is_err(), "truncation at {len} accepted");
+        }
+    }
+
+    #[test]
+    fn train_once_and_dedup() {
+        let registry = Registry::default();
+        let cfg = SimConfig::paper_default(3);
+        let a = registry.get_or_train(cfg.device, cfg.keyboard, cfg.app);
+        let b = registry.get_or_train(cfg.device, cfg.keyboard, cfg.app);
+        assert_eq!(a.digest(), b.digest());
+        assert!(std::ptr::eq(a.model(), b.model()), "handles share one decoded model");
+        let stats = registry.stats();
+        assert_eq!(stats.trainings, 1);
+        assert_eq!(stats.models, 1);
+
+        // Inserting the identical model under a different key dedups.
+        let mut other = key_of(&cfg);
+        other.1 = KeyboardKind::Swift;
+        let c = registry.insert_model_at(other, a.model_arc(), 5);
+        assert_eq!(c.digest(), a.digest());
+        assert_eq!(registry.stats().dedup_hits, 1);
+        assert_eq!(registry.stats().models, 1);
+    }
+
+    #[test]
+    fn concurrent_get_or_train_trains_once() {
+        let registry = Arc::new(Registry::default());
+        let cfg = SimConfig::paper_default(3);
+        let pool = minipool::Pool::new(4);
+        let handles = pool.par_map(vec![0u8; 8], |_, _| {
+            registry.get_or_train(cfg.device, cfg.keyboard, cfg.app).digest()
+        });
+        assert!(handles.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(registry.stats().trainings, 1);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_and_respects_pins() {
+        let model = Arc::new(trained_model());
+        let blob_len = ModelHandle::from_arc(Arc::clone(&model), Quantization::F64).encoded_len();
+        let build = || {
+            Registry::new(RegistryConfig {
+                // Room for three entries.
+                byte_budget: Some(blob_len * 3 + blob_len / 2),
+                ..RegistryConfig::default()
+            })
+        };
+        // Four distinct models via distinct thresholds.
+        let variants: Vec<Arc<ClassifierModel>> =
+            (1..=4).map(|i| Arc::new(model.with_threshold(i as f64))).collect();
+        let cfg = SimConfig::paper_default(3);
+        let keys: Vec<ModelKey> =
+            [TargetApp::Chase, TargetApp::Amex, TargetApp::Fidelity, TargetApp::Schwab]
+                .into_iter()
+                .map(|app| (cfg.device, cfg.keyboard, app))
+                .collect();
+
+        let registry = build();
+        for (i, (key, m)) in keys.iter().zip(&variants).enumerate() {
+            registry.insert_model_at(*key, Arc::clone(m), i as u64);
+        }
+        // Budget fits 3: the oldest (tick 0) entry must have been evicted.
+        let log = registry.eviction_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            log[0],
+            ModelHandle::from_arc(Arc::clone(&variants[0]), Quantization::F64).digest()
+        );
+        assert!(registry.lookup_at(&keys[0], 10).is_none(), "evicted key must miss");
+        assert_eq!(registry.stats().models, 3);
+
+        // Same inserts, but with the would-be victim pinned: the next-oldest
+        // unpinned entry goes instead.
+        let registry = build();
+        let first = registry.insert_model_at(keys[0], Arc::clone(&variants[0]), 0);
+        assert!(registry.pin(&first.digest()));
+        for (i, (key, m)) in keys.iter().zip(&variants).enumerate().skip(1) {
+            registry.insert_model_at(*key, Arc::clone(m), i as u64);
+        }
+        let log = registry.eviction_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            log[0],
+            ModelHandle::from_arc(Arc::clone(&variants[1]), Quantization::F64).digest()
+        );
+        assert!(registry.lookup_at(&keys[0], 10).is_some(), "pinned entry survives");
+    }
+
+    #[test]
+    fn parallel_touches_do_not_perturb_eviction_order() {
+        // Touch recency is a commutative max-fold of caller-assigned ticks,
+        // so the same touch multiset through 1 or 4 workers must produce
+        // the same eviction log once inserts push past the budget.
+        let model = Arc::new(trained_model());
+        let variants: Vec<Arc<ClassifierModel>> =
+            (1..=6).map(|i| Arc::new(model.with_threshold(i as f64))).collect();
+        let blob_len =
+            ModelHandle::from_arc(Arc::clone(&variants[0]), Quantization::F64).encoded_len();
+        let cfg = SimConfig::paper_default(3);
+        let apps = [
+            TargetApp::Chase,
+            TargetApp::Amex,
+            TargetApp::Fidelity,
+            TargetApp::Schwab,
+            TargetApp::MyFico,
+            TargetApp::Experian,
+        ];
+        let keys: Vec<ModelKey> =
+            apps.into_iter().map(|app| (cfg.device, cfg.keyboard, app)).collect();
+        // Pre-drawn touch schedule: (key index, tick).
+        let touches: Vec<(usize, u64)> =
+            (0..64u64).map(|i| ((i as usize * 7) % 4, 100 + (i * 13) % 50)).collect();
+
+        let run = |workers: usize| {
+            let registry = Arc::new(Registry::new(RegistryConfig {
+                byte_budget: Some(blob_len * 4 + blob_len / 2),
+                ..RegistryConfig::default()
+            }));
+            for (i, (key, m)) in keys.iter().zip(&variants).enumerate().take(4) {
+                registry.insert_model_at(*key, Arc::clone(m), i as u64);
+            }
+            let pool = minipool::Pool::new(workers);
+            pool.par_map(touches.clone(), |_, (ki, tick)| {
+                registry.lookup_at(&keys[ki], tick);
+            });
+            // Two more inserts force two evictions.
+            registry.insert_model_at(keys[4], Arc::clone(&variants[4]), 200);
+            registry.insert_model_at(keys[5], Arc::clone(&variants[5]), 201);
+            registry.eviction_log()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn adaptation_produces_lineage_and_remaps_keys() {
+        let registry = Registry::default();
+        let cfg = SimConfig::paper_default(3);
+        let key = key_of(&cfg);
+        let parent = registry.get_or_train(cfg.device, cfg.keyboard, cfg.app);
+        let ch = parent.model().centroids()[0].ch;
+        let mut observed = parent.model().centroids()[0].values;
+        let shifted: Vec<u64> = observed.as_array().iter().map(|v| v + 400).collect();
+        observed = CounterSet::from_array(shifted.try_into().unwrap());
+
+        let child = registry
+            .adapt_at(&parent.digest(), &[(ch, observed)], 7)
+            .expect("parent is registered");
+        assert_ne!(child.digest(), parent.digest());
+        assert_eq!(registry.parent_of(&child.digest()), Some(parent.digest()));
+        // The fleet key now resolves to the child.
+        let resolved = registry.lookup_at(&key, 8).expect("key still mapped");
+        assert_eq!(resolved.digest(), child.digest());
+        // EMA with α=0.25: new = 0.75·old + 0.25·(old+400) = old + 100.
+        let old = parent.model().centroids()[0].values;
+        let new = child.model().centroids().iter().find(|c| c.ch == ch).unwrap().values;
+        for (&o, &n) in old.as_array().iter().zip(new.as_array()) {
+            assert_eq!(n, o + 100);
+        }
+        assert_eq!(registry.stats().adaptations, 1);
+
+        // Adapting with an unknown character is a no-op returning the
+        // parent handle.
+        let same = registry.adapt_at(&child.digest(), &[('\u{10FFFF}', observed)], 9).unwrap();
+        assert_eq!(same.digest(), child.digest());
+    }
+
+    #[test]
+    fn from_blob_validates_and_from_trusted_blob_defers() {
+        let model = trained_model();
+        let blob = encode_model(&model, Quantization::F32);
+        let h = ModelHandle::from_blob(blob.clone()).expect("valid blob");
+        assert!(h.is_decoded(), "untrusted path decodes eagerly");
+        let t = ModelHandle::from_trusted_blob(blob).expect("valid header");
+        assert!(!t.is_decoded(), "trusted path defers decode");
+        assert_eq!(t.digest(), h.digest());
+        assert_eq!(t.model().meta(), model.meta());
+        assert!(t.is_decoded());
+
+        let mut corrupt = BytesMut::new();
+        corrupt.put_slice(b"GPXX");
+        corrupt.put_slice(&[1; 8]);
+        assert!(ModelHandle::from_blob(corrupt.freeze()).is_err());
+    }
+
+    #[test]
+    fn sha256_matches_reference_vectors() {
+        // FIPS 180-4 test vectors.
+        let empty = ModelDigest::of(b"");
+        assert_eq!(
+            empty.to_string(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        let abc = ModelDigest::of(b"abc");
+        assert_eq!(
+            abc.to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // One full block + spill (448-bit message).
+        let two = ModelDigest::of(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(
+            two.to_string(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+}

@@ -83,6 +83,10 @@ pub enum ServiceError {
     UnrecognisedDevice,
     /// `require_launch` was set but the target app never launched.
     LaunchNotDetected,
+    /// The session pinned a model by content digest (wire `Hello`) but no
+    /// loaded model has that digest — a registry mismatch surfaced as a
+    /// typed error instead of silently misclassifying with the wrong model.
+    ModelDigestMismatch(crate::registry::ModelDigest),
 }
 
 impl fmt::Display for ServiceError {
@@ -91,6 +95,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Device(e) => write!(f, "device error: {e}"),
             ServiceError::UnrecognisedDevice => write!(f, "no preloaded model matches this device"),
             ServiceError::LaunchNotDetected => write!(f, "target app launch was not observed"),
+            ServiceError::ModelDigestMismatch(digest) => {
+                write!(f, "no loaded model has digest {digest}")
+            }
         }
     }
 }
@@ -442,6 +449,25 @@ impl<'s> Pipeline<'s> {
         }
     }
 
+    /// A pipeline pre-committed to `model` (digest-pinned wire sessions).
+    /// Produces the same output as the recognition path for any session the
+    /// recognition path would have matched to the same model — see
+    /// [`RecognizeStage::pinned`].
+    fn pinned(
+        store: &'s ModelStore,
+        config: &'s ServiceConfig,
+        model: &'s ClassifierModel,
+    ) -> Self {
+        Pipeline {
+            config,
+            delta: DeltaStage::new(),
+            recognize: RecognizeStage::pinned(store, model),
+            post: None,
+            deltas: Vec::new(),
+            recognized: Vec::new(),
+        }
+    }
+
     fn push_sample(&mut self, sample: Sample) {
         self.push_samples(std::slice::from_ref(&sample));
     }
@@ -773,6 +799,26 @@ impl AttackService {
     /// they arrive off a transport.
     pub fn streaming_session(&self) -> StreamingSession<'_> {
         StreamingSession { pipeline: Pipeline::new(&self.store, &self.config) }
+    }
+
+    /// Begins an incremental session pinned to the model with the given
+    /// content digest — the wire path, where the client's `Hello` names its
+    /// model by digest and recognition is skipped entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ModelDigestMismatch`] when no loaded model has that
+    /// digest: the mismatch is a typed, attributable failure instead of a
+    /// session silently classified with the wrong model.
+    pub fn streaming_session_for(
+        &self,
+        digest: &crate::registry::ModelDigest,
+    ) -> Result<StreamingSession<'_>, ServiceError> {
+        let handle =
+            self.store.find_digest(digest).ok_or(ServiceError::ModelDigestMismatch(*digest))?;
+        Ok(StreamingSession {
+            pipeline: Pipeline::pinned(&self.store, &self.config, handle.model()),
+        })
     }
 }
 

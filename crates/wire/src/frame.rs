@@ -19,7 +19,8 @@ use crate::error::{WireError, WireResult};
 use crate::varint;
 
 /// Protocol revision; bump on any incompatible layout change.
-pub const WIRE_VERSION: u8 = 1;
+/// v2: `Hello` carries the 32-byte model digest (content address).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Two fixed bytes opening every frame ("GW": GPU wire).
 pub const MAGIC: [u8; 2] = [0x47, 0x57];

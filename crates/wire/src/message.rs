@@ -20,6 +20,7 @@
 use adreno_sim::counters::{CounterSet, NUM_TRACKED};
 use adreno_sim::time::SimInstant;
 use gpu_sc_attack::online::InferredKey;
+use gpu_sc_attack::registry::ModelDigest;
 use gpu_sc_attack::sampler::SamplerReport;
 use gpu_sc_attack::trace::Sample;
 
@@ -152,6 +153,12 @@ pub enum Message {
         /// The lowest client frame not yet acknowledged — where the
         /// retransmit window restarts after a reconnect.
         resume_from: u64,
+        /// Content address of the classifier model the sampler was trained
+        /// against. The server resolves it in its own registry-backed
+        /// store; a non-zero digest it does not hold is a typed error
+        /// ([`gpu_sc_attack::service::ServiceError::ModelDigestMismatch`]).
+        /// [`ModelDigest::ZERO`] requests legacy device recognition.
+        model_digest: ModelDigest,
     },
     /// A batch of counter samples.
     SampleBatch(SampleBatch),
@@ -257,10 +264,11 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            Message::Hello { session_id, resume_from } => {
+            Message::Hello { session_id, resume_from, model_digest } => {
                 buf.push(TAG_HELLO);
                 varint::write_u64(&mut buf, *session_id);
                 varint::write_u64(&mut buf, *resume_from);
+                buf.extend_from_slice(model_digest.as_bytes());
             }
             Message::SampleBatch(batch) => {
                 buf.push(TAG_SAMPLE_BATCH);
@@ -307,7 +315,18 @@ impl Message {
             TAG_HELLO => {
                 let session_id = varint::read_u64(buf, &mut pos)?;
                 let resume_from = varint::read_u64(buf, &mut pos)?;
-                Message::Hello { session_id, resume_from }
+                let end = pos.checked_add(32).ok_or(WireError::Truncated)?;
+                if end > buf.len() {
+                    return Err(WireError::Truncated);
+                }
+                let mut digest = [0u8; 32];
+                digest.copy_from_slice(&buf[pos..end]);
+                pos = end;
+                Message::Hello {
+                    session_id,
+                    resume_from,
+                    model_digest: ModelDigest::from_bytes(digest),
+                }
             }
             TAG_SAMPLE_BATCH => Message::SampleBatch(SampleBatch::decode_from(buf, &mut pos)?),
             TAG_FIN => {
@@ -395,6 +414,23 @@ mod tests {
     fn empty_batch_is_valid() {
         let payload = Message::SampleBatch(SampleBatch::new()).encode();
         assert_eq!(Message::decode(&payload), Ok(Message::SampleBatch(SampleBatch::new())));
+    }
+
+    #[test]
+    fn hello_round_trips_model_digest() {
+        let digest = ModelDigest::of(b"some model blob");
+        let hello = Message::Hello { session_id: 77, resume_from: 3, model_digest: digest };
+        let payload = hello.encode();
+        assert_eq!(Message::decode(&payload), Ok(hello));
+    }
+
+    #[test]
+    fn hello_with_truncated_digest_rejected() {
+        let digest = ModelDigest::of(b"some model blob");
+        let mut payload =
+            Message::Hello { session_id: 77, resume_from: 3, model_digest: digest }.encode();
+        payload.truncate(payload.len() - 5);
+        assert_eq!(Message::decode(&payload), Err(WireError::Truncated));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use adreno_sim::time::{SimDuration, SimInstant};
 use android_ui::UiSimulation;
 use gpu_sc_attack::online::InferredKey;
+use gpu_sc_attack::registry::ModelDigest;
 use gpu_sc_attack::sampler::{Sampler, SamplerReport};
 use gpu_sc_attack::service::{
     AttackService, LinkDegradationReport, ServiceError, SessionResult, StreamingSession,
@@ -186,6 +187,9 @@ struct PendingFrame {
 pub struct ExfilClient {
     config: ExfilConfig,
     session_id: u64,
+    /// Content address of the model this sampler expects the server to
+    /// classify with; [`ModelDigest::ZERO`] requests device recognition.
+    model_digest: ModelDigest,
     batcher: BatchStage,
     staged: Vec<Message>,
     pending: VecDeque<PendingFrame>,
@@ -202,11 +206,19 @@ pub struct ExfilClient {
 
 impl ExfilClient {
     /// A client for one session. `session_id` only needs to be unique per
-    /// transport.
+    /// transport. The Hello carries [`ModelDigest::ZERO`]: the server falls
+    /// back to device recognition. Use [`ExfilClient::with_model`] to pin a
+    /// registry model by content address.
     pub fn new(config: ExfilConfig, session_id: u64) -> Self {
+        ExfilClient::with_model(config, session_id, ModelDigest::ZERO)
+    }
+
+    /// A client whose Hello pins the server-side model by content address.
+    pub fn with_model(config: ExfilConfig, session_id: u64, model_digest: ModelDigest) -> Self {
         ExfilClient {
             config,
             session_id,
+            model_digest,
             batcher: BatchStage::new(config.batch_samples),
             staged: Vec::new(),
             pending: VecDeque::new(),
@@ -226,7 +238,11 @@ impl ExfilClient {
         self.send_control(
             transport,
             now,
-            Message::Hello { session_id: self.session_id, resume_from: 0 },
+            Message::Hello {
+                session_id: self.session_id,
+                resume_from: 0,
+                model_digest: self.model_digest,
+            },
         );
     }
 
@@ -367,7 +383,11 @@ impl ExfilClient {
             self.send_control(
                 transport,
                 now,
-                Message::Hello { session_id: self.session_id, resume_from: self.acked_to },
+                Message::Hello {
+                    session_id: self.session_id,
+                    resume_from: self.acked_to,
+                    model_digest: self.model_digest,
+                },
             );
         }
     }
@@ -421,6 +441,9 @@ impl ExfilClient {
 pub struct ClassifierServer<'s> {
     service: &'s AttackService,
     session: Option<StreamingSession<'s>>,
+    /// The model digest the client's Hello asked for (`None` until a Hello
+    /// arrives; a zero digest means device recognition).
+    requested_digest: Option<ModelDigest>,
     resequencer: ResequenceStage,
     inbox: Vec<Message>,
     fresh_keys: Vec<InferredKey>,
@@ -437,6 +460,7 @@ impl<'s> ClassifierServer<'s> {
         ClassifierServer {
             service,
             session: None,
+            requested_digest: None,
             resequencer: ResequenceStage::default(),
             inbox: Vec::new(),
             fresh_keys: Vec::new(),
@@ -506,10 +530,11 @@ impl<'s> ClassifierServer<'s> {
         };
         if frame.seq == CONTROL_SEQ {
             match Message::decode(&frame.payload) {
-                Ok(Message::Hello { .. }) => {
+                Ok(Message::Hello { model_digest, .. }) => {
                     // Initial open or reconnect-resume: both are answered
                     // with where the data stream actually stands. The
                     // session itself is created lazily on first data.
+                    self.requested_digest = Some(model_digest);
                     self.ensure_session();
                     self.send_ack(transport, now);
                 }
@@ -541,8 +566,25 @@ impl<'s> ClassifierServer<'s> {
     }
 
     fn ensure_session(&mut self) {
-        if self.session.is_none() && self.result.is_none() {
-            self.session = Some(self.service.streaming_session());
+        if self.session.is_some() || self.result.is_some() {
+            return;
+        }
+        match self.requested_digest {
+            // A pinned model: resolve it in the service's store. A digest
+            // the store does not hold is this session's final (typed)
+            // result — samples are dropped and Fin is answered with an
+            // empty FinAck so the client's handshake still terminates.
+            Some(digest) if !digest.is_zero() => {
+                match self.service.streaming_session_for(&digest) {
+                    Ok(session) => self.session = Some(session),
+                    Err(err) => {
+                        spansight::count("wire.session.digest_mismatches", 1);
+                        self.result = Some(Err(err));
+                    }
+                }
+            }
+            // Zero digest (or no Hello seen yet): legacy device recognition.
+            _ => self.session = Some(self.service.streaming_session()),
         }
     }
 
@@ -563,13 +605,22 @@ impl<'s> ClassifierServer<'s> {
             }
             Message::Fin { report } => {
                 self.ensure_session();
-                let Some(session) = self.session.take() else { return };
-                let result = session.finish(&report);
-                let recovered = match &result {
-                    Ok(r) => r.recovered_text.clone(),
-                    Err(_) => String::new(),
+                let recovered = match self.session.take() {
+                    Some(session) => {
+                        let result = session.finish(&report);
+                        let recovered = match &result {
+                            Ok(r) => r.recovered_text.clone(),
+                            Err(_) => String::new(),
+                        };
+                        self.result = Some(result);
+                        recovered
+                    }
+                    // No session: the result was already decided (e.g. a
+                    // model-digest mismatch). Still FinAck — the client's
+                    // handshake must terminate either way.
+                    None if self.result.is_some() => String::new(),
+                    None => return,
                 };
-                self.result = Some(result);
                 let msg = Message::FinAck { recovered };
                 let datagram = self.send_data(transport, now, &msg);
                 self.finack = Some(datagram);
@@ -678,7 +729,14 @@ impl<'s> SplitDriver<'s> {
         let mut span = spansight::span("wire", "session.split");
         span.sim_range(sim.now().as_nanos(), until.as_nanos());
         let mut transport = SimTransport::new(plan);
-        let mut client = ExfilClient::new(config, plan.seed);
+        // When the service carries exactly one model, pin it by digest: the
+        // server resolves the content address instead of re-running device
+        // recognition, and a store mismatch becomes a typed error.
+        let digest = match service.store().handles() {
+            [only] => only.digest(),
+            _ => ModelDigest::ZERO,
+        };
+        let mut client = ExfilClient::with_model(config, plan.seed, digest);
         let server = ClassifierServer::new(service);
         let mut sampler = Sampler::open(sim.device(), service.config().sampler)?;
         let stream = sampler.start_stream(sim, until);
@@ -780,7 +838,13 @@ impl<'s> SplitDriver<'s> {
             // whatever samples did arrive rather than erroring out.
             None => match self.server.session.take() {
                 Some(session) => session.finish(&self.sampler.report()),
-                None => self.service.streaming_session().finish(&self.sampler.report()),
+                None => match self.server.requested_digest.filter(|d| !d.is_zero()) {
+                    Some(digest) => self
+                        .service
+                        .streaming_session_for(&digest)
+                        .and_then(|session| session.finish(&self.sampler.report())),
+                    None => self.service.streaming_session().finish(&self.sampler.report()),
+                },
             },
         };
         let mut result = result?;

@@ -6,6 +6,7 @@
 use adreno_sim::counters::{CounterSet, NUM_TRACKED};
 use adreno_sim::time::SimInstant;
 use gpu_sc_attack::online::InferredKey;
+use gpu_sc_attack::registry::ModelDigest;
 use gpu_sc_attack::sampler::SamplerReport;
 use gpu_sc_attack::trace::Sample;
 use proptest::prelude::*;
@@ -54,8 +55,19 @@ fn arb_key() -> impl Strategy<Value = InferredKey> {
 /// Every variant of the protocol, with arbitrary payloads.
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(session_id, resume_from)| Message::Hello { session_id, resume_from }),
+        (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u64>(), 4)).prop_map(
+            |(session_id, resume_from, words)| {
+                let mut digest = [0u8; 32];
+                for (chunk, word) in digest.chunks_exact_mut(8).zip(&words) {
+                    chunk.copy_from_slice(&word.to_le_bytes());
+                }
+                Message::Hello {
+                    session_id,
+                    resume_from,
+                    model_digest: ModelDigest::from_bytes(digest),
+                }
+            }
+        ),
         arb_batch().prop_map(Message::SampleBatch),
         arb_report().prop_map(|report| Message::Fin { report }),
         any::<u64>().prop_map(|next_expected| Message::Ack { next_expected }),

@@ -10,7 +10,8 @@ use adreno_sim::time::{SimDuration, SimInstant};
 use gpu_eaves::android_ui::{
     DeviceConfig, KeyboardKind, PhoneModel, SimConfig, TargetApp, UiSimulation,
 };
-use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::offline::ModelStore;
+use gpu_eaves::attack::registry::Registry;
 use gpu_eaves::attack::service::{AttackService, ServiceConfig};
 use gpu_eaves::input_bot::script::{practical_session, SessionConfig, Typist};
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
@@ -20,7 +21,7 @@ use rand::SeedableRng;
 fn main() {
     // ---- Offline phase: stock the attacking app with models for several
     // device configurations (§7.6: the real app would carry thousands).
-    let trainer = Trainer::new(TrainerConfig::default());
+    let registry = Registry::default();
     let mut store = ModelStore::new();
     let configs = [
         (PhoneModel::OnePlus8Pro, KeyboardKind::Gboard),
@@ -31,7 +32,7 @@ fn main() {
     for (phone, keyboard) in configs {
         let device = DeviceConfig::for_phone(phone);
         println!("training {} / {keyboard} …", phone.name());
-        store.add(trainer.train(device, keyboard, TargetApp::Chase));
+        store.add_handle(registry.get_or_train(device, keyboard, TargetApp::Chase));
     }
     println!(
         "model store: {} models, {:.1} kB total\n",

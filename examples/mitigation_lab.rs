@@ -7,7 +7,8 @@
 
 use adreno_sim::time::{SimDuration, SimInstant};
 use gpu_eaves::android_ui::{SimConfig, TargetApp, UiSimulation};
-use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::offline::ModelStore;
+use gpu_eaves::attack::registry::Registry;
 use gpu_eaves::attack::service::{AttackService, ServiceConfig};
 use gpu_eaves::input_bot::script::Typist;
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
@@ -50,9 +51,9 @@ impl Lab {
 fn main() {
     let base = SimConfig::paper_default(0);
     println!("training attacker model ({} / {})…\n", base.device, base.keyboard);
-    let model = Trainer::new(TrainerConfig::default()).train(base.device, base.keyboard, base.app);
+    let registry = Registry::default();
     let mut store = ModelStore::new();
-    store.add(model);
+    store.add_handle(registry.get_or_train(base.device, base.keyboard, base.app));
     let lab = Lab { store };
 
     println!("victim types {SECRET:?}; defences applied one at a time:\n");

@@ -7,14 +7,16 @@
 
 use adreno_sim::counters::TrackedCounter;
 use gpu_eaves::android_ui::SimConfig;
-use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::offline::ModelStore;
+use gpu_eaves::attack::registry::{Quantization, Registry};
 use gpu_eaves::attack::ClassifierModel;
 
 fn main() {
     let cfg = SimConfig::paper_default(0);
     println!("offline phase: emulating every key on {} / {} …", cfg.device, cfg.keyboard);
-    let trainer = Trainer::new(TrainerConfig::default());
-    let model = trainer.train(cfg.device, cfg.keyboard, cfg.app);
+    let registry = Registry::default();
+    let handle = registry.get_or_train(cfg.device, cfg.keyboard, cfg.app);
+    let model = handle.model();
 
     println!("\ntrained model for: {}", model.meta());
     println!("  centroids      : {}", model.centroids().len());
@@ -61,8 +63,15 @@ fn main() {
     let restored = ClassifierModel::from_bytes(bytes).expect("round trip");
     assert_eq!(restored.centroids(), model.centroids());
 
+    // The registry's content-addressed GPMR encoding, per quantization tier.
+    println!("\nregistry (GPMR) encoding — digest {}:", handle.digest().short());
+    for q in Quantization::ALL {
+        let blob = gpu_eaves::attack::registry::encode_model(model, q);
+        println!("  {:<3} tier: {} bytes", q.name(), blob.len());
+    }
+
     let mut store = ModelStore::new();
-    store.add(model);
+    store.add_handle(handle.clone());
     println!(
         "a 3,000-model store would be {:.1} MB (paper: <=13.40 MB)",
         store.total_wire_bytes() as f64 * 3_000.0 / store.len() as f64 / (1024.0 * 1024.0)

@@ -6,7 +6,8 @@
 
 use adreno_sim::time::{SimDuration, SimInstant};
 use gpu_eaves::android_ui::{SimConfig, UiSimulation};
-use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
+use gpu_eaves::attack::offline::ModelStore;
+use gpu_eaves::attack::registry::Registry;
 use gpu_eaves::attack::service::{AttackService, ServiceConfig};
 use gpu_eaves::input_bot::script::Typist;
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
@@ -19,15 +20,17 @@ fn main() {
     // GBoard, Chase — the paper's headline setup.
     let cfg = SimConfig::paper_default(7);
     println!("training model for {} / {} / {} …", cfg.device, cfg.keyboard, cfg.app);
-    let model = Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app);
+    let registry = Registry::default();
+    let handle = registry.get_or_train(cfg.device, cfg.keyboard, cfg.app);
     println!(
-        "  {} key centroids, C_th = {:.2}, wire size {} B",
-        model.centroids().len(),
-        model.threshold(),
-        model.to_bytes().len()
+        "  {} key centroids, C_th = {:.2}, registry blob {} B (digest {})",
+        handle.model().centroids().len(),
+        handle.model().threshold(),
+        handle.encoded_len(),
+        handle.digest().short()
     );
     let mut store = ModelStore::new();
-    store.add(model);
+    store.add_handle(handle);
 
     // ---- Online phase (victim's device) --------------------------------
     // The victim opens the banking app and types their password.

@@ -10,8 +10,9 @@
 
 use adreno_sim::time::{SimDuration, SimInstant};
 use gpu_eaves::android_ui::{SimConfig, UiSimulation};
-use gpu_eaves::attack::offline::{ModelStore, Trainer, TrainerConfig};
-use gpu_eaves::attack::service::{AttackService, ServiceConfig, SessionResult};
+use gpu_eaves::attack::offline::ModelStore;
+use gpu_eaves::attack::registry::Registry;
+use gpu_eaves::attack::service::{AttackService, ServiceConfig, ServiceError, SessionResult};
 use gpu_eaves::input_bot::script::Typist;
 use gpu_eaves::input_bot::timing::VOLUNTEERS;
 use gpu_eaves::wire::{run_split_session, ExfilConfig, LinkPlan, SplitOutcome};
@@ -20,8 +21,9 @@ use rand::SeedableRng;
 
 fn single_store() -> ModelStore {
     let cfg = SimConfig::paper_default(0);
+    let registry = Registry::default();
     let mut store = ModelStore::new();
-    store.add(Trainer::new(TrainerConfig::default()).train(cfg.device, cfg.keyboard, cfg.app));
+    store.add_handle(registry.get_or_train(cfg.device, cfg.keyboard, cfg.app));
     store
 }
 
@@ -119,6 +121,53 @@ fn every_seeded_lossy_plan_completes_and_matches() {
             "plan '{name}' report looks unpopulated: {}",
             outcome.result.link
         );
+    }
+}
+
+#[test]
+fn pinning_a_digest_the_server_lacks_is_a_typed_error() {
+    use gpu_eaves::attack::sampler::SamplerReport;
+    use gpu_eaves::wire::{ClassifierServer, ExfilClient, SimTransport};
+
+    let store = single_store();
+    let service = AttackService::new(store, ServiceConfig::default());
+
+    // Pin a digest built from a model the server never loaded: same device,
+    // different target app → different canonical encoding, different address.
+    let foreign = {
+        let cfg = SimConfig::paper_default(0);
+        let registry = Registry::default();
+        registry.get_or_train(cfg.device, cfg.keyboard, gpu_eaves::android_ui::TargetApp::Gedit)
+    };
+    assert!(
+        service.store().find_digest(&foreign.digest()).is_none(),
+        "test premise: the server store must not hold the foreign digest"
+    );
+
+    let plan = LinkPlan::new(99);
+    let mut transport = SimTransport::new(&plan);
+    let mut client = ExfilClient::with_model(ExfilConfig::default(), 99, foreign.digest());
+    let mut server = ClassifierServer::new(&service);
+
+    let mut now = SimInstant::from_millis(1);
+    client.connect(&mut transport, now);
+    client.finish_sampling(&SamplerReport::default());
+    for _ in 0..200 {
+        if client.done() {
+            break;
+        }
+        now += SimDuration::from_millis(1);
+        client.pump(&mut transport, now);
+        server.pump(&mut transport, now);
+    }
+
+    assert!(client.done(), "the Fin handshake must terminate even on a model mismatch");
+    assert_eq!(client.recovered(), Some(""), "a mismatched session recovers nothing");
+    match server.result() {
+        Some(Err(ServiceError::ModelDigestMismatch(digest))) => {
+            assert_eq!(*digest, foreign.digest(), "the error must name the requested digest");
+        }
+        other => panic!("expected ModelDigestMismatch, got {other:?}"),
     }
 }
 
