@@ -16,7 +16,7 @@
 //! paper's observation that those keys produce the minimum amount of GPU
 //! overdraw and are hardest to infer (Fig 18).
 
-use crate::geom::Segment;
+use crate::geom::{Rect, Segment};
 
 /// The design grid extent: glyph coordinates live in `0.0..=GRID`.
 pub const GRID: f32 = 8.0;
@@ -185,6 +185,63 @@ pub const FIG18_CHARSET: &str =
 /// for unsupported characters).
 pub fn stroke_count(c: char) -> usize {
     glyph_strokes(c).unwrap_or(FALLBACK).len()
+}
+
+/// Design-grid bounding box of a glyph's strokes, or `None` for strokeless
+/// glyphs (space).
+#[derive(Debug, Clone, Copy)]
+enum GridBbox {
+    Empty,
+    Box { x0: f32, y0: f32, x1: f32, y1: f32 },
+}
+
+fn bbox_of(strokes: &[Segment]) -> GridBbox {
+    let mut it = strokes.iter();
+    let Some(first) = it.next() else { return GridBbox::Empty };
+    let (mut x0, mut x1) = (first.x0.min(first.x1), first.x0.max(first.x1));
+    let (mut y0, mut y1) = (first.y0.min(first.y1), first.y0.max(first.y1));
+    for s in it {
+        x0 = x0.min(s.x0.min(s.x1));
+        x1 = x1.max(s.x0.max(s.x1));
+        y0 = y0.min(s.y0.min(s.y1));
+        y1 = y1.max(s.y0.max(s.y1));
+    }
+    GridBbox::Box { x0, y0, x1, y1 }
+}
+
+/// Per-glyph design-grid bounding boxes for the printable ASCII range,
+/// computed once per process. Every supported glyph lives in this range;
+/// anything else falls back to the [`FALLBACK`] box.
+fn bbox_table() -> &'static [GridBbox; 96] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[GridBbox; 96]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let ch = char::from_u32(0x20 + i as u32).expect("printable ASCII");
+            bbox_of(glyph_strokes(ch).unwrap_or(FALLBACK))
+        })
+    })
+}
+
+/// Screen-space bounding box of the glyph `ch` drawn into `dest` at the
+/// given stroke thickness: identical to the union of every stroke's
+/// [`Segment::screen_bounds`] (the grid→screen mapping is monotone per
+/// coordinate, so min/max commute with it), but computed from the cached
+/// per-glyph design-grid bounding box instead of a per-call fold over the
+/// stroke table.
+pub(crate) fn glyph_screen_bounds(ch: char, dest: &Rect, thickness: i32) -> Rect {
+    let code = ch as u32;
+    let bbox = if (0x20..0x80).contains(&code) {
+        bbox_table()[(code - 0x20) as usize]
+    } else {
+        bbox_of(glyph_strokes(ch).unwrap_or(FALLBACK))
+    };
+    match bbox {
+        GridBbox::Empty => Rect::EMPTY,
+        GridBbox::Box { x0, y0, x1, y1 } => {
+            Segment { x0, y0, x1, y1 }.screen_bounds(dest, GRID, thickness)
+        }
+    }
 }
 
 #[cfg(test)]

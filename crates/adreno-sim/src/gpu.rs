@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use crate::counters::CounterSet;
-use crate::memo::render_cached;
+use crate::incremental::{IncrementalStats, RendererSet};
 use crate::model::{GpuModel, GpuParams};
 use crate::scene::DrawList;
 use crate::time::{SimDuration, SimInstant};
@@ -67,6 +67,8 @@ pub struct Gpu {
     busy_until: SimInstant,
     /// Recent busy intervals for utilisation queries, oldest first.
     busy_log: VecDeque<(SimInstant, SimInstant)>,
+    /// Per-viewport incremental frame renderers ([`crate::incremental`]).
+    renderers: RendererSet,
 }
 
 /// How much busy-interval history the GPU retains for utilisation queries.
@@ -83,6 +85,7 @@ impl Gpu {
             jobs: VecDeque::new(),
             busy_until: SimInstant::ZERO,
             busy_log: VecDeque::new(),
+            renderers: RendererSet::new(),
         }
     }
 
@@ -109,12 +112,20 @@ impl Gpu {
     /// Renders `draw_list` as a frame job submitted at `now`. If the GPU is
     /// still busy, the job queues behind in-flight work.
     ///
-    /// Rendering goes through the process-global memo cache
-    /// ([`crate::memo::render_cached`]): repeated submissions of an
-    /// identical draw list reuse the first render's output.
+    /// Rendering goes through this GPU's per-viewport incremental renderers
+    /// ([`crate::incremental::RendererSet`]): consecutive frames of one
+    /// surface are diffed at layer granularity and only changed layers are
+    /// recomputed, with identical frames served from the process-global
+    /// whole-list memo. Output is bit-identical to
+    /// [`crate::pipeline::render_uncached`].
     pub fn submit(&mut self, draw_list: &DrawList, now: SimInstant) -> FrameStats {
-        let out = render_cached(draw_list, &self.params);
+        let out = self.renderers.render(draw_list, &self.params);
         self.enqueue(now, out.totals, out.total_cycles, out.checkpoints.clone())
+    }
+
+    /// Reuse counters of this GPU's incremental frame renderers.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.renderers.stats()
     }
 
     /// Submits an opaque workload (e.g. a background 3D app or a mitigation

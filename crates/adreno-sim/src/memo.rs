@@ -84,7 +84,7 @@ pub(crate) fn write_params(m: &mut Mixer, params: &GpuParams) {
     m.write(params.prim_setup_cycles as u64);
 }
 
-fn write_prim(m: &mut Mixer, prim: &Primitive) {
+pub(crate) fn write_prim(m: &mut Mixer, prim: &Primitive) {
     match prim {
         Primitive::Quad { rect, opaque } => {
             m.write(1);
@@ -227,6 +227,32 @@ pub fn render_cached(draw_list: &DrawList, params: &GpuParams) -> Arc<RenderOutp
     Arc::clone(map.entry(fp).or_insert(out))
 }
 
+/// Probes the whole-list cache for a fingerprint computed by the caller
+/// (the incremental renderer derives the identical fingerprint during its
+/// layer-diff pass, so it shares this cache without re-hashing the list).
+pub(crate) fn render_cache_lookup(fp: Fingerprint) -> Option<Arc<RenderOutput>> {
+    let cache = render_cache();
+    if let Some(hit) = lock(&cache.map).get(&fp) {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
+        spansight::count("adreno.memo.render_hits", 1);
+        return Some(Arc::clone(hit));
+    }
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    spansight::count("adreno.memo.render_misses", 1);
+    None
+}
+
+/// Publishes an output computed outside [`render_cached`] (the incremental
+/// renderer) under its whole-list fingerprint, so later submissions of the
+/// same list — from any session — hit without rendering.
+pub(crate) fn render_cache_insert(fp: Fingerprint, out: Arc<RenderOutput>) {
+    let mut map = lock(&render_cache().map);
+    if map.len() >= RENDER_CACHE_CAP {
+        map.clear();
+    }
+    map.entry(fp).or_insert(out);
+}
+
 /// Whole-list cache hit/miss counters since process start (or the last
 /// [`reset_render_caches`]).
 pub fn render_cache_stats() -> CacheStats {
@@ -239,27 +265,40 @@ pub fn glyph_cache_stats() -> CacheStats {
     pipeline::glyph_cache_stats()
 }
 
-/// Empties both cache layers and zeroes their counters.
+/// Empties every cache layer (whole-list, per-glyph, per-layer) and zeroes
+/// their counters.
 pub fn reset_render_caches() {
     let c = render_cache();
     lock(&c.map).clear();
     c.hits.store(0, Ordering::Relaxed);
     c.misses.store(0, Ordering::Relaxed);
     pipeline::reset_glyph_cache();
+    crate::incremental::reset_layer_cache();
 }
 
 pub(crate) struct GlyphCache<V> {
     map: Mutex<HashMap<Fingerprint, Arc<V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Telemetry counter names bumped on hit / miss.
+    hit_counter: &'static str,
+    miss_counter: &'static str,
 }
 
 impl<V> GlyphCache<V> {
     pub(crate) fn new() -> Self {
+        Self::with_counters("adreno.memo.glyph_hits", "adreno.memo.glyph_misses")
+    }
+
+    /// A cache with the same policy but custom telemetry counter names (the
+    /// incremental renderer's per-layer cache reuses this machinery).
+    pub(crate) fn with_counters(hit_counter: &'static str, miss_counter: &'static str) -> Self {
         GlyphCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            hit_counter,
+            miss_counter,
         }
     }
 
@@ -270,11 +309,11 @@ impl<V> GlyphCache<V> {
     ) -> Arc<V> {
         if let Some(hit) = lock(&self.map).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            spansight::count("adreno.memo.glyph_hits", 1);
+            spansight::count(self.hit_counter, 1);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        spansight::count("adreno.memo.glyph_misses", 1);
+        spansight::count(self.miss_counter, 1);
         let value = Arc::new(compute());
         let mut map = lock(&self.map);
         if map.len() >= GLYPH_CACHE_CAP {

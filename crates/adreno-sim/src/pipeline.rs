@@ -200,6 +200,21 @@ pub(crate) struct PrimStats {
     cycles: u64,
 }
 
+/// Reusable scratch for the stroke walk: a row-bitmask set over the cells of
+/// one stroke's bounding box. Long strokes (the PNC login animation spans
+/// hundreds of 8×4 RAS cells) made the old `Vec::contains` dedup O(n²) in
+/// touched cells; the bitmask is O(1) per stamp and, being thread-local and
+/// high-water-marked, allocates nothing in steady state.
+#[derive(Default)]
+struct StrokeScratch {
+    words: Vec<u64>,
+}
+
+thread_local! {
+    static STROKE_SCRATCH: std::cell::RefCell<StrokeScratch> =
+        std::cell::RefCell::new(StrokeScratch::default());
+}
+
 /// Walks a stroked segment and reports `(touched, full)` cells for an
 /// arbitrary tile grid, plus how many of the touched cells are occluded in
 /// `grid` when the tile grid is the LRZ grid.
@@ -220,39 +235,68 @@ fn stroke_tiles(
     let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
     let half = (thickness.max(1) as f32) / 2.0;
 
-    // Collect touched cells in a small local set keyed by (cx, cy). Strokes
-    // are small (a popup glyph spans at most ~20 tiles), so a Vec is fine.
-    let mut touched: Vec<(i32, i32)> = Vec::with_capacity(32);
-    let mut full: u64 = 0;
-    let steps = (len / (tw.min(th) as f32 / 2.0)).ceil().max(1.0) as i32;
-    for i in 0..=steps {
-        let t = i as f32 / steps as f32;
-        let px = x0 + (x1 - x0) * t;
-        let py = y0 + (y1 - y0) * t;
-        let bx0 = ((px - half) as i32).div_euclid(tw);
-        let bx1 = ((px + half) as i32).div_euclid(tw);
-        let by0 = ((py - half) as i32).div_euclid(th);
-        let by1 = ((py + half) as i32).div_euclid(th);
-        for cy in by0..=by1 {
-            for cx in bx0..=bx1 {
-                if !touched.contains(&(cx, cy)) {
-                    touched.push((cx, cy));
-                    // A cell is "full" if the stamp square covers it fully.
-                    let covers = (px - half) <= (cx * tw) as f32
-                        && (px + half) >= ((cx + 1) * tw) as f32
-                        && (py - half) <= (cy * th) as f32
-                        && (py + half) >= ((cy + 1) * th) as f32;
-                    if covers {
-                        full += 1;
+    // Cell-space bounding box of every stamp square. The interpolated point
+    // stays within the endpoint interval up to float rounding; truncation and
+    // `div_euclid` are monotone, so endpoint-derived bounds padded by one
+    // cell cover every step the walk can visit.
+    let bx_min = ((x0.min(x1) - half) as i32).div_euclid(tw) - 1;
+    let bx_max = ((x0.max(x1) + half) as i32).div_euclid(tw) + 1;
+    let by_min = ((y0.min(y1) - half) as i32).div_euclid(th) - 1;
+    let by_max = ((y0.max(y1) + half) as i32).div_euclid(th) + 1;
+    let cols = (bx_max - bx_min + 1) as usize;
+    let rows = (by_max - by_min + 1) as usize;
+    let wpr = cols.div_ceil(64);
+    let words_needed = wpr * rows;
+
+    STROKE_SCRATCH.with(|scratch| {
+        let words = &mut scratch.borrow_mut().words;
+        if words.len() < words_needed {
+            words.resize(words_needed, 0);
+        }
+        words[..words_needed].fill(0);
+
+        let mut touched = 0u64;
+        let mut full = 0u64;
+        let mut occluded = 0u64;
+        let steps = (len / (tw.min(th) as f32 / 2.0)).ceil().max(1.0) as i32;
+        for i in 0..=steps {
+            let t = i as f32 / steps as f32;
+            let px = x0 + (x1 - x0) * t;
+            let py = y0 + (y1 - y0) * t;
+            let bx0 = ((px - half) as i32).div_euclid(tw);
+            let bx1 = ((px + half) as i32).div_euclid(tw);
+            let by0 = ((py - half) as i32).div_euclid(th);
+            let by1 = ((py + half) as i32).div_euclid(th);
+            debug_assert!(bx0 >= bx_min && bx1 <= bx_max && by0 >= by_min && by1 <= by_max);
+            for cy in by0..=by1 {
+                let row = (cy - by_min) as usize * wpr;
+                for cx in bx0..=bx1 {
+                    let col = (cx - bx_min) as usize;
+                    let word = row + col / 64;
+                    let bit = 1u64 << (col % 64);
+                    if words[word] & bit == 0 {
+                        words[word] |= bit;
+                        touched += 1;
+                        // A cell is "full" if the stamp square covers it
+                        // fully — judged at first touch, like the old walk.
+                        let covers = (px - half) <= (cx * tw) as f32
+                            && (px + half) >= ((cx + 1) * tw) as f32
+                            && (py - half) <= (cy * th) as f32
+                            && (py + half) >= ((cy + 1) * th) as f32;
+                        if covers {
+                            full += 1;
+                        }
+                        if let Some(g) = occlusion {
+                            if g.is_occluded(cx, cy) {
+                                occluded += 1;
+                            }
+                        }
                     }
                 }
             }
         }
-    }
-    let occluded = occlusion
-        .map(|g| touched.iter().filter(|&&(cx, cy)| g.is_occluded(cx, cy)).count() as u64)
-        .unwrap_or(0);
-    (touched.len() as u64, full, occluded)
+        (touched, full, occluded)
+    })
 }
 
 fn process_quad(rect: &Rect, opaque: bool, occ: &OcclusionGrid, params: &GpuParams) -> PrimStats {
@@ -340,18 +384,20 @@ fn glyph_stats(
 /// placement, the GPU parameters, and the occlusion bits inside the glyph's
 /// padded bounding region (strokes never query cells outside their
 /// [`Segment::screen_bounds`]).
-fn glyph_stats_cached(
+///
+/// The key computation itself is cache-hit-cheap: the glyph's screen bounds
+/// come from the once-per-process design-grid bounding-box table
+/// ([`font::glyph_screen_bounds`]) instead of a per-call fold over every
+/// stroke's `screen_bounds`, and the stroke table lookup is deferred into
+/// the miss closure.
+pub(crate) fn glyph_stats_cached(
     ch: char,
     dest: &Rect,
     thickness: i32,
     occ: &OcclusionGrid,
     params: &GpuParams,
 ) -> Arc<Vec<PrimStats>> {
-    let strokes = font::glyph_strokes(ch).unwrap_or(FALLBACK);
-    let bounds = strokes
-        .iter()
-        .map(|s| s.screen_bounds(dest, font::GRID, thickness))
-        .fold(Rect::EMPTY, |acc, r| acc.union(&r));
+    let bounds = font::glyph_screen_bounds(ch, dest, thickness);
     let mut m = memo::Mixer::new();
     m.write(ch as u64);
     m.write_i32(dest.x0);
@@ -377,6 +423,59 @@ pub(crate) fn glyph_cache_stats() -> memo::CacheStats {
 
 pub(crate) fn reset_glyph_cache() {
     glyph_cache().reset()
+}
+
+/// Per-prim stats of one layer against its occlusion mask — exactly the
+/// pass-2 inner loop of [`render_impl`] for a single layer, glyph cache on.
+/// The incremental renderer recomputes dirty layers through this, so a
+/// merged stream of per-layer results is element-identical to a full pass 2.
+pub(crate) fn layer_stats(
+    layer: &crate::scene::Layer,
+    mask: &OcclusionGrid,
+    params: &GpuParams,
+) -> Vec<PrimStats> {
+    let mut out: Vec<PrimStats> = Vec::with_capacity(layer.prims.len() * 2);
+    for prim in &layer.prims {
+        match prim {
+            Primitive::Quad { rect, opaque } => {
+                out.push(process_quad(rect, *opaque, mask, params));
+            }
+            Primitive::Glyph { ch, dest, thickness } => {
+                let stats = glyph_stats_cached(*ch, dest, *thickness, mask, params);
+                out.extend(stats.iter().copied());
+            }
+            Primitive::Stroke { seg, dest, thickness } => {
+                out.push(process_stroke(seg, dest, *thickness, mask, params));
+            }
+        }
+    }
+    out
+}
+
+/// Folds an ordered per-prim stats stream into a [`RenderOutput`]: totals,
+/// cycles, and the [`CHECKPOINTS_PER_FRAME`] cumulative checkpoints. Both
+/// the full renderer and the incremental renderer aggregate through this
+/// single function, so their outputs agree bit-for-bit whenever their
+/// per-prim streams do (everything here is integer addition in stream
+/// order).
+pub(crate) fn fold_prim_stream(
+    prims: impl Iterator<Item = PrimStats>,
+    total_prims: usize,
+) -> RenderOutput {
+    let mut checkpoints = Vec::with_capacity(CHECKPOINTS_PER_FRAME);
+    let mut cum = CounterSet::ZERO;
+    let mut cyc = 0u64;
+    if total_prims > 0 {
+        let chunk = total_prims.div_ceil(CHECKPOINTS_PER_FRAME);
+        for (i, s) in prims.enumerate() {
+            cum += s.to_counters();
+            cyc += s.cycles;
+            if (i + 1) % chunk == 0 || i + 1 == total_prims {
+                checkpoints.push((cyc, cum));
+            }
+        }
+    }
+    RenderOutput { totals: cum, total_cycles: cyc, checkpoints }
 }
 
 impl PrimStats {
@@ -515,33 +614,16 @@ fn render_impl(draw_list: &DrawList, params: &GpuParams, use_glyph_cache: bool) 
     drop(pass2);
 
     // Aggregate + checkpoint.
-    let mut totals = CounterSet::ZERO;
-    let mut total_cycles = 0u64;
-    for s in &per_prim {
-        totals += s.to_counters();
-        total_cycles += s.cycles;
-    }
+    let out = fold_prim_stream(per_prim.iter().copied(), per_prim.len());
     spansight::count("adreno.render.calls", 1);
     spansight::count("adreno.render.prims", per_prim.len() as u64);
     spansight::count(
         "adreno.render.lrz_8x8_tiles",
-        totals[TrackedCounter::LrzFull8x8Tiles] + totals[TrackedCounter::LrzPartial8x8Tiles],
+        out.totals[TrackedCounter::LrzFull8x8Tiles]
+            + out.totals[TrackedCounter::LrzPartial8x8Tiles],
     );
-    spansight::count("adreno.render.ras_8x4_tiles", totals[TrackedCounter::Ras8x4Tiles]);
-    let mut checkpoints = Vec::with_capacity(CHECKPOINTS_PER_FRAME);
-    if !per_prim.is_empty() {
-        let chunk = per_prim.len().div_ceil(CHECKPOINTS_PER_FRAME);
-        let mut cum = CounterSet::ZERO;
-        let mut cyc = 0u64;
-        for (i, s) in per_prim.iter().enumerate() {
-            cum += s.to_counters();
-            cyc += s.cycles;
-            if (i + 1) % chunk == 0 || i + 1 == per_prim.len() {
-                checkpoints.push((cyc, cum));
-            }
-        }
-    }
-    RenderOutput { totals, total_cycles, checkpoints }
+    spansight::count("adreno.render.ras_8x4_tiles", out.totals[TrackedCounter::Ras8x4Tiles]);
+    out
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! [`Primitive`]s. Opaque quads in higher layers occlude content below them —
 //! the source of the GPU overdraw signal the attack measures.
 
-use crate::font::{self, FALLBACK};
+use crate::font;
 use crate::geom::{Rect, Segment};
 
 /// A single drawable primitive.
@@ -28,11 +28,7 @@ impl Primitive {
         match self {
             Primitive::Quad { rect, .. } => *rect,
             Primitive::Glyph { ch, dest, thickness } => {
-                let strokes = font::glyph_strokes(*ch).unwrap_or(FALLBACK);
-                strokes
-                    .iter()
-                    .map(|s| s.screen_bounds(dest, font::GRID, *thickness))
-                    .fold(Rect::EMPTY, |acc, r| acc.union(&r))
+                font::glyph_screen_bounds(*ch, dest, *thickness)
             }
             Primitive::Stroke { seg, dest, thickness } => {
                 seg.screen_bounds(dest, font::GRID, *thickness)

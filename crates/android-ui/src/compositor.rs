@@ -11,6 +11,13 @@
 //! Because the *keyboard-window* redraw does not depend on the typed text so
 //! far, the first change is position-independent and uniquely characterises
 //! the key — the property the classifier is trained on.
+//!
+//! Consecutive damaged frames of one window differ by a layer or two (popup
+//! shown/hidden, one more echo glyph), so the GPU renders these draw lists
+//! through its incremental frame-delta engine
+//! ([`adreno_sim::incremental`]): each surface's viewport keeps a persistent
+//! renderer that diffs against the previous frame and recomputes only the
+//! changed layers, with output bit-identical to a full render.
 
 use crate::keyboard::{Key, KeyboardKind, KeyboardLayout, Page};
 use crate::screen::DeviceConfig;

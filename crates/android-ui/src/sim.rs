@@ -278,6 +278,17 @@ impl UiSimulation {
         &self.gpu
     }
 
+    /// Reuse counters of the GPU's incremental frame renderers.
+    ///
+    /// Each window's per-vsync submissions flow through the GPU's
+    /// per-viewport [`adreno_sim::incremental::FrameRenderer`]s, so
+    /// consecutive damaged frames of one surface (keyboard with/without a
+    /// popup, app window growing by one echo glyph) only recompute the
+    /// changed layers.
+    pub fn incremental_stats(&self) -> adreno_sim::incremental::IncrementalStats {
+        self.gpu.lock().incremental_stats()
+    }
+
     /// Simulated time processed so far.
     pub fn now(&self) -> SimInstant {
         self.processed_until

@@ -1,0 +1,132 @@
+//! Prices the incremental frame-delta renderer against the full pipeline,
+//! in the same binary and run (the host drifts between runs; only same-run
+//! ratios are trustworthy):
+//!
+//! * **cold** — first frame of a stream with every process-global cache
+//!   reset: the incremental path pays fingerprinting and diff bookkeeping
+//!   on top of the full render, its overhead ceiling;
+//! * **dirty one layer** — a translucent animation layer (the PNC-style
+//!   login decoration) changes every frame while the keyboard holds: masks
+//!   and clean layers are reused and only the animated layer recomputes,
+//!   the per-frame shape animated login pages actually submit;
+//! * **identical** — the frame repeats unchanged, the dominant vsync case:
+//!   the previous-frame shortcut answers after one fingerprint pass.
+//!
+//! The incremental/uncached pairs are asserted bit-equal right here before
+//! timing (and pinned at scale by the frame-sequence proptests in
+//! `crates/adreno-sim/tests/incremental_proptests.rs`).
+
+use adreno_sim::geom::{Rect, Segment};
+use adreno_sim::incremental::FrameRenderer;
+use adreno_sim::model::{GpuModel, GpuParams};
+use adreno_sim::pipeline::render_uncached;
+use adreno_sim::scene::DrawList;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const W: i32 = 1080;
+const H: i32 = 920;
+
+/// A keyboard-like frame: opaque background, echo field, three key rows
+/// with glyphs, and a held key popup — the static backdrop of a session.
+fn keyboard_frame() -> DrawList {
+    let mut dl = DrawList::new(W, H);
+    dl.layer("bg").quad(Rect::from_xywh(0, 0, W, H), true);
+    let field = dl.layer("field");
+    field.quad(Rect::from_xywh(16, 16, W - 32, 56), true);
+    for i in 0..8 {
+        field.glyph('*', Rect::from_xywh(24 + 30 * i, 24, 24, 40), 4);
+    }
+    for row in 0..3 {
+        let keys = dl.layer("keys");
+        for i in 0..10 {
+            let x = i * 108 + row * 18;
+            let y = H - 300 + row * 96;
+            keys.quad(Rect::from_xywh(x, y, 100, 88), true);
+            keys.glyph(
+                (b'a' + ((row * 10 + i) % 26) as u8) as char,
+                Rect::from_xywh(x + 24, y + 14, 52, 62),
+                4,
+            );
+        }
+    }
+    dl.layer("popup").quad(Rect::from_xywh(360, H - 420, 96, 116), true);
+    dl.layer("popup-glyph").glyph('f', Rect::from_xywh(366, H - 414, 84, 104), 8);
+    dl
+}
+
+/// The keyboard frame plus a translucent animated stroke layer at `phase`.
+/// Phases are effectively never-repeating (~82k combinations against a
+/// 4096-entry whole-list cache that clears on overflow), so every frame is
+/// novel at whole-frame granularity while only this one layer is dirty.
+fn animated_frame(phase: u32) -> DrawList {
+    let mut dl = keyboard_frame();
+    let band =
+        Rect::from_xywh(40, 140, 200 + (phase % 640) as i32, 240 + ((phase / 640) % 128) as i32);
+    let anim = dl.layer("login-animation");
+    anim.quad(band, false);
+    for s in 0..6 {
+        let y = (phase % 161) as f32 * 0.05 + s as f32 * 1.3;
+        anim.stroke(Segment { x0: 0.1, y0: y % 8.0, x1: 7.9, y1: (y + 2.7) % 8.0 }, band, 4);
+    }
+    dl
+}
+
+fn assert_equivalent(dl: &DrawList, params: &GpuParams) {
+    let mut r = FrameRenderer::new();
+    assert_eq!(*r.render(dl, params), render_uncached(dl, params));
+}
+
+fn bench_render_incremental(c: &mut Criterion) {
+    let params = GpuModel::Adreno650.params();
+    assert_equivalent(&keyboard_frame(), &params);
+    for phase in [0, 1, 999_999] {
+        assert_equivalent(&animated_frame(phase), &params);
+    }
+
+    // Cold: a fresh renderer and freshly-reset caches every iteration. The
+    // incremental path's overhead ceiling vs the plain pipeline.
+    let cold = keyboard_frame();
+    c.bench_function("render_incremental/cold_uncached_reference", |b| {
+        b.iter(|| black_box(render_uncached(black_box(&cold), &params)))
+    });
+    c.bench_function("render_incremental/cold_incremental", |b| {
+        b.iter(|| {
+            adreno_sim::reset_render_caches();
+            let mut r = FrameRenderer::new();
+            black_box(r.render(black_box(&cold), &params))
+        })
+    });
+
+    // Dirty one layer: the animation layer changes per frame, nothing else.
+    c.bench_function("render_incremental/dirty_layer_uncached_reference", |b| {
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(render_uncached(black_box(&animated_frame(n)), &params))
+        })
+    });
+    c.bench_function("render_incremental/dirty_layer_incremental", |b| {
+        let mut r = FrameRenderer::new();
+        let _ = r.render(&animated_frame(0), &params); // warm baseline
+        let mut n = 2_000_000u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(r.render(black_box(&animated_frame(n)), &params))
+        })
+    });
+
+    // Identical: the steady vsync case. The reference still renders; the
+    // incremental renderer answers after one fingerprint pass.
+    let held = animated_frame(7);
+    c.bench_function("render_incremental/identical_uncached_reference", |b| {
+        b.iter(|| black_box(render_uncached(black_box(&held), &params)))
+    });
+    c.bench_function("render_incremental/identical_incremental", |b| {
+        let mut r = FrameRenderer::new();
+        let _ = r.render(&held, &params);
+        b.iter(|| black_box(r.render(black_box(&held), &params)))
+    });
+}
+
+criterion_group!(benches, bench_render_incremental);
+criterion_main!(benches);

@@ -168,6 +168,13 @@ struct Live<'s> {
 /// [`StreamingSession`] stage pipeline. The outcome is identical to
 /// running [`AttackService::eavesdrop`] on the same seeded simulation;
 /// only the interleaving with other sessions differs.
+///
+/// Because the session owns its simulation — and the simulation owns its
+/// GPU — each session also carries its own set of incremental frame
+/// renderers ([`adreno_sim::incremental::RendererSet`]): per-session frame
+/// diffing is isolated state, so session results stay bit-identical at any
+/// `--jobs` level. [`FleetSession::incremental_stats`] exposes the reuse
+/// counters.
 pub struct FleetSession<'s> {
     sim: UiSimulation,
     shard: usize,
@@ -225,6 +232,11 @@ impl<'s> FleetSession<'s> {
     fn with_state(mut self, state: State<'s>) -> Self {
         self.state = state;
         self
+    }
+
+    /// Reuse counters of this session's incremental frame renderers.
+    pub fn incremental_stats(&self) -> adreno_sim::incremental::IncrementalStats {
+        self.sim.incremental_stats()
     }
 
     /// Wraps up: score and ground truth are extracted *before* the
